@@ -1,0 +1,29 @@
+# Convenience targets for the ELSC reproduction.
+
+.PHONY: install test bench bench-full report examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	pytest benchmarks/ -s
+
+report:
+	python -m repro report --messages 6 --output results/measured.txt
+
+examples:
+	python examples/quickstart.py
+	python examples/recalc_pathology.py
+	python examples/custom_scheduler.py
+	python examples/apache_webserver.py
+	python examples/select_vs_threads.py
+	python examples/priority_lab.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build *.egg-info src/*.egg-info

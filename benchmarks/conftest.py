@@ -1,0 +1,87 @@
+"""Shared infrastructure for the benchmark suite.
+
+The expensive piece — the VolanoMark matrix over schedulers × machine
+configs × room counts — is computed once per session and shared by every
+figure bench.  Scale knobs come from the environment:
+
+``REPRO_BENCH_MESSAGES``
+    messages per user (default 4; the paper used 100 — throughput is a
+    rate, so the series *shapes* survive the reduction);
+``REPRO_BENCH_ROOMS``
+    comma-separated room counts (default ``5,10,15,20`` — the paper's).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+regenerated tables.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro import ELSCScheduler, MachineSpec, VanillaScheduler
+from repro.workloads.volanomark import VolanoConfig, VolanoResult, run_volanomark
+
+MESSAGES = int(os.environ.get("REPRO_BENCH_MESSAGES", "4"))
+ROOMS = tuple(
+    int(r) for r in os.environ.get("REPRO_BENCH_ROOMS", "5,10,15,20").split(",")
+)
+
+SPECS = {
+    "UP": MachineSpec.up(),
+    "1P": MachineSpec.smp_n(1),
+    "2P": MachineSpec.smp_n(2),
+    "4P": MachineSpec.smp_n(4),
+}
+
+SCHEDULERS = {"reg": VanillaScheduler, "elsc": ELSCScheduler}
+
+
+@dataclass(frozen=True)
+class Cell:
+    scheduler: str
+    spec: str
+    rooms: int
+
+
+class VolanoMatrix:
+    """Lazy cache of VolanoMark results over the experiment grid."""
+
+    def __init__(self) -> None:
+        self._cache: dict[Cell, VolanoResult] = {}
+
+    def get(self, scheduler: str, spec: str, rooms: int) -> VolanoResult:
+        cell = Cell(scheduler, spec, rooms)
+        if cell not in self._cache:
+            cfg = VolanoConfig(rooms=rooms, messages_per_user=MESSAGES)
+            self._cache[cell] = run_volanomark(
+                SCHEDULERS[scheduler], SPECS[spec], cfg
+            )
+        return self._cache[cell]
+
+    def throughput(self, scheduler: str, spec: str, rooms: int) -> float:
+        return self.get(scheduler, spec, rooms).throughput
+
+    def stats(self, scheduler: str, spec: str, rooms: int):
+        return self.get(scheduler, spec, rooms).sim.stats
+
+
+@pytest.fixture(scope="session")
+def volano_matrix() -> VolanoMatrix:
+    return VolanoMatrix()
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table, prefixed for greppability."""
+    print()
+    print(text)
+
+
+def attach(machine, *tasks) -> None:
+    """Register hand-built tasks with a machine (microbenchmarks drive
+    the run-queue interface directly, without task bodies)."""
+    for task in tasks:
+        machine._tasks[task.pid] = task
+        machine._live_count += 1

@@ -1,0 +1,114 @@
+"""Consolidated enterprise server — the paper's §1 deployment scenario.
+
+"Several organizations use Linux on routers, print and file servers,
+firewalls and, of course, web application servers" — and a real box runs
+several at once.  This bench co-locates the chat thread storm, an
+interactive web tenant, and a batch compile, and reports each tenant's
+own metric per scheduler.
+
+Finding (and shape contract): ELSC slashes scheduler overhead and lets
+the chat tenant absorb far more CPU — total useful work per second goes
+up — but because the *selection criteria are unchanged* (paper §2:
+"it is not our intent to change the criteria"), the co-tenants don't
+automatically benefit; interactive latency may even lose to the now
+better-fed storm.  The scheduler scaled; it did not become a resource
+manager.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, MachineSpec, VanillaScheduler
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.tables import format_table
+from repro.workloads.consolidated import ConsolidatedConfig, run_consolidated
+from repro.workloads.kernbench import KernbenchConfig
+from repro.workloads.volanomark import VolanoConfig
+from repro.workloads.webserver import WebServerConfig
+
+from conftest import MESSAGES, emit
+
+CFG = ConsolidatedConfig(
+    chat=VolanoConfig(rooms=4, messages_per_user=MESSAGES),
+    web=WebServerConfig(workers=8, clients=24, requests_per_client=10),
+    batch=KernbenchConfig(
+        files=24, jobs=2, mean_compile_seconds=0.06, link_seconds=0.2
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return {
+        "reg": run_consolidated(VanillaScheduler, MachineSpec.smp_n(2), CFG),
+        "elsc": run_consolidated(ELSCScheduler, MachineSpec.smp_n(2), CFG),
+    }
+
+
+def test_consolidated_regenerate(pair):
+    rows = []
+    for name, r in pair.items():
+        rows.append(
+            [
+                name,
+                f"{r.chat_throughput:.0f}",
+                f"{r.web_throughput:.0f}",
+                f"{r.web_p99_seconds * 1e3:.1f}",
+                f"{r.batch_seconds:.2f}",
+                f"{r.scheduler_fraction:.1%}",
+            ]
+        )
+    emit(
+        format_table(
+            "Consolidated server — chat + web + batch on 2P",
+            ["sched", "chat msg/s", "web req/s", "web p99 ms", "batch s", "sched share"],
+            rows,
+            note="ELSC scales the scheduler, not the resource policy: the "
+            "storm gets fed, co-tenants are not protected.",
+        )
+    )
+
+
+def test_consolidated_shape(pair):
+    check = ShapeCheck()
+    check.ratio_at_least(
+        "chat tenant gains under elsc",
+        pair["elsc"].chat_throughput,
+        pair["reg"].chat_throughput,
+        1.5,
+    )
+    check.greater(
+        "scheduler overhead drops",
+        pair["reg"].scheduler_fraction,
+        pair["elsc"].scheduler_fraction,
+    )
+    check.greater(
+        "total useful work rises",
+        pair["elsc"].chat_throughput + pair["elsc"].web_throughput,
+        pair["reg"].chat_throughput + pair["reg"].web_throughput,
+    )
+    check.within(
+        "batch tenant roughly unaffected",
+        pair["elsc"].batch_seconds / pair["reg"].batch_seconds,
+        0.5,
+        1.5,
+    )
+    emit(check.report("Consolidated-server shape checks"))
+    assert check.all_passed
+
+
+def test_consolidated_benchmark(benchmark):
+    small = ConsolidatedConfig(
+        chat=VolanoConfig(rooms=2, users_per_room=5, messages_per_user=3),
+        web=WebServerConfig(workers=3, clients=6, requests_per_client=4),
+        batch=KernbenchConfig(
+            files=6, jobs=2, mean_compile_seconds=0.02, link_seconds=0.05
+        ),
+    )
+
+    def run():
+        return run_consolidated(ELSCScheduler, MachineSpec.smp_n(2), small)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.chat_throughput > 0

@@ -1,0 +1,96 @@
+"""Figure 2 — "The number of times (on a log scale) that each scheduler
+enters the recalculate loop during a typical run of the VolanoMark
+benchmark."
+
+Shape contract: the stock scheduler enters the whole-system counter
+recalculation loop on every configuration (mostly via "a task yields
+and nothing else is runnable"), while ELSC essentially never does — it
+reruns the yielding task instead (its ``yield_reruns`` counter shows
+the substituted behaviour).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.tables import bar_chart, format_table
+
+from conftest import SPECS, emit
+
+ROOMS = 10  # the paper's Figure 2 used a typical (10-room) run
+
+
+@pytest.fixture(scope="module")
+def recalc_data(volano_matrix):
+    data = {}
+    for spec in SPECS:
+        for sched in ("elsc", "reg"):
+            data[(sched, spec)] = volano_matrix.stats(sched, spec, ROOMS)
+    return data
+
+
+def test_fig2_regenerate(recalc_data):
+    labels = []
+    values = []
+    rows = []
+    for spec in SPECS:
+        for sched in ("elsc", "reg"):
+            stats = recalc_data[(sched, spec)]
+            labels.append(f"{sched}-{spec}")
+            values.append(stats.recalc_entries)
+            rows.append(
+                [
+                    f"{sched}-{spec}",
+                    stats.recalc_entries,
+                    stats.yield_reruns,
+                    stats.schedule_calls,
+                ]
+            )
+    emit(
+        format_table(
+            f"Figure 2 — recalculate-loop entries ({ROOMS}-room VolanoMark)",
+            ["config", "recalc_entries", "yield_reruns", "schedule_calls"],
+            rows,
+            note=(
+                "Paper: log-scale bars, reg orders of magnitude above elsc "
+                "on every configuration."
+            ),
+        )
+    )
+    emit(bar_chart("Figure 2 (log-scale bars)", labels, values, log=True))
+
+    check = ShapeCheck()
+    for spec in SPECS:
+        reg = recalc_data[("reg", spec)]
+        elsc = recalc_data[("elsc", spec)]
+        check.greater(f"reg recalculates on {spec}", reg.recalc_entries, 0)
+        check.greater(
+            f"reg ≫ elsc on {spec}", reg.recalc_entries, elsc.recalc_entries
+        )
+    # ELSC substitutes reruns for recalculations somewhere in the grid.
+    total_reruns = sum(
+        recalc_data[("elsc", spec)].yield_reruns for spec in SPECS
+    )
+    check.greater("elsc yield-reruns exist", total_reruns, 0)
+    emit(check.report("Figure 2 shape checks"))
+    assert check.all_passed
+
+
+def test_fig2_benchmark_recalc_cost(benchmark):
+    """Microbenchmark: one whole-system recalculation over 2000 tasks —
+    the unit of work Figure 2 counts."""
+    from repro import Machine, Task, VanillaScheduler
+    from conftest import attach
+
+    sched = VanillaScheduler()
+    machine = Machine(sched, num_cpus=1, smp=False)
+    for i in range(2000):
+        task = Task(name=f"t{i}")
+        attach(machine, task)
+
+    def recalc():
+        return sched.recalculate_counters()
+
+    cost = benchmark(recalc)
+    assert cost == machine.cost.recalc_cost(2000)

@@ -1,0 +1,99 @@
+"""Figure 3 — "Throughput in messages per second for VolanoMark runs on
+6 different scheduler configurations" (UP/1P graph and 4P graph; the
+text also reports 2P runs).
+
+Shape contract, from the paper's two graphs:
+
+* ELSC meets or beats the stock scheduler at every point;
+* the stock scheduler's throughput *declines* as rooms (threads) grow;
+* ELSC stays roughly flat from 5 to 20 rooms;
+* the gap widens with rooms, most dramatically on 4 processors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.metrics import Series
+from repro.analysis.tables import format_figure
+
+from conftest import MESSAGES, ROOMS, SPECS, emit
+
+
+@pytest.fixture(scope="module")
+def series(volano_matrix):
+    out: dict[str, Series] = {}
+    for sched in ("elsc", "reg"):
+        for spec in SPECS:
+            s = Series(f"{sched}-{spec.lower()}")
+            for rooms in ROOMS:
+                s.add(rooms, volano_matrix.throughput(sched, spec, rooms))
+            out[s.name] = s
+    return out
+
+
+def test_fig3_regenerate_up_1p(series):
+    emit(
+        format_figure(
+            "Figure 3 (first graph) — UP and 1P message throughput",
+            "rooms",
+            [series["elsc-up"], series["reg-up"], series["elsc-1p"], series["reg-1p"]],
+            note=(
+                f"messages_per_user={MESSAGES} (paper: 100); absolute "
+                "msg/s are simulator-scaled, series shapes are the claim."
+            ),
+        )
+    )
+
+
+def test_fig3_regenerate_4p(series):
+    emit(
+        format_figure(
+            "Figure 3 (second graph) — 4-processor message throughput",
+            "rooms",
+            [series["elsc-4p"], series["reg-4p"]],
+        )
+    )
+
+
+def test_fig3_shape(series):
+    check = ShapeCheck()
+    base, high = ROOMS[0], ROOMS[-1]
+    for spec in SPECS:
+        name = spec.lower()
+        elsc = series[f"elsc-{name}"]
+        reg = series[f"reg-{name}"]
+        # ELSC ≥ reg everywhere (small tolerance at the light end where
+        # the paper, too, shows near-parity).
+        check.dominates(f"elsc ≥ reg on {spec}", elsc, reg, tolerance=0.05)
+        check.declines(f"reg declines on {spec}", reg)
+        check.roughly_flat(f"elsc flat on {spec}", elsc, max_drop=0.15)
+        check.greater(
+            f"elsc clearly ahead at {high} rooms on {spec}",
+            elsc.at(high),
+            1.2 * reg.at(high),
+        )
+    # The 4P collapse is the paper's most dramatic panel.
+    check.ratio_at_least(
+        "4P gap at max rooms",
+        series["elsc-4p"].at(high),
+        series["reg-4p"].at(high),
+        2.0,
+    )
+    emit(check.report("Figure 3 shape checks"))
+    assert check.all_passed
+
+
+def test_fig3_benchmark_one_cell(benchmark, volano_matrix):
+    """Wall-clock of one 5-room UP VolanoMark simulation under ELSC."""
+    from repro import ELSCScheduler, MachineSpec
+    from repro.workloads.volanomark import VolanoConfig, run_volanomark
+
+    cfg = VolanoConfig(rooms=5, messages_per_user=2)
+
+    def run():
+        return run_volanomark(ELSCScheduler, MachineSpec.up(), cfg)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.messages_delivered == cfg.deliveries_expected

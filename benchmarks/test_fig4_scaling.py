@@ -1,0 +1,90 @@
+"""Figure 4 — "Shows how each scheduler scales from 5 rooms to 20 rooms
+on various processor configurations.  The height of the bar represents
+the scaling factor (20-room-throughput / 5-room-throughput)."
+
+Shape contract: ELSC's bars sit near 1.0 on every configuration; the
+stock scheduler's bars sit clearly below, worst on 4 processors ("the
+ELSC scheduler clearly scales to more threads better").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.metrics import scaling_factor
+from repro.analysis.tables import bar_chart, format_table
+
+from conftest import ROOMS, SPECS, emit
+
+BASE, HIGH = ROOMS[0], ROOMS[-1]
+
+
+@pytest.fixture(scope="module")
+def factors(volano_matrix):
+    out = {}
+    for sched in ("elsc", "reg"):
+        for spec in SPECS:
+            out[(sched, spec)] = scaling_factor(
+                volano_matrix.throughput(sched, spec, HIGH),
+                volano_matrix.throughput(sched, spec, BASE),
+            )
+    return out
+
+
+def test_fig4_regenerate(factors):
+    rows = [
+        [spec, f"{factors[('elsc', spec)]:.3f}", f"{factors[('reg', spec)]:.3f}"]
+        for spec in SPECS
+    ]
+    emit(
+        format_table(
+            f"Figure 4 — scaling factor ({HIGH}-room / {BASE}-room throughput)",
+            ["config", "elsc", "reg"],
+            rows,
+            note="Paper bars: elsc ≈ 0.95–1.05 everywhere; reg ≈ 0.7 on "
+            "UP degrading to ≈ 0.35 on 4P.",
+        )
+    )
+    labels = [f"{sched}-{spec}" for spec in SPECS for sched in ("elsc", "reg")]
+    values = [
+        factors[(sched, spec)] for spec in SPECS for sched in ("elsc", "reg")
+    ]
+    emit(bar_chart("Figure 4 (bars)", labels, values))
+
+
+def test_fig4_shape(factors):
+    check = ShapeCheck()
+    for spec in SPECS:
+        check.greater(
+            f"elsc out-scales reg on {spec}",
+            factors[("elsc", spec)],
+            factors[("reg", spec)],
+        )
+        check.within(f"elsc near 1.0 on {spec}", factors[("elsc", spec)], 0.85, 1.25)
+        check.within(f"reg visibly degrades on {spec}", factors[("reg", spec)], 0.0, 0.9)
+    # Paper: the stock scheduler's worst scaling is on 4 processors.
+    check.greater(
+        "reg 4P is its worst",
+        min(factors[("reg", spec)] for spec in ("UP", "1P", "2P")),
+        factors[("reg", "4P")],
+    )
+    emit(check.report("Figure 4 shape checks"))
+    assert check.all_passed
+
+
+def test_fig4_benchmark_scaling_computation(benchmark, volano_matrix):
+    """Timing anchor for the figure-4 post-processing path."""
+
+    def compute():
+        return {
+            (sched, spec): scaling_factor(
+                volano_matrix.throughput(sched, spec, HIGH),
+                volano_matrix.throughput(sched, spec, BASE),
+            )
+            for sched in ("elsc", "reg")
+            for spec in SPECS
+        }
+
+    out = benchmark(compute)
+    assert len(out) == 8

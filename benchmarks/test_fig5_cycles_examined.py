@@ -1,0 +1,116 @@
+"""Figure 5 — "The first chart shows the number of cycles that are spent
+each time the system enters the scheduler.  The second chart shows how
+many tasks are examined by the scheduler each time it is called."
+
+Paper magnitudes: reg up to ~20,000 cycles and ~35 tasks examined per
+call; elsc a small constant of each.
+
+Shape contract: both metrics are far lower for ELSC on every
+configuration, and the stock scheduler's examined-per-call tracks the
+run-queue length (the O(n) scan) while ELSC's stays bounded by its
+search limit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.tables import format_table
+
+from conftest import SPECS, emit
+
+ROOMS = 10
+
+
+@pytest.fixture(scope="module")
+def fig5_stats(volano_matrix):
+    return {
+        (sched, spec): volano_matrix.stats(sched, spec, ROOMS)
+        for sched in ("elsc", "reg")
+        for spec in SPECS
+    }
+
+
+def test_fig5_regenerate(fig5_stats):
+    rows = []
+    for spec in SPECS:
+        elsc = fig5_stats[("elsc", spec)]
+        reg = fig5_stats[("reg", spec)]
+        rows.append(
+            [
+                spec,
+                f"{elsc.cycles_per_schedule():.0f}",
+                f"{reg.cycles_per_schedule():.0f}",
+                f"{elsc.examined_per_schedule():.1f}",
+                f"{reg.examined_per_schedule():.1f}",
+            ]
+        )
+    emit(
+        format_table(
+            f"Figure 5 — cycles per schedule() and tasks examined "
+            f"({ROOMS}-room VolanoMark)",
+            ["config", "elsc cyc", "reg cyc", "elsc examined", "reg examined"],
+            rows,
+            note="Paper: reg up to ~20k cycles / ~35 examined; elsc small "
+            "and flat.",
+        )
+    )
+
+
+def test_fig5_shape(fig5_stats):
+    check = ShapeCheck()
+    for spec in SPECS:
+        elsc = fig5_stats[("elsc", spec)]
+        reg = fig5_stats[("reg", spec)]
+        check.ratio_at_least(
+            f"cycles gap on {spec}",
+            reg.cycles_per_schedule(),
+            elsc.cycles_per_schedule(),
+            3.0,
+        )
+        check.ratio_at_least(
+            f"examined gap on {spec}",
+            reg.examined_per_schedule(),
+            elsc.examined_per_schedule(),
+            3.0,
+        )
+        check.within(
+            f"elsc examined bounded on {spec}",
+            elsc.examined_per_schedule(),
+            0.0,
+            7.0 + 1.0,  # search limit at 4 CPUs, plus zero-break touches
+        )
+        # The O(n) signature: reg's examined ≈ its average queue length.
+        check.within(
+            f"reg examined tracks queue on {spec}",
+            reg.examined_per_schedule() / max(1.0, reg.avg_runqueue_len()),
+            0.5,
+            1.5,
+        )
+    emit(check.report("Figure 5 shape checks"))
+    assert check.all_passed
+
+
+def test_fig5_benchmark_schedule_call(benchmark):
+    """Microbenchmark: one stock schedule() scan over a 200-task queue —
+    the operation Figure 5's left chart prices."""
+    from repro import Machine, Task, VanillaScheduler
+    from conftest import attach
+
+    sched = VanillaScheduler()
+    machine = Machine(sched, num_cpus=1, smp=False)
+    cpu = machine.cpus[0]
+    for i in range(200):
+        task = Task(name=f"t{i}", priority=(i % 40) + 1)
+        attach(machine, task)
+        sched.add_to_runqueue(task)
+
+    def one_call():
+        decision = sched.schedule(cpu.idle_task, cpu)
+        # Undo the pick so every round scans the same queue.
+        decision.next_task.has_cpu = False
+        return decision
+
+    decision = benchmark(one_call)
+    assert decision.examined >= 200

@@ -1,0 +1,126 @@
+"""Figure 6 — "The first chart shows how many times (in thousands) the
+system enters the schedule() function call in an average 10-room
+VolanoMark simulation.  The second chart shows how many times the
+scheduler chooses a task to run on a different processor than it ran
+before."
+
+Shape contract (the paper's concession section):
+
+* on multiprocessors ELSC makes *at least as many* schedule() calls as
+  the stock scheduler ("an increase in the number of calls to
+  schedule() when running on a machine with more than one processor");
+* ELSC dispatches tasks onto new processors far more often — it settles
+  for the best task in the top static class even without the affinity
+  bonus, and the two effects correlate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.tables import format_table
+
+from conftest import SPECS, emit
+
+ROOMS = 10
+MP_SPECS = [s for s in SPECS if s != "UP" and s != "1P"]
+
+
+@pytest.fixture(scope="module")
+def fig6_stats(volano_matrix):
+    return {
+        (sched, spec): volano_matrix.stats(sched, spec, ROOMS)
+        for sched in ("elsc", "reg")
+        for spec in SPECS
+    }
+
+
+def test_fig6_regenerate(fig6_stats):
+    rows = []
+    for spec in SPECS:
+        elsc = fig6_stats[("elsc", spec)]
+        reg = fig6_stats[("reg", spec)]
+        rows.append(
+            [
+                spec,
+                elsc.schedule_calls,
+                reg.schedule_calls,
+                elsc.migrations,
+                reg.migrations,
+                elsc.picks_without_affinity,
+                reg.picks_without_affinity,
+            ]
+        )
+    emit(
+        format_table(
+            f"Figure 6 — schedule() calls and cross-processor dispatches "
+            f"({ROOMS}-room VolanoMark)",
+            [
+                "config",
+                "elsc calls",
+                "reg calls",
+                "elsc new-cpu",
+                "reg new-cpu",
+                "elsc no-affinity",
+                "reg no-affinity",
+            ],
+            rows,
+            note="Paper: elsc-sched ≥ reg-sched on MP; elsc schedules many "
+            "more tasks onto new processors.",
+        )
+    )
+
+
+def test_fig6_shape(fig6_stats):
+    check = ShapeCheck()
+    for spec in MP_SPECS:
+        elsc = fig6_stats[("elsc", spec)]
+        reg = fig6_stats[("reg", spec)]
+        check.greater(
+            f"elsc migrates more on {spec}", elsc.migrations, reg.migrations
+        )
+        check.greater(
+            f"affinity misses correlate on {spec}",
+            elsc.picks_without_affinity,
+            reg.picks_without_affinity,
+        )
+        # "an increase in the number of calls to schedule()" — allow a
+        # 15 % floor since our reduced runs are noisier than 11×100-msg
+        # averages.
+        check.greater(
+            f"elsc calls not fewer on {spec}",
+            elsc.schedule_calls,
+            reg.schedule_calls * 0.85,
+        )
+    # On UP there are no migrations at all, for either scheduler.
+    for sched in ("elsc", "reg"):
+        check.within(
+            f"{sched} UP migrations are zero",
+            fig6_stats[(sched, "UP")].migrations,
+            0,
+            0,
+        )
+    emit(check.report("Figure 6 shape checks"))
+    assert check.all_passed
+
+
+def test_fig6_benchmark_wakeup_path(benchmark):
+    """Microbenchmark of the wakeup path (add_to_runqueue +
+    reschedule_idle) whose frequency Figure 6's first chart reflects."""
+    from repro import ELSCScheduler, Machine, Task
+    from conftest import attach
+
+    sched = ELSCScheduler()
+    machine = Machine(sched, num_cpus=4, smp=True)
+    task = Task(name="w")
+    attach(machine, task)
+
+    def wake_and_remove():
+        machine.wake_up_process(task, machine.clock.now)
+        sched.del_from_runqueue(task)
+        from repro.kernel.task import TaskState
+
+        task.state = TaskState.INTERRUPTIBLE
+
+    benchmark(wake_and_remove)

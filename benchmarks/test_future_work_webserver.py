@@ -1,0 +1,85 @@
+"""Future work (§8) — "One such example is a web server running Apache.
+Would we see the same performance gains we saw while running VolanoMark,
+or does something other than the scheduler cause primary bottlenecks in
+these systems?  Would the ELSC scheduler be more effective in increasing
+throughput or decreasing the latency of an Apache web server?"
+
+This bench answers the paper's open question on the simulator: with a
+pre-forked worker pool the run queue stays short, so throughput ties —
+the gains show up (mildly) in tail latency, not throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, MachineSpec, VanillaScheduler
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.tables import format_table
+from repro.workloads.webserver import WebServerConfig, run_webserver
+
+from conftest import emit
+
+CFG = WebServerConfig(workers=16, clients=64, requests_per_client=10)
+
+
+@pytest.fixture(scope="module")
+def web_results():
+    out = {}
+    for sched_name, factory in (("reg", VanillaScheduler), ("elsc", ELSCScheduler)):
+        for spec_name, spec in (("UP", MachineSpec.up()), ("2P", MachineSpec.smp_n(2))):
+            out[(sched_name, spec_name)] = run_webserver(factory, spec, CFG)
+    return out
+
+
+def test_webserver_regenerate(web_results):
+    rows = [
+        [
+            f"{sched}-{spec}",
+            f"{r.throughput:.0f}",
+            f"{r.mean_latency_seconds * 1e3:.2f}",
+            f"{r.p99_latency_seconds * 1e3:.2f}",
+            f"{r.scheduler_fraction:.2%}",
+        ]
+        for (sched, spec), r in web_results.items()
+    ]
+    emit(
+        format_table(
+            "Future work — Apache-style web server",
+            ["config", "req/s", "mean ms", "p99 ms", "sched share"],
+            rows,
+            note="The paper's open question: with short run queues the "
+            "scheduler is not the bottleneck — throughput ties.",
+        )
+    )
+
+
+def test_webserver_answer_to_the_papers_question(web_results):
+    check = ShapeCheck()
+    for spec in ("UP", "2P"):
+        reg = web_results[("reg", spec)]
+        elsc = web_results[("elsc", spec)]
+        check.within(
+            f"throughput parity on {spec}",
+            elsc.throughput / reg.throughput,
+            0.9,
+            1.15,
+        )
+        check.within(
+            f"scheduler share small on {spec} (reg)",
+            reg.scheduler_fraction,
+            0.0,
+            0.10,
+        )
+    emit(check.report("Future-work web-server checks"))
+    assert check.all_passed
+
+
+def test_webserver_benchmark(benchmark):
+    small = WebServerConfig(workers=4, clients=8, requests_per_client=4)
+
+    def run():
+        return run_webserver(ELSCScheduler, MachineSpec.up(), small)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.requests_done == small.total_requests

@@ -1,0 +1,102 @@
+"""Section 4's motivating measurements (Bryant & Hartner, IBM).
+
+    "The results of the VolanoMark experiments show that 25-room
+    throughput decreased by 24% from 5-room throughput due to the
+    additional threads in the system.  A profile of the kernel taken
+    during the VolanoMark runs showed that between 37 (5-room) and 55
+    (25-room) percent of total time spent in the kernel during the test
+    is spent in the scheduler."
+
+Shape contract for the *stock* scheduler: throughput degrades double-
+digit percent from the low to the high room count, and the scheduler's
+share of busy time is substantial and *grows* with rooms.  (Our share is
+of all busy cycles rather than kernel-only cycles, so the absolute band
+is wider than IBM's.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.metrics import degradation
+from repro.analysis.tables import format_table
+
+from conftest import ROOMS, emit
+
+BASE, HIGH = ROOMS[0], ROOMS[-1]
+
+
+@pytest.fixture(scope="module")
+def ibm_data(volano_matrix):
+    return {
+        rooms: volano_matrix.get("reg", "UP", rooms) for rooms in ROOMS
+    }
+
+
+def test_ibm_baseline_regenerate(ibm_data):
+    rows = [
+        [
+            rooms,
+            f"{result.throughput:.0f}",
+            f"{result.scheduler_fraction:.1%}",
+            f"{result.sim.stats.avg_runqueue_len():.1f}",
+        ]
+        for rooms, result in ibm_data.items()
+    ]
+    emit(
+        format_table(
+            "IBM baseline — stock scheduler under VolanoMark (UP)",
+            ["rooms", "msg/s", "scheduler share", "avg runqueue"],
+            rows,
+            note="IBM measured a 24 % throughput drop (5→25 rooms) and "
+            "37–55 % of kernel time in the scheduler.",
+        )
+    )
+
+
+def test_ibm_degradation_shape(ibm_data):
+    check = ShapeCheck()
+    drop = degradation(ibm_data[HIGH].throughput, ibm_data[BASE].throughput)
+    check.within("double-digit throughput drop", drop, 0.10, 0.60)
+    check.greater(
+        "scheduler share grows with rooms",
+        ibm_data[HIGH].scheduler_fraction,
+        ibm_data[BASE].scheduler_fraction,
+    )
+    check.within(
+        "scheduler share substantial at high rooms",
+        ibm_data[HIGH].scheduler_fraction,
+        0.15,
+        0.90,
+    )
+    check.greater(
+        "run queue grows with rooms",
+        ibm_data[HIGH].sim.stats.avg_runqueue_len(),
+        1.5 * ibm_data[BASE].sim.stats.avg_runqueue_len(),
+    )
+    emit(check.report("IBM baseline shape checks"))
+    assert check.all_passed
+
+
+def test_ibm_benchmark_goodness_scan_growth(benchmark):
+    """The O(n) scan cost growth that underlies the IBM profile: price a
+    schedule() against queue length 400 (5 rooms' worth of threads)."""
+    from repro import Machine, Task, VanillaScheduler
+    from conftest import attach
+
+    sched = VanillaScheduler()
+    machine = Machine(sched, num_cpus=1, smp=False)
+    cpu = machine.cpus[0]
+    for i in range(400):
+        task = Task(name=f"t{i}")
+        attach(machine, task)
+        sched.add_to_runqueue(task)
+
+    def scan():
+        decision = sched.schedule(cpu.idle_task, cpu)
+        decision.next_task.has_cpu = False
+        return decision
+
+    decision = benchmark(scan)
+    assert decision.examined == 400

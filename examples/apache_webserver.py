@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Future work §8: does ELSC help an Apache-style web server?
+
+The paper closes by asking whether the VolanoMark gains would carry over
+to "a web server running Apache … or does something other than the
+scheduler cause primary bottlenecks in these systems?  Would the ELSC
+scheduler be more effective in increasing throughput or decreasing the
+latency?"
+
+This example answers on the simulator: a pre-forked worker pool keeps
+the run queue short (one wake per accepted connection), so throughput
+ties — and the difference, such as it is, shows up in the latency tail.
+
+Run:
+
+    python examples/apache_webserver.py
+"""
+
+from __future__ import annotations
+
+from repro import ELSCScheduler, MachineSpec, VanillaScheduler
+from repro.analysis.tables import format_table
+from repro.workloads.webserver import WebServerConfig, run_webserver
+
+
+def main() -> None:
+    cfg = WebServerConfig(workers=16, clients=64, requests_per_client=10)
+    rows = []
+    for factory in (VanillaScheduler, ELSCScheduler):
+        for spec in (MachineSpec.up(), MachineSpec.smp_n(2)):
+            result = run_webserver(factory, spec, cfg)
+            rows.append(
+                [
+                    f"{result.scheduler_name}-{spec.name}",
+                    f"{result.throughput:.0f}",
+                    f"{result.mean_latency_seconds * 1e3:.2f}",
+                    f"{result.p99_latency_seconds * 1e3:.2f}",
+                    f"{result.sim.stats.examined_per_schedule():.1f}",
+                    f"{result.scheduler_fraction:.2%}",
+                ]
+            )
+    print(
+        format_table(
+            f"Apache-style server — {cfg.workers} workers, {cfg.clients} "
+            "closed-loop clients",
+            ["config", "req/s", "mean ms", "p99 ms", "examined/call", "sched share"],
+            rows,
+            note=(
+                "The answer to the paper's question: with short run queues "
+                "the scheduler is not the bottleneck; gains appear in tail "
+                "latency, not throughput."
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Scaling study: regenerate the paper's Figures 3 and 4 at small scale.
+
+Sweeps VolanoMark room counts over all four machine configurations the
+paper used (UP, 1P, 2P, 4P) under both schedulers, prints the Figure 3
+throughput series and the Figure 4 scaling factors, and highlights where
+the stock scheduler's O(n) scan starts to hurt.
+
+Run (about a minute of wall clock):
+
+    python examples/chat_scaling_study.py
+    python examples/chat_scaling_study.py --rooms 5,10 --messages 3  # faster
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ELSCScheduler, MachineSpec, VanillaScheduler
+from repro.analysis.metrics import Series
+from repro.analysis.tables import format_figure, format_table
+from repro.workloads.volanomark import VolanoConfig, run_volanomark
+
+SPECS = {
+    "UP": MachineSpec.up(),
+    "1P": MachineSpec.smp_n(1),
+    "2P": MachineSpec.smp_n(2),
+    "4P": MachineSpec.smp_n(4),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rooms", default="5,10,15,20")
+    parser.add_argument("--messages", type=int, default=4)
+    args = parser.parse_args()
+    rooms_axis = [int(r) for r in args.rooms.split(",")]
+
+    all_series: list[Series] = []
+    for sched_name, factory in (("elsc", ELSCScheduler), ("reg", VanillaScheduler)):
+        for spec_name, spec in SPECS.items():
+            series = Series(f"{sched_name}-{spec_name.lower()}")
+            for rooms in rooms_axis:
+                cfg = VolanoConfig(rooms=rooms, messages_per_user=args.messages)
+                result = run_volanomark(factory, spec, cfg)
+                series.add(rooms, result.throughput)
+                print(
+                    f"  ran {series.name} rooms={rooms}: "
+                    f"{result.throughput:.0f} msg/s "
+                    f"(examined/call {result.sim.stats.examined_per_schedule():.1f})"
+                )
+            all_series.append(series)
+
+    print()
+    print(
+        format_figure(
+            "Figure 3 — VolanoMark throughput (messages/second)",
+            "rooms",
+            all_series,
+        )
+    )
+
+    base, high = rooms_axis[0], rooms_axis[-1]
+    rows = []
+    for spec_name in SPECS:
+        name = spec_name.lower()
+        elsc = next(s for s in all_series if s.name == f"elsc-{name}")
+        reg = next(s for s in all_series if s.name == f"reg-{name}")
+        rows.append(
+            [
+                spec_name,
+                f"{elsc.scaling(base, high):.3f}",
+                f"{reg.scaling(base, high):.3f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            f"Figure 4 — scaling factor ({high}-room / {base}-room)",
+            ["config", "elsc", "reg"],
+            rows,
+            note="Paper: elsc holds ≈1.0 everywhere; reg degrades, worst "
+            "on 4 processors (the global runqueue lock serialises its "
+            "O(n) scans).",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Generate results/measured.txt — the numbers EXPERIMENTS.md records.
+
+Thin wrapper over :func:`repro.analysis.report.build_report`; pass the
+messages-per-user scale as the first argument (default 6).
+"""
+import sys
+
+from repro.analysis.report import ReportConfig, build_report
+
+messages = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+config = ReportConfig(
+    messages_per_user=messages,
+    progress=lambda text: print(f"  ran {text}", file=sys.stderr),
+)
+text = build_report(config)
+with open("results/measured.txt", "w") as handle:
+    handle.write(text + "\n")
+print(text)

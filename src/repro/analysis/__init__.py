@@ -1,0 +1,42 @@
+"""Analysis: metrics, paper-style tables, and shape checks."""
+
+from .compare import CheckOutcome, ShapeCheck
+from .gantt import gantt, occupancy
+from .metrics import (
+    Series,
+    SeriesPoint,
+    degradation,
+    geometric_mean,
+    mean,
+    scaling_factor,
+    throughput,
+)
+from .tables import bar_chart, format_figure, format_kv, format_table
+from .report import ReportConfig, build_report, volano_grid
+from .runstats import RunStats, summarize, summarize_throughput
+from .timeline import TimelineSampler
+
+__all__ = [
+    "Series",
+    "SeriesPoint",
+    "scaling_factor",
+    "degradation",
+    "throughput",
+    "mean",
+    "geometric_mean",
+    "ShapeCheck",
+    "CheckOutcome",
+    "format_table",
+    "format_figure",
+    "format_kv",
+    "bar_chart",
+    "TimelineSampler",
+    "ReportConfig",
+    "build_report",
+    "volano_grid",
+    "RunStats",
+    "summarize",
+    "summarize_throughput",
+    "gantt",
+    "occupancy",
+]

@@ -1,0 +1,111 @@
+"""Shape comparison: does our reproduction behave like the paper's data?
+
+The reproduction contract (DESIGN.md section 2) is about *shape*, not
+absolute numbers: who wins, by roughly what factor, and how trends move
+with load.  :class:`ShapeCheck` collects named assertions so benches can
+both print their tables and verify the paper's qualitative claims in one
+place; test code reuses the same checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .metrics import Series
+
+__all__ = ["ShapeCheck", "CheckOutcome"]
+
+
+@dataclass
+class CheckOutcome:
+    """One named claim and whether the measured data supports it."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        flag = "PASS" if self.passed else "FAIL"
+        return f"[{flag}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ShapeCheck:
+    """Accumulates qualitative checks over measured series."""
+
+    outcomes: list[CheckOutcome] = field(default_factory=list)
+
+    def _record(self, name: str, passed: bool, detail: str) -> bool:
+        self.outcomes.append(CheckOutcome(name, passed, detail))
+        return passed
+
+    def greater(
+        self, name: str, left: float, right: float, tolerance: float = 0.0
+    ) -> bool:
+        """Claim: ``left > right`` (with slack ``tolerance`` × right)."""
+        passed = left > right * (1.0 - tolerance)
+        return self._record(name, passed, f"{left:g} vs {right:g}")
+
+    def ratio_at_least(
+        self, name: str, numerator: float, denominator: float, factor: float
+    ) -> bool:
+        """Claim: ``numerator / denominator >= factor``."""
+        if denominator == 0:
+            return self._record(
+                name, numerator > 0, f"{numerator:g}/0 (want ≥{factor:g}×)"
+            )
+        ratio = numerator / denominator
+        return self._record(
+            name, ratio >= factor, f"ratio {ratio:.2f} (want ≥{factor:g})"
+        )
+
+    def within(
+        self, name: str, value: float, low: float, high: float
+    ) -> bool:
+        """Claim: ``low <= value <= high``."""
+        return self._record(
+            name, low <= value <= high, f"{value:g} in [{low:g}, {high:g}]"
+        )
+
+    def dominates(
+        self, name: str, winner: Series, loser: Series, tolerance: float = 0.0
+    ) -> bool:
+        """Claim: ``winner`` ≥ ``loser`` at every shared x (with slack)."""
+        theirs = {p.x: p.y for p in loser.points}
+        bad = [
+            (p.x, p.y, theirs[p.x])
+            for p in winner.points
+            if p.x in theirs and p.y < theirs[p.x] * (1.0 - tolerance)
+        ]
+        detail = "all points" if not bad else f"loses at x={bad[0][0]:g}"
+        return self._record(name, not bad, detail)
+
+    def declines(self, name: str, series: Series, tolerance: float = 0.0) -> bool:
+        """Claim: the series trends downward from first to last x."""
+        ys = series.ys()
+        if len(ys) < 2:
+            return self._record(name, False, "too few points")
+        passed = ys[-1] < ys[0] * (1.0 + tolerance)
+        return self._record(name, passed, f"{ys[0]:g} → {ys[-1]:g}")
+
+    def roughly_flat(
+        self, name: str, series: Series, max_drop: float = 0.15
+    ) -> bool:
+        """Claim: last point within ``max_drop`` of the first."""
+        ys = series.ys()
+        if len(ys) < 2 or ys[0] == 0:
+            return self._record(name, False, "degenerate series")
+        drop = 1.0 - ys[-1] / ys[0]
+        return self._record(
+            name, drop <= max_drop, f"drop {drop:.1%} (allow {max_drop:.0%})"
+        )
+
+    @property
+    def all_passed(self) -> bool:
+        return all(o.passed for o in self.outcomes)
+
+    def report(self, title: Optional[str] = None) -> str:
+        lines = [title] if title else []
+        lines.extend(str(o) for o in self.outcomes)
+        return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Derived metrics for the paper's evaluation figures.
+
+Small, dependency-free arithmetic kept in one place so benches, tests
+and the CLI agree on definitions:
+
+* **throughput** — messages delivered per virtual second (Figure 3);
+* **scaling factor** — 20-room throughput / 5-room throughput
+  (Figure 4: "how performance is altered when the number of threads is
+  increased");
+* **scheduler fraction** — scheduler + lock-spin cycles over non-idle
+  cycles (the IBM "37–55 % of kernel time" observation in section 4);
+* **degradation** — 1 − scaling factor (the IBM "25-room throughput
+  decreased by 24 %" phrasing).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+__all__ = [
+    "scaling_factor",
+    "degradation",
+    "throughput",
+    "geometric_mean",
+    "mean",
+    "SeriesPoint",
+    "Series",
+]
+
+
+def throughput(messages: int, seconds: float) -> float:
+    """Messages per second; 0 for a degenerate zero-length run."""
+    if seconds <= 0:
+        return 0.0
+    return messages / seconds
+
+
+def scaling_factor(high_load: float, base_load: float) -> float:
+    """Figure 4's bar height: ``throughput(20 rooms) / throughput(5 rooms)``."""
+    if base_load <= 0:
+        return 0.0
+    return high_load / base_load
+
+
+def degradation(high_load: float, base_load: float) -> float:
+    """Fractional throughput lost going from base to high load."""
+    return 1.0 - scaling_factor(high_load, base_load)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; raises otherwise."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) measurement of a figure series."""
+
+    x: float
+    y: float
+
+
+class Series:
+    """A named measurement series — one line of a paper figure."""
+
+    def __init__(self, name: str, points: Optional[Sequence[SeriesPoint]] = None):
+        self.name = name
+        self.points: list[SeriesPoint] = list(points or [])
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append(SeriesPoint(x, y))
+
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    def ys(self) -> list[float]:
+        return [p.y for p in self.points]
+
+    def at(self, x: float) -> float:
+        for p in self.points:
+            if p.x == x:
+                return p.y
+        raise KeyError(f"series {self.name} has no point at x={x}")
+
+    def scaling(self, base_x: float, high_x: float) -> float:
+        """Figure 4 from a Figure 3 series."""
+        return scaling_factor(self.at(high_x), self.at(base_x))
+
+    def dominates(self, other: "Series") -> bool:
+        """True when this series is >= the other at every shared x."""
+        theirs: Mapping[float, float] = {p.x: p.y for p in other.points}
+        shared = [p for p in self.points if p.x in theirs]
+        if not shared:
+            raise ValueError("series share no x values")
+        return all(p.y >= theirs[p.x] for p in shared)
+
+    def ratio_to(self, other: "Series", x: float) -> float:
+        denominator = other.at(x)
+        if denominator == 0:
+            return math.inf
+        return self.at(x) / denominator
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:
+        pts = ", ".join(f"({p.x:g}, {p.y:g})" for p in self.points)
+        return f"<Series {self.name}: {pts}>"

@@ -1,0 +1,217 @@
+"""The full experiment report: every paper table/figure in one run.
+
+:func:`build_report` executes the whole evaluation grid (VolanoMark over
+schedulers × machine configs × room counts, the Table 2 kernel compiles,
+the future-work web server) and renders the paper-style tables that
+EXPERIMENTS.md records.  It is what ``python -m repro report`` and
+``results/generate.py`` run.
+
+Scale is controlled by :class:`ReportConfig`; the default reduced
+message count keeps a full report in the minutes range (the stock
+scheduler's O(n) scan is simulated faithfully and dominates the wall
+clock, which is itself a faithful observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.elsc import ELSCScheduler
+from ..kernel.simulator import MachineSpec
+from ..sched.base import Scheduler
+from ..sched.vanilla import VanillaScheduler
+from ..workloads.kernbench import KernbenchConfig, run_kernbench
+from ..workloads.volanomark import VolanoConfig, VolanoResult, run_volanomark
+from ..workloads.webserver import WebServerConfig, run_webserver
+from .metrics import Series, scaling_factor
+from .tables import format_figure, format_table
+
+__all__ = ["ReportConfig", "build_report", "volano_grid"]
+
+_SPECS: dict[str, MachineSpec] = {
+    "UP": MachineSpec.up(),
+    "1P": MachineSpec.smp_n(1),
+    "2P": MachineSpec.smp_n(2),
+    "4P": MachineSpec.smp_n(4),
+}
+
+_SCHEDS: dict[str, Callable[[], Scheduler]] = {
+    "reg": VanillaScheduler,
+    "elsc": ELSCScheduler,
+}
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """Scale knobs for a full report run."""
+
+    messages_per_user: int = 6
+    rooms: tuple[int, ...] = (5, 10, 15, 20)
+    #: Room count the per-call statistics figures (2, 5, 6) use.
+    stats_rooms: int = 10
+    kernbench_files: int = 400
+    include_kernbench: bool = True
+    include_webserver: bool = True
+    progress: Optional[Callable[[str], None]] = field(
+        default=None, compare=False
+    )
+
+    def _note(self, text: str) -> None:
+        if self.progress is not None:
+            self.progress(text)
+
+
+def volano_grid(
+    config: ReportConfig,
+) -> dict[tuple[str, str, int], VolanoResult]:
+    """Run the full VolanoMark grid for a report config."""
+    grid: dict[tuple[str, str, int], VolanoResult] = {}
+    for sched_name, factory in _SCHEDS.items():
+        for spec_name, spec in _SPECS.items():
+            for rooms in config.rooms:
+                cfg = VolanoConfig(
+                    rooms=rooms, messages_per_user=config.messages_per_user
+                )
+                grid[(sched_name, spec_name, rooms)] = run_volanomark(
+                    factory, spec, cfg
+                )
+                config._note(f"volano {sched_name}-{spec_name} rooms={rooms}")
+    return grid
+
+
+def _figure3(config: ReportConfig, grid) -> str:
+    series = []
+    for sched_name in ("elsc", "reg"):
+        for spec_name in _SPECS:
+            s = Series(f"{sched_name}-{spec_name.lower()}")
+            for rooms in config.rooms:
+                s.add(rooms, grid[(sched_name, spec_name, rooms)].throughput)
+            series.append(s)
+    return format_figure(
+        f"Figure 3 — VolanoMark throughput, msg/s "
+        f"(messages_per_user={config.messages_per_user})",
+        "rooms",
+        series,
+    )
+
+
+def _figure4(config: ReportConfig, grid) -> str:
+    base, high = config.rooms[0], config.rooms[-1]
+    rows = []
+    for spec_name in _SPECS:
+        rows.append(
+            [spec_name]
+            + [
+                f"{scaling_factor(grid[(s, spec_name, high)].throughput, grid[(s, spec_name, base)].throughput):.3f}"
+                for s in ("elsc", "reg")
+            ]
+        )
+    return format_table(
+        f"Figure 4 — scaling factor ({high}-room/{base}-room)",
+        ["config", "elsc", "reg"],
+        rows,
+    )
+
+
+def _stat_figures(config: ReportConfig, grid) -> list[str]:
+    rooms = config.stats_rooms
+    blocks = []
+    for title, getter in [
+        (
+            f"Figure 2 — recalculate entries ({rooms} rooms)",
+            lambda st: st.recalc_entries,
+        ),
+        (
+            f"Figure 5a — cycles per schedule() ({rooms} rooms)",
+            lambda st: f"{st.cycles_per_schedule():.0f}",
+        ),
+        (
+            f"Figure 5b — tasks examined per schedule() ({rooms} rooms)",
+            lambda st: f"{st.examined_per_schedule():.1f}",
+        ),
+        (
+            f"Figure 6a — schedule() calls ({rooms} rooms)",
+            lambda st: st.schedule_calls,
+        ),
+        (
+            f"Figure 6b — tasks scheduled on a new processor ({rooms} rooms)",
+            lambda st: st.migrations,
+        ),
+    ]:
+        rows = []
+        for spec_name in _SPECS:
+            rows.append(
+                [spec_name]
+                + [
+                    getter(grid[(s, spec_name, rooms)].sim.stats)
+                    for s in ("elsc", "reg")
+                ]
+            )
+        blocks.append(format_table(title, ["config", "elsc", "reg"], rows))
+    return blocks
+
+
+def _ibm_baseline(config: ReportConfig, grid) -> str:
+    rows = [
+        [
+            rooms,
+            f"{grid[('reg', 'UP', rooms)].throughput:.0f}",
+            f"{grid[('reg', 'UP', rooms)].scheduler_fraction:.1%}",
+        ]
+        for rooms in config.rooms
+    ]
+    return format_table(
+        "IBM baseline — reg on UP", ["rooms", "msg/s", "sched share"], rows
+    )
+
+
+def _table2(config: ReportConfig) -> str:
+    kcfg = KernbenchConfig(files=config.kernbench_files)
+    rows = []
+    for label, factory in (("Current", VanillaScheduler), ("ELSC", ELSCScheduler)):
+        for spec_name in ("UP", "2P"):
+            result = run_kernbench(factory, _SPECS[spec_name], kcfg)
+            rows.append([f"{label} - {spec_name}", result.minutes_str()])
+            config._note(f"kernbench {label}-{spec_name}")
+    return format_table(
+        f"Table 2 — simulated kernel compile ({kcfg.files} objects)",
+        ["Scheduler", "Time"],
+        rows,
+    )
+
+
+def _webserver(config: ReportConfig) -> str:
+    wcfg = WebServerConfig()
+    rows = []
+    for sched_name, factory in _SCHEDS.items():
+        for spec_name in ("UP", "2P"):
+            r = run_webserver(factory, _SPECS[spec_name], wcfg)
+            rows.append(
+                [
+                    f"{sched_name}-{spec_name}",
+                    f"{r.throughput:.0f}",
+                    f"{r.mean_latency_seconds * 1e3:.2f}",
+                    f"{r.p99_latency_seconds * 1e3:.2f}",
+                ]
+            )
+            config._note(f"webserver {sched_name}-{spec_name}")
+    return format_table(
+        "Future work — web server",
+        ["config", "req/s", "mean ms", "p99 ms"],
+        rows,
+    )
+
+
+def build_report(config: Optional[ReportConfig] = None) -> str:
+    """Run everything and return the rendered report."""
+    cfg = config if config is not None else ReportConfig()
+    grid = volano_grid(cfg)
+    blocks = [_figure3(cfg, grid), _figure4(cfg, grid)]
+    blocks.extend(_stat_figures(cfg, grid))
+    blocks.append(_ibm_baseline(cfg, grid))
+    if cfg.include_kernbench:
+        blocks.append(_table2(cfg))
+    if cfg.include_webserver:
+        blocks.append(_webserver(cfg))
+    return "\n\n".join(blocks)

@@ -1,0 +1,73 @@
+"""Statistics over repeated runs (the VolanoMark run rules).
+
+The paper ran each configuration 11 times, discarded the first, and
+reported the average; it also notes measurement confidence ("results
+never deviated from the mean by more than 4 hundredths of a second" for
+Table 2).  This module provides the same aggregation for our repeated
+runs: mean, spread, and a deviation bound, for any per-run metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["RunStats", "summarize", "summarize_throughput"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Aggregate of one metric over repeated runs."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def max_deviation(self) -> float:
+        """Largest absolute deviation from the mean (the paper's
+        confidence phrasing for Table 2)."""
+        return max(self.maximum - self.mean, self.mean - self.minimum)
+
+    @property
+    def relative_spread(self) -> float:
+        """max_deviation / mean (0 for a degenerate zero mean)."""
+        if self.mean == 0:
+            return 0.0
+        return self.max_deviation / abs(self.mean)
+
+    def render(self, unit: str = "") -> str:
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"{self.mean:.1f}{suffix} ±{self.max_deviation:.1f} "
+            f"(n={self.count}, σ={self.stdev:.1f})"
+        )
+
+
+def summarize(values: Sequence[float]) -> RunStats:
+    """Aggregate a sequence of per-run measurements."""
+    if not values:
+        raise ValueError("no runs to summarize")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    return RunStats(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def summarize_throughput(results: Sequence[T]) -> RunStats:
+    """Aggregate ``.throughput`` over run-rules results."""
+    return summarize([r.throughput for r in results])  # type: ignore[attr-defined]

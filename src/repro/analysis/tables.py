@@ -1,0 +1,107 @@
+"""Paper-style rendering of tables and figure data.
+
+Every bench regenerates its table/figure through these helpers so the
+output format is uniform: a title, a header row, aligned columns, and —
+for figures — one row per x value with one column per series, exactly
+the rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .metrics import Series
+
+__all__ = ["format_table", "format_figure", "format_kv", "bar_chart"]
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "-" * len(line)
+    out = [title, "=" * len(title), line, rule]
+    for row in cells:
+        out.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out)
+
+
+def format_figure(
+    title: str,
+    x_label: str,
+    series: Sequence[Series],
+    y_format: str = "{:.0f}",
+    note: Optional[str] = None,
+) -> str:
+    """Render figure data: one row per x, one column per series."""
+    xs: list[float] = []
+    for s in series:
+        for p in s.points:
+            if p.x not in xs:
+                xs.append(p.x)
+    xs.sort()
+    headers = [x_label] + [s.name for s in series]
+    rows: list[list[str]] = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for s in series:
+            try:
+                row.append(y_format.format(s.at(x)))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return format_table(title, headers, rows, note=note)
+
+
+def format_kv(title: str, pairs: Sequence[tuple[str, object]]) -> str:
+    """Render labelled single values (Table 2 style)."""
+    width = max(len(k) for k, _ in pairs)
+    out = [title, "=" * len(title)]
+    for key, value in pairs:
+        out.append(f"{key.ljust(width)}  {value}")
+    return "\n".join(out)
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    log: bool = False,
+) -> str:
+    """A crude text bar chart (used for Figure 2's log-scale bars)."""
+    import math
+
+    if len(labels) != len(values):
+        raise ValueError("labels and values differ in length")
+    out = [title, "=" * len(title)]
+    if not values:
+        return "\n".join(out)
+
+    def transform(v: float) -> float:
+        if not log:
+            return v
+        return math.log10(v) if v >= 1 else 0.0
+
+    peak = max(transform(v) for v in values) or 1.0
+    label_w = max(len(lb) for lb in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * transform(value) / peak))
+        out.append(f"{label.ljust(label_w)}  {bar} {value:g}")
+    if log:
+        out.append(f"(bar length is log10; full bar = {10 ** peak:.0f})")
+    return "\n".join(out)

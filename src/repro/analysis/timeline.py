@@ -1,0 +1,91 @@
+"""Time-series sampling of a running machine (IBM-profile style).
+
+The IBM report behind the paper's section 4 profiled the kernel *during*
+the VolanoMark runs — scheduler share and run-queue depth over time.
+:class:`TimelineSampler` reproduces that methodology: it schedules a
+periodic callback event on the machine and snapshots
+
+* run-queue length,
+* cumulative scheduler share of busy time,
+* schedule() call rate and recalculation count since the last sample,
+* per-CPU idle state,
+
+into :class:`~repro.analysis.metrics.Series` objects ready for the
+figure renderer.  Attach before ``machine.run()``::
+
+    sampler = TimelineSampler(machine, period_s=0.01)
+    machine.run()
+    print(sampler.render())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..kernel.events import Event, EventKind
+from ..kernel.params import cycles_to_seconds, seconds_to_cycles
+from .metrics import Series
+from .tables import format_figure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.machine import Machine
+
+__all__ = ["TimelineSampler"]
+
+
+class TimelineSampler:
+    """Samples machine state on a fixed virtual-time period."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        period_s: float = 0.01,
+        max_samples: int = 100_000,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("sampling period must be positive")
+        self.machine = machine
+        self.period_cycles = max(1, seconds_to_cycles(period_s))
+        self.max_samples = max_samples
+        self.runqueue = Series("runqueue_len")
+        self.sched_share = Series("sched_share")
+        self.call_rate = Series("calls_per_period")
+        self.recalcs = Series("recalcs_cum")
+        self._last_calls = 0
+        self._arm(self.period_cycles)
+
+    def _arm(self, at: int) -> None:
+        self.machine.events.schedule(at, EventKind.CALLBACK, self._sample)
+
+    def _sample(self, machine: "Machine", event: Event) -> None:
+        now = machine.clock.now
+        seconds = cycles_to_seconds(now)
+        stats = machine.scheduler.stats
+        self.runqueue.add(seconds, machine.scheduler.runqueue_len())
+        self.sched_share.add(seconds, machine.scheduler_fraction())
+        self.call_rate.add(seconds, stats.schedule_calls - self._last_calls)
+        self._last_calls = stats.schedule_calls
+        self.recalcs.add(seconds, stats.recalc_entries)
+        if len(self.runqueue) < self.max_samples and not machine.events.empty():
+            self._arm(now + self.period_cycles)
+
+    # -- results ----------------------------------------------------------------
+
+    def samples(self) -> int:
+        return len(self.runqueue)
+
+    def peak_runqueue(self) -> float:
+        ys = self.runqueue.ys()
+        return max(ys) if ys else 0.0
+
+    def mean_runqueue(self) -> float:
+        ys = self.runqueue.ys()
+        return sum(ys) / len(ys) if ys else 0.0
+
+    def render(self, title: str = "machine timeline") -> str:
+        return format_figure(
+            title,
+            "t(s)",
+            [self.runqueue, self.sched_share, self.call_rate, self.recalcs],
+            y_format="{:.3f}",
+        )

@@ -1,0 +1,322 @@
+"""Command-line runners for every experiment.
+
+Usage (also available as the ``elsc-repro`` console script)::
+
+    python -m repro volano   --scheduler elsc --spec 4P --rooms 10
+    python -m repro kernbench --scheduler reg  --spec UP
+    python -m repro webserver --scheduler elsc --spec 2P
+    python -m repro figure3  --messages 6            # full Figure 3 sweep
+    python -m repro figure4  --messages 6            # scaling factors
+    python -m repro schedstat --scheduler elsc --spec 1P --rooms 10
+
+The figure commands regenerate the paper's series with reduced message
+counts by default (pass ``--paper`` for the full 20 users × 100 messages
+parameters; expect long wall-clock times on the stock scheduler — the
+O(n) scan is simulated faithfully).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from .analysis.metrics import Series
+from .analysis.tables import format_figure, format_kv, format_table
+from .core.elsc import ELSCScheduler
+from .kernel.proc import render_runqueue, render_schedstat, render_tasks
+from .kernel.simulator import MachineSpec
+from .sched.base import Scheduler
+from .sched.cfs import CFSScheduler
+from .sched.heap import HeapScheduler
+from .sched.multiqueue import MultiQueueScheduler
+from .sched.o1 import O1Scheduler
+from .sched.vanilla import VanillaScheduler
+from .workloads.kernbench import KernbenchConfig, run_kernbench
+from .workloads.volanomark import VolanoConfig, run_volanomark
+from .workloads.volanoselect import run_select_chat
+from .workloads.webserver import WebServerConfig, run_webserver
+
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    "reg": VanillaScheduler,
+    "elsc": ELSCScheduler,
+    "heap": HeapScheduler,
+    "mq": MultiQueueScheduler,
+    "o1": O1Scheduler,
+    "cfs": CFSScheduler,
+}
+
+SPECS: dict[str, MachineSpec] = {
+    "UP": MachineSpec.up(),
+    "1P": MachineSpec.smp_n(1),
+    "2P": MachineSpec.smp_n(2),
+    "4P": MachineSpec.smp_n(4),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="elsc",
+        help="scheduling policy to simulate",
+    )
+    parser.add_argument(
+        "--spec",
+        choices=list(SPECS),
+        default="UP",
+        help="machine configuration (UP = non-SMP build)",
+    )
+
+
+def _volano_config(args: argparse.Namespace) -> VolanoConfig:
+    if args.paper:
+        cfg = VolanoConfig.paper()
+        return cfg.with_rooms(args.rooms)
+    return VolanoConfig(rooms=args.rooms, messages_per_user=args.messages)
+
+
+def cmd_volano(args: argparse.Namespace) -> int:
+    result = run_volanomark(
+        SCHEDULERS[args.scheduler], SPECS[args.spec], _volano_config(args)
+    )
+    stats = result.sim.stats
+    print(
+        format_kv(
+            f"VolanoMark — {args.scheduler}/{args.spec}, {args.rooms} rooms",
+            [
+                ("threads", result.config.threads),
+                ("messages delivered", result.messages_delivered),
+                ("elapsed (virtual s)", f"{result.elapsed_seconds:.3f}"),
+                ("throughput (msg/s)", f"{result.throughput:.0f}"),
+                ("schedule() calls", stats.schedule_calls),
+                ("tasks examined / call", f"{stats.examined_per_schedule():.2f}"),
+                ("cycles / schedule()", f"{stats.cycles_per_schedule():.0f}"),
+                ("recalculate entries", stats.recalc_entries),
+                ("migrations", stats.migrations),
+                ("scheduler fraction", f"{result.scheduler_fraction:.3f}"),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_select_chat(args: argparse.Namespace) -> int:
+    result = run_select_chat(
+        SCHEDULERS[args.scheduler], SPECS[args.spec], _volano_config(args)
+    )
+    stats = result.sim.stats
+    print(
+        format_kv(
+            f"select()-server chat — {args.scheduler}/{args.spec}, "
+            f"{args.rooms} rooms",
+            [
+                ("threads", result.threads),
+                ("messages delivered", result.messages_delivered),
+                ("throughput (msg/s)", f"{result.throughput:.0f}"),
+                ("tasks examined / call", f"{stats.examined_per_schedule():.2f}"),
+                ("scheduler fraction", f"{result.scheduler_fraction:.3f}"),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import ReportConfig, build_report
+
+    cfg = ReportConfig(
+        messages_per_user=args.messages,
+        progress=lambda text: print(f"  ran {text}", file=sys.stderr),
+    )
+    text = build_report(cfg)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"(written to {args.output})", file=sys.stderr)
+    return 0
+
+
+def cmd_kernbench(args: argparse.Namespace) -> int:
+    cfg = KernbenchConfig(files=args.files, jobs=args.jobs)
+    result = run_kernbench(SCHEDULERS[args.scheduler], SPECS[args.spec], cfg)
+    print(
+        format_kv(
+            f"Kernel compile — {args.scheduler}/{args.spec}",
+            [
+                ("files", cfg.files),
+                ("make -j", cfg.jobs),
+                ("time", result.minutes_str()),
+                ("scheduler fraction", f"{result.scheduler_fraction:.5f}"),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_webserver(args: argparse.Namespace) -> int:
+    cfg = WebServerConfig(workers=args.workers, clients=args.clients)
+    result = run_webserver(SCHEDULERS[args.scheduler], SPECS[args.spec], cfg)
+    print(
+        format_kv(
+            f"Web server — {args.scheduler}/{args.spec}",
+            [
+                ("workers", cfg.workers),
+                ("clients", cfg.clients),
+                ("throughput (req/s)", f"{result.throughput:.0f}"),
+                ("mean latency", f"{result.mean_latency_seconds * 1e3:.2f} ms"),
+                ("p99 latency", f"{result.p99_latency_seconds * 1e3:.2f} ms"),
+                ("scheduler fraction", f"{result.scheduler_fraction:.4f}"),
+            ],
+        )
+    )
+    return 0
+
+
+def _figure3_series(args: argparse.Namespace, specs: Sequence[str]) -> list[Series]:
+    rooms_axis = [int(r) for r in args.rooms_list.split(",")]
+    series: list[Series] = []
+    for sched_name in ("elsc", "reg"):
+        for spec_name in specs:
+            s = Series(f"{sched_name}-{spec_name.lower()}")
+            for rooms in rooms_axis:
+                cfg = (
+                    VolanoConfig.paper().with_rooms(rooms)
+                    if args.paper
+                    else VolanoConfig(rooms=rooms, messages_per_user=args.messages)
+                )
+                result = run_volanomark(
+                    SCHEDULERS[sched_name], SPECS[spec_name], cfg
+                )
+                s.add(rooms, result.throughput)
+                print(
+                    f"  {s.name} rooms={rooms}: {result.throughput:.0f} msg/s",
+                    file=sys.stderr,
+                )
+            series.append(s)
+    return series
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    series = _figure3_series(args, ["UP", "1P", "2P", "4P"])
+    print(
+        format_figure(
+            "Figure 3 — VolanoMark message throughput (messages/second)",
+            "rooms",
+            series,
+        )
+    )
+    return 0
+
+
+def cmd_figure4(args: argparse.Namespace) -> int:
+    series = _figure3_series(args, ["UP", "1P", "2P", "4P"])
+    rooms_axis = [int(r) for r in args.rooms_list.split(",")]
+    base, high = rooms_axis[0], rooms_axis[-1]
+    rows = []
+    for s in series:
+        rows.append([s.name, f"{s.scaling(base, high):.3f}"])
+    print(
+        format_table(
+            f"Figure 4 — scaling factor ({high}-room / {base}-room throughput)",
+            ["config", "scaling"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_schedstat(args: argparse.Namespace) -> int:
+    from .kernel.simulator import Simulator
+    from .workloads.volanomark import VolanoMark
+
+    cfg = _volano_config(args)
+    bench = VolanoMark(cfg)
+    sim = Simulator(SCHEDULERS[args.scheduler], SPECS[args.spec])
+    scheduler = sim.scheduler_factory()
+    from .kernel.simulator import make_machine
+
+    machine = make_machine(scheduler, sim.spec)
+    bench.populate(machine)
+    machine.run()
+    print(render_schedstat(machine))
+    if args.tasks:
+        print()
+        print(render_tasks(machine, limit=args.tasks))
+    if args.runqueue:
+        print()
+        print(render_runqueue(machine))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="elsc-repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("volano", help="one VolanoMark run")
+    _add_common(p)
+    p.add_argument("--rooms", type=int, default=10)
+    p.add_argument("--messages", type=int, default=10)
+    p.add_argument("--paper", action="store_true", help="paper parameters")
+    p.set_defaults(func=cmd_volano)
+
+    p = sub.add_parser("select-chat", help="the select()-server counterfactual")
+    _add_common(p)
+    p.add_argument("--rooms", type=int, default=10)
+    p.add_argument("--messages", type=int, default=10)
+    p.add_argument("--paper", action="store_true")
+    p.set_defaults(func=cmd_select_chat)
+
+    p = sub.add_parser("report", help="run the full evaluation and print it")
+    p.add_argument("--messages", type=int, default=6)
+    p.add_argument("--output", default="", help="also write to this file")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("kernbench", help="one simulated kernel compile")
+    _add_common(p)
+    p.add_argument("--files", type=int, default=400)
+    p.add_argument("--jobs", type=int, default=4)
+    p.set_defaults(func=cmd_kernbench)
+
+    p = sub.add_parser("webserver", help="one Apache-style server run")
+    _add_common(p)
+    p.add_argument("--workers", type=int, default=16)
+    p.add_argument("--clients", type=int, default=64)
+    p.set_defaults(func=cmd_webserver)
+
+    p = sub.add_parser("figure3", help="regenerate Figure 3's series")
+    p.add_argument("--rooms-list", default="5,10,15,20")
+    p.add_argument("--messages", type=int, default=6)
+    p.add_argument("--paper", action="store_true")
+    p.set_defaults(func=cmd_figure3)
+
+    p = sub.add_parser("figure4", help="regenerate Figure 4's scaling factors")
+    p.add_argument("--rooms-list", default="5,10,15,20")
+    p.add_argument("--messages", type=int, default=6)
+    p.add_argument("--paper", action="store_true")
+    p.set_defaults(func=cmd_figure4)
+
+    p = sub.add_parser("schedstat", help="/proc-style scheduler statistics")
+    _add_common(p)
+    p.add_argument("--rooms", type=int, default=10)
+    p.add_argument("--messages", type=int, default=6)
+    p.add_argument("--paper", action="store_true")
+    p.add_argument("--tasks", type=int, default=0, help="also list first N tasks")
+    p.add_argument("--runqueue", action="store_true")
+    p.set_defaults(func=cmd_schedstat)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

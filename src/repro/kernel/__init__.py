@@ -1,0 +1,78 @@
+"""The kernel simulator substrate: tasks, time, events, dispatch.
+
+See DESIGN.md for the inventory.  The public surface most users need is
+re-exported from the top-level :mod:`repro` package.
+"""
+
+from .actions import (
+    Action,
+    ChannelGet,
+    ChannelPut,
+    Exit,
+    Run,
+    SleepFor,
+    WaitOn,
+    WakeUp,
+    YieldCPU,
+)
+from .clock import Clock
+from .cost_model import CostModel
+from .cpu import CPU
+from .events import Event, EventKind, EventQueue
+from .listops import ListHead
+from .machine import KernelHandle, Machine, RunSummary, SimulationError
+from .mm import MMStruct
+from .proc import render_runqueue, render_schedstat, render_tasks, render_uptime
+from .simulator import PAPER_SPECS, MachineSpec, SimResult, Simulator, make_machine
+from .sync import CLOSED, Channel, ChannelClosed, SpinYieldLock
+from .syscalls import sched_setscheduler, set_priority
+from .trace import TraceKind, TraceRecord, Tracer
+from .task import SCHED_YIELD, SchedPolicy, Task, TaskState
+from .waitqueue import WaitQueue
+
+__all__ = [
+    "Action",
+    "ChannelGet",
+    "ChannelPut",
+    "Exit",
+    "Run",
+    "SleepFor",
+    "WaitOn",
+    "WakeUp",
+    "YieldCPU",
+    "Clock",
+    "CostModel",
+    "CPU",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "ListHead",
+    "KernelHandle",
+    "Machine",
+    "RunSummary",
+    "SimulationError",
+    "MMStruct",
+    "render_runqueue",
+    "render_schedstat",
+    "render_tasks",
+    "render_uptime",
+    "PAPER_SPECS",
+    "MachineSpec",
+    "SimResult",
+    "Simulator",
+    "make_machine",
+    "CLOSED",
+    "Channel",
+    "ChannelClosed",
+    "SpinYieldLock",
+    "sched_setscheduler",
+    "set_priority",
+    "TraceKind",
+    "TraceRecord",
+    "Tracer",
+    "SCHED_YIELD",
+    "SchedPolicy",
+    "Task",
+    "TaskState",
+    "WaitQueue",
+]

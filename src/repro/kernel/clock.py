@@ -1,0 +1,42 @@
+"""The virtual clock: cycle-resolution simulated time.
+
+One clock per machine.  Time only moves forward, driven by the event
+loop; everything that reports seconds converts through
+:mod:`~repro.kernel.params` so the whole simulation shares one notion of
+time.
+"""
+
+from __future__ import annotations
+
+from .params import cycles_to_seconds, seconds_to_cycles
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """Monotonic virtual time in CPU cycles."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now: int = 0
+
+    def advance_to(self, cycles: int) -> None:
+        """Move the clock forward to an absolute cycle count."""
+        if cycles < self.now:
+            raise ValueError(
+                f"clock would move backwards: now={self.now} target={cycles}"
+            )
+        self.now = cycles
+
+    @property
+    def seconds(self) -> float:
+        """Current time in virtual seconds."""
+        return cycles_to_seconds(self.now)
+
+    def cycles_from_seconds(self, seconds: float) -> int:
+        """Absolute cycle timestamp ``seconds`` from the epoch."""
+        return seconds_to_cycles(seconds)
+
+    def __repr__(self) -> str:
+        return f"<Clock {self.now} cycles ({self.seconds:.6f}s)>"

@@ -1,0 +1,136 @@
+"""The cycle cost model: where simulated time goes.
+
+The paper's results are driven by *where cycles are spent*: the stock
+scheduler burns a goodness() evaluation per runnable task per
+``schedule()`` entry plus whole-system counter recalculations, while
+ELSC touches a handful of tasks and almost never recalculates.  On SMP
+both hold the single global ``runqueue_lock`` while deciding, so every
+cycle in the scheduler also stalls other processors.
+
+This module centralises every cycle charge in one dataclass so that
+
+* both schedulers are costed by the same rules,
+* benches can sweep constants (ablations), and
+* EXPERIMENTS.md can state the calibration in one place.
+
+The defaults are order-of-magnitude figures for a 400 MHz Pentium II
+(~2.5 ns/cycle): a goodness() evaluation is a few dozen cycles of
+pointer chasing and arithmetic, a context switch is on the order of a
+microsecond, a cross-CPU migration costs tens of microseconds of cache
+refill.  Absolute numbers are synthetic; relative shapes are what the
+reproduction preserves (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle charges for kernel operations.
+
+    All values are integers in CPU cycles.
+    """
+
+    #: Fixed overhead on every entry to schedule(): bottom-half check and
+    #: the "additional administrative work" of section 3.3.2.
+    schedule_entry: int = 250
+
+    #: Per-task cost of one goodness() evaluation in the stock scan loop.
+    goodness_eval: int = 60
+
+    #: Per-task cost of one examination in the ELSC search loop (slightly
+    #: above goodness_eval: the loop also tests the zero-counter break and
+    #: yielded-task demotion).
+    elsc_examine: int = 70
+
+    #: Cost of indexing a task into the ELSC table (static-goodness
+    #: computation, list selection, top/next_top maintenance) beyond the
+    #: plain list insertion both schedulers pay.
+    elsc_index: int = 90
+
+    #: Plain list insert/remove cost shared by both run-queue designs.
+    list_op: int = 40
+
+    #: Per-task cost of the counter recalculation loop
+    #: (``counter = counter//2 + priority`` over *every task in the
+    #: system*, runnable or not).
+    recalc_per_task: int = 35
+
+    #: Context switch cost when the next task shares the previous mm.
+    context_switch: int = 1200
+
+    #: Extra context-switch cost when the mm differs (TLB flush) — the
+    #: physical justification for the +1 mm goodness bonus.
+    mm_switch_extra: int = 800
+
+    #: Uncontended acquire+release of the global runqueue spin lock
+    #: (charged only on SMP builds).
+    lock_acquire: int = 60
+
+    #: Flat per-syscall tax of an SMP build (locked bus operations,
+    #: kernel locks besides the run queue).  The paper's UP kernels are
+    #: "compiled without SMP enabled, eliminating its overhead"; this is
+    #: that overhead.
+    smp_syscall_tax: int = 150
+
+    #: One-time cache refill penalty charged to a task's next run action
+    #: after it is dispatched on a CPU other than the one it last ran on —
+    #: the physical justification for the +15 affinity bonus.
+    cache_refill: int = 25_000
+
+    #: Base kernel overhead of one blocking-capable syscall-ish action
+    #: (socket send/recv, channel op, sleep setup).
+    syscall_overhead: int = 600
+
+    #: Cost of waking a task: state change, add_to_runqueue caller side,
+    #: reschedule_idle scan.
+    wakeup_cost: int = 300
+
+    #: Timer interrupt + update_process_times work per tick.
+    tick_cost: int = 500
+
+    # -- composite helpers ---------------------------------------------------
+
+    def vanilla_schedule_cost(self, examined: int) -> int:
+        """Cycles for one stock schedule() pass that examined ``examined`` tasks."""
+        return self.schedule_entry + self.goodness_eval * examined
+
+    def elsc_schedule_cost(self, examined: int, indexed: int) -> int:
+        """Cycles for one ELSC schedule() pass.
+
+        ``examined`` tasks went through the search loop; ``indexed`` tasks
+        were (re)inserted into the table during the pass (normally just
+        the previous task).
+        """
+        return (
+            self.schedule_entry
+            + self.elsc_examine * examined
+            + (self.elsc_index + self.list_op) * indexed
+        )
+
+    def recalc_cost(self, total_tasks: int) -> int:
+        """Cycles for one whole-system counter recalculation."""
+        return self.recalc_per_task * total_tasks
+
+    def switch_cost(self, same_mm: bool) -> int:
+        """Cycles for the context switch out of schedule()."""
+        return self.context_switch + (0 if same_mm else self.mm_switch_extra)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A copy with every scheduler-side charge scaled by ``factor``.
+
+        Used by ablation benches to ask "what if the scheduler were twice
+        as expensive per examined task?".
+        """
+        return replace(
+            self,
+            schedule_entry=round(self.schedule_entry * factor),
+            goodness_eval=round(self.goodness_eval * factor),
+            elsc_examine=round(self.elsc_examine * factor),
+            elsc_index=round(self.elsc_index * factor),
+            recalc_per_task=round(self.recalc_per_task * factor),
+        )

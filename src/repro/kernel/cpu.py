@@ -1,0 +1,83 @@
+"""Per-processor state.
+
+Each simulated CPU owns an idle task (never on the run queue, chosen only
+when the scheduler returns nothing), the currently executing task, and
+the ``need_resched`` flag that ticks and wakeup preemption set.  The
+pending-event slots let the machine cancel a run-completion or tick event
+when the world changes under it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events import Event
+
+__all__ = ["CPU"]
+
+
+class CPU:
+    """One simulated processor."""
+
+    __slots__ = (
+        "cpu_id",
+        "idle_task",
+        "current",
+        "need_resched",
+        "run_event",
+        "run_started_at",
+        "run_overhead",
+        "tick_event",
+        "dispatch_pending",
+        "busy_cycles",
+        "idle_since",
+        "idle_cycles",
+        "dispatches",
+    )
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self.idle_task = Task(name=f"idle/{cpu_id}", priority=1)
+        # The idle task is special: never on the run queue, never counted.
+        self.idle_task.state = TaskState.RUNNING
+        self.idle_task.has_cpu = True
+        self.idle_task.processor = cpu_id
+        self.current: Task = self.idle_task
+        self.need_resched = False
+        #: Pending ACTION_DONE event for the in-flight Run, if any.
+        self.run_event: Optional["Event"] = None
+        #: When the in-flight Run began consuming cycles.
+        self.run_started_at: int = 0
+        #: Dispatch/syscall overhead prepended to the in-flight Run.
+        self.run_overhead: int = 0
+        #: Pending TICK event (armed while the CPU is busy).
+        self.tick_event: Optional["Event"] = None
+        #: True while an idle-CPU dispatch event is queued for this CPU,
+        #: so concurrent wakeups fan out to *other* idle CPUs.
+        self.dispatch_pending = False
+        self.busy_cycles = 0
+        self.idle_since: int = 0
+        self.idle_cycles = 0
+        self.dispatches = 0
+
+    def is_idle(self) -> bool:
+        return self.current is self.idle_task
+
+    def cancel_run_event(self) -> None:
+        if self.run_event is not None:
+            self.run_event.cancel()
+            self.run_event = None
+
+    def cancel_tick(self) -> None:
+        if self.tick_event is not None:
+            self.tick_event.cancel()
+            self.tick_event = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<CPU{self.cpu_id} current={self.current.name}"
+            f"{' NR' if self.need_resched else ''}>"
+        )

@@ -1,0 +1,99 @@
+"""The discrete-event core: timestamped events in a binary heap.
+
+The machine advances by popping the earliest event and handling it.
+Ties are broken by insertion order (a monotonic sequence number) so the
+simulation is fully deterministic.  Events are cancelled lazily — a
+cancelled event stays in the heap but is skipped when popped — which is
+the standard cheap way to handle "the thing this event was waiting for
+no longer applies" (e.g. a running task blocked before its run slice
+completed, invalidating its completion event).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.Enum):
+    """What an event means to the machine."""
+
+    TICK = "tick"                 # timer interrupt on a CPU
+    ACTION_DONE = "action_done"   # the current run slice on a CPU completed
+    TIMER = "timer"               # a sleeping task's wakeup time arrived
+    CALLBACK = "callback"         # generic: invoke payload(machine, event)
+    HALT = "halt"                 # stop the simulation at a horizon
+
+
+@dataclass(order=False)
+class Event:
+    """One scheduled occurrence.
+
+    ``payload`` is kind-specific: the CPU object for TICK/ACTION_DONE,
+    the task for TIMER, a callable for CALLBACK.
+    """
+
+    time: int
+    kind: EventKind
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_seq", "pushed", "popped", "skipped")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = itertools.count()
+        # Instrumentation (useful in tests and for engine sanity checks).
+        self.pushed = 0
+        self.popped = 0
+        self.skipped = 0
+
+    def push(self, event: Event) -> Event:
+        """Schedule ``event``; returns it for convenient cancellation."""
+        if event.time < 0:
+            raise ValueError(f"event in negative time: {event}")
+        heapq.heappush(self._heap, (event.time, next(self._seq), event))
+        self.pushed += 1
+        return event
+
+    def schedule(self, time: int, kind: EventKind, payload: Any = None) -> Event:
+        """Create and push an event in one call."""
+        return self.push(Event(time, kind, payload))
+
+    def pop(self) -> Optional[Event]:
+        """Earliest live event, or ``None`` when drained."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                self.skipped += 1
+                continue
+            self.popped += 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the earliest live event without popping it."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+            self.skipped += 1
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        """Number of heap entries, including not-yet-skipped cancelled ones."""
+        return len(self._heap)
+
+    def empty(self) -> bool:
+        return self.peek_time() is None

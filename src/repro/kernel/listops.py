@@ -1,0 +1,155 @@
+"""Intrusive circular doubly-linked lists, modelled on Linux ``struct list_head``.
+
+The Linux run queue (both the stock single-list form and the ELSC table of
+lists) is built from intrusive list nodes embedded in the task structure.
+This module reproduces the kernel's ``list_head`` semantics:
+
+* a *list head* is a sentinel node whose ``next``/``prev`` point at itself
+  when the list is empty;
+* an element is linked into exactly one list at a time via its embedded
+  :class:`ListHead` node;
+* ``list_del`` unlinks an element by pointing its neighbours at each other.
+
+The stock scheduler additionally uses a convention the paper calls out in
+section 5.1: a node whose ``next`` pointer is ``None`` is *not on the run
+queue*, and the ELSC scheduler extends this with ``prev is None`` meaning
+"considered on the run queue, but not currently resident in any table list"
+(the state of a task that is executing on a CPU).  Helpers for both
+conventions live here so the schedulers share one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+__all__ = ["ListHead", "list_entry_count"]
+
+
+class ListHead:
+    """One node of an intrusive circular doubly-linked list.
+
+    A :class:`ListHead` may act either as the sentinel head of a list or as
+    the link node embedded in an owning object (a task).  ``owner`` points
+    back at the embedding object; it is ``None`` for sentinel heads.
+    """
+
+    __slots__ = ("next", "prev", "owner")
+
+    def __init__(self, owner: Optional[Any] = None) -> None:
+        self.owner = owner
+        # A freshly initialised head is an empty circular list.
+        self.next: Optional[ListHead] = self
+        self.prev: Optional[ListHead] = self
+
+    # -- kernel-style primitives -------------------------------------------
+
+    def init(self) -> None:
+        """Re-initialise to an empty (self-pointing) list — ``INIT_LIST_HEAD``."""
+        self.next = self
+        self.prev = self
+
+    def _insert_between(self, prev: "ListHead", nxt: "ListHead") -> None:
+        prev.next = self
+        self.prev = prev
+        self.next = nxt
+        nxt.prev = self
+
+    def add(self, head: "ListHead") -> None:
+        """Insert ``self`` immediately after ``head`` — ``list_add`` (LIFO)."""
+        assert head.next is not None, "cannot add after an unlinked node"
+        self._insert_between(head, head.next)
+
+    def add_tail(self, head: "ListHead") -> None:
+        """Insert ``self`` immediately before ``head`` — ``list_add_tail`` (FIFO)."""
+        assert head.prev is not None, "cannot add before an unlinked node"
+        self._insert_between(head.prev, head)
+
+    def add_before(self, node: "ListHead") -> None:
+        """Insert ``self`` immediately before an arbitrary linked ``node``."""
+        assert node.prev is not None, "cannot insert before an unlinked node"
+        self._insert_between(node.prev, node)
+
+    def del_(self) -> None:
+        """Unlink ``self`` from its list — ``list_del``.
+
+        The node's own pointers are left dangling at their old neighbours,
+        exactly as in the kernel; callers that care must null or re-init
+        them afterwards (the schedulers do, per their respective
+        conventions).
+        """
+        assert self.next is not None and self.prev is not None, (
+            "list_del on an unlinked node"
+        )
+        self.prev.next = self.next
+        self.next.prev = self.prev
+
+    def del_init(self) -> None:
+        """Unlink and re-initialise — ``list_del_init``."""
+        self.del_()
+        self.init()
+
+    def move(self, head: "ListHead") -> None:
+        """Unlink and re-add just after ``head`` — ``list_move``."""
+        self.del_()
+        self.add(head)
+
+    def move_tail(self, head: "ListHead") -> None:
+        """Unlink and re-add just before ``head`` — ``list_move_tail``."""
+        self.del_()
+        self.add_tail(head)
+
+    # -- predicates and traversal ------------------------------------------
+
+    def empty(self) -> bool:
+        """True when used as a head and the list has no elements."""
+        return self.next is self
+
+    def is_linked(self) -> bool:
+        """True when the node participates in some list (both links live)."""
+        return (
+            self.next is not None
+            and self.prev is not None
+            and (self.next is not self or self.prev is not self)
+        )
+
+    def __iter__(self) -> Iterator["ListHead"]:
+        """Iterate element nodes of a list headed by ``self``.
+
+        Safe against *unlinking the current node* during iteration (the
+        successor is captured first), mirroring ``list_for_each_safe``.
+        """
+        node = self.next
+        while node is not self:
+            assert node is not None, "corrupt list: broken next chain"
+            nxt = node.next
+            yield node
+            node = nxt
+
+    def owners(self) -> Iterator[Any]:
+        """Iterate the owning objects of a list headed by ``self``."""
+        for node in self:
+            yield node.owner
+
+    def first(self) -> Optional["ListHead"]:
+        """First element node, or ``None`` when empty."""
+        return None if self.empty() else self.next
+
+    def last(self) -> Optional["ListHead"]:
+        """Last element node, or ``None`` when empty."""
+        return None if self.empty() else self.prev
+
+    def __len__(self) -> int:
+        return list_entry_count(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.owner is None:
+            return f"<ListHead head len={len(self)}>"
+        return f"<ListHead of {self.owner!r}>"
+
+
+def list_entry_count(head: ListHead) -> int:
+    """Number of elements in the list headed by ``head`` (O(n) walk)."""
+    count = 0
+    for _ in head:
+        count += 1
+    return count

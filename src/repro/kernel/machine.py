@@ -1,0 +1,788 @@
+"""The simulated machine: CPUs, clock, events, run queue, and dispatch.
+
+This is the substrate the paper's experiments run on.  It is a
+discrete-event simulation of a small SMP (or uniprocessor) running the
+Linux 2.3.99 scheduling regime:
+
+* a 100 Hz timer tick per busy CPU decrements the running task's
+  ``counter`` and forces a ``schedule()`` on quantum expiry;
+* tasks block on channels/wait queues/timers and are woken with
+  ``wake_up_process`` + ``reschedule_idle`` (idle CPUs dispatch
+  immediately, busy CPUs get ``need_resched`` set when the waked task
+  beats their current one on preemption goodness);
+* on SMP builds a single global **runqueue lock** serialises every
+  ``schedule()`` and every wakeup — time spent deciding is time other
+  processors spend spinning, which is precisely why the stock O(n) scan
+  hurts so much at high thread counts;
+* every cycle charge flows through the machine's
+  :class:`~repro.kernel.cost_model.CostModel`.
+
+Scheduling policy itself is pluggable: the machine calls the
+:class:`~repro.sched.base.Scheduler` interface and never looks inside
+the run queue.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from .actions import (
+    Action,
+    ChannelGet,
+    ChannelPut,
+    Exit,
+    Run,
+    Select,
+    SleepFor,
+    WaitOn,
+    WakeUp,
+    YieldCPU,
+)
+from .clock import Clock
+from .cost_model import CostModel
+from .cpu import CPU
+from .events import Event, EventKind, EventQueue
+from .mm import MMStruct
+from .params import CYCLES_PER_TICK, DEFAULT_PRIORITY, seconds_to_cycles
+from .sync import Channel
+from .task import SchedPolicy, Task, TaskState
+from .trace import TraceKind, Tracer
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.base import Scheduler
+
+__all__ = ["Machine", "KernelHandle", "RunSummary", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """The simulation reached an inconsistent state (a bug or a deadlock)."""
+
+
+class RunSummary:
+    """What :meth:`Machine.run` reports back."""
+
+    __slots__ = (
+        "cycles",
+        "seconds",
+        "events_handled",
+        "tasks_total",
+        "tasks_exited",
+        "tasks_blocked",
+        "deadlocked",
+        "hit_horizon",
+    )
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.seconds = 0.0
+        self.events_handled = 0
+        self.tasks_total = 0
+        self.tasks_exited = 0
+        self.tasks_blocked = 0
+        self.deadlocked = False
+        self.hit_horizon = False
+
+    def __repr__(self) -> str:
+        state = "deadlocked" if self.deadlocked else (
+            "horizon" if self.hit_horizon else "drained"
+        )
+        return (
+            f"<RunSummary {self.seconds:.3f}s {state} "
+            f"exited={self.tasks_exited}/{self.tasks_total}>"
+        )
+
+
+class KernelHandle:
+    """The ``env`` object task bodies receive: action constructors + info.
+
+    Bodies should treat it as their only window into the kernel; it also
+    powers composite primitives like
+    :meth:`~repro.kernel.sync.SpinYieldLock.acquire`.
+    """
+
+    __slots__ = ("machine",)
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    # -- information ---------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in cycles."""
+        return self.machine.clock.now
+
+    @property
+    def seconds(self) -> float:
+        return self.machine.clock.seconds
+
+    @property
+    def current(self) -> Task:
+        """The task whose body is currently being advanced."""
+        task = self.machine._advancing
+        if task is None:
+            raise SimulationError("env.current used outside a task body")
+        return task
+
+    # -- action constructors ---------------------------------------------------
+
+    def run(
+        self,
+        cycles: Optional[int] = None,
+        us: Optional[float] = None,
+        seconds: Optional[float] = None,
+    ) -> Run:
+        """Compute for the given amount of time (exactly one unit given)."""
+        given = [x for x in (cycles, us, seconds) if x is not None]
+        if len(given) != 1:
+            raise ValueError("run() takes exactly one of cycles=, us=, seconds=")
+        if cycles is None:
+            secs = seconds if seconds is not None else (us or 0.0) / 1e6
+            cycles = max(1, seconds_to_cycles(secs))
+        return Run(cycles)
+
+    def put(self, channel: Channel, item: Any) -> ChannelPut:
+        return ChannelPut(channel, item)
+
+    def get(self, channel: Channel) -> ChannelGet:
+        return ChannelGet(channel)
+
+    def sleep(self, seconds: float) -> SleepFor:
+        return SleepFor(max(1, seconds_to_cycles(seconds)))
+
+    def select(self, channels: list) -> Select:
+        """Block until any channel is readable; yields (channel, item)."""
+        return Select(channels)
+
+    def sched_yield(self) -> YieldCPU:
+        return YieldCPU()
+
+    def exit(self) -> Exit:
+        return Exit()
+
+    def wait_on(self, waitqueue: WaitQueue, exclusive: bool = False) -> WaitOn:
+        return WaitOn(waitqueue, exclusive)
+
+    def wake(self, waitqueue: WaitQueue, nr_exclusive: int = 1) -> WakeUp:
+        return WakeUp(waitqueue, nr_exclusive)
+
+    # -- task management ---------------------------------------------------------
+
+    def spawn(self, body: Any, **kwargs: Any) -> Task:
+        """Create and wake a new task (usable from inside bodies)."""
+        return self.machine.spawn(body, **kwargs)
+
+
+class Machine:
+    """A simulated multiprocessor running one pluggable scheduler."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        num_cpus: int = 1,
+        smp: bool = True,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        if num_cpus < 1:
+            raise ValueError("need at least one CPU")
+        if not smp and num_cpus != 1:
+            raise ValueError("a UP (non-SMP) build has exactly one CPU")
+        self.smp = smp
+        self.cost = cost if cost is not None else CostModel()
+        self.clock = Clock()
+        self.events = EventQueue()
+        self.cpus = [CPU(i) for i in range(num_cpus)]
+        self.scheduler = scheduler
+        self.handle = KernelHandle(self)
+        #: All tasks ever created, pid-keyed; live_tasks() filters exits.
+        self._tasks: dict[int, Task] = {}
+        self._live_count = 0
+        #: Timestamp at which the global runqueue lock becomes free, and
+        #: which CPU holds it until then (None: interrupt context).  A
+        #: spinlock never contends with its own CPU, so spin time is only
+        #: charged across CPUs.
+        self.lock_free_at = 0
+        self.lock_owner_cpu: Optional[int] = None
+        self._advancing: Optional[Task] = None
+        self._halted = False
+        self.total_ticks = 0
+        #: Optional event tracer (see kernel.trace); None = no tracing.
+        self.tracer: Optional[Tracer] = None
+        scheduler.bind(self)
+
+    def attach_tracer(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Attach (and return) a tracer; a default-sized one if omitted."""
+        self.tracer = tracer if tracer is not None else Tracer()
+        return self.tracer
+
+    # -- task population -----------------------------------------------------
+
+    def spawn(
+        self,
+        body: Any,
+        name: str = "",
+        mm: Optional[MMStruct] = None,
+        priority: int = DEFAULT_PRIORITY,
+        policy: SchedPolicy = SchedPolicy.SCHED_OTHER,
+        rt_priority: int = 0,
+    ) -> Task:
+        """Create a task, start its body, and make it runnable."""
+        task = Task(
+            name=name,
+            mm=mm,
+            priority=priority,
+            policy=policy,
+            rt_priority=rt_priority,
+            body=body,
+        )
+        task.start(self.handle)
+        self._tasks[task.pid] = task
+        self._live_count += 1
+        self.wake_up_process(task, self.clock.now)
+        return task
+
+    def live_tasks(self) -> Iterable[Task]:
+        """``for_each_task``: every non-exited task."""
+        return (t for t in self._tasks.values() if not t.exited)
+
+    def live_count(self) -> int:
+        """Number of tasks that have not exited."""
+        return self._live_count
+
+    def all_tasks(self) -> list[Task]:
+        """Every task ever created on this machine, zombies included."""
+        return list(self._tasks.values())
+
+    def find_task(self, name: str) -> Optional[Task]:
+        """First task with the given name, or None."""
+        for task in self._tasks.values():
+            if task.name == name:
+                return task
+        return None
+
+    # -- wakeup path -----------------------------------------------------------
+
+    def wake_up_process(
+        self, task: Task, t: int, waker_cpu: Optional[CPU] = None
+    ) -> int:
+        """Make ``task`` runnable; returns the cycle cost charged to the waker.
+
+        ``waker_cpu`` is the CPU whose context performs the wakeup (None
+        for interrupt/timer context); spin time on the runqueue lock is
+        only charged when the lock is held by a *different* CPU.
+        """
+        if task.exited:
+            return 0
+        if task.state is TaskState.RUNNING and task.on_runqueue():
+            return 0  # already runnable (spurious wake)
+        task.state = TaskState.RUNNING
+        if task.on_runqueue():
+            # Kernel wake_up_process: a task that is still on the run
+            # queue (it blocked but its CPU has not finished switching
+            # away) just becomes runnable again — no insert, no
+            # reschedule_idle; it is already current somewhere.
+            return 0
+        task.wakeup_count += 1
+        if self.tracer is not None:
+            waker = waker_cpu.cpu_id if waker_cpu is not None else -1
+            self.tracer.record(t, TraceKind.WAKEUP, waker, task)
+        charge = self.cost.wakeup_cost
+        # The wakeup manipulates the run queue under the global lock.
+        if self.smp:
+            waker_id = waker_cpu.cpu_id if waker_cpu is not None else None
+            spin = 0
+            if (
+                self.scheduler.uses_global_lock
+                and self.lock_free_at > t
+                and self.lock_owner_cpu is not None
+                and self.lock_owner_cpu != waker_id
+            ):
+                spin = self.lock_free_at - t
+            charge += spin + self.cost.lock_acquire
+            self.scheduler.stats.lock_spin_cycles += spin
+            insert = self.scheduler.add_to_runqueue(task)
+            charge += insert
+            self.lock_free_at = t + spin + self.cost.lock_acquire + insert
+            self.lock_owner_cpu = waker_id
+        else:
+            charge += self.scheduler.add_to_runqueue(task)
+        self._reschedule_idle(task, t + charge)
+        return charge
+
+    def _reschedule_idle(self, task: Task, t: int) -> None:
+        """Find a CPU for a freshly woken task (kernel ``reschedule_idle``).
+
+        Preference order: the CPU the task last ran on if idle, any idle
+        CPU, else set ``need_resched`` on the CPU whose current task the
+        waked one beats by the widest preemption-goodness margin.
+        """
+        # Last-run CPU, if idle.
+        if 0 <= task.processor < len(self.cpus):
+            home = self.cpus[task.processor]
+            if home.is_idle() and not home.dispatch_pending:
+                self._defer_dispatch(home, t)
+                return
+        # Any idle CPU.
+        for cpu in self.cpus:
+            if cpu.is_idle() and not cpu.dispatch_pending:
+                self._defer_dispatch(cpu, t)
+                return
+        # Preempt the weakest current task, if the waked task beats it.
+        from ..sched.goodness import goodness  # local import: layering
+
+        best_cpu: Optional[CPU] = None
+        best_margin = 0
+        for cpu in self.cpus:
+            cur = cpu.current
+            margin = goodness(task, cpu.cpu_id, cur.mm) - goodness(
+                cur, cpu.cpu_id, cur.mm
+            )
+            if margin > best_margin:
+                best_margin = margin
+                best_cpu = cpu
+        if best_cpu is not None:
+            best_cpu.need_resched = True
+
+    def _defer_dispatch(self, cpu: CPU, t: int) -> None:
+        """Queue an idle CPU's dispatch as an event (avoids deep recursion)."""
+        cpu.dispatch_pending = True
+        self.events.schedule(
+            max(t, self.clock.now),
+            EventKind.CALLBACK,
+            partial(Machine._deferred_dispatch_cb, cpu=cpu),
+        )
+
+    @staticmethod
+    def _deferred_dispatch_cb(machine: "Machine", event: Event, cpu: CPU) -> None:
+        cpu.dispatch_pending = False
+        if cpu.is_idle():
+            machine._dispatch(cpu, machine.clock.now)
+
+    @staticmethod
+    def _resume_dispatch_cb(machine: "Machine", event: Event, cpu: CPU) -> None:
+        """Continue a dispatch that was deferred to preserve event order."""
+        if cpu.run_event is None:
+            machine._dispatch(cpu, machine.clock.now)
+
+    # -- the dispatch loop --------------------------------------------------------
+
+    def _stop_current_run(self, cpu: CPU, at: int) -> None:
+        """Halt an in-flight Run on ``cpu`` (preemption), banking progress."""
+        if cpu.run_event is None:
+            return
+        cpu.cancel_run_event()
+        task = cpu.current
+        action = task.current_action
+        if not isinstance(action, Run):
+            raise SimulationError(f"run event without a Run action on {cpu!r}")
+        consumed = max(0, at - cpu.run_started_at)
+        consumed = min(consumed, action.remaining)
+        action.remaining -= consumed
+        task.cpu_cycles += consumed
+        cpu.busy_cycles += consumed
+        if action.remaining <= 0:
+            task.current_action = None
+
+    def _dispatch(self, cpu: CPU, at: int) -> None:
+        """Run ``schedule()`` on ``cpu`` (and keep dispatching while tasks
+        perform only instantaneous work before blocking again)."""
+        at = max(at, self.clock.now)
+        self._stop_current_run(cpu, at)
+        if cpu.is_idle():
+            cpu.idle_cycles += max(0, at - cpu.idle_since)
+        while True:
+            cpu.need_resched = False
+            cpu.dispatches += 1
+            prev = cpu.current
+            stats = self.scheduler.stats
+            # -- runqueue lock ------------------------------------------------
+            spin = 0
+            hold = 0
+            start = at
+            if self.smp:
+                if (
+                    self.scheduler.uses_global_lock
+                    and self.lock_free_at > at
+                    and self.lock_owner_cpu != cpu.cpu_id
+                ):
+                    start = self.lock_free_at
+                    spin = start - at
+                hold = self.cost.lock_acquire
+            decision = self.scheduler.schedule(prev, cpu)
+            dec_end = start + hold + decision.cost
+            if self.smp:
+                self.lock_free_at = dec_end
+                self.lock_owner_cpu = cpu.cpu_id
+            stats.lock_spin_cycles += spin
+            next_task = decision.next_task
+            # -- context switch ------------------------------------------------
+            switch = 0
+            target = next_task if next_task is not None else cpu.idle_task
+            if target is not prev:
+                same_mm = target.mm is None or target.mm is prev.mm
+                switch = self.cost.switch_cost(same_mm)
+                stats.switches += 1
+            end = dec_end + switch
+            prev.has_cpu = False
+            if next_task is None:
+                # Idle: park the CPU; wakeups restart it.
+                if self.tracer is not None:
+                    self.tracer.record(end, TraceKind.IDLE, cpu.cpu_id, None)
+                stats.idle_schedules += 1
+                cpu.current = cpu.idle_task
+                cpu.idle_task.has_cpu = True
+                cpu.idle_since = end
+                cpu.cancel_tick()
+                return
+            # -- accounting for the chosen task ----------------------------------
+            if next_task.processor != cpu.cpu_id:
+                stats.picks_without_affinity += 1
+                if next_task.processor != -1:
+                    stats.migrations += 1
+                    next_task.migration_count += 1
+                    next_task.cache_cold = True
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            end,
+                            TraceKind.MIGRATE,
+                            cpu.cpu_id,
+                            next_task,
+                            f"from cpu{next_task.processor}",
+                        )
+            if (
+                next_task is not prev
+                and next_task.mm is not None
+                and next_task.mm is prev.mm
+            ):
+                stats.picks_same_mm += 1
+            next_task.has_cpu = True
+            next_task.processor = cpu.cpu_id
+            next_task.dispatch_count += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    end,
+                    TraceKind.DISPATCH,
+                    cpu.cpu_id,
+                    next_task,
+                    f"examined={decision.examined} prev={prev.name}",
+                )
+            cpu.current = next_task
+            self._arm_tick(cpu, end)
+            resume_at = self._advance_task(cpu, end)
+            if resume_at is None:
+                return  # a Run is in flight (or the task parked an event)
+            at = max(resume_at, self.clock.now)
+            # Keep event causality: if this CPU's virtual time has run past
+            # the next pending event, hand control back to the event loop
+            # and resume the dispatch as an event of its own.
+            next_event = self.events.peek_time()
+            if next_event is not None and at > next_event:
+                self.events.schedule(
+                    at,
+                    EventKind.CALLBACK,
+                    partial(Machine._resume_dispatch_cb, cpu=cpu),
+                )
+                return
+
+    # -- advancing a task's body ------------------------------------------------
+
+    def _advance_task(self, cpu: CPU, t: int) -> Optional[int]:
+        """Drive ``cpu.current`` through its actions starting at time ``t``.
+
+        Returns ``None`` when the task is left computing (an ACTION_DONE
+        event is armed) — or the time at which the CPU must re-enter the
+        scheduler (task blocked, yielded, or exited).
+        """
+        task = cpu.current
+        if task is cpu.idle_task:
+            raise SimulationError("advancing the idle task")
+        syscall = self.cost.syscall_overhead
+        if self.smp:
+            syscall += self.cost.smp_syscall_tax
+        while True:
+            if cpu.need_resched:
+                return t  # preempted at an action boundary
+            action = task.current_action
+            if action is None:
+                action = self._pull_next_action(task)
+                if action is None:
+                    # Body returned: the task exits.
+                    return self._do_exit(task, t)
+                task.current_action = action
+            # -- dispatch on action type --------------------------------------
+            if isinstance(action, Run):
+                if task.cache_cold:
+                    action.remaining += self.cost.cache_refill
+                    task.cache_cold = False
+                cpu.run_started_at = t
+                cpu.run_event = self.events.schedule(
+                    t + action.remaining, EventKind.ACTION_DONE, cpu
+                )
+                return None
+            if isinstance(action, ChannelPut):
+                t += syscall
+                chan = action.channel
+                if chan.try_put(action.item):
+                    task.current_action = None
+                    for waiter in chan.readers.collect_wakeable(1):
+                        t += self.wake_up_process(waiter, t, cpu)
+                    continue
+                chan.writers.add(task, exclusive=True)
+                task.state = TaskState.INTERRUPTIBLE
+                if self.tracer is not None:
+                    self.tracer.record(
+                        t, TraceKind.BLOCK, cpu.cpu_id, task, f"put {chan.name}"
+                    )
+                return t  # retries the same action when woken
+            if isinstance(action, ChannelGet):
+                t += syscall
+                chan = action.channel
+                ok, item = chan.try_get()
+                if ok:
+                    task.current_action = None
+                    task.send_value = item
+                    for waiter in chan.writers.collect_wakeable(1):
+                        t += self.wake_up_process(waiter, t, cpu)
+                    continue
+                chan.readers.add(task, exclusive=True)
+                task.state = TaskState.INTERRUPTIBLE
+                if self.tracer is not None:
+                    self.tracer.record(
+                        t, TraceKind.BLOCK, cpu.cpu_id, task, f"get {chan.name}"
+                    )
+                return t
+            if isinstance(action, SleepFor):
+                t += syscall
+                task.current_action = None
+                task.state = TaskState.INTERRUPTIBLE
+                self.events.schedule(t + action.cycles, EventKind.TIMER, task)
+                if self.tracer is not None:
+                    self.tracer.record(t, TraceKind.BLOCK, cpu.cpu_id, task, "sleep")
+                return t
+            if isinstance(action, YieldCPU):
+                t += syscall
+                task.current_action = None
+                task.yield_count += 1
+                if self.tracer is not None:
+                    self.tracer.record(t, TraceKind.YIELD, cpu.cpu_id, task)
+                if task.policy is SchedPolicy.SCHED_OTHER:
+                    task.yield_pending = True
+                else:
+                    # sys_sched_yield for RT: go to the back of the line.
+                    self.scheduler.move_last_runqueue(task)
+                return t
+            if isinstance(action, Select):
+                t += syscall
+                # A retry after a wakeup may still be parked on sibling
+                # queues; clear them before re-checking.
+                for chan in action.channels:
+                    chan.readers.remove(task)
+                ready = None
+                for chan in action.channels:
+                    if len(chan) or chan.closed:
+                        ready = chan
+                        break
+                if ready is not None:
+                    ok, item = ready.try_get()
+                    assert ok, "select raced itself"
+                    task.current_action = None
+                    task.send_value = (ready, item)
+                    for waiter in ready.writers.collect_wakeable(1):
+                        t += self.wake_up_process(waiter, t, cpu)
+                    continue
+                for chan in action.channels:
+                    chan.readers.add_multi(task, exclusive=True)
+                task.state = TaskState.INTERRUPTIBLE
+                if self.tracer is not None:
+                    self.tracer.record(
+                        t, TraceKind.BLOCK, cpu.cpu_id, task,
+                        f"select x{len(action.channels)}",
+                    )
+                return t
+            if isinstance(action, WaitOn):
+                t += syscall
+                task.current_action = None
+                action.waitqueue.add(task, exclusive=action.exclusive)
+                task.state = TaskState.INTERRUPTIBLE
+                if self.tracer is not None:
+                    self.tracer.record(
+                        t, TraceKind.BLOCK, cpu.cpu_id, task,
+                        f"wait {action.waitqueue.name}",
+                    )
+                return t
+            if isinstance(action, WakeUp):
+                t += syscall
+                task.current_action = None
+                for waiter in action.waitqueue.collect_wakeable(action.nr_exclusive):
+                    t += self.wake_up_process(waiter, t, cpu)
+                continue
+            if isinstance(action, Exit):
+                return self._do_exit(task, t)
+            raise SimulationError(f"{task.name} yielded unknown action {action!r}")
+
+    def _pull_next_action(self, task: Task) -> Optional[Action]:
+        """Advance the body generator one step; None when it returned."""
+        assert task.gen is not None, f"{task.name} has no generator"
+        self._advancing = task
+        try:
+            value, task.send_value = task.send_value, None
+            action = task.gen.send(value)
+        except StopIteration:
+            return None
+        finally:
+            self._advancing = None
+        if not isinstance(action, Action):
+            raise SimulationError(
+                f"{task.name} yielded {action!r}, which is not an Action"
+            )
+        return action
+
+    def _do_exit(self, task: Task, t: int) -> int:
+        task.mark_exited()
+        self.scheduler.del_from_runqueue(task)
+        self._live_count -= 1
+        if self.tracer is not None:
+            cpu_id = task.processor if task.processor >= 0 else -1
+            self.tracer.record(t, TraceKind.EXIT, cpu_id, task)
+        return t
+
+    # -- timer ticks ----------------------------------------------------------------
+
+    def _arm_tick(self, cpu: CPU, t: int) -> None:
+        if cpu.tick_event is None:
+            cpu.tick_event = self.events.schedule(
+                t + CYCLES_PER_TICK, EventKind.TICK, cpu
+            )
+
+    def _handle_tick(self, cpu: CPU, t: int) -> None:
+        cpu.tick_event = None
+        if cpu.is_idle():
+            return  # tick chain dies; re-armed at next dispatch
+        self.total_ticks += 1
+        task = cpu.current
+        task.ticks_consumed += 1
+        if task.policy is not SchedPolicy.SCHED_FIFO:
+            if task.counter > 0:
+                task.counter -= 1
+            if task.counter <= 0:
+                task.counter = 0
+                cpu.need_resched = True
+        if cpu.need_resched:
+            if self.tracer is not None:
+                self.tracer.record(
+                    t, TraceKind.PREEMPT, cpu.cpu_id, task,
+                    f"counter={task.counter}",
+                )
+            self._dispatch(cpu, t)
+            return
+        cpu.tick_event = self.events.schedule(
+            t + CYCLES_PER_TICK, EventKind.TICK, cpu
+        )
+
+    # -- the event loop -----------------------------------------------------------------
+
+    def run(
+        self,
+        until_seconds: Optional[float] = None,
+        until_cycles: Optional[int] = None,
+        max_events: int = 200_000_000,
+    ) -> RunSummary:
+        """Drive the simulation until the event queue drains or a horizon.
+
+        The queue drains when every task has exited (tick chains die with
+        idle CPUs).  A drained queue with live blocked tasks is a
+        deadlock, reported in the summary.
+        """
+        horizon: Optional[int] = None
+        if until_seconds is not None:
+            horizon = seconds_to_cycles(until_seconds)
+        if until_cycles is not None:
+            horizon = min(horizon, until_cycles) if horizon else until_cycles
+        summary = RunSummary()
+        handled = 0
+        while True:
+            event = self.events.pop()
+            if event is None:
+                break
+            if horizon is not None and event.time > horizon:
+                self.clock.advance_to(horizon)
+                summary.hit_horizon = True
+                break
+            self.clock.advance_to(event.time)
+            handled += 1
+            if handled > max_events:
+                raise SimulationError(f"exceeded {max_events} events — runaway?")
+            kind = event.kind
+            if kind is EventKind.ACTION_DONE:
+                self._handle_action_done(event.payload, event.time)
+            elif kind is EventKind.TICK:
+                self._handle_tick(event.payload, event.time)
+            elif kind is EventKind.TIMER:
+                self.wake_up_process(event.payload, event.time)
+            elif kind is EventKind.CALLBACK:
+                event.payload(self, event)
+            elif kind is EventKind.HALT:
+                break
+            else:  # pragma: no cover - enum is closed
+                raise SimulationError(f"unhandled event kind {kind}")
+        summary.cycles = self.clock.now
+        summary.seconds = self.clock.seconds
+        summary.events_handled = handled
+        summary.tasks_total = len(self._tasks)
+        summary.tasks_exited = sum(1 for t in self._tasks.values() if t.exited)
+        summary.tasks_blocked = sum(
+            1
+            for t in self._tasks.values()
+            if not t.exited and t.state is not TaskState.RUNNING
+        )
+        summary.deadlocked = (
+            not summary.hit_horizon and summary.tasks_exited < summary.tasks_total
+        )
+        return summary
+
+    def _handle_action_done(self, cpu: CPU, t: int) -> None:
+        cpu.run_event = None
+        task = cpu.current
+        action = task.current_action
+        if not isinstance(action, Run):
+            raise SimulationError(
+                f"ACTION_DONE for {task.name} whose action is {action!r}"
+            )
+        task.cpu_cycles += action.remaining
+        cpu.busy_cycles += action.remaining
+        action.remaining = 0
+        task.current_action = None
+        resume_at = self._advance_task(cpu, t)
+        if resume_at is not None:
+            self._dispatch(cpu, resume_at)
+
+    # -- reporting helpers -------------------------------------------------------
+
+    def busy_fraction(self) -> float:
+        """Fraction of total CPU-time spent non-idle."""
+        total = self.clock.now * len(self.cpus)
+        if total == 0:
+            return 0.0
+        idle = sum(cpu.idle_cycles for cpu in self.cpus)
+        return max(0.0, 1.0 - idle / total)
+
+    def scheduler_fraction(self) -> float:
+        """Scheduler (plus lock spin) share of non-idle CPU-time.
+
+        The statistic behind the paper's "37–55 % of kernel time in the
+        scheduler" observation.
+        """
+        total = self.clock.now * len(self.cpus)
+        idle = sum(cpu.idle_cycles for cpu in self.cpus)
+        busy = total - idle
+        if busy <= 0:
+            return 0.0
+        return min(1.0, self.scheduler.stats.total_scheduler_cycles() / busy)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine {len(self.cpus)}cpu {'smp' if self.smp else 'up'} "
+            f"sched={self.scheduler.name} t={self.clock.seconds:.4f}s>"
+        )

@@ -1,0 +1,101 @@
+"""Kernel-wide constants for the simulated Linux 2.3.99-pre4 machine.
+
+The values here pin down the units used throughout the simulator:
+
+* Virtual time is measured in **CPU cycles** of a 400 MHz Pentium II —
+  the class of machine (IBM Netfinity 5500 / 7000) the paper ran on.
+* The timer interrupt fires at ``HZ`` = 100, so one tick is 10 ms and the
+  task ``counter`` field is measured in ticks, exactly as in the kernel.
+* ``goodness()`` bonus magnitudes come straight from the paper's
+  section 3.3.1: +1 for a shared memory map, +15 for processor affinity
+  (``PROC_CHANGE_PENALTY`` on i386).
+
+Nothing else in the package hard-codes a time unit; changing
+``CPU_HZ`` rescales the whole simulation coherently.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CPU_HZ",
+    "HZ",
+    "CYCLES_PER_TICK",
+    "TICK_SECONDS",
+    "DEFAULT_PRIORITY",
+    "MIN_PRIORITY",
+    "MAX_PRIORITY",
+    "MAX_RT_PRIORITY",
+    "MM_BONUS",
+    "PROC_CHANGE_PENALTY",
+    "RT_GOODNESS_BASE",
+    "ELSC_TABLE_SIZE",
+    "ELSC_OTHER_LISTS",
+    "ELSC_RT_LISTS",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "default_quantum",
+]
+
+#: Simulated processor clock, cycles per second (400 MHz Pentium II).
+CPU_HZ: int = 400_000_000
+
+#: Timer interrupt frequency; Linux 2.3 on i386 used HZ=100 (10 ms ticks).
+HZ: int = 100
+
+#: Cycles elapsed between two timer ticks on one CPU.
+CYCLES_PER_TICK: int = CPU_HZ // HZ
+
+#: Length of one tick in seconds.
+TICK_SECONDS: float = 1.0 / HZ
+
+#: Default ``priority`` for a new SCHED_OTHER task (paper section 3.1:
+#: "Twenty is the default value for all tasks").
+DEFAULT_PRIORITY: int = 20
+
+#: Bounds of the SCHED_OTHER ``priority`` field (paper: "an integer
+#: between 1 and 40. Higher numbers represent higher priority").
+MIN_PRIORITY: int = 1
+MAX_PRIORITY: int = 40
+
+#: Real-time priorities range 0..99 in a separate ``rt_priority`` field.
+MAX_RT_PRIORITY: int = 99
+
+#: goodness() bonus for sharing the previous task's memory map.
+MM_BONUS: int = 1
+
+#: goodness() bonus for having last run on the deciding CPU.
+PROC_CHANGE_PENALTY: int = 15
+
+#: goodness() for real-time tasks is this base plus ``rt_priority``.
+RT_GOODNESS_BASE: int = 1000
+
+#: Total number of lists in the ELSC run-queue table (paper section 5.1:
+#: "an array of 30 doubly linked lists").
+ELSC_TABLE_SIZE: int = 30
+
+#: Lists 0..19 hold SCHED_OTHER tasks indexed by static goodness / 4.
+ELSC_OTHER_LISTS: int = 20
+
+#: Lists 20..29 hold real-time tasks indexed by rt_priority / 10.
+ELSC_RT_LISTS: int = 10
+
+
+def cycles_to_seconds(cycles: int) -> float:
+    """Convert a cycle count to virtual seconds."""
+    return cycles / CPU_HZ
+
+
+def seconds_to_cycles(seconds: float) -> int:
+    """Convert virtual seconds to a (rounded) cycle count."""
+    return round(seconds * CPU_HZ)
+
+
+def default_quantum(priority: int) -> int:
+    """Fresh ``counter`` value granted at recalculation, in ticks.
+
+    The recalculation loop sets ``counter = counter//2 + priority``, so a
+    task that fully exhausted its quantum restarts at ``priority`` ticks
+    and the theoretical ceiling for a task that never runs approaches
+    ``2 * priority`` — the paper's "zero to twice the task's priority".
+    """
+    return priority

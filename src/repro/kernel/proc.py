@@ -1,0 +1,90 @@
+"""/proc-style views of the simulated machine.
+
+The paper exposed its scheduler statistics "through the proc file
+system" (section 6); this module renders the same counters as plain
+text, plus ``ps``-like task and run-queue listings used by the examples
+and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .params import cycles_to_seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+__all__ = ["render_schedstat", "render_tasks", "render_runqueue", "render_uptime"]
+
+
+def render_schedstat(machine: "Machine") -> str:
+    """The scheduler counters behind Figures 2, 5 and 6, one per line."""
+    stats = machine.scheduler.stats
+    lines = [
+        f"scheduler: {machine.scheduler.name}",
+        f"cpus: {len(machine.cpus)} ({'smp' if machine.smp else 'up'})",
+        f"schedule_calls: {stats.schedule_calls}",
+        f"idle_schedules: {stats.idle_schedules}",
+        f"recalc_entries: {stats.recalc_entries}",
+        f"tasks_examined: {stats.tasks_examined}",
+        f"examined_per_schedule: {stats.examined_per_schedule():.3f}",
+        f"scheduler_cycles: {stats.scheduler_cycles}",
+        f"cycles_per_schedule: {stats.cycles_per_schedule():.1f}",
+        f"lock_spin_cycles: {stats.lock_spin_cycles}",
+        f"migrations: {stats.migrations}",
+        f"picks_without_affinity: {stats.picks_without_affinity}",
+        f"picks_same_mm: {stats.picks_same_mm}",
+        f"yield_reruns: {stats.yield_reruns}",
+        f"enqueues: {stats.enqueues}",
+        f"dequeues: {stats.dequeues}",
+        f"switches: {stats.switches}",
+        f"avg_runqueue_len: {stats.avg_runqueue_len():.2f}",
+        f"scheduler_fraction: {machine.scheduler_fraction():.4f}",
+    ]
+    return "\n".join(lines)
+
+
+def render_tasks(machine: "Machine", limit: int = 0) -> str:
+    """A ``ps``-like listing of every task the machine has seen."""
+    header = (
+        f"{'PID':>6} {'NAME':<24} {'STATE':<15} {'POL':<5} {'PRIO':>4} "
+        f"{'CTR':>4} {'CPU':>4} {'CYCLES':>14} {'DISP':>7}"
+    )
+    rows = [header]
+    tasks = machine.all_tasks()
+    if limit:
+        tasks = tasks[:limit]
+    for t in tasks:
+        rows.append(
+            f"{t.pid:>6} {t.name:<24.24} {t.state.name:<15} "
+            f"{t.policy.name.removeprefix('SCHED_'):<5} {t.priority:>4} "
+            f"{t.counter:>4} {t.processor:>4} {t.cpu_cycles:>14} "
+            f"{t.dispatch_count:>7}"
+        )
+    return "\n".join(rows)
+
+
+def render_runqueue(machine: "Machine") -> str:
+    """The current run-queue contents, in scheduler order."""
+    tasks = machine.scheduler.runqueue_tasks()
+    lines = [f"runqueue ({machine.scheduler.name}): {len(tasks)} resident"]
+    for t in tasks:
+        lines.append(
+            f"  {t.name:<24.24} static={t.static_goodness():>3} "
+            f"ctr={t.counter:>3} prio={t.priority:>3}"
+            f"{' RT' + str(t.rt_priority) if t.is_realtime() else ''}"
+        )
+    return "\n".join(lines)
+
+
+def render_uptime(machine: "Machine") -> str:
+    """Uptime and per-CPU idle summary, /proc/uptime-flavoured."""
+    lines = [f"uptime: {machine.clock.seconds:.6f}s ({machine.clock.now} cycles)"]
+    for cpu in machine.cpus:
+        idle_s = cycles_to_seconds(cpu.idle_cycles)
+        lines.append(
+            f"cpu{cpu.cpu_id}: idle={idle_s:.6f}s busy_run={cycles_to_seconds(cpu.busy_cycles):.6f}s "
+            f"dispatches={cpu.dispatches} current={cpu.current.name}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Blocking synchronization primitives built on wait queues.
+
+:class:`Channel` is the workhorse: a bounded FIFO of items with blocking
+put/get, used directly by workloads and as the transport under the
+loopback sockets in :mod:`repro.net`.  :class:`SpinYieldLock` models the
+JVM-style "spin a little, then ``sched_yield()``" lock that VolanoMark's
+Java runtime exercises — the behaviour responsible for the paper's
+Figure 2 recalculation pathology (a lone runnable task that yields sends
+the stock scheduler into a whole-system counter recalculation; ELSC just
+reruns it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .actions import Action, Run, WaitOn, WakeUp, YieldCPU
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task import Task
+
+__all__ = ["Channel", "ChannelClosed", "CLOSED", "SpinYieldLock"]
+
+_channel_ids = itertools.count(1)
+
+
+class ChannelClosed(Exception):
+    """Raised when putting into a closed channel."""
+
+
+class _ClosedSentinel:
+    """Returned by a get on a closed-and-drained channel."""
+
+    def __repr__(self) -> str:
+        return "<CLOSED>"
+
+
+#: Singleton delivered to receivers once a channel is closed and empty.
+CLOSED = _ClosedSentinel()
+
+
+class Channel:
+    """A bounded blocking FIFO queue of items.
+
+    ``capacity`` bounds the number of buffered items (a loopback socket
+    buffer holds a handful of messages, which is what makes VolanoMark
+    writers block and ping-pong with readers).  ``capacity <= 0`` means
+    unbounded.
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "items",
+        "readers",
+        "writers",
+        "closed",
+        "total_put",
+        "total_got",
+    )
+
+    def __init__(self, capacity: int = 8, name: str = "") -> None:
+        self.name = name or f"chan{next(_channel_ids)}"
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self.readers = WaitQueue(f"{self.name}.readers")
+        self.writers = WaitQueue(f"{self.name}.writers")
+        self.closed = False
+        self.total_put = 0
+        self.total_got = 0
+
+    # The try_* operations are the non-blocking kernel half; the machine
+    # builds the blocking behaviour (park/retry on the wait queues).
+
+    def full(self) -> bool:
+        return self.capacity > 0 and len(self.items) >= self.capacity
+
+    def empty(self) -> bool:
+        return not self.items
+
+    def try_put(self, item: Any) -> bool:
+        """Deposit if there is room; True on success."""
+        if self.closed:
+            raise ChannelClosed(f"put on closed channel {self.name}")
+        if self.full():
+            return False
+        self.items.append(item)
+        self.total_put += 1
+        return True
+
+    def try_get(self) -> tuple[bool, Any]:
+        """``(True, item)`` when an item (or CLOSED) is available."""
+        if self.items:
+            self.total_got += 1
+            return True, self.items.popleft()
+        if self.closed:
+            return True, CLOSED
+        return False, None
+
+    def close(self) -> None:
+        """No more puts; pending items still drain, then gets see CLOSED."""
+        self.closed = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<Channel {self.name} {len(self.items)}/{self.capacity} {state}>"
+
+
+class SpinYieldLock:
+    """A user-space adaptive mutex, as 1999-era JVM monitors behaved.
+
+    Acquisition protocol (``yield from lock.acquire(env)``):
+
+    1. spin for ``spin_cycles`` on the atomic; if the lock is free, take
+       it;
+    2. otherwise call ``sched_yield()`` and retry, up to ``yield_rounds``
+       times — this is the behaviour that sends the stock scheduler into
+       whole-system counter recalculations when the yielder happens to be
+       the only runnable task;
+    3. still contended after that: *inflate* — block on the lock's wait
+       queue until a release wakes one waiter (which then races to
+       re-acquire; barging is allowed, as with real futex-style mutexes).
+
+    Release must also be driven with ``yield from lock.release(env)``
+    because waking a blocked waiter is a kernel operation.
+
+    Because the simulator only switches tasks at action boundaries, the
+    check-and-take step is atomic by construction.
+    """
+
+    __slots__ = (
+        "name",
+        "owner",
+        "spin_cycles",
+        "yield_rounds",
+        "waiters",
+        "contentions",
+        "acquisitions",
+        "inflations",
+    )
+
+    def __init__(
+        self,
+        name: str = "lock",
+        spin_cycles: int = 200,
+        yield_rounds: int = 1,
+    ) -> None:
+        self.name = name
+        self.owner: Optional["Task"] = None
+        self.spin_cycles = spin_cycles
+        self.yield_rounds = yield_rounds
+        self.waiters = WaitQueue(f"{name}.waiters")
+        #: Times an acquire attempt found the lock held.
+        self.contentions = 0
+        self.acquisitions = 0
+        #: Times a contender gave up yielding and blocked.
+        self.inflations = 0
+
+    def acquire(self, env: Any) -> Generator[Action, Any, None]:
+        """Sub-generator acquiring the lock for ``env.current``."""
+        rounds = 0
+        while True:
+            yield Run(self.spin_cycles)
+            if self.owner is None:
+                self.owner = env.current
+                self.acquisitions += 1
+                return
+            self.contentions += 1
+            if rounds < self.yield_rounds:
+                rounds += 1
+                yield YieldCPU()
+            else:
+                self.inflations += 1
+                rounds = 0
+                yield WaitOn(self.waiters, exclusive=True)
+
+    def release(self, env: Any) -> Generator[Action, Any, None]:
+        """Sub-generator releasing the lock and waking one blocked waiter."""
+        if self.owner is not env.current:
+            raise RuntimeError(
+                f"{env.current.name} releasing {self.name} owned by "
+                f"{self.owner.name if self.owner else 'nobody'}"
+            )
+        self.owner = None
+        if len(self.waiters):
+            yield WakeUp(self.waiters, nr_exclusive=1)
+
+    def __repr__(self) -> str:
+        holder = self.owner.name if self.owner else "free"
+        return f"<SpinYieldLock {self.name} {holder}>"

@@ -1,0 +1,86 @@
+"""Scheduling-parameter syscalls: setpriority / sched_setscheduler.
+
+The paper notes (section 5) that a task's ``priority`` "almost never
+changes, though when it does, the ELSC scheduler adapts accordingly" —
+a priority change moves a queued task's static goodness, so the sorted
+run queue must re-index it.  This module implements the kernel entry
+points that cause such changes:
+
+* :func:`set_priority` — ``setpriority()``/renice for SCHED_OTHER tasks;
+* :func:`sched_setscheduler` — policy / rt_priority changes, including
+  promoting a task to real time and back.
+
+Both follow the kernel's discipline: the change happens under the
+runqueue lock, and a queued task is removed and re-inserted so every
+scheduler's indexing stays consistent (for the stock unsorted list this
+is just the kernel's ``move_first_runqueue`` bias).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .params import MAX_PRIORITY, MAX_RT_PRIORITY, MIN_PRIORITY
+from .task import SchedPolicy, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+__all__ = ["set_priority", "sched_setscheduler"]
+
+
+def _requeue(machine: "Machine", task: Task) -> None:
+    """Remove + re-insert a queued task so its new parameters index it."""
+    scheduler = machine.scheduler
+    was_queued = task.in_a_list()
+    if was_queued:
+        scheduler.del_from_runqueue(task)
+        scheduler.add_to_runqueue(task)
+        # The kernel biases a re-parameterised task to the front.
+        scheduler.move_first_runqueue(task)
+
+
+def set_priority(machine: "Machine", task: Task, priority: int) -> None:
+    """Change a SCHED_OTHER task's ``priority`` (renice).
+
+    The counter is clamped into the new quantum range so a reniced-down
+    task cannot keep an oversized remaining slice.
+    """
+    if not MIN_PRIORITY <= priority <= MAX_PRIORITY:
+        raise ValueError(
+            f"priority {priority} outside {MIN_PRIORITY}..{MAX_PRIORITY}"
+        )
+    if task.exited:
+        raise ValueError(f"{task.name} has exited")
+    task.priority = priority
+    if task.counter > 2 * priority:
+        task.counter = 2 * priority
+    _requeue(machine, task)
+
+
+def sched_setscheduler(
+    machine: "Machine",
+    task: Task,
+    policy: Optional[SchedPolicy] = None,
+    rt_priority: Optional[int] = None,
+) -> None:
+    """Change scheduling class and/or real-time priority.
+
+    Mirrors ``sys_sched_setscheduler``: SCHED_OTHER requires
+    rt_priority 0; the real-time classes require 1..99.
+    """
+    if task.exited:
+        raise ValueError(f"{task.name} has exited")
+    new_policy = policy if policy is not None else task.policy
+    new_rt = rt_priority if rt_priority is not None else task.rt_priority
+    if new_policy is SchedPolicy.SCHED_OTHER:
+        if new_rt != 0:
+            raise ValueError("SCHED_OTHER requires rt_priority 0")
+    else:
+        if not 1 <= new_rt <= MAX_RT_PRIORITY:
+            raise ValueError(
+                f"real-time policies require rt_priority 1..{MAX_RT_PRIORITY}"
+            )
+    task.policy = new_policy
+    task.rt_priority = new_rt
+    _requeue(machine, task)

@@ -1,0 +1,119 @@
+"""Event tracing: a ring buffer of what the machine did and when.
+
+Attach a :class:`Tracer` to a machine before running and every dispatch,
+wakeup, block, exit, tick-preemption and recalculation is recorded with
+its cycle timestamp.  The buffer is bounded (ring semantics) so long
+simulations stay cheap; rendering produces a kernel-log-style listing
+used by the debugging example and the CLI.
+
+The tracer is deliberately pull-free: the machine calls ``record`` only
+when a tracer is attached, so untraced runs pay a single ``is None``
+test per event.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from .params import cycles_to_seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task import Task
+
+__all__ = ["Tracer", "TraceKind", "TraceRecord"]
+
+
+class TraceKind(enum.Enum):
+    """What a traced event records."""
+
+    DISPATCH = "dispatch"     # schedule() picked a task for a CPU
+    IDLE = "idle"             # schedule() found nothing to run
+    WAKEUP = "wakeup"         # a task became runnable
+    BLOCK = "block"           # a task left the CPU non-runnable
+    YIELD = "yield"           # sys_sched_yield
+    EXIT = "exit"             # task terminated
+    PREEMPT = "preempt"       # need_resched honoured mid-run
+    RECALC = "recalc"         # whole-system counter recalculation
+    MIGRATE = "migrate"       # dispatch onto a new processor
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: int
+    kind: TraceKind
+    cpu: int
+    task: str
+    detail: str = ""
+
+    def render(self) -> str:
+        return (
+            f"[{cycles_to_seconds(self.time):12.6f}] cpu{self.cpu} "
+            f"{self.kind.value:<8} {self.task:<24} {self.detail}"
+        )
+
+
+class Tracer:
+    """A bounded ring buffer of :class:`TraceRecord` objects."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque[TraceRecord] = deque(maxlen=capacity)
+        self.recorded = 0
+        #: Optional predicate: record only events it accepts.
+        self.filter: Optional[Callable[[TraceRecord], bool]] = None
+
+    def record(
+        self,
+        time: int,
+        kind: TraceKind,
+        cpu: int,
+        task: Optional["Task"],
+        detail: str = "",
+    ) -> None:
+        rec = TraceRecord(
+            time=time,
+            kind=kind,
+            cpu=cpu,
+            task=task.name if task is not None else "-",
+            detail=detail,
+        )
+        if self.filter is not None and not self.filter(rec):
+            return
+        self._ring.append(rec)
+        self.recorded += 1
+
+    def records(self, kind: Optional[TraceKind] = None) -> list[TraceRecord]:
+        """Buffered records, oldest first, optionally filtered by kind."""
+        if kind is None:
+            return list(self._ring)
+        return [r for r in self._ring if r.kind is kind]
+
+    def count(self, kind: TraceKind) -> int:
+        return sum(1 for r in self._ring if r.kind is kind)
+
+    def dropped(self) -> int:
+        """Records evicted by the ring bound."""
+        return max(0, self.recorded - len(self._ring))
+
+    def render(self, last: int = 0) -> str:
+        records = list(self._ring)
+        if last:
+            records = records[-last:]
+        return "\n".join(r.render() for r in records)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterable[TraceRecord]:
+        return iter(self._ring)

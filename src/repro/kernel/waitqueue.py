@@ -1,0 +1,115 @@
+"""Wait queues: where blocked tasks sit until an event wakes them.
+
+Mirrors the Linux wait-queue discipline of the 2.3 era:
+
+* a task blocks by putting itself on a wait queue, setting its state to
+  ``INTERRUPTIBLE`` (or ``UNINTERRUPTIBLE``) and calling ``schedule()``;
+* ``wake_up`` walks the queue waking **all** non-exclusive waiters and at
+  most ``nr_exclusive`` exclusive waiters (2.3 introduced wake-one
+  semantics to tame thundering herds on ``accept()``).
+
+The wait queue itself is a pure data structure — the machine performs
+the actual state transitions and run-queue insertion — so it can be
+tested in isolation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task import Task
+
+__all__ = ["WaitQueue"]
+
+
+class _WaitEntry:
+    __slots__ = ("task", "exclusive")
+
+    def __init__(self, task: "Task", exclusive: bool) -> None:
+        self.task = task
+        self.exclusive = exclusive
+
+
+class WaitQueue:
+    """A FIFO queue of blocked tasks with wake-all / wake-one semantics."""
+
+    __slots__ = ("name", "_entries")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or "waitqueue"
+        self._entries: deque[_WaitEntry] = deque()
+
+    def add(self, task: "Task", exclusive: bool = False) -> None:
+        """Park ``task`` on the queue.
+
+        Exclusive waiters go to the tail (kernel convention) so that
+        wake-one picks the longest-waiting non-exclusive tasks first.
+        """
+        if task.wait_node is not None:
+            raise RuntimeError(f"{task.name} is already on a wait queue")
+        entry = _WaitEntry(task, exclusive)
+        task.wait_node = entry
+        if exclusive:
+            self._entries.append(entry)
+        else:
+            # Non-exclusive waiters historically sit at the head.
+            self._entries.appendleft(entry)
+
+    def add_multi(self, task: "Task", exclusive: bool = True) -> None:
+        """Park ``task`` without claiming its single wait-node slot.
+
+        Used by multi-queue waits (``select()``-style): the task may sit
+        on several queues at once, and the waker/retry logic removes the
+        stragglers explicitly via :meth:`remove`.
+        """
+        self._entries.append(_WaitEntry(task, exclusive))
+
+    def remove(self, task: "Task") -> bool:
+        """Take ``task`` off the queue (e.g. timed-out sleep); True if found."""
+        for entry in self._entries:
+            if entry.task is task:
+                self._entries.remove(entry)
+                if task.wait_node is entry:
+                    task.wait_node = None
+                return True
+        return False
+
+    def collect_wakeable(self, nr_exclusive: int = 1) -> list["Task"]:
+        """Dequeue the tasks one ``wake_up`` call would wake.
+
+        All non-exclusive waiters plus up to ``nr_exclusive`` exclusive
+        ones, in queue order.  ``nr_exclusive <= 0`` means wake every
+        waiter (``wake_up_all``).
+        """
+        woken: list["Task"] = []
+        remaining: deque[_WaitEntry] = deque()
+        wake_all = nr_exclusive <= 0
+        budget = nr_exclusive
+        for entry in self._entries:
+            if entry.exclusive and not wake_all and budget == 0:
+                remaining.append(entry)
+                continue
+            if entry.exclusive and not wake_all:
+                budget -= 1
+            entry.task.wait_node = None
+            woken.append(entry.task)
+        self._entries = remaining
+        return woken
+
+    def waiters(self) -> Iterable["Task"]:
+        """Snapshot of parked tasks, queue order."""
+        return [entry.task for entry in self._entries]
+
+    def first(self) -> Optional["Task"]:
+        return self._entries[0].task if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def empty(self) -> bool:
+        return not self._entries
+
+    def __repr__(self) -> str:
+        return f"<WaitQueue {self.name} waiters={len(self)}>"

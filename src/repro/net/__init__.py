@@ -1,0 +1,5 @@
+"""Simulated loopback networking."""
+
+from .socket import DEFAULT_SOCKET_BUFFER, SocketEndpoint, SocketPair
+
+__all__ = ["SocketPair", "SocketEndpoint", "DEFAULT_SOCKET_BUFFER"]

@@ -1,0 +1,74 @@
+"""Loopback socket pairs: the transport under the VolanoMark model.
+
+VolanoMark runs "over a loopback interface, eliminating any network
+overhead" (paper section 4) — client and server exchange messages
+through in-kernel buffers, and the *blocking* behaviour of those buffers
+is what drives tasks into ``schedule()`` thousands of times per second.
+
+A :class:`SocketPair` is two bounded unidirectional message streams
+(client→server and server→client) built on
+:class:`~repro.kernel.sync.Channel`.  Each endpoint exposes the channel
+to read from and the channel to write to; Java's lack of non-blocking
+I/O is modelled faithfully by there being *only* blocking operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from ..kernel.sync import Channel
+
+__all__ = ["SocketEndpoint", "SocketPair", "DEFAULT_SOCKET_BUFFER"]
+
+#: Messages a loopback socket buffers before writers block.  Small on
+#: purpose: a 2.3-era loopback socket buffered a few KB, i.e. a handful
+#: of chat messages, and the writer/reader ping-pong this causes is the
+#: scheduler stress the paper measures.
+DEFAULT_SOCKET_BUFFER = 4
+
+_pair_ids = itertools.count(1)
+
+
+class SocketEndpoint:
+    """One side of a connected socket pair."""
+
+    __slots__ = ("name", "rx", "tx", "peer")
+
+    def __init__(self, name: str, rx: Channel, tx: Channel) -> None:
+        self.name = name
+        #: Channel this endpoint reads from.
+        self.rx = rx
+        #: Channel this endpoint writes to.
+        self.tx = tx
+        self.peer: "SocketEndpoint | None" = None
+
+    def close(self) -> None:
+        """Close the write side; the peer's reads drain then see CLOSED."""
+        self.tx.close()
+
+    def __repr__(self) -> str:
+        return f"<SocketEndpoint {self.name}>"
+
+
+class SocketPair:
+    """A connected pair of endpoints over the loopback interface."""
+
+    __slots__ = ("pair_id", "client", "server")
+
+    def __init__(self, buffer_msgs: int = DEFAULT_SOCKET_BUFFER, name: str = "") -> None:
+        self.pair_id = next(_pair_ids)
+        label = name or f"sock{self.pair_id}"
+        c2s = Channel(capacity=buffer_msgs, name=f"{label}.c2s")
+        s2c = Channel(capacity=buffer_msgs, name=f"{label}.s2c")
+        self.client = SocketEndpoint(f"{label}.client", rx=s2c, tx=c2s)
+        self.server = SocketEndpoint(f"{label}.server", rx=c2s, tx=s2c)
+        self.client.peer = self.server
+        self.server.peer = self.client
+
+    def close_both(self) -> None:
+        self.client.close()
+        self.server.close()
+
+    def __repr__(self) -> str:
+        return f"<SocketPair {self.pair_id}>"

@@ -1,0 +1,32 @@
+"""Schedulers: the interface, the stock baseline, and alternative designs."""
+
+from .base import SchedDecision, Scheduler
+from .goodness import (
+    dynamic_bonus,
+    goodness,
+    preemption_goodness,
+    prev_goodness,
+    static_goodness,
+)
+from .cfs import CFSScheduler
+from .heap import HeapScheduler
+from .multiqueue import MultiQueueScheduler
+from .o1 import O1Scheduler
+from .stats import SchedStats
+from .vanilla import VanillaScheduler
+
+__all__ = [
+    "SchedDecision",
+    "Scheduler",
+    "SchedStats",
+    "VanillaScheduler",
+    "HeapScheduler",
+    "CFSScheduler",
+    "MultiQueueScheduler",
+    "O1Scheduler",
+    "goodness",
+    "prev_goodness",
+    "preemption_goodness",
+    "dynamic_bonus",
+    "static_goodness",
+]

@@ -1,0 +1,317 @@
+"""A CFS-style fair scheduler — the design that replaced O(1) in 2007.
+
+Included because the reproduction's historical arc (stock → ELSC → O(1))
+naturally ends at the Completely Fair Scheduler of Linux 2.6.23: no
+quanta, no counters, no recalculation — every task accumulates
+**virtual runtime** (weighted by priority) while it executes, and
+``schedule()`` always picks the smallest-vruntime runnable task from a
+time-ordered tree.
+
+This implementation keeps the 2.3.99 task model (so it runs unmodified
+against the same machine and workloads) and scales to it:
+
+* per-CPU timelines, ordered by ``vruntime`` (a sorted list standing in
+  for the red-black tree; the cost model charges O(log n)-ish constants
+  either way);
+* ``vruntime`` advances by ``executed_cycles × (NICE_0_WEIGHT /
+  weight(priority))`` — higher `priority` (1..40) means more weight and
+  slower vruntime growth, i.e. a larger CPU share;
+* a newly woken task's vruntime is placed just ahead of the timeline's
+  minimum (the classic sleeper-fairness rule) so sleepers run promptly
+  but cannot monopolise;
+* real-time tasks keep strict priority: they sort below every fair task
+  via an rt band in the key, highest ``rt_priority`` first;
+* preemption granularity: the tick marks ``need_resched`` when the
+  current task has run past its fair slice (the machine's quantum
+  machinery is reused by granting ``counter`` ticks worth of slice).
+
+The ``vruntime`` lives in a per-scheduler dict keyed by pid, keeping the
+Table 1 task struct untouched.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, Optional
+
+from ..kernel.params import CYCLES_PER_TICK
+from ..kernel.task import SchedPolicy, Task
+from .base import SchedDecision, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.cpu import CPU
+
+__all__ = ["CFSScheduler"]
+
+#: Weight of the default priority (20); weights double every ~5 points,
+#: approximating the kernel's nice-level geometric table.
+_NICE_0_WEIGHT = 1024
+
+#: Sleeper bonus: a woken task is placed this many vruntime units ahead
+#: of the pack minimum (the kernel's "min_vruntime - sched_latency/2"),
+#: so interactive tasks run promptly without monopolising.
+_SLEEPER_BONUS = CYCLES_PER_TICK
+
+
+def _weight(priority: int) -> int:
+    """CPU-share weight for a 1..40 priority (default 20 → 1024)."""
+    # 2**((priority - 20) / 5) scaled; precomputed to avoid float drift.
+    return max(16, int(_NICE_0_WEIGHT * 2.0 ** ((priority - 20) / 5.0)))
+
+
+class _TimelineEntry:
+    __slots__ = ("key", "task")
+
+    def __init__(self, key: tuple, task: Task) -> None:
+        self.key = key
+        self.task = task
+
+    def __lt__(self, other: "_TimelineEntry") -> bool:
+        return self.key < other.key
+
+
+class _Timeline:
+    """One CPU's runnable set, ordered by (rt_band, vruntime, pid)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list[_TimelineEntry] = []
+
+    def insert(self, key: tuple, task: Task) -> None:
+        bisect.insort(self.entries, _TimelineEntry(key, task))
+
+    def remove(self, key: tuple, task: Task) -> None:
+        index = bisect.bisect_left(self.entries, _TimelineEntry(key, task))
+        while index < len(self.entries):
+            entry = self.entries[index]
+            if entry.task is task:
+                del self.entries[index]
+                return
+            if entry.key != key:
+                break
+            index += 1
+        raise RuntimeError(f"{task.name} not on the timeline")
+
+    def leftmost(self) -> Optional[Task]:
+        return self.entries[0].task if self.entries else None
+
+    def min_fair_vruntime(self) -> Optional[float]:
+        for entry in self.entries:
+            if entry.key[0] == 1:  # fair band
+                return entry.key[1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class CFSScheduler(Scheduler):
+    """Per-CPU vruntime timelines; always run the leftmost task."""
+
+    name = "cfs"
+    uses_global_lock = False
+
+    #: Fair slice granted per dispatch, in ticks (sched_latency / n,
+    #: simplified to a constant — the machine's tick machinery enforces
+    #: it through ``counter``).
+    slice_ticks = 2
+
+    def __init__(self, steal: bool = True) -> None:
+        super().__init__()
+        self.steal = steal
+        self._timelines: list[_Timeline] = []
+        #: pid -> (cpu index, key) while queued.
+        self._where: dict[int, tuple[int, tuple]] = {}
+        #: pid -> accumulated vruntime (survives blocking).
+        self._vruntime: dict[int, float] = {}
+        #: pid -> cpu_cycles at last dispatch (to charge the delta).
+        self._last_cycles: dict[int, int] = {}
+        self._running_onqueue = 0
+
+    def reset(self) -> None:
+        super().reset()
+        count = len(self.machine.cpus) if self.machine is not None else 1
+        self._timelines = [_Timeline() for _ in range(count)]
+        self._where = {}
+        self._vruntime = {}
+        self._last_cycles = {}
+        self._running_onqueue = 0
+
+    # -- vruntime accounting ---------------------------------------------------
+
+    def _key_for(self, task: Task) -> tuple:
+        if task.is_realtime():
+            # Band 0: below all fair tasks; higher rt_priority first.
+            return (0, -task.rt_priority, task.pid)
+        return (1, self._vruntime.get(task.pid, 0.0), task.pid)
+
+    def _charge_runtime(self, task: Task) -> None:
+        """Fold the cycles run since last dispatch into vruntime."""
+        if task.is_realtime():
+            return
+        last = self._last_cycles.get(task.pid, task.cpu_cycles)
+        delta = task.cpu_cycles - last
+        self._last_cycles[task.pid] = task.cpu_cycles
+        if delta > 0:
+            vdelta = delta * (_NICE_0_WEIGHT / _weight(task.priority))
+            self._vruntime[task.pid] = (
+                self._vruntime.get(task.pid, 0.0) + vdelta
+            )
+
+    def _place_woken(self, task: Task, cpu_idx: int) -> None:
+        """Sleeper fairness: wake slightly ahead of the pack minimum,
+        never far behind it."""
+        if task.is_realtime():
+            return
+        floor = self._timelines[cpu_idx].min_fair_vruntime()
+        current = self._vruntime.get(task.pid, 0.0)
+        if floor is not None and current < floor - _SLEEPER_BONUS:
+            self._vruntime[task.pid] = floor - _SLEEPER_BONUS
+
+    # -- placement ----------------------------------------------------------------
+
+    def _pick_cpu(self, task: Task) -> int:
+        if 0 <= task.processor < len(self._timelines):
+            return task.processor
+        loads = [len(t) for t in self._timelines]
+        return loads.index(min(loads))
+
+    def _enqueue(self, task: Task, cpu_idx: Optional[int] = None) -> None:
+        if task.on_runqueue() and task.run_list.prev is None:
+            self._running_onqueue -= 1
+        idx = self._pick_cpu(task) if cpu_idx is None else cpu_idx
+        key = self._key_for(task)
+        self._timelines[idx].insert(key, task)
+        self._where[task.pid] = (idx, key)
+        task.run_list.next = task.run_list
+        task.run_list.prev = task.run_list
+
+    # -- run-queue interface ----------------------------------------------------------
+
+    def add_to_runqueue(self, task: Task) -> int:
+        if task.on_runqueue():
+            raise RuntimeError(f"{task.name} is already on the run queue")
+        idx = self._pick_cpu(task)
+        self._place_woken(task, idx)
+        self._last_cycles.setdefault(task.pid, task.cpu_cycles)
+        self._enqueue(task, cpu_idx=idx)
+        self.stats.enqueues += 1
+        return self.cost.list_op + self.cost.elsc_index
+
+    def del_from_runqueue(self, task: Task) -> int:
+        if not task.on_runqueue():
+            return 0
+        where = self._where.pop(task.pid, None)
+        if where is not None:
+            idx, key = where
+            self._timelines[idx].remove(key, task)
+        elif task.run_list.prev is None:
+            self._running_onqueue -= 1
+        task.run_list.next = None
+        task.run_list.prev = None
+        self.stats.dequeues += 1
+        return self.cost.list_op
+
+    def move_first_runqueue(self, task: Task) -> None:
+        pass  # vruntime order is total; positional bias is meaningless
+
+    def move_last_runqueue(self, task: Task) -> None:
+        # sched_yield under CFS: push vruntime to the back of the pack.
+        where = self._where.get(task.pid)
+        if task.is_realtime():
+            return
+        timeline = None
+        if where is not None:
+            idx, key = where
+            timeline = self._timelines[idx]
+            timeline.remove(key, task)
+        pack_max = max(
+            (e.key[1] for t in self._timelines for e in t.entries
+             if e.key[0] == 1),
+            default=self._vruntime.get(task.pid, 0.0),
+        )
+        self._vruntime[task.pid] = pack_max + 1.0
+        if where is not None:
+            new_key = self._key_for(task)
+            timeline.insert(new_key, task)
+            self._where[task.pid] = (where[0], new_key)
+
+    # -- schedule --------------------------------------------------------------------------
+
+    def schedule(self, prev: Task, cpu: "CPU") -> SchedDecision:
+        self.stats.schedule_calls += 1
+        idle = cpu.idle_task
+        cost_cycles = 0
+        examined = 0
+        prev_yielded = prev is not idle and prev.yield_pending
+        my = cpu.cpu_id if cpu.cpu_id < len(self._timelines) else 0
+
+        if prev is not idle:
+            self._charge_runtime(prev)
+            if prev.is_runnable():
+                if prev_yielded:
+                    # Fold the yield into vruntime before re-queueing.
+                    pack = self._timelines[my].min_fair_vruntime()
+                    if pack is not None and not prev.is_realtime():
+                        self._vruntime[prev.pid] = max(
+                            self._vruntime.get(prev.pid, 0.0), pack + 1.0
+                        )
+                self._enqueue(prev, cpu_idx=my)
+            elif prev.on_runqueue():
+                cost_cycles += self.del_from_runqueue(prev)
+
+        self.stats.runqueue_len_sum += self.runqueue_len()
+
+        chosen = self._timelines[my].leftmost()
+        if chosen is None and self.steal:
+            victim = self._steal_victim(my)
+            if victim is not None:
+                chosen = self._timelines[victim].leftmost()
+        if chosen is not None:
+            examined += 1
+            idx, key = self._where.pop(chosen.pid)
+            self._timelines[idx].remove(key, chosen)
+            chosen.run_list.next = chosen.run_list
+            chosen.run_list.prev = None
+            self._running_onqueue += 1
+            self._last_cycles[chosen.pid] = chosen.cpu_cycles
+            # Grant exactly the fair slice through the machine's tick
+            # machinery (the 2.3.99 counter field repurposed as a slice).
+            if not chosen.is_realtime():
+                chosen.counter = self.slice_ticks
+            if prev_yielded and chosen is prev:
+                self.stats.yield_reruns += 1
+        if prev is not idle and prev.yield_pending:
+            prev.yield_pending = False
+
+        cost_cycles += self.cost.schedule_entry + self.cost.elsc_examine
+        self.stats.tasks_examined += examined
+        self.stats.scheduler_cycles += cost_cycles
+        return SchedDecision(next_task=chosen, cost=cost_cycles, examined=examined)
+
+    def _steal_victim(self, my: int) -> Optional[int]:
+        best = None
+        best_load = 0
+        for i, timeline in enumerate(self._timelines):
+            if i == my:
+                continue
+            if len(timeline) > best_load:
+                best = i
+                best_load = len(timeline)
+        return best
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def runqueue_len(self) -> int:
+        return sum(len(t) for t in self._timelines) + self._running_onqueue
+
+    def runqueue_tasks(self) -> list[Task]:
+        out: list[Task] = []
+        for timeline in self._timelines:
+            out.extend(e.task for e in timeline.entries)
+        return out
+
+    def vruntime_of(self, task: Task) -> float:
+        """Accumulated virtual runtime (tests and examples)."""
+        return self._vruntime.get(task.pid, 0.0)

@@ -1,0 +1,80 @@
+"""The 2.3.99 ``goodness()`` heuristic (paper section 3.3.1).
+
+For real-time tasks (SCHED_FIFO / SCHED_RR) goodness is ``1000 +
+rt_priority`` — always above any time-sharing task.  For SCHED_OTHER
+tasks:
+
+* ``counter == 0`` → goodness 0 ("a runnable task was found but its time
+  slice is used up");
+* otherwise ``counter + priority``, plus a **+1** bonus for sharing the
+  deciding context's memory map (cheap context switch) and a **+15**
+  bonus for having last run on the deciding CPU (warm caches).
+
+The paper's key observation is that ``counter + priority`` is *static*
+while a task waits on the run queue, and only the two bonuses are
+*dynamic* (they depend on who is asking).  ELSC sorts by the static part
+and evaluates the dynamic part over a handful of candidates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..kernel.params import MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.mm import MMStruct
+    from ..kernel.task import Task
+
+__all__ = [
+    "goodness",
+    "prev_goodness",
+    "preemption_goodness",
+    "dynamic_bonus",
+    "static_goodness",
+]
+
+
+def goodness(task: "Task", this_cpu: int, this_mm: Optional["MMStruct"]) -> int:
+    """Utility of running ``task`` next on ``this_cpu`` after ``this_mm``."""
+    if task.is_realtime():
+        return RT_GOODNESS_BASE + task.rt_priority
+    if task.counter == 0:
+        return 0
+    weight = task.counter + task.priority
+    if task.mm is not None and task.mm is this_mm:
+        weight += MM_BONUS
+    if task.processor == this_cpu:
+        weight += PROC_CHANGE_PENALTY
+    return weight
+
+
+def prev_goodness(task: "Task", this_cpu: int, this_mm: Optional["MMStruct"]) -> int:
+    """Goodness of the previous task: zero while its SCHED_YIELD bit is set."""
+    if task.yield_pending:
+        return 0
+    return goodness(task, this_cpu, this_mm)
+
+
+def preemption_goodness(candidate: "Task", current: "Task", cpu: int) -> int:
+    """How much better ``candidate`` is than ``current`` on ``cpu``.
+
+    Positive means a wakeup should preempt — the test ``reschedule_idle``
+    applies when no processor is idle.
+    """
+    return goodness(candidate, cpu, current.mm) - goodness(current, cpu, current.mm)
+
+
+def dynamic_bonus(task: "Task", this_cpu: int, this_mm: Optional["MMStruct"]) -> int:
+    """Just the dynamic part (mm + affinity bonuses) for a non-RT task."""
+    bonus = 0
+    if task.mm is not None and task.mm is this_mm:
+        bonus += MM_BONUS
+    if task.processor == this_cpu:
+        bonus += PROC_CHANGE_PENALTY
+    return bonus
+
+
+def static_goodness(task: "Task") -> int:
+    """The static part: ``counter + priority`` (delegates to the task)."""
+    return task.static_goodness()

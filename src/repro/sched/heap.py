@@ -1,0 +1,277 @@
+"""A heap-based scheduler — the paper's first future-work design (§8).
+
+    "…many other possibilities exist, such as sorting tasks by static
+    goodness within heaps … One could choose the absolute best task
+    available simply by examining the top of each heap."
+
+The run queue is a single binary max-heap keyed by static goodness
+(real-time tasks key above every SCHED_OTHER task, ordered by
+``rt_priority``).  ``schedule()`` pops the top few entries, evaluates
+their *dynamic* bonuses exactly as ELSC does, picks the best, and pushes
+the rest back.  Compared with the ELSC table:
+
+* the heap always yields the globally best *static* candidate —
+  there is no 4-point quantisation from sharing a list — but inserts
+  and removals cost O(log n) instead of O(1);
+* zero-counter tasks sink to the bottom naturally (their key is their
+  post-recalculation static goodness, negated below eligible keys), so
+  the recalculation trigger is "the top of the heap is ineligible".
+
+Entries use the standard lazy-invalidation pattern: removal marks the
+entry dead and live membership is tracked per task.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..kernel.task import SchedPolicy, Task
+from .base import SchedDecision, Scheduler
+from .goodness import dynamic_bonus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.cpu import CPU
+
+__all__ = ["HeapScheduler"]
+
+_MAX_REPEATS = 64
+
+#: Keys at or above this are real-time tasks.
+_RT_BASE = 1_000_000
+#: Eligible SCHED_OTHER keys start here; exhausted tasks sit below.
+_ELIGIBLE_BASE = 10_000
+
+
+class _Entry:
+    __slots__ = ("key", "seq", "task", "dead")
+
+    def __init__(self, key: int, seq: int, task: Task) -> None:
+        self.key = key
+        self.seq = seq
+        self.task = task
+        self.dead = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        # heapq is a min-heap: invert key; tie-break LIFO (front-of-queue
+        # bias for newly woken tasks, like the stock scheduler).
+        if self.key != other.key:
+            return self.key > other.key
+        return self.seq > other.seq
+
+
+class HeapScheduler(Scheduler):
+    """Global static-goodness heap with lazy-deleted entries."""
+
+    name = "heap"
+
+    def __init__(self, search_limit: Optional[int] = None) -> None:
+        super().__init__()
+        self._search_limit_override = search_limit
+        self._heap: list[_Entry] = []
+        self._entries: dict[int, _Entry] = {}  # pid -> live entry
+        self._seq = itertools.count()
+        self._running_onqueue = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._heap = []
+        self._entries = {}
+        self._seq = itertools.count()
+        self._running_onqueue = 0
+
+    @property
+    def search_limit(self) -> int:
+        if self._search_limit_override is not None:
+            return self._search_limit_override
+        return self.nr_cpus // 2 + 5
+
+    # -- keying ---------------------------------------------------------------
+
+    @staticmethod
+    def key_for(task: Task) -> int:
+        """Heap key: RT above all, eligible next, exhausted at the bottom."""
+        if task.is_realtime():
+            return _RT_BASE + task.rt_priority
+        if task.counter > 0:
+            return _ELIGIBLE_BASE + task.counter + task.priority
+        # Exhausted: order by predicted post-recalculation goodness so the
+        # rebuild after a recalculation is already roughly in order.
+        predicted = (task.counter >> 1) + task.priority
+        return predicted + task.priority
+
+    @staticmethod
+    def _eligible_key(key: int) -> bool:
+        return key >= _ELIGIBLE_BASE
+
+    # -- run-queue interface ------------------------------------------------------
+
+    def _push(self, task: Task) -> None:
+        if task.on_runqueue() and task.run_list.prev is None:
+            self._running_onqueue -= 1
+        entry = _Entry(self.key_for(task), next(self._seq), task)
+        self._entries[task.pid] = entry
+        heapq.heappush(self._heap, entry)
+        task.run_list.next = task.run_list  # "on the run queue" marker
+        task.run_list.prev = task.run_list
+
+    def add_to_runqueue(self, task: Task) -> int:
+        if task.on_runqueue():
+            raise RuntimeError(f"{task.name} is already on the run queue")
+        self._push(task)
+        self.stats.enqueues += 1
+        # O(log n) sift plus the plain insert both designs pay.
+        return self.cost.list_op + self.cost.elsc_index
+
+    def del_from_runqueue(self, task: Task) -> int:
+        if not task.on_runqueue():
+            return 0
+        entry = self._entries.pop(task.pid, None)
+        if entry is not None:
+            entry.dead = True
+        elif task.run_list.prev is None:
+            self._running_onqueue -= 1
+        task.run_list.next = None
+        task.run_list.prev = None
+        self.stats.dequeues += 1
+        return self.cost.list_op
+
+    # Tie biasing: reissue the entry with a fresh sequence number.
+    def move_first_runqueue(self, task: Task) -> None:
+        entry = self._entries.get(task.pid)
+        if entry is not None:
+            entry.dead = True
+            self._push(task)
+
+    def move_last_runqueue(self, task: Task) -> None:
+        entry = self._entries.get(task.pid)
+        if entry is None:
+            return
+        entry.dead = True
+        fresh = _Entry(self.key_for(task), -next(self._seq), task)
+        self._entries[task.pid] = fresh
+        heapq.heappush(self._heap, fresh)
+
+    # -- schedule -----------------------------------------------------------------
+
+    def _top_live(self) -> Optional[_Entry]:
+        while self._heap and self._heap[0].dead:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def schedule(self, prev: Task, cpu: "CPU") -> SchedDecision:
+        self.stats.schedule_calls += 1
+        idle = cpu.idle_task
+        cost_cycles = 0
+        examined = 0
+        indexed = 0
+        recalcs = 0
+        prev_yielded = prev is not idle and prev.yield_pending
+
+        if prev is not idle:
+            if prev.is_runnable():
+                if prev.policy is SchedPolicy.SCHED_RR and prev.counter == 0:
+                    prev.counter = prev.priority
+                if prev.pid not in self._entries:
+                    # Back into the heap — prev may carry the "on the run
+                    # queue while running" marker, which _push clears.
+                    self._push(prev)
+                    indexed += 1
+            elif prev.on_runqueue():
+                cost_cycles += self.del_from_runqueue(prev)
+
+        self.stats.runqueue_len_sum += self.runqueue_len()
+
+        chosen: Optional[Task] = None
+        for _round in range(_MAX_REPEATS):
+            top = self._top_live()
+            if top is None:
+                break  # empty: idle
+            if not self._eligible_key(top.key):
+                cost_cycles += self.recalculate_counters()
+                recalcs += 1
+                # Keys changed: rebuild the heap from live entries.
+                live = [e for e in self._heap if not e.dead]
+                for entry in live:
+                    entry.key = self.key_for(entry.task)
+                heapq.heapify(live)
+                self._heap = live
+                cost_cycles += self.cost.elsc_index * max(1, len(live))
+                continue
+            chosen, exam, popped = self._pick(top, prev, cpu)
+            examined += exam
+            indexed += popped  # re-pushed runners-up
+            break
+        else:  # pragma: no cover
+            raise RuntimeError("heap scheduler failed to converge")
+
+        if chosen is not None:
+            entry = self._entries.pop(chosen.pid)
+            entry.dead = True
+            chosen.run_list.next = chosen.run_list
+            chosen.run_list.prev = None  # running, off the heap
+            self._running_onqueue += 1
+            if prev_yielded and chosen is prev:
+                self.stats.yield_reruns += 1
+        if prev is not idle and prev.yield_pending:
+            prev.yield_pending = False
+
+        cost_cycles += self.cost.elsc_schedule_cost(examined, indexed)
+        self.stats.tasks_examined += examined
+        self.stats.scheduler_cycles += cost_cycles
+        return SchedDecision(
+            next_task=chosen, cost=cost_cycles, examined=examined, recalcs=recalcs
+        )
+
+    def _pick(
+        self, top: _Entry, prev: Task, cpu: "CPU"
+    ) -> tuple[Optional[Task], int, int]:
+        """Pop up to search_limit candidates, keep the best dynamic score."""
+        limit = self.search_limit
+        popped: list[_Entry] = []
+        best: Optional[Task] = None
+        best_utility = -1
+        yielded_fallback: Optional[Task] = None
+        examined = 0
+        while examined < limit:
+            entry = self._top_live()
+            if entry is None or not self._eligible_key(entry.key):
+                break
+            heapq.heappop(self._heap)
+            popped.append(entry)
+            task = entry.task
+            examined += 1
+            if task.has_cpu and task is not prev:
+                continue
+            if task.is_realtime():
+                best = task  # heap order already ranks rt_priority
+                break
+            if task.yield_pending:
+                if yielded_fallback is None:
+                    yielded_fallback = task
+                continue
+            utility = task.static_goodness() + dynamic_bonus(
+                task, cpu.cpu_id, prev.mm
+            )
+            if utility > best_utility:
+                best = task
+                best_utility = utility
+        chosen = best if best is not None else yielded_fallback
+        # Push back everything we popped (the chosen one is removed by the
+        # caller through its live entry).
+        requeued = 0
+        for entry in popped:
+            if not entry.dead:
+                heapq.heappush(self._heap, entry)
+                requeued += 1
+        return chosen, examined, requeued
+
+    # -- introspection ------------------------------------------------------------
+
+    def runqueue_len(self) -> int:
+        return len(self._entries) + self._running_onqueue
+
+    def runqueue_tasks(self) -> list[Task]:
+        live = [e for e in self._heap if not e.dead]
+        return [e.task for e in sorted(live)]

@@ -1,0 +1,116 @@
+"""Scheduler statistics — the counters behind Figures 2, 5 and 6.
+
+The paper instrumented both schedulers and exported counters through the
+proc file system ("we also collected statistics about what the scheduler
+was doing and exposed them through the proc file system", section 6).
+This module is that instrumentation: one :class:`SchedStats` per
+scheduler instance, updated on every ``schedule()`` entry, recalculation
+loop, and dispatch decision.
+
+Figure mapping
+--------------
+* Figure 2 — ``recalc_entries`` (recalculate-loop entries)
+* Figure 5 — ``cycles_per_schedule()`` and ``examined_per_schedule()``
+* Figure 6 — ``schedule_calls`` and ``migrations`` (tasks scheduled on a
+  processor other than the one they last ran on)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SchedStats"]
+
+
+@dataclass
+class SchedStats:
+    """Counters one scheduler instance accumulates over a run."""
+
+    #: Entries into schedule() (Figure 6, first chart).
+    schedule_calls: int = 0
+
+    #: schedule() entries that selected the idle task.
+    idle_schedules: int = 0
+
+    #: Entries into the whole-system counter recalculation loop (Figure 2).
+    recalc_entries: int = 0
+
+    #: Total tasks examined across all schedule() calls (Figure 5, right).
+    tasks_examined: int = 0
+
+    #: Total cycles charged for scheduler work, excluding lock spin
+    #: (Figure 5, left).
+    scheduler_cycles: int = 0
+
+    #: Cycles spent spinning on the runqueue lock before schedule() could
+    #: begin (SMP builds only).
+    lock_spin_cycles: int = 0
+
+    #: Dispatches where the chosen task last ran on a different CPU
+    #: (Figure 6, second chart).
+    migrations: int = 0
+
+    #: Dispatches where the chosen task received no processor-affinity
+    #: bonus (the paper correlates these with the extra schedule() calls
+    #: ELSC makes on SMP).
+    picks_without_affinity: int = 0
+
+    #: Dispatches where the chosen task shared the previous task's mm.
+    picks_same_mm: int = 0
+
+    #: Times a yielding previous task was rerun to dodge a recalculation
+    #: (ELSC-only behaviour, section 5.2 last paragraph).
+    yield_reruns: int = 0
+
+    #: add_to_runqueue() invocations (wakeups + preempted re-inserts).
+    enqueues: int = 0
+
+    #: del_from_runqueue() invocations.
+    dequeues: int = 0
+
+    #: Sum of run-queue lengths observed at schedule() entry, for
+    #: average-queue-depth reporting.
+    runqueue_len_sum: int = 0
+
+    #: Context switches to a different task than the previous one.
+    switches: int = 0
+
+    # -- derived -----------------------------------------------------------
+
+    def cycles_per_schedule(self) -> float:
+        """Average scheduler cycles per schedule() entry (Figure 5 left)."""
+        if self.schedule_calls == 0:
+            return 0.0
+        return self.scheduler_cycles / self.schedule_calls
+
+    def examined_per_schedule(self) -> float:
+        """Average tasks examined per schedule() entry (Figure 5 right)."""
+        if self.schedule_calls == 0:
+            return 0.0
+        return self.tasks_examined / self.schedule_calls
+
+    def avg_runqueue_len(self) -> float:
+        if self.schedule_calls == 0:
+            return 0.0
+        return self.runqueue_len_sum / self.schedule_calls
+
+    def total_scheduler_cycles(self) -> int:
+        """Scheduler work plus lock spin — the full cost the system pays."""
+        return self.scheduler_cycles + self.lock_spin_cycles
+
+    def merged_with(self, other: "SchedStats") -> "SchedStats":
+        """Element-wise sum (for aggregating repeated benchmark runs)."""
+        out = SchedStats()
+        for f in out.__dataclass_fields__:
+            setattr(out, f, getattr(self, f) + getattr(other, f))
+        return out
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view (used by the /proc renderer and benches)."""
+        data: dict[str, float] = {
+            f: getattr(self, f) for f in self.__dataclass_fields__
+        }
+        data["cycles_per_schedule"] = self.cycles_per_schedule()
+        data["examined_per_schedule"] = self.examined_per_schedule()
+        data["avg_runqueue_len"] = self.avg_runqueue_len()
+        return data

@@ -1,0 +1,187 @@
+"""The stock Linux 2.3.99-pre4 scheduler (the paper's baseline, "reg").
+
+A faithful re-implementation of the behaviour described in the paper's
+section 3 (and the corresponding kernel source):
+
+* the run queue is a single circular doubly-linked list, unsorted; newly
+  woken tasks go to the front;
+* ``schedule()`` walks the **whole** list evaluating ``goodness()`` for
+  every runnable task not currently executing on another CPU, keeping
+  the first-seen maximum (front-of-list wins ties);
+* the previous task is the initial candidate; a pending SCHED_YIELD
+  makes its goodness zero for this pass (and the bit is consumed);
+* if the best goodness is exactly zero — at least one runnable task
+  exists but every quantum is exhausted (or the lone candidate just
+  yielded) — the scheduler **recalculates the counter of every task in
+  the system** (``counter = counter//2 + priority``) and rescans;
+* an exhausted SCHED_RR previous task is given a fresh quantum and moved
+  to the back of the queue before the scan;
+* running tasks *stay on the run queue* (``has_cpu`` guards the scan).
+
+Costs are charged per the machine's cost model: a goodness evaluation
+per examined task, plus the whole-system recalculation loops.  This is
+the O(n)-per-entry, redundant-recalculation design the ELSC scheduler
+replaces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..kernel.listops import ListHead
+from ..kernel.task import SchedPolicy, Task
+from .base import SchedDecision, Scheduler
+from .goodness import goodness
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.cpu import CPU
+
+__all__ = ["VanillaScheduler"]
+
+#: Hard cap on recalculate-and-rescan rounds per schedule() call.  The
+#: real kernel needs no such guard (each recalculation strictly raises
+#: some counter); this exists to turn a simulator bug into a loud error
+#: instead of a hang.
+_MAX_REPEATS = 64
+
+
+class VanillaScheduler(Scheduler):
+    """The current (2.3.99-pre4) Linux scheduler — Figure 1a's run queue."""
+
+    name = "reg"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._head = ListHead()
+        self._len = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._head = ListHead()
+        self._len = 0
+
+    # -- run-queue manipulation (paper section 3.2) ---------------------------
+
+    def add_to_runqueue(self, task: Task) -> int:
+        """Insert at the *front* of the queue (newly woken tasks lead)."""
+        if task.on_runqueue():
+            raise RuntimeError(f"{task.name} is already on the run queue")
+        task.run_list.init()
+        task.run_list.add(self._head)
+        self._len += 1
+        self.stats.enqueues += 1
+        return self.cost.list_op
+
+    def del_from_runqueue(self, task: Task) -> int:
+        if not task.on_runqueue():
+            return 0
+        task.run_list.del_()
+        task.run_list.next = None
+        task.run_list.prev = None
+        self._len -= 1
+        self.stats.dequeues += 1
+        return self.cost.list_op
+
+    def move_first_runqueue(self, task: Task) -> None:
+        if task.in_a_list():
+            task.run_list.move(self._head)
+
+    def move_last_runqueue(self, task: Task) -> None:
+        if task.in_a_list():
+            task.run_list.move_tail(self._head)
+
+    # -- schedule() (paper section 3.3.2) ---------------------------------------
+
+    def schedule(self, prev: Task, cpu: "CPU") -> SchedDecision:
+        self.stats.schedule_calls += 1
+        self.stats.runqueue_len_sum += self._len
+        idle = cpu.idle_task
+        cost = 0
+        examined_total = 0
+        recalcs = 0
+
+        # Exhausted round-robin real-time tasks get a fresh quantum and go
+        # to the back of the line before the scan.
+        if (
+            prev is not idle
+            and prev.policy is SchedPolicy.SCHED_RR
+            and prev.counter == 0
+            and prev.is_runnable()
+        ):
+            prev.counter = prev.priority
+            self.move_last_runqueue(prev)
+
+        # A previous task that stopped being runnable leaves the queue.
+        if prev is not idle and not prev.is_runnable():
+            cost += self.del_from_runqueue(prev)
+
+        prev_eligible = prev is not idle and prev.is_runnable()
+
+        for _round in range(_MAX_REPEATS):
+            c = -1000
+            next_task: Optional[Task] = None
+            examined = 0
+            if prev_eligible:
+                # prev_goodness: a pending yield reads as zero and the bit
+                # is consumed, so the post-recalculation rescan sees the
+                # task's true goodness.
+                if prev.yield_pending:
+                    prev.yield_pending = False
+                    c = 0
+                else:
+                    c = goodness(prev, cpu.cpu_id, prev.mm)
+                next_task = prev
+                examined += 1
+            # The scan is the hot path of the whole simulation (it runs
+            # once per schedule() entry over every queued task), so
+            # goodness() is inlined here; test_goodness_inline_matches
+            # pins the two implementations together.
+            head = self._head
+            this_cpu = cpu.cpu_id
+            this_mm = prev.mm
+            node = head.next
+            while node is not head:
+                task = node.owner
+                node = node.next
+                if task.has_cpu:
+                    continue  # running on some processor (prev included)
+                examined += 1
+                if task.policy is SchedPolicy.SCHED_OTHER:
+                    counter = task.counter
+                    if counter == 0:
+                        weight = 0
+                    else:
+                        weight = counter + task.priority
+                        if task.mm is this_mm and this_mm is not None:
+                            weight += 1
+                        if task.processor == this_cpu:
+                            weight += 15
+                else:
+                    weight = 1000 + task.rt_priority
+                if weight > c:
+                    c = weight
+                    next_task = task
+            examined_total += examined
+            if c != 0:
+                break
+            # Every candidate's quantum is spent: recalculate the counter
+            # of every task in the system and search again.
+            cost += self.recalculate_counters()
+            recalcs += 1
+        else:
+            raise RuntimeError("vanilla scheduler failed to converge")
+
+        cost += self.cost.vanilla_schedule_cost(examined_total)
+        self.stats.tasks_examined += examined_total
+        self.stats.scheduler_cycles += cost
+        return SchedDecision(
+            next_task=next_task, cost=cost, examined=examined_total, recalcs=recalcs
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    def runqueue_len(self) -> int:
+        return self._len
+
+    def runqueue_tasks(self) -> list[Task]:
+        return [node.owner for node in self._head]

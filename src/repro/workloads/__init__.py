@@ -1,0 +1,58 @@
+"""Workloads: the paper's two experiments plus extensions.
+
+* :mod:`~repro.workloads.volanomark` — the VolanoMark chat benchmark
+  (sections 4 and 6; Figures 2-6);
+* :mod:`~repro.workloads.kernbench` — the kernel-compile light-load test
+  (Table 2);
+* :mod:`~repro.workloads.webserver` — the Apache-style server the paper
+  proposes as future work (section 8);
+* :mod:`~repro.workloads.synthetic` — isolated task mixes for tests and
+  ablations.
+"""
+
+from .consolidated import ConsolidatedConfig, ConsolidatedResult, run_consolidated
+from .kernbench import Kernbench, KernbenchConfig, KernbenchResult, run_kernbench
+from .synthetic import (
+    SyntheticCounters,
+    cpu_hogs,
+    fanout_broadcast,
+    pingpong_pairs,
+    rt_mix,
+    yield_storm,
+)
+from .volanomark import (
+    VolanoConfig,
+    VolanoMark,
+    VolanoResult,
+    run_volanomark,
+    run_volanomark_rules,
+)
+from .volanoselect import SelectChat, SelectChatResult, run_select_chat
+from .webserver import WebServerConfig, WebServerResult, run_webserver
+
+__all__ = [
+    "VolanoConfig",
+    "VolanoMark",
+    "VolanoResult",
+    "run_volanomark",
+    "run_volanomark_rules",
+    "SelectChat",
+    "SelectChatResult",
+    "run_select_chat",
+    "WebServerConfig",
+    "WebServerResult",
+    "run_webserver",
+    "ConsolidatedConfig",
+    "ConsolidatedResult",
+    "run_consolidated",
+    "Kernbench",
+    "KernbenchConfig",
+    "KernbenchResult",
+    "run_kernbench",
+    "SyntheticCounters",
+    "cpu_hogs",
+    "fanout_broadcast",
+    "pingpong_pairs",
+    "rt_mix",
+    "yield_storm",
+]

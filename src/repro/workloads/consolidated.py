@@ -1,0 +1,140 @@
+"""A consolidated enterprise server: chat + web + batch on one machine.
+
+The paper's introduction motivates with "network servers, distributed
+workstations and other large-scale systems … routers, print and file
+servers, firewalls and, of course, web application servers".  Real
+enterprise boxes of the era ran several of those at once, and a
+scheduler's value shows in how *interactive* services survive a
+co-located thread storm.
+
+This workload runs three tenants simultaneously:
+
+* a VolanoMark-style chat service (the thread storm),
+* a small web-server worker pool with closed-loop clients (the
+  interactive, latency-sensitive tenant),
+* a batch compile job (the CPU hog).
+
+The result records each tenant's own metric, so benches can ask the
+question the paper's goals imply: does the scheduler keep the web
+tenant's latency sane while the chat tenant floods the run queue?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..kernel.cost_model import CostModel
+from ..kernel.machine import Machine
+from ..kernel.params import cycles_to_seconds
+from ..kernel.simulator import MachineSpec, SimResult, Simulator
+from .kernbench import Kernbench, KernbenchConfig
+from .volanomark import VolanoConfig, VolanoMark
+from .webserver import WebServer, WebServerConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.base import Scheduler
+
+__all__ = ["ConsolidatedConfig", "ConsolidatedResult", "run_consolidated"]
+
+
+@dataclass(frozen=True)
+class ConsolidatedConfig:
+    """The three tenants' scaled-down configurations."""
+
+    chat: VolanoConfig = field(
+        default_factory=lambda: VolanoConfig(rooms=4, messages_per_user=6)
+    )
+    web: WebServerConfig = field(
+        default_factory=lambda: WebServerConfig(
+            workers=8, clients=24, requests_per_client=12
+        )
+    )
+    batch: KernbenchConfig = field(
+        default_factory=lambda: KernbenchConfig(
+            files=30, jobs=2, mean_compile_seconds=0.08, link_seconds=0.2
+        )
+    )
+
+
+@dataclass
+class ConsolidatedResult:
+    """Per-tenant outcomes of one consolidated run."""
+
+    config: ConsolidatedConfig
+    spec: MachineSpec
+    scheduler_name: str
+    chat_throughput: float
+    web_throughput: float
+    web_p99_seconds: float
+    batch_seconds: float
+    elapsed_seconds: float
+    scheduler_fraction: float
+    sim: SimResult
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConsolidatedResult {self.scheduler_name}/{self.spec.name} "
+            f"chat={self.chat_throughput:.0f}msg/s "
+            f"web_p99={self.web_p99_seconds * 1e3:.1f}ms>"
+        )
+
+
+def run_consolidated(
+    scheduler_factory: Callable[[], "Scheduler"],
+    spec: MachineSpec,
+    config: Optional[ConsolidatedConfig] = None,
+    cost: Optional[CostModel] = None,
+) -> ConsolidatedResult:
+    """Run all three tenants on one machine and collect their metrics."""
+    cfg = config if config is not None else ConsolidatedConfig()
+    chat = VolanoMark(cfg.chat)
+    web = WebServer(cfg.web)
+    batch = Kernbench(cfg.batch)
+    batch_done_at = {"cycles": 0}
+
+    def populate(machine: Machine):
+        chat.populate(machine)
+        web.populate(machine)
+        batch.populate(machine)
+        # Stamp the batch tenant's completion time via the link task.
+        for task in machine.all_tasks():
+            if task.name == "make":
+                task.exit_callbacks.append(
+                    lambda t, m=machine: batch_done_at.__setitem__(
+                        "cycles", m.clock.now
+                    )
+                )
+        return {}
+
+    sim = Simulator(scheduler_factory, spec, cost=cost)
+    result = sim.run(populate)
+    if result.summary.deadlocked:
+        raise RuntimeError(f"consolidated run deadlocked: {result.summary!r}")
+    if chat.delivered != cfg.chat.deliveries_expected:
+        raise RuntimeError("chat tenant lost messages")
+    if web.requests_done != cfg.web.total_requests:
+        raise RuntimeError("web tenant lost requests")
+    if not batch.linked:
+        raise RuntimeError("batch tenant never finished")
+
+    chat_elapsed = cycles_to_seconds(chat.last_delivery_cycles) or result.seconds
+    web_elapsed = cycles_to_seconds(web.last_response_cycles) or result.seconds
+    latencies = sorted(web.latencies_cycles)
+    p99 = (
+        cycles_to_seconds(latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))])
+        if latencies
+        else 0.0
+    )
+    return ConsolidatedResult(
+        config=cfg,
+        spec=spec,
+        scheduler_name=result.scheduler_name,
+        chat_throughput=chat.delivered / chat_elapsed if chat_elapsed else 0.0,
+        web_throughput=web.requests_done / web_elapsed if web_elapsed else 0.0,
+        web_p99_seconds=p99,
+        batch_seconds=cycles_to_seconds(batch_done_at["cycles"]) or result.seconds,
+        elapsed_seconds=result.seconds,
+        scheduler_fraction=result.scheduler_fraction,
+        sim=result,
+    )

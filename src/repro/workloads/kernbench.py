@@ -1,0 +1,195 @@
+"""The kernel-compile workload (paper section 6, Table 2).
+
+The paper's light-load check: ``time make -j4 bzImage`` on a UP and a 2P
+kernel, three runs each, after a warm-up build primes the caches.  The
+point of the experiment is *absence of regression* — with at most ``-j``
+compile jobs runnable the run queue never grows past a handful of tasks,
+and the ELSC scheduler must match the stock scheduler's performance
+("maintain existing performance for light loads").
+
+The model is a dependency-free bag of compile jobs (C files) behind a
+``make`` job-server that keeps at most ``jobs`` of them in flight,
+followed by a serial link step — the actual shape of a kernel build.
+Each compile reads its source (a short disk wait), burns CPU through a
+few compiler phases separated by pipe-style handoffs, and writes its
+object file.  Job durations are drawn deterministically from a seeded
+distribution roughly matching a 2.3-era source tree (many small files, a
+few giant ones).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..kernel.cost_model import CostModel
+from ..kernel.machine import Machine
+from ..kernel.mm import MMStruct
+from ..kernel.params import seconds_to_cycles
+from ..kernel.simulator import MachineSpec, SimResult, Simulator
+from ..kernel.sync import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.base import Scheduler
+
+__all__ = ["KernbenchConfig", "KernbenchResult", "Kernbench", "run_kernbench"]
+
+
+@dataclass(frozen=True)
+class KernbenchConfig:
+    """Parameters of one simulated ``make -jN bzImage``."""
+
+    #: Number of translation units to compile.  The paper's 2.3.99 tree
+    #: built on the order of 1500 objects; the default is reduced to keep
+    #: the simulation quick while preserving the light-load character.
+    files: int = 400
+    #: ``make -j`` parallelism (the paper used -j4).
+    jobs: int = 4
+    seed: int = 7
+    #: Mean CPU seconds per compile job (400 MHz-era cc1 on a kernel TU).
+    mean_compile_seconds: float = 0.9
+    #: Disk read latency before a compile starts (warm cache: short).
+    read_latency_seconds: float = 0.002
+    #: Disk write latency for the object file.
+    write_latency_seconds: float = 0.001
+    #: CPU seconds for the final serial link/bzImage step.
+    link_seconds: float = 8.0
+    #: Number of compiler phases (cpp → cc1 → as) per job; each phase
+    #: boundary re-enters the scheduler like a pipe handoff does.
+    phases: int = 3
+
+
+@dataclass
+class KernbenchResult:
+    """Outcome of one simulated kernel build."""
+
+    config: KernbenchConfig
+    spec: MachineSpec
+    scheduler_name: str
+    #: The paper's Table 2 metric: wall-clock build time.
+    elapsed_seconds: float
+    scheduler_fraction: float
+    sim: SimResult
+
+    def minutes_str(self) -> str:
+        """Format like the paper's ``time`` output, e.g. ``6:41.41``."""
+        minutes = int(self.elapsed_seconds // 60)
+        seconds = self.elapsed_seconds - 60 * minutes
+        return f"{minutes}:{seconds:05.2f}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<KernbenchResult {self.scheduler_name}/{self.spec.name} "
+            f"{self.minutes_str()}>"
+        )
+
+
+class Kernbench:
+    """Builds the make + compile-job task population."""
+
+    def __init__(self, config: KernbenchConfig) -> None:
+        self.config = config
+        self.completed = 0
+        self.linked = False
+        self._rng = random.Random(config.seed)
+        self._durations = [self._draw_duration() for _ in range(config.files)]
+
+    def _draw_duration(self) -> int:
+        """CPU cycles for one compile: log-normal-ish file size spread."""
+        cfg = self.config
+        # Mostly small files, occasionally a big one (sched.c, ll_rw_blk.c…).
+        scale = self._rng.lognormvariate(0.0, 0.6)
+        return max(
+            seconds_to_cycles(0.05),
+            seconds_to_cycles(cfg.mean_compile_seconds * scale),
+        )
+
+    # -- task bodies -----------------------------------------------------------
+
+    def _compile_job(
+        self, env: Any, index: int, done: Channel
+    ) -> Generator:
+        cfg = self.config
+        yield env.sleep(cfg.read_latency_seconds)  # read the source
+        total = self._durations[index]
+        per_phase = max(1, total // cfg.phases)
+        for phase in range(cfg.phases):
+            yield env.run(cycles=per_phase)
+            if phase != cfg.phases - 1:
+                # Pipe handoff between compiler phases: a short block.
+                yield env.sleep(cfg.write_latency_seconds / 4)
+        yield env.sleep(cfg.write_latency_seconds)  # write the object
+        self.completed += 1
+        yield env.put(done, index)
+
+    def _link_step(self, env: Any) -> Generator:
+        yield env.run(cycles=seconds_to_cycles(self.config.link_seconds))
+        self.linked = True
+
+    def _make(self, env: Any, mm: MMStruct) -> Generator:
+        """The ``make`` process: a -j job-server over the compile bag."""
+        cfg = self.config
+        done = Channel(capacity=0, name="make.done")  # unbounded
+        next_file = 0
+        in_flight = 0
+        while next_file < cfg.files and in_flight < cfg.jobs:
+            env.spawn(
+                lambda e, i=next_file: self._compile_job(e, i, done),
+                name=f"cc{next_file}",
+                mm=mm,
+            )
+            next_file += 1
+            in_flight += 1
+        finished = 0
+        while finished < cfg.files:
+            yield env.get(done)
+            finished += 1
+            in_flight -= 1
+            yield env.run(us=200)  # make's own dependency bookkeeping
+            if next_file < cfg.files:
+                env.spawn(
+                    lambda e, i=next_file: self._compile_job(e, i, done),
+                    name=f"cc{next_file}",
+                    mm=mm,
+                )
+                next_file += 1
+                in_flight += 1
+        # Serial link + bzImage step.
+        yield from self._link_step(env)
+
+    def populate(self, machine: Machine) -> dict[str, Any]:
+        mm = MMStruct("build")
+        machine.spawn(lambda env: self._make(env, mm), name="make", mm=mm)
+        return {
+            "completed": lambda: self.completed,
+            "linked": lambda: self.linked,
+        }
+
+
+def run_kernbench(
+    scheduler_factory: Callable[[], "Scheduler"],
+    spec: MachineSpec,
+    config: Optional[KernbenchConfig] = None,
+    cost: Optional[CostModel] = None,
+) -> KernbenchResult:
+    """One simulated kernel build — a Table 2 cell."""
+    cfg = config if config is not None else KernbenchConfig()
+    bench = Kernbench(cfg)
+    sim = Simulator(scheduler_factory, spec, cost=cost)
+    result = sim.run(bench.populate)
+    if result.summary.deadlocked:
+        raise RuntimeError(f"kernbench deadlocked: {result.summary!r}")
+    if result.payload["completed"] != cfg.files or not result.payload["linked"]:
+        raise RuntimeError(
+            f"incomplete build: {result.payload['completed']}/{cfg.files} "
+            f"objects, linked={result.payload['linked']}"
+        )
+    return KernbenchResult(
+        config=cfg,
+        spec=spec,
+        scheduler_name=result.scheduler_name,
+        elapsed_seconds=result.seconds,
+        scheduler_fraction=result.scheduler_fraction,
+        sim=result,
+    )

@@ -1,0 +1,236 @@
+"""Synthetic workloads: parametric task mixes for tests and ablations.
+
+These are not from the paper's evaluation; they isolate individual
+scheduler behaviours so tests and ablation benches can probe one effect
+at a time:
+
+* :func:`cpu_hogs` — pure compute tasks; exercises quantum expiry,
+  counter recalculation, and fairness;
+* :func:`pingpong_pairs` — blocking message ping-pong; exercises the
+  wakeup path and run-queue churn;
+* :func:`fanout_broadcast` — one producer waking many consumers;
+  exercises run-queue length growth (the O(n) scan killer);
+* :func:`yield_storm` — spin-yield loops; exercises the SCHED_YIELD
+  path and the recalculation pathology in isolation;
+* :func:`rt_mix` — real-time FIFO/RR tasks over a SCHED_OTHER
+  background; exercises the RT selection rules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..kernel.machine import Machine
+from ..kernel.mm import MMStruct
+from ..kernel.params import seconds_to_cycles
+from ..kernel.sync import Channel
+from ..kernel.task import SchedPolicy, Task
+
+__all__ = [
+    "cpu_hogs",
+    "pingpong_pairs",
+    "fanout_broadcast",
+    "yield_storm",
+    "rt_mix",
+    "SyntheticCounters",
+]
+
+
+@dataclass
+class SyntheticCounters:
+    """Shared counters the synthetic bodies update for assertions."""
+
+    iterations: int = 0
+    messages: int = 0
+    yields: int = 0
+    per_task_cycles: dict[str, int] = field(default_factory=dict)
+
+
+def cpu_hogs(
+    machine: Machine,
+    count: int = 4,
+    seconds_each: float = 0.5,
+    chunk_us: float = 500.0,
+    priority: int = 20,
+    shared_mm: bool = True,
+    seed: int = 1,
+) -> SyntheticCounters:
+    """Spawn ``count`` pure-compute tasks, each burning ``seconds_each``."""
+    counters = SyntheticCounters()
+    rng = random.Random(seed)
+    mm = MMStruct("hogs") if shared_mm else None
+    chunk = max(1, seconds_to_cycles(chunk_us / 1e6))
+    total = seconds_to_cycles(seconds_each)
+
+    def hog(env: Any, label: str) -> Generator:
+        burned = 0
+        while burned < total:
+            step = min(chunk, total - burned)
+            yield env.run(cycles=step)
+            burned += step
+            counters.iterations += 1
+        counters.per_task_cycles[label] = burned
+
+    for i in range(count):
+        label = f"hog{i}"
+        task_mm = mm if shared_mm else MMStruct(label)
+        machine.spawn(
+            lambda env, lb=label: hog(env, lb),
+            name=label,
+            mm=task_mm,
+            priority=priority,
+        )
+    return counters
+
+
+def pingpong_pairs(
+    machine: Machine,
+    pairs: int = 8,
+    rounds: int = 50,
+    work_us: float = 20.0,
+    buffer_msgs: int = 1,
+) -> SyntheticCounters:
+    """Spawn ``pairs`` blocking ping-pong couples."""
+    counters = SyntheticCounters()
+    mm = MMStruct("pingpong")
+    work = max(1, seconds_to_cycles(work_us / 1e6))
+
+    def ping(env: Any, out: Channel, back: Channel) -> Generator:
+        for i in range(rounds):
+            yield env.run(cycles=work)
+            yield env.put(out, i)
+            echo = yield env.get(back)
+            assert echo == i
+            counters.messages += 1
+
+    def pong(env: Any, inbox: Channel, back: Channel) -> Generator:
+        for _ in range(rounds):
+            value = yield env.get(inbox)
+            yield env.run(cycles=work)
+            yield env.put(back, value)
+
+    for p in range(pairs):
+        out = Channel(buffer_msgs, name=f"pp{p}.out")
+        back = Channel(buffer_msgs, name=f"pp{p}.back")
+        machine.spawn(
+            lambda env, o=out, b=back: ping(env, o, b), name=f"ping{p}", mm=mm
+        )
+        machine.spawn(
+            lambda env, o=out, b=back: pong(env, o, b), name=f"pong{p}", mm=mm
+        )
+    return counters
+
+
+def fanout_broadcast(
+    machine: Machine,
+    consumers: int = 50,
+    rounds: int = 20,
+    producer_work_us: float = 10.0,
+    consumer_work_us: float = 30.0,
+    buffer_msgs: int = 4,
+) -> SyntheticCounters:
+    """One producer broadcasting to ``consumers`` channels per round.
+
+    Every broadcast makes all consumers runnable at once — the run-queue
+    shape that makes the stock scheduler's O(n) scan expensive.
+    """
+    counters = SyntheticCounters()
+    mm = MMStruct("fanout")
+    p_work = max(1, seconds_to_cycles(producer_work_us / 1e6))
+    c_work = max(1, seconds_to_cycles(consumer_work_us / 1e6))
+    channels = [Channel(buffer_msgs, name=f"fan{i}") for i in range(consumers)]
+
+    def producer(env: Any) -> Generator:
+        for r in range(rounds):
+            yield env.run(cycles=p_work)
+            for chan in channels:
+                yield env.put(chan, r)
+
+    def consumer(env: Any, chan: Channel) -> Generator:
+        for _ in range(rounds):
+            value = yield env.get(chan)
+            assert value is not None
+            yield env.run(cycles=c_work)
+            counters.messages += 1
+
+    machine.spawn(producer, name="producer", mm=mm)
+    for i, chan in enumerate(channels):
+        machine.spawn(
+            lambda env, c=chan: consumer(env, c), name=f"consumer{i}", mm=mm
+        )
+    return counters
+
+
+def yield_storm(
+    machine: Machine,
+    tasks: int = 1,
+    yields_each: int = 100,
+    work_us: float = 5.0,
+) -> SyntheticCounters:
+    """Tasks that compute briefly and ``sched_yield()`` in a loop.
+
+    With ``tasks=1`` this is the paper's recalculation pathology in its
+    purest form: every yield makes the lone task's goodness read as zero,
+    so the stock scheduler recalculates every counter in the system while
+    ELSC just reruns the task.
+    """
+    counters = SyntheticCounters()
+    mm = MMStruct("storm")
+    work = max(1, seconds_to_cycles(work_us / 1e6))
+
+    def storm(env: Any) -> Generator:
+        for _ in range(yields_each):
+            yield env.run(cycles=work)
+            yield env.sched_yield()
+            counters.yields += 1
+
+    for i in range(tasks):
+        machine.spawn(storm, name=f"storm{i}", mm=mm)
+    return counters
+
+
+def rt_mix(
+    machine: Machine,
+    rt_tasks: int = 2,
+    other_tasks: int = 4,
+    rounds: int = 20,
+    rt_policy: SchedPolicy = SchedPolicy.SCHED_RR,
+    work_us: float = 100.0,
+) -> SyntheticCounters:
+    """Real-time tasks over a SCHED_OTHER background.
+
+    The RT tasks alternate compute and short sleeps so the background
+    actually gets CPU; selection order (RT always first, by rt_priority)
+    is what tests assert.
+    """
+    counters = SyntheticCounters()
+    mm = MMStruct("rtmix")
+    work = max(1, seconds_to_cycles(work_us / 1e6))
+
+    def rt_body(env: Any, label: str) -> Generator:
+        for _ in range(rounds):
+            yield env.run(cycles=work)
+            counters.iterations += 1
+            yield env.sleep(0.002)
+        counters.per_task_cycles[label] = rounds
+
+    def other_body(env: Any, label: str) -> Generator:
+        for _ in range(rounds):
+            yield env.run(cycles=work)
+        counters.per_task_cycles[label] = rounds
+
+    for i in range(rt_tasks):
+        machine.spawn(
+            lambda env, lb=f"rt{i}": rt_body(env, lb),
+            name=f"rt{i}",
+            mm=mm,
+            policy=rt_policy,
+            rt_priority=50 + i,
+        )
+    for i in range(other_tasks):
+        machine.spawn(
+            lambda env, lb=f"bg{i}": other_body(env, lb), name=f"bg{i}", mm=mm
+        )
+    return counters

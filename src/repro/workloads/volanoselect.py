@@ -1,0 +1,210 @@
+"""A select()-based chat server: the counterfactual of section 4.
+
+The paper motivates the thread storm with Java's missing multiplexed
+I/O: "Multiplexing I/O system calls (such as select) can help in some
+situations, but they are not always available.  The popular Java
+programming language is a prime example."
+
+This workload is the counterfactual: the *same* chat protocol and the
+*same* clients (still two blocking-I/O threads per user — they model
+the remote Java applets), but the server side is rewritten the way a C
+server would be: **one thread per room** that ``select()``s across its
+members' sockets and broadcasts inline.  Thread count per room drops
+from 80 to 41, and — more importantly — the server no longer wakes 20
+writer threads per message, so the run queue stays short.
+
+Comparing this against :mod:`~repro.workloads.volanomark` under the
+*stock* scheduler quantifies how much of the paper's problem is the
+threading model rather than the scheduler; comparing reg vs ELSC *here*
+shows the schedulers converging once the thread storm is gone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..kernel.cost_model import CostModel
+from ..kernel.machine import Machine
+from ..kernel.mm import MMStruct
+from ..kernel.params import cycles_to_seconds, seconds_to_cycles
+from ..kernel.simulator import MachineSpec, SimResult, Simulator
+from ..net.socket import SocketPair
+from .volanomark import VolanoConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.base import Scheduler
+
+__all__ = ["SelectChat", "SelectChatResult", "run_select_chat"]
+
+
+@dataclass
+class SelectChatResult:
+    """Outcome of one select-server chat run."""
+
+    config: VolanoConfig
+    spec: MachineSpec
+    scheduler_name: str
+    throughput: float
+    messages_delivered: int
+    elapsed_seconds: float
+    scheduler_fraction: float
+    #: Threads this architecture created (vs config.threads for the
+    #: thread-per-connection VolanoMark).
+    threads: int
+    sim: SimResult
+
+    def __repr__(self) -> str:
+        return (
+            f"<SelectChatResult {self.scheduler_name}/{self.spec.name} "
+            f"rooms={self.config.rooms} {self.throughput:.0f} msg/s>"
+        )
+
+
+class SelectChat:
+    """Builds the select-server topology: clients as in VolanoMark, one
+    server thread per room."""
+
+    def __init__(self, config: VolanoConfig) -> None:
+        self.config = config
+        self.delivered = 0
+        self.last_delivery_cycles = 0
+        self.threads = 0
+        self._client_mm: Optional[MMStruct] = None
+        self._server_mm: Optional[MMStruct] = None
+
+    def _thread_rng(self, name: str) -> random.Random:
+        return random.Random(f"{self.config.seed}/select/{name}")
+
+    @staticmethod
+    def _work(rng: random.Random, us: float, jitter: float) -> int:
+        factor = 1.0 if jitter <= 0 else rng.uniform(1 - jitter, 1 + jitter)
+        return max(1, seconds_to_cycles(us * factor / 1e6))
+
+    # -- client side: unchanged from VolanoMark (remote Java applets) --------
+
+    def _client_writer(
+        self, env: Any, sock: SocketPair, user: int, slot: int
+    ) -> Generator:
+        cfg = self.config
+        rng = self._thread_rng(f"cw{slot}")
+        if cfg.startup_stagger_us > 0:
+            yield env.sleep((slot + 1) * cfg.startup_stagger_us / 1e6)
+        for seq in range(cfg.messages_per_user):
+            yield env.run(
+                cycles=self._work(rng, cfg.client_send_work_us, cfg.jitter)
+            )
+            yield env.put(sock.client.tx, (user, seq))
+
+    def _client_reader(
+        self, env: Any, sock: SocketPair, expected: int, slot: int
+    ) -> Generator:
+        cfg = self.config
+        rng = self._thread_rng(f"cr{slot}")
+        for _ in range(expected):
+            msg = yield env.get(sock.client.rx)
+            assert msg is not None
+            yield env.run(
+                cycles=self._work(rng, cfg.client_recv_work_us, cfg.jitter)
+            )
+            self.delivered += 1
+            self.last_delivery_cycles = env.now
+
+    # -- server side: one select loop per room --------------------------------
+
+    def _room_server(
+        self, env: Any, socks: list[SocketPair], room_index: int
+    ) -> Generator:
+        cfg = self.config
+        rng = self._thread_rng(f"room{room_index}")
+        inbound = [s.server.rx for s in socks]
+        total = cfg.users_per_room * cfg.messages_per_user
+        for _ in range(total):
+            _, msg = yield env.select(inbound)
+            yield env.run(
+                cycles=self._work(rng, cfg.server_route_work_us, cfg.jitter)
+            )
+            # Broadcast inline — no per-connection writer threads, no
+            # roster monitor contention.
+            for sock in socks:
+                yield env.run(
+                    cycles=self._work(
+                        rng, cfg.server_send_work_us, cfg.jitter
+                    )
+                )
+                yield env.put(sock.server.tx, msg)
+
+    # -- topology ----------------------------------------------------------------
+
+    def populate(self, machine: Machine) -> dict[str, Any]:
+        cfg = self.config
+        self._client_mm = MMStruct("applet-clients")
+        self._server_mm = MMStruct("select-server")
+        expected = cfg.users_per_room * cfg.messages_per_user
+        for r in range(cfg.rooms):
+            socks = [
+                SocketPair(buffer_msgs=cfg.socket_buffer, name=f"sr{r}u{u}")
+                for u in range(cfg.users_per_room)
+            ]
+            for u, sock in enumerate(socks):
+                slot = r * cfg.users_per_room + u
+                machine.spawn(
+                    lambda env, s=sock, uu=u, sl=slot: self._client_writer(
+                        env, s, uu, sl
+                    ),
+                    name=f"sr{r}u{u}.cw",
+                    mm=self._client_mm,
+                )
+                machine.spawn(
+                    lambda env, s=sock, sl=slot: self._client_reader(
+                        env, s, expected, sl
+                    ),
+                    name=f"sr{r}u{u}.cr",
+                    mm=self._client_mm,
+                )
+                self.threads += 2
+            machine.spawn(
+                lambda env, ss=socks, rr=r: self._room_server(env, ss, rr),
+                name=f"room{r}.server",
+                mm=self._server_mm,
+            )
+            self.threads += 1
+        return {
+            "delivered": lambda: self.delivered,
+            "last_delivery_cycles": lambda: self.last_delivery_cycles,
+        }
+
+
+def run_select_chat(
+    scheduler_factory: Callable[[], "Scheduler"],
+    spec: MachineSpec,
+    config: Optional[VolanoConfig] = None,
+    cost: Optional[CostModel] = None,
+) -> SelectChatResult:
+    """One run of the select-server chat; same metric as VolanoMark."""
+    cfg = config if config is not None else VolanoConfig()
+    bench = SelectChat(cfg)
+    sim = Simulator(scheduler_factory, spec, cost=cost)
+    result = sim.run(bench.populate)
+    if result.summary.deadlocked:
+        raise RuntimeError(f"select chat deadlocked: {result.summary!r}")
+    delivered = result.payload["delivered"]
+    if delivered != cfg.deliveries_expected:
+        raise RuntimeError(
+            f"message loss: {delivered}/{cfg.deliveries_expected}"
+        )
+    elapsed = cycles_to_seconds(result.payload["last_delivery_cycles"])
+    if elapsed <= 0:
+        elapsed = result.seconds
+    return SelectChatResult(
+        config=cfg,
+        spec=spec,
+        scheduler_name=result.scheduler_name,
+        throughput=delivered / elapsed if elapsed > 0 else 0.0,
+        messages_delivered=delivered,
+        elapsed_seconds=elapsed,
+        scheduler_fraction=result.scheduler_fraction,
+        threads=bench.threads,
+        sim=result,
+    )

@@ -1,0 +1,201 @@
+"""An Apache-style web server — the paper's future-work question (§8).
+
+    "One such example is a web server running Apache.  Would we see the
+    same performance gains we saw while running VolanoMark … Would the
+    ELSC scheduler be more effective in increasing throughput or
+    decreasing the latency of an Apache web server?"
+
+The model is Apache 1.3's pre-forked process pool: ``workers`` identical
+processes (each its own address space — processes, not threads) block in
+``accept()`` on a shared listen queue; each accepted request costs some
+CPU (parsing + response generation), possibly a disk wait (a cache
+miss), and a write back to the client.  A closed-loop client population
+drives the listen queue with think times.
+
+The interesting contrast with VolanoMark: the run queue stays *short*
+(only woken workers are runnable, and accept wake-one keeps herds down),
+so the paper's implied answer — the scheduler is *not* the bottleneck
+here — is measurable: both schedulers should tie on throughput, and the
+bench records latency too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..kernel.cost_model import CostModel
+from ..kernel.machine import Machine
+from ..kernel.mm import MMStruct
+from ..kernel.params import cycles_to_seconds, seconds_to_cycles
+from ..kernel.simulator import MachineSpec, SimResult, Simulator
+from ..kernel.sync import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.base import Scheduler
+
+__all__ = ["WebServerConfig", "WebServerResult", "WebServer", "run_webserver"]
+
+
+@dataclass(frozen=True)
+class WebServerConfig:
+    """Parameters of one web-server run."""
+
+    workers: int = 16
+    clients: int = 64
+    requests_per_client: int = 20
+    seed: int = 11
+    #: CPU work to parse a request and build the response, microseconds.
+    service_work_us: float = 150.0
+    #: Probability a request misses the page cache and waits on disk.
+    cache_miss_rate: float = 0.1
+    disk_wait_seconds: float = 0.008
+    #: Client think time between requests (exponential mean), seconds.
+    think_seconds: float = 0.005
+    #: Listen queue depth (SYN backlog).
+    backlog: int = 128
+
+    @property
+    def total_requests(self) -> int:
+        return self.clients * self.requests_per_client
+
+
+@dataclass
+class WebServerResult:
+    config: WebServerConfig
+    spec: MachineSpec
+    scheduler_name: str
+    requests_done: int
+    elapsed_seconds: float
+    #: Requests served per virtual second.
+    throughput: float
+    #: Mean time from enqueue on the listen queue to response completion.
+    mean_latency_seconds: float
+    p99_latency_seconds: float
+    scheduler_fraction: float
+    sim: SimResult
+
+    def __repr__(self) -> str:
+        return (
+            f"<WebServerResult {self.scheduler_name}/{self.spec.name} "
+            f"{self.throughput:.0f} req/s p99={self.p99_latency_seconds * 1000:.1f}ms>"
+        )
+
+
+class WebServer:
+    """Builds the worker pool + closed-loop clients on a machine."""
+
+    def __init__(self, config: WebServerConfig) -> None:
+        self.config = config
+        self.requests_done = 0
+        self.latencies_cycles: list[int] = []
+        self.last_response_cycles = 0
+
+    def _thread_rng(self, name: str) -> random.Random:
+        """Per-thread RNG: draws stay identical whatever the schedule
+        order, so different schedulers face bit-identical workloads.
+
+        Service-time and cache-miss draws are made by *clients* per
+        request (not by whichever worker picks it up) for the same
+        reason."""
+        return random.Random(f"{self.config.seed}/{name}")
+
+    def _worker(self, env: Any, listen: Channel, mm_name: str) -> Generator:
+        cfg = self.config
+        while True:
+            request = yield env.get(listen)
+            if request is None or not isinstance(request, tuple):
+                return  # poisoned: shut down
+            enqueue_time, reply, service_cycles, misses = request
+            yield env.run(cycles=service_cycles)
+            if misses:
+                yield env.sleep(cfg.disk_wait_seconds)
+            yield env.put(reply, env.now)
+            self.requests_done += 1
+            self.latencies_cycles.append(env.now - enqueue_time)
+            self.last_response_cycles = env.now
+
+    def _client(self, env: Any, listen: Channel, index: int) -> Generator:
+        cfg = self.config
+        rng = self._thread_rng(f"client{index}")
+        reply = Channel(capacity=1, name=f"client{index}.reply")
+        # Stagger arrival like real connection establishment.
+        yield env.sleep(0.0001 * (index + 1))
+        for _ in range(cfg.requests_per_client):
+            service = max(
+                1,
+                seconds_to_cycles(
+                    cfg.service_work_us * rng.uniform(0.8, 1.2) / 1e6
+                ),
+            )
+            misses = rng.random() < cfg.cache_miss_rate
+            yield env.put(listen, (env.now, reply, service, misses))
+            yield env.get(reply)
+            think = rng.expovariate(1.0 / cfg.think_seconds)
+            yield env.sleep(max(1e-5, think))
+
+    def _reaper(self, env: Any, listen: Channel) -> Generator:
+        """Poisons the worker pool once all requests are served."""
+        cfg = self.config
+        while self.requests_done < cfg.total_requests:
+            yield env.sleep(0.005)
+        for _ in range(cfg.workers):
+            yield env.put(listen, None)
+
+    def populate(self, machine: Machine) -> dict[str, Any]:
+        cfg = self.config
+        listen = Channel(capacity=cfg.backlog, name="listen")
+        client_mm = MMStruct("client-driver")
+        for w in range(cfg.workers):
+            # Pre-forked processes: each worker is its own address space.
+            machine.spawn(
+                lambda env, n=f"httpd{w}": self._worker(env, listen, n),
+                name=f"httpd{w}",
+                mm=MMStruct(f"httpd{w}"),
+            )
+        for c in range(cfg.clients):
+            machine.spawn(
+                lambda env, i=c: self._client(env, listen, i),
+                name=f"client{c}",
+                mm=client_mm,
+            )
+        machine.spawn(
+            lambda env: self._reaper(env, listen), name="reaper", mm=client_mm
+        )
+        return {"requests": lambda: self.requests_done}
+
+
+def run_webserver(
+    scheduler_factory: Callable[[], "Scheduler"],
+    spec: MachineSpec,
+    config: Optional[WebServerConfig] = None,
+    cost: Optional[CostModel] = None,
+) -> WebServerResult:
+    """One web-server run: throughput and latency under a worker pool."""
+    cfg = config if config is not None else WebServerConfig()
+    bench = WebServer(cfg)
+    sim = Simulator(scheduler_factory, spec, cost=cost)
+    result = sim.run(bench.populate)
+    if result.summary.deadlocked:
+        raise RuntimeError(f"webserver deadlocked: {result.summary!r}")
+    if bench.requests_done != cfg.total_requests:
+        raise RuntimeError(
+            f"request loss: {bench.requests_done}/{cfg.total_requests}"
+        )
+    elapsed = cycles_to_seconds(bench.last_response_cycles) or result.seconds
+    lat = sorted(bench.latencies_cycles)
+    mean_latency = cycles_to_seconds(sum(lat) // len(lat)) if lat else 0.0
+    p99 = cycles_to_seconds(lat[min(len(lat) - 1, int(len(lat) * 0.99))]) if lat else 0.0
+    return WebServerResult(
+        config=cfg,
+        spec=spec,
+        scheduler_name=result.scheduler_name,
+        requests_done=bench.requests_done,
+        elapsed_seconds=elapsed,
+        throughput=bench.requests_done / elapsed if elapsed > 0 else 0.0,
+        mean_latency_seconds=mean_latency,
+        p99_latency_seconds=p99,
+        scheduler_fraction=result.scheduler_fraction,
+        sim=result,
+    )

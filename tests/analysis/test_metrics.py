@@ -1,0 +1,143 @@
+"""Tests for metrics, series, and shape checks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.metrics import (
+    Series,
+    degradation,
+    geometric_mean,
+    mean,
+    scaling_factor,
+    throughput,
+)
+
+
+class TestScalars:
+    def test_throughput(self):
+        assert throughput(1000, 2.0) == 500.0
+        assert throughput(1000, 0.0) == 0.0
+
+    def test_scaling_factor(self):
+        assert scaling_factor(80, 100) == pytest.approx(0.8)
+        assert scaling_factor(100, 0) == 0.0
+
+    def test_degradation_matches_paper_phrasing(self):
+        """IBM: '25-room throughput decreased by 24% from 5-room'."""
+        assert degradation(76, 100) == pytest.approx(0.24)
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=20))
+    def test_geometric_never_exceeds_arithmetic(self, values):
+        assert geometric_mean(values) <= mean(values) * (1 + 1e-9)
+
+
+class TestSeries:
+    def _series(self):
+        s = Series("elsc-up")
+        for x, y in ((5, 100), (10, 95), (20, 90)):
+            s.add(x, y)
+        return s
+
+    def test_accessors(self):
+        s = self._series()
+        assert s.xs() == [5, 10, 20]
+        assert s.ys() == [100, 95, 90]
+        assert s.at(10) == 95
+        assert len(s) == 3
+
+    def test_missing_x_raises(self):
+        with pytest.raises(KeyError):
+            self._series().at(15)
+
+    def test_scaling_from_series(self):
+        assert self._series().scaling(5, 20) == pytest.approx(0.9)
+
+    def test_dominates(self):
+        winner = self._series()
+        loser = Series("reg-up", )
+        for x, y in ((5, 99), (10, 70), (20, 50)):
+            loser.add(x, y)
+        assert winner.dominates(loser)
+        assert not loser.dominates(winner)
+
+    def test_dominates_requires_shared_x(self):
+        a = Series("a")
+        a.add(1, 1)
+        b = Series("b")
+        b.add(2, 1)
+        with pytest.raises(ValueError):
+            a.dominates(b)
+
+    def test_ratio_to(self):
+        winner = self._series()
+        loser = Series("reg")
+        loser.add(20, 45)
+        assert winner.ratio_to(loser, 20) == pytest.approx(2.0)
+        zero = Series("z")
+        zero.add(20, 0)
+        assert winner.ratio_to(zero, 20) == math.inf
+
+
+class TestShapeCheck:
+    def test_greater(self):
+        check = ShapeCheck()
+        assert check.greater("a", 10, 5)
+        assert not check.greater("b", 5, 10)
+        assert not check.all_passed
+        assert len(check.outcomes) == 2
+
+    def test_ratio_at_least(self):
+        check = ShapeCheck()
+        assert check.ratio_at_least("r", 30, 10, 2.5)
+        assert not check.ratio_at_least("r2", 20, 10, 2.5)
+        assert check.ratio_at_least("zero-denominator", 5, 0, 2.0)
+
+    def test_within(self):
+        check = ShapeCheck()
+        assert check.within("w", 0.5, 0.3, 0.7)
+        assert not check.within("w2", 0.9, 0.3, 0.7)
+
+    def test_declines_and_flat(self):
+        check = ShapeCheck()
+        declining = Series("d")
+        flat = Series("f")
+        for x, y in ((1, 100), (2, 60)):
+            declining.add(x, y)
+        for x, y in ((1, 100), (2, 97)):
+            flat.add(x, y)
+        assert check.declines("d", declining)
+        assert check.roughly_flat("f", flat)
+        assert not check.roughly_flat("d-not-flat", declining)
+
+    def test_dominates_with_tolerance(self):
+        check = ShapeCheck()
+        a = Series("a")
+        b = Series("b")
+        for x in (1, 2):
+            a.add(x, 95)
+            b.add(x, 100)
+        assert not check.dominates("strict", a, b)
+        assert check.dominates("tolerant", a, b, tolerance=0.10)
+
+    def test_report_format(self):
+        check = ShapeCheck()
+        check.greater("claim", 2, 1)
+        text = check.report("Title")
+        assert "Title" in text
+        assert "[PASS] claim" in text

@@ -1,0 +1,65 @@
+"""Tests for the full-report builder (at miniature scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ReportConfig, build_report, volano_grid
+
+TINY = ReportConfig(
+    messages_per_user=2,
+    rooms=(2, 4),
+    stats_rooms=4,
+    kernbench_files=12,
+    include_webserver=False,
+)
+
+
+class TestVolanoGrid:
+    def test_grid_covers_all_cells(self):
+        grid = volano_grid(TINY)
+        assert len(grid) == 2 * 4 * 2  # scheds × specs × rooms
+        for result in grid.values():
+            assert result.throughput > 0
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        cfg = ReportConfig(
+            messages_per_user=2,
+            rooms=(2,),
+            stats_rooms=2,
+            include_kernbench=False,
+            include_webserver=False,
+            progress=seen.append,
+        )
+        volano_grid(cfg)
+        assert len(seen) == 8
+        assert all("volano" in s for s in seen)
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(TINY)
+
+    def test_contains_every_section(self, report):
+        for marker in (
+            "Figure 3",
+            "Figure 4",
+            "Figure 2",
+            "Figure 5a",
+            "Figure 5b",
+            "Figure 6a",
+            "Figure 6b",
+            "IBM baseline",
+            "Table 2",
+        ):
+            assert marker in report, marker
+
+    def test_webserver_excluded_when_disabled(self, report):
+        assert "Future work" not in report
+
+    def test_figure3_has_room_rows(self, report):
+        fig3 = report.split("Figure 4")[0]
+        assert "elsc-up" in fig3 and "reg-4p" in fig3
+        assert "\n    2  " in fig3 or "\n2  " in fig3.replace(" ", " ")

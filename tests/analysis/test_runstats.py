@@ -1,0 +1,69 @@
+"""Tests for run-rules statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.runstats import RunStats, summarize, summarize_throughput
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([10.0, 12.0, 14.0])
+        assert stats.count == 3
+        assert stats.mean == 12.0
+        assert stats.minimum == 10.0
+        assert stats.maximum == 14.0
+        assert stats.max_deviation == 2.0
+
+    def test_single_run(self):
+        stats = summarize([5.0])
+        assert stats.stdev == 0.0
+        assert stats.max_deviation == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_relative_spread(self):
+        stats = summarize([90.0, 100.0, 110.0])
+        assert stats.relative_spread == pytest.approx(0.1)
+
+    def test_zero_mean_spread(self):
+        stats = summarize([0.0, 0.0])
+        assert stats.relative_spread == 0.0
+
+    def test_render(self):
+        text = summarize([100.0, 102.0]).render("msg/s")
+        assert "msg/s" in text and "n=2" in text
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_bounds_invariants(self, values):
+        stats = summarize(values)
+        # Summation rounding can put the mean a few ULPs outside the
+        # min/max of identical values; allow that float slack.
+        slack = 1e-9 * max(1.0, abs(stats.mean))
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+        assert stats.stdev >= 0
+        assert stats.max_deviation >= -slack
+
+
+class TestRunRulesIntegration:
+    def test_volano_run_rules_aggregate(self):
+        from repro import ELSCScheduler, MachineSpec
+        from repro.workloads.volanomark import (
+            VolanoConfig,
+            run_volanomark_rules,
+        )
+
+        cfg = VolanoConfig(rooms=2, users_per_room=5, messages_per_user=3)
+        results = run_volanomark_rules(
+            ELSCScheduler, MachineSpec.up(), cfg, runs=4
+        )
+        stats = summarize_throughput(results)
+        assert stats.count == 3  # first of four discarded
+        assert stats.mean > 0
+        # Seed-level jitter only: runs stay within a tight band.
+        assert stats.relative_spread < 0.2

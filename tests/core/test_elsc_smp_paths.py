@@ -1,0 +1,163 @@
+"""ELSC SMP-only code paths (paper footnote 4: "This can only happen on
+SMP systems") and other rarely-hit branches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, Machine, Task
+from repro.kernel.task import SchedPolicy, TaskState
+from tests.conftest import attach
+
+
+def rig(num_cpus=2, **kw):
+    sched = ELSCScheduler(**kw)
+    machine = Machine(sched, num_cpus=num_cpus, smp=True)
+    return sched, machine
+
+
+class TestDescendPath:
+    def test_descends_when_top_list_is_all_running_elsewhere(self):
+        """'If all tasks in the list are eliminated by this check, then
+        we consider the next populated list and try again.'"""
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        # Top list: two tasks nominally running on the other CPU.
+        for i in range(2):
+            busy = Task(name=f"busy{i}", priority=40)
+            busy.counter = 40
+            attach(machine, busy)
+            sched.add_to_runqueue(busy)
+            busy.has_cpu = True
+            busy.processor = 1
+        # Lower list: a free task.
+        free = Task(name="free", priority=8)
+        free.counter = 8
+        attach(machine, free)
+        sched.add_to_runqueue(free)
+        assert sched.table.index_of(free) < sched.table.top
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is free
+        # It examined the blocked-by-has_cpu tasks on the way down.
+        assert decision.examined >= 3
+
+    def test_idles_when_everything_runs_elsewhere(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        busy = Task(name="busy", priority=20)
+        attach(machine, busy)
+        sched.add_to_runqueue(busy)
+        busy.has_cpu = True
+        busy.processor = 1
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is None
+        assert decision.recalcs == 0  # has_cpu tasks don't trigger recalc
+
+    def test_rt_descend(self):
+        """RT list fully eliminated: descend to a lower RT list."""
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        high = Task(name="high", policy=SchedPolicy.SCHED_FIFO, rt_priority=90)
+        attach(machine, high)
+        sched.add_to_runqueue(high)
+        high.has_cpu = True
+        high.processor = 1
+        low = Task(name="low", policy=SchedPolicy.SCHED_FIFO, rt_priority=20)
+        attach(machine, low)
+        sched.add_to_runqueue(low)
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is low
+
+
+class TestSearchLimitSMP:
+    def test_limit_skips_do_not_prevent_descend(self):
+        """A top list packed with has_cpu tasks beyond the limit still
+        falls through to lower lists rather than idling."""
+        sched, machine = rig(search_limit=2)
+        cpu = machine.cpus[0]
+        for i in range(5):
+            busy = Task(name=f"busy{i}", priority=40)
+            busy.counter = 40
+            attach(machine, busy)
+            sched.add_to_runqueue(busy)
+            busy.has_cpu = True
+            busy.processor = 1
+        free = Task(name="free", priority=8)
+        free.counter = 8
+        attach(machine, free)
+        sched.add_to_runqueue(free)
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is free
+
+
+class TestRecalcWithMixedClasses:
+    def test_recalc_repositions_across_priorities(self):
+        """Exhausted tasks of different priorities sit in different
+        predicted lists; after the recalc the higher-priority one wins."""
+        sched, machine = rig(num_cpus=1)
+        cpu = machine.cpus[0]
+        weak = Task(name="weak", priority=10)
+        weak.counter = 0
+        strong = Task(name="strong", priority=40)
+        strong.counter = 0
+        for t in (weak, strong):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        assert sched.table.top is None
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.recalcs == 1
+        assert decision.next_task is strong
+        assert weak.counter == 10 and strong.counter == 40
+        sched.table.check_invariants()
+
+    def test_second_schedule_after_recalc_needs_no_recalc(self):
+        sched, machine = rig(num_cpus=1)
+        cpu = machine.cpus[0]
+        a = Task(name="a")
+        a.counter = 0
+        b = Task(name="b")
+        b.counter = 0
+        for t in (a, b):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        first = sched.schedule(cpu.idle_task, cpu)
+        assert first.recalcs == 1
+        # The chosen one is off-list; pick the other without recalc.
+        second = sched.schedule(cpu.idle_task, cpu)
+        assert second.recalcs == 0
+        assert second.next_task is not first.next_task
+
+
+class TestPrevInteractions:
+    def test_preempted_prev_competes_and_wins_by_affinity(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        prev = Task(name="prev", priority=20)
+        prev.counter = 20
+        attach(machine, prev)
+        prev.has_cpu = True
+        prev.processor = 0
+        prev.run_list.next = prev.run_list  # running marker
+        prev.run_list.prev = None
+        sched._running_onqueue += 1
+        rival = Task(name="rival", priority=20)
+        rival.counter = 20
+        attach(machine, rival)
+        sched.add_to_runqueue(rival)
+        # Same static class; prev carries the cpu-0 affinity bonus.
+        decision = sched.schedule(prev, cpu)
+        assert decision.next_task is prev
+
+    def test_blocked_prev_with_empty_table_idles(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        prev = Task(name="prev")
+        attach(machine, prev)
+        prev.has_cpu = True
+        prev.state = TaskState.INTERRUPTIBLE
+        prev.run_list.next = prev.run_list
+        prev.run_list.prev = None
+        sched._running_onqueue += 1
+        decision = sched.schedule(prev, cpu)
+        assert decision.next_task is None
+        assert sched.runqueue_len() == 0

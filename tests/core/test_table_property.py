@@ -1,0 +1,121 @@
+"""Property-based fuzzing of the ELSC table invariants.
+
+Random interleavings of insert / remove / move / recalculate must keep
+the structural invariants (``check_invariants``): index consistency,
+zero-counter tasks strictly behind eligible ones in every list, and the
+``top``/``next_top`` cursors exactly tracking the highest eligible /
+zero-holding lists.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.table import ELSCRunqueueTable
+from repro.kernel.task import SchedPolicy, Task
+
+
+class _Pool:
+    """A pool of tasks whose membership we mirror in a plain set."""
+
+    def __init__(self, specs):
+        self.tasks = []
+        for i, (kind, priority, counter, rt) in enumerate(specs):
+            if kind == "rt":
+                task = Task(
+                    name=f"rt{i}",
+                    policy=SchedPolicy.SCHED_RR,
+                    rt_priority=rt,
+                    priority=priority,
+                )
+            else:
+                task = Task(name=f"t{i}", priority=priority)
+            task.counter = counter
+            self.tasks.append(task)
+        self.resident: set[int] = set()
+
+
+task_spec = st.tuples(
+    st.sampled_from(["other", "rt"]),
+    st.integers(1, 40),    # priority
+    st.integers(0, 80),    # counter
+    st.integers(0, 99),    # rt_priority
+)
+
+op = st.tuples(
+    st.sampled_from(["insert", "insert_tail", "remove", "move_first", "move_last", "recalc"]),
+    st.integers(0, 11),
+)
+
+
+@given(st.lists(task_spec, min_size=1, max_size=12), st.lists(op, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_random_ops_preserve_invariants(specs, ops):
+    pool = _Pool(specs)
+    table = ELSCRunqueueTable()
+    for action, raw_idx in ops:
+        idx = raw_idx % len(pool.tasks)
+        task = pool.tasks[idx]
+        if action in ("insert", "insert_tail") and idx not in pool.resident:
+            table.insert(task, at_tail=(action == "insert_tail"))
+            pool.resident.add(idx)
+        elif action == "remove" and idx in pool.resident:
+            table.remove(task)
+            task.run_list.next = None
+            task.run_list.prev = None
+            pool.resident.discard(idx)
+        elif action == "move_first" and idx in pool.resident:
+            table.move_first(task)
+        elif action == "move_last" and idx in pool.resident:
+            table.move_last(task)
+        elif action == "recalc" and table.top is None:
+            # Only legal at the moment the scheduler would do it.
+            for t in pool.tasks:
+                t.counter = (t.counter >> 1) + t.priority
+            table.after_recalculate()
+        table.check_invariants()
+    assert table.resident == len(pool.resident)
+
+
+@given(st.lists(task_spec, min_size=1, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_search_order_sorted_by_static_class(specs):
+    """Walking lists from top downward yields non-increasing list
+    indices, and every eligible task is reachable at or below top."""
+    pool = _Pool(specs)
+    table = ELSCRunqueueTable()
+    for i, task in enumerate(pool.tasks):
+        table.insert(task)
+    table.check_invariants()
+    if table.top is not None:
+        seen = []
+        idx = table.top
+        while idx is not None:
+            seen.append(idx)
+            idx = table.next_eligible_below(idx)
+        assert seen == sorted(seen, reverse=True)
+        eligible = [t for t in pool.tasks if table.is_eligible(t)]
+        reachable = set()
+        for i in seen:
+            reachable.update(
+                t.pid for t in table.tasks_in(i) if table.is_eligible(t)
+            )
+        assert reachable == {t.pid for t in eligible}
+
+
+@given(
+    st.integers(1, 40),
+    st.integers(0, 80),
+    st.integers(0, 6),
+)
+@settings(max_examples=300, deadline=None)
+def test_prediction_invariant(priority, counter, recalcs):
+    """predicted_index always equals the index after one recalculation,
+    for any starting counter (not just zero)."""
+    table = ELSCRunqueueTable()
+    task = Task(priority=priority)
+    task.counter = counter
+    predicted = table.predicted_index(task)
+    task.counter = (task.counter >> 1) + task.priority
+    assert table.index_for(task) == predicted

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import SCHEDULERS, SPECS, build_parser, main
+
+
+class TestParser:
+    def test_all_schedulers_available(self):
+        assert set(SCHEDULERS) == {"reg", "elsc", "heap", "mq", "o1", "cfs"}
+
+    def test_all_specs_available(self):
+        assert list(SPECS) == ["UP", "1P", "2P", "4P"]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["volano", "--scheduler", "bfs"])
+
+
+class TestCommands:
+    def test_volano_command(self, capsys):
+        rc = main(
+            [
+                "volano",
+                "--scheduler", "elsc",
+                "--spec", "UP",
+                "--rooms", "2",
+                "--messages", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput (msg/s)" in out
+        assert "recalculate entries" in out
+
+    def test_kernbench_command(self, capsys):
+        rc = main(
+            ["kernbench", "--scheduler", "reg", "--spec", "UP", "--files", "12"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "time" in out
+
+    def test_webserver_command(self, capsys):
+        rc = main(
+            [
+                "webserver",
+                "--scheduler", "o1",
+                "--spec", "2P",
+                "--workers", "4",
+                "--clients", "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "p99 latency" in out
+
+    def test_schedstat_command(self, capsys):
+        rc = main(
+            [
+                "schedstat",
+                "--scheduler", "reg",
+                "--spec", "UP",
+                "--rooms", "2",
+                "--messages", "2",
+                "--runqueue",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "schedule_calls" in out
+        assert "runqueue" in out
+
+    def test_figure4_command(self, capsys):
+        rc = main(["figure4", "--rooms-list", "2,4", "--messages", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scaling" in out
+        assert "elsc-up" in out

@@ -1,0 +1,70 @@
+"""Every scheduler must run every workload to completion, conserving work."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, MachineSpec
+from repro.workloads.kernbench import KernbenchConfig, run_kernbench
+from repro.workloads.synthetic import fanout_broadcast, pingpong_pairs, rt_mix
+from repro.workloads.volanomark import VolanoConfig, run_volanomark
+from repro.workloads.webserver import WebServerConfig, run_webserver
+
+VOLANO = VolanoConfig(rooms=2, users_per_room=6, messages_per_user=3)
+KERN = KernbenchConfig(files=16, mean_compile_seconds=0.03, link_seconds=0.1)
+WEB = WebServerConfig(workers=4, clients=8, requests_per_client=4)
+
+
+class TestVolanoMarkEverywhere:
+    @pytest.mark.parametrize("spec", [MachineSpec.up(), MachineSpec.smp_n(2)],
+                             ids=["UP", "2P"])
+    def test_completes_and_conserves(self, any_scheduler_factory, spec):
+        result = run_volanomark(any_scheduler_factory, spec, VOLANO)
+        assert result.messages_delivered == VOLANO.deliveries_expected
+        assert result.throughput > 0
+
+
+class TestKernbenchEverywhere:
+    def test_build_completes(self, any_scheduler_factory):
+        result = run_kernbench(any_scheduler_factory, MachineSpec.smp_n(2), KERN)
+        assert result.sim.payload["completed"] == KERN.files
+
+
+class TestWebServerEverywhere:
+    def test_requests_served(self, any_scheduler_factory):
+        result = run_webserver(any_scheduler_factory, MachineSpec.smp_n(2), WEB)
+        assert result.requests_done == WEB.total_requests
+
+
+class TestSyntheticEverywhere:
+    def test_mixed_load(self, any_scheduler_factory):
+        machine = Machine(any_scheduler_factory(), num_cpus=2, smp=True)
+        ping = pingpong_pairs(machine, pairs=3, rounds=8)
+        fan = fanout_broadcast(machine, consumers=10, rounds=5)
+        rt = rt_mix(machine, rt_tasks=1, other_tasks=2, rounds=5)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert ping.messages == 24
+        assert fan.messages == 50
+        assert len(rt.per_task_cycles) == 3
+
+
+class TestInvariantsAfterRealWorkload:
+    def test_elsc_table_empty_after_drain(self):
+        from repro import ELSCScheduler
+
+        sched = ELSCScheduler()
+        machine = Machine(sched, num_cpus=2, smp=True)
+        pingpong_pairs(machine, pairs=4, rounds=10)
+        summary = machine.run()
+        assert not summary.deadlocked
+        sched.table.check_invariants()
+        assert sched.runqueue_len() == 0
+        assert sched.table.top is None and sched.table.next_top is None
+
+    def test_enqueue_dequeue_balance(self, any_scheduler_factory):
+        machine = Machine(any_scheduler_factory(), num_cpus=1, smp=True)
+        pingpong_pairs(machine, pairs=3, rounds=10)
+        machine.run()
+        stats = machine.scheduler.stats
+        assert stats.enqueues == stats.dequeues

@@ -1,0 +1,75 @@
+"""Live structural invariants: checked *during* real workloads.
+
+The ELSC table's ``check_invariants`` normally runs in unit tests with
+hand-built states; here a periodic callback event audits the live table
+mid-VolanoMark — top/next_top exactness, zero-tail ordering, and index
+consistency must hold at every sampled instant, not just at the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, Machine
+from repro.kernel.events import EventKind
+from repro.kernel.params import seconds_to_cycles
+from repro.workloads.volanomark import VolanoConfig, VolanoMark
+from repro.workloads.synthetic import fanout_broadcast, rt_mix
+
+
+def audited_run(machine, sched, period_s=0.001):
+    """Run `machine`, auditing `sched.table` every `period_s`."""
+    audits = {"count": 0}
+    period = seconds_to_cycles(period_s)
+
+    def audit(m, event):
+        sched.table.check_invariants()
+        audits["count"] += 1
+        if not m.events.empty():
+            m.events.schedule(m.clock.now + period, EventKind.CALLBACK, audit)
+
+    machine.events.schedule(period, EventKind.CALLBACK, audit)
+    summary = machine.run()
+    return summary, audits["count"]
+
+
+class TestELSCLiveInvariants:
+    def test_invariants_hold_through_volanomark(self):
+        sched = ELSCScheduler()
+        machine = Machine(sched, num_cpus=2, smp=True)
+        cfg = VolanoConfig(rooms=3, messages_per_user=4)
+        bench = VolanoMark(cfg)
+        bench.populate(machine)
+        summary, audits = audited_run(machine, sched)
+        assert not summary.deadlocked
+        assert audits > 20, "the audit never ran enough to mean anything"
+        assert bench.delivered == cfg.deliveries_expected
+
+    def test_invariants_hold_through_fanout(self):
+        sched = ELSCScheduler()
+        machine = Machine(sched, num_cpus=1, smp=False)
+        fanout_broadcast(machine, consumers=40, rounds=20)
+        summary, audits = audited_run(machine, sched, period_s=0.0005)
+        assert not summary.deadlocked
+        assert audits > 10
+
+    def test_invariants_hold_with_rt_mix(self):
+        sched = ELSCScheduler()
+        machine = Machine(sched, num_cpus=2, smp=True)
+        rt_mix(machine, rt_tasks=2, other_tasks=4, rounds=10)
+        summary, audits = audited_run(machine, sched, period_s=0.0005)
+        assert not summary.deadlocked
+        assert audits > 5
+
+    def test_quantum_saturation_recalcs_keep_invariants(self):
+        """CPU hogs drain every counter: the recalc path (top/next_top
+        promotion) gets exercised repeatedly under audit."""
+        from repro.workloads.synthetic import cpu_hogs
+
+        sched = ELSCScheduler()
+        machine = Machine(sched, num_cpus=1, smp=False)
+        cpu_hogs(machine, count=4, seconds_each=0.6)
+        summary, audits = audited_run(machine, sched, period_s=0.01)
+        assert not summary.deadlocked
+        assert sched.stats.recalc_entries >= 1
+        assert audits > 50

@@ -1,0 +1,153 @@
+"""Property-based whole-machine tests.
+
+Hypothesis generates random (but deadlock-free by construction) task
+populations; whatever the scheduler and CPU count, the simulation must
+terminate with conservation invariants intact:
+
+* every task exits, no deadlock;
+* on UP, total consumed CPU cycles equal exactly the cycles the bodies
+  requested (on SMP, migrations may add cache-refill cycles on top);
+* run-queue enqueues balance dequeues;
+* the virtual clock covers at least the serial work on one CPU;
+* producer/consumer channel pairs conserve messages.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CFSScheduler,
+    Channel,
+    ELSCScheduler,
+    Machine,
+    MMStruct,
+    O1Scheduler,
+    VanillaScheduler,
+)
+from repro.kernel.params import seconds_to_cycles
+
+#: (kind, magnitude) steps; magnitudes are scaled inside the body maker.
+step = st.tuples(
+    st.sampled_from(["run", "sleep", "yield"]),
+    st.integers(1, 50),
+)
+
+population = st.lists(
+    st.lists(step, min_size=1, max_size=8),
+    min_size=1,
+    max_size=6,
+)
+
+SCHEDULERS = [VanillaScheduler, ELSCScheduler, O1Scheduler, CFSScheduler]
+
+
+def _build(machine, scripts):
+    """Spawn one task per script; returns total requested run cycles."""
+    mm = MMStruct("prop")
+    total_run = 0
+    for index, script in enumerate(scripts):
+        cycles_list = []
+        for kind, magnitude in script:
+            if kind == "run":
+                cycles_list.append(("run", magnitude * 10_000))
+                total_run += magnitude * 10_000
+            elif kind == "sleep":
+                cycles_list.append(("sleep", magnitude * 1e-5))
+            else:
+                cycles_list.append(("yield", 0))
+
+        def body(env, steps=tuple(cycles_list)):
+            for kind, value in steps:
+                if kind == "run":
+                    yield env.run(cycles=value)
+                elif kind == "sleep":
+                    yield env.sleep(value)
+                else:
+                    yield env.sched_yield()
+
+        machine.spawn(body, name=f"p{index}", mm=mm)
+    return total_run
+
+
+class TestRandomPopulations:
+    @given(population, st.sampled_from(SCHEDULERS))
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_up_conservation(self, scripts, factory):
+        machine = Machine(factory(), num_cpus=1, smp=False)
+        total_run = _build(machine, scripts)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert summary.tasks_exited == len(scripts)
+        consumed = sum(t.cpu_cycles for t in machine.all_tasks())
+        assert consumed == total_run  # no migrations on UP: exact
+        stats = machine.scheduler.stats
+        assert stats.enqueues == stats.dequeues
+        assert machine.clock.now >= total_run
+
+    @given(population, st.sampled_from(SCHEDULERS), st.integers(2, 4))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_smp_conservation(self, scripts, factory, cpus):
+        machine = Machine(factory(), num_cpus=cpus, smp=True)
+        total_run = _build(machine, scripts)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert summary.tasks_exited == len(scripts)
+        consumed = sum(t.cpu_cycles for t in machine.all_tasks())
+        # Migrations inflate runs by cache refills, never deflate.
+        refills = machine.cost.cache_refill * machine.scheduler.stats.migrations
+        assert total_run <= consumed <= total_run + refills
+        assert machine.scheduler.stats.enqueues == machine.scheduler.stats.dequeues
+
+
+class TestRandomProducersConsumers:
+    @given(
+        st.integers(1, 4),         # pairs
+        st.integers(1, 12),        # messages per pair
+        st.integers(1, 3),         # channel capacity
+        st.sampled_from(SCHEDULERS),
+    )
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_channel_conservation(self, pairs, messages, capacity, factory):
+        machine = Machine(factory(), num_cpus=2, smp=True)
+        mm = MMStruct("pc")
+        received: list[int] = []
+
+        for p in range(pairs):
+            chan = Channel(capacity, name=f"c{p}")
+
+            def producer(env, c=chan):
+                for i in range(messages):
+                    yield env.run(cycles=5_000)
+                    yield env.put(c, i)
+
+            def consumer(env, c=chan):
+                for _ in range(messages):
+                    value = yield env.get(c)
+                    received.append(value)
+                    yield env.run(cycles=5_000)
+
+            machine.spawn(producer, name=f"prod{p}", mm=mm)
+            machine.spawn(consumer, name=f"cons{p}", mm=mm)
+
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert len(received) == pairs * messages
+        # FIFO per channel: each pair's values arrive in order.
+        assert sorted(received) == sorted(
+            list(range(messages)) * pairs
+        )

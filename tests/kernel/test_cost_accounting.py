@@ -1,0 +1,122 @@
+"""Cycle-accounting identities: where did the time go, exactly?
+
+The reproduction's conclusions rest on the cost accounting, so the books
+must balance: per-CPU busy cycles equal the tasks' consumed cycles,
+decision costs accumulate into the scheduler statistics, and the
+scheduler fraction behaves like a fraction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostModel, ELSCScheduler, Machine, Task, VanillaScheduler
+from repro.workloads.synthetic import cpu_hogs, pingpong_pairs
+from tests.conftest import attach
+
+
+class TestBusyCycleBooks:
+    def test_cpu_busy_equals_task_consumption(self, paper_scheduler_factory):
+        machine = Machine(paper_scheduler_factory(), num_cpus=1, smp=False)
+        cpu_hogs(machine, count=3, seconds_each=0.05)
+        machine.run()
+        total_task = sum(t.cpu_cycles for t in machine.all_tasks())
+        total_cpu = sum(c.busy_cycles for c in machine.cpus)
+        assert total_task == total_cpu
+
+    def test_smp_books_balance_too(self, paper_scheduler_factory):
+        machine = Machine(paper_scheduler_factory(), num_cpus=2, smp=True)
+        pingpong_pairs(machine, pairs=4, rounds=10)
+        machine.run()
+        total_task = sum(t.cpu_cycles for t in machine.all_tasks())
+        total_cpu = sum(c.busy_cycles for c in machine.cpus)
+        assert total_task == total_cpu
+
+    def test_clock_bounds_all_work(self, paper_scheduler_factory):
+        """One CPU cannot have been busy longer than the clock ran."""
+        machine = Machine(paper_scheduler_factory(), num_cpus=1, smp=False)
+        cpu_hogs(machine, count=2, seconds_each=0.03)
+        machine.run()
+        assert machine.cpus[0].busy_cycles <= machine.clock.now
+
+    def test_idle_plus_busy_bounded_by_elapsed(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+
+        def lazy(env):
+            yield env.run(us=100)
+            yield env.sleep(0.01)
+            yield env.run(us=100)
+
+        machine.spawn(lazy)
+        machine.run()
+        cpu = machine.cpus[0]
+        assert cpu.idle_cycles + cpu.busy_cycles <= machine.clock.now
+
+
+class TestSchedulerCycleBooks:
+    def test_decision_costs_accumulate_exactly(self):
+        sched = VanillaScheduler()
+        machine = Machine(sched, num_cpus=1, smp=False)
+        cpu = machine.cpus[0]
+        for i in range(5):
+            t = Task(name=f"t{i}")
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        total = 0
+        for _ in range(3):
+            decision = sched.schedule(cpu.idle_task, cpu)
+            total += decision.cost
+            decision.next_task.has_cpu = False
+        assert sched.stats.scheduler_cycles == total
+
+    def test_scheduler_fraction_in_unit_interval(self, any_scheduler_factory):
+        machine = Machine(any_scheduler_factory(), num_cpus=2, smp=True)
+        pingpong_pairs(machine, pairs=3, rounds=8)
+        machine.run()
+        assert 0.0 <= machine.scheduler_fraction() <= 1.0
+        assert 0.0 <= machine.busy_fraction() <= 1.0
+
+    def test_more_expensive_model_shows_in_fraction(self):
+        def run_with(cost):
+            machine = Machine(VanillaScheduler(), num_cpus=1, smp=False, cost=cost)
+            pingpong_pairs(machine, pairs=4, rounds=15)
+            machine.run()
+            return machine.scheduler_fraction()
+
+        cheap = run_with(CostModel())
+        pricey = run_with(CostModel().scaled(4.0))
+        assert pricey > cheap
+
+    def test_lock_spin_only_on_contended_smp(self):
+        up = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        pingpong_pairs(up, pairs=3, rounds=8)
+        up.run()
+        assert up.scheduler.stats.lock_spin_cycles == 0
+
+        smp = Machine(VanillaScheduler(), num_cpus=4, smp=True)
+        pingpong_pairs(smp, pairs=8, rounds=20)
+        smp.run()
+        # With four CPUs trading tiny messages, some contention is
+        # essentially guaranteed.
+        assert smp.scheduler.stats.lock_spin_cycles > 0
+
+
+class TestCacheRefillBooks:
+    def test_refills_show_up_as_extra_cycles(self):
+        """Total consumed == requested + refills × penalty, exactly."""
+        cost = CostModel(cache_refill=123_457)
+        machine = Machine(ELSCScheduler(), num_cpus=2, smp=True, cost=cost)
+        requested = 0
+
+        def worker(env):
+            for _ in range(10):
+                yield env.run(cycles=50_000)
+                yield env.sleep(0.001)
+
+        for i in range(4):
+            machine.spawn(worker, name=f"w{i}")
+            requested += 10 * 50_000
+        machine.run()
+        consumed = sum(t.cpu_cycles for t in machine.all_tasks())
+        migrations = machine.scheduler.stats.migrations
+        assert consumed == requested + migrations * cost.cache_refill

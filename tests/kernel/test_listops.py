@@ -1,0 +1,218 @@
+"""Unit and property tests for the intrusive list (kernel list_head)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.listops import ListHead, list_entry_count
+
+
+class Owner:
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+        self.node = ListHead(owner=self)
+
+    def __repr__(self) -> str:
+        return f"Owner({self.tag})"
+
+
+def owners_of(head: ListHead) -> list[int]:
+    return [node.owner.tag for node in head]
+
+
+class TestBasics:
+    def test_new_head_is_empty(self):
+        head = ListHead()
+        assert head.empty()
+        assert len(head) == 0
+        assert head.first() is None
+        assert head.last() is None
+
+    def test_add_is_lifo(self):
+        head = ListHead()
+        for i in range(3):
+            Owner(i).node.add(head)
+        assert owners_of(head) == [2, 1, 0]
+
+    def test_add_tail_is_fifo(self):
+        head = ListHead()
+        for i in range(3):
+            Owner(i).node.add_tail(head)
+        assert owners_of(head) == [0, 1, 2]
+
+    def test_mixed_add(self):
+        head = ListHead()
+        Owner(0).node.add_tail(head)
+        Owner(1).node.add(head)
+        Owner(2).node.add_tail(head)
+        assert owners_of(head) == [1, 0, 2]
+
+    def test_first_and_last(self):
+        head = ListHead()
+        a, b = Owner(1), Owner(2)
+        a.node.add_tail(head)
+        b.node.add_tail(head)
+        assert head.first() is a.node
+        assert head.last() is b.node
+
+    def test_del_middle(self):
+        head = ListHead()
+        owners = [Owner(i) for i in range(3)]
+        for o in owners:
+            o.node.add_tail(head)
+        owners[1].node.del_()
+        assert owners_of(head) == [0, 2]
+
+    def test_del_only_element_leaves_empty(self):
+        head = ListHead()
+        o = Owner(1)
+        o.node.add(head)
+        o.node.del_()
+        assert head.empty()
+
+    def test_del_init_reinitialises(self):
+        head = ListHead()
+        o = Owner(1)
+        o.node.add(head)
+        o.node.del_init()
+        assert not o.node.is_linked()
+        assert o.node.next is o.node
+
+    def test_move_to_front(self):
+        head = ListHead()
+        owners = [Owner(i) for i in range(3)]
+        for o in owners:
+            o.node.add_tail(head)
+        owners[2].node.move(head)
+        assert owners_of(head) == [2, 0, 1]
+
+    def test_move_tail(self):
+        head = ListHead()
+        owners = [Owner(i) for i in range(3)]
+        for o in owners:
+            o.node.add_tail(head)
+        owners[0].node.move_tail(head)
+        assert owners_of(head) == [1, 2, 0]
+
+    def test_add_before(self):
+        head = ListHead()
+        a, b, c = Owner(0), Owner(1), Owner(2)
+        a.node.add_tail(head)
+        c.node.add_tail(head)
+        b.node.add_before(c.node)
+        assert owners_of(head) == [0, 1, 2]
+
+    def test_iteration_survives_removal_of_current(self):
+        head = ListHead()
+        owners = [Owner(i) for i in range(5)]
+        for o in owners:
+            o.node.add_tail(head)
+        seen = []
+        for node in head:
+            seen.append(node.owner.tag)
+            if node.owner.tag % 2 == 0:
+                node.del_()
+        assert seen == [0, 1, 2, 3, 4]
+        assert owners_of(head) == [1, 3]
+
+    def test_owners_iterator(self):
+        head = ListHead()
+        for i in range(3):
+            Owner(i).node.add_tail(head)
+        assert [o.tag for o in head.owners()] == [0, 1, 2]
+
+    def test_entry_count(self):
+        head = ListHead()
+        for i in range(7):
+            Owner(i).node.add_tail(head)
+        assert list_entry_count(head) == 7
+
+    def test_del_unlinked_asserts(self):
+        node = ListHead()
+        node.next = None
+        node.prev = None
+        with pytest.raises(AssertionError):
+            node.del_()
+
+    def test_is_linked_states(self):
+        head = ListHead()
+        o = Owner(1)
+        o.node.next = None
+        o.node.prev = None
+        assert not o.node.is_linked()
+        o.node.init()
+        assert not o.node.is_linked()  # self-pointing = empty, not linked
+        o.node.add(head)
+        assert o.node.is_linked()
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of list operations over a fixed owner pool."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "add_tail", "remove", "move", "move_tail"]),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=40,
+        )
+    )
+    return n, ops
+
+
+class TestPropertyBased:
+    @given(operations())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_python_list_model(self, case):
+        """The intrusive list behaves exactly like a plain list model."""
+        n, ops = case
+        head = ListHead()
+        owners = [Owner(i) for i in range(n)]
+        for o in owners:
+            o.node.next = None
+            o.node.prev = None
+        model: list[int] = []
+        for op, idx in ops:
+            o = owners[idx]
+            linked = idx in model
+            if op == "add" and not linked:
+                o.node.init()
+                o.node.add(head)
+                model.insert(0, idx)
+            elif op == "add_tail" and not linked:
+                o.node.init()
+                o.node.add_tail(head)
+                model.append(idx)
+            elif op == "remove" and linked:
+                o.node.del_()
+                o.node.next = None
+                o.node.prev = None
+                model.remove(idx)
+            elif op == "move" and linked:
+                o.node.move(head)
+                model.remove(idx)
+                model.insert(0, idx)
+            elif op == "move_tail" and linked:
+                o.node.move_tail(head)
+                model.remove(idx)
+                model.append(idx)
+            assert owners_of(head) == model
+
+    @given(st.lists(st.integers(0, 100), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_forward_backward_consistency(self, tags):
+        """prev-links always mirror next-links."""
+        head = ListHead()
+        for t in tags:
+            Owner(t).node.add_tail(head)
+        forward = [node.owner.tag for node in head]
+        backward = []
+        node = head.prev
+        while node is not head:
+            backward.append(node.owner.tag)
+            node = node.prev
+        assert forward == list(reversed(backward))

@@ -1,0 +1,139 @@
+"""Unit tests for the small kernel pieces: mm, clock, cost model, actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.actions import (
+    ChannelGet,
+    ChannelPut,
+    Exit,
+    Run,
+    SleepFor,
+    WaitOn,
+    WakeUp,
+    YieldCPU,
+)
+from repro.kernel.clock import Clock
+from repro.kernel.cost_model import CostModel
+from repro.kernel.mm import MMStruct
+from repro.kernel.params import CPU_HZ
+from repro.kernel.sync import Channel
+from repro.kernel.waitqueue import WaitQueue
+
+
+class TestMMStruct:
+    def test_names_unique_by_default(self):
+        assert MMStruct().name != MMStruct().name
+
+    def test_grab_drop_refcount(self):
+        mm = MMStruct("jvm")
+        mm.grab()
+        mm.grab()
+        assert mm.mm_users == 2
+        mm.drop()
+        assert mm.mm_users == 1
+
+    def test_drop_underflow_raises(self):
+        with pytest.raises(ValueError):
+            MMStruct().drop()
+
+    def test_identity_not_equality(self):
+        """The scheduler bonus tests mm identity — two same-named maps
+        are different address spaces."""
+        a, b = MMStruct("x"), MMStruct("x")
+        assert a is not b
+        assert a.mm_id != b.mm_id
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advance(self):
+        c = Clock()
+        c.advance_to(100)
+        assert c.now == 100
+
+    def test_no_time_travel(self):
+        c = Clock()
+        c.advance_to(100)
+        with pytest.raises(ValueError):
+            c.advance_to(99)
+
+    def test_seconds_property(self):
+        c = Clock()
+        c.advance_to(CPU_HZ)
+        assert c.seconds == 1.0
+
+    def test_cycles_from_seconds(self):
+        c = Clock()
+        assert c.cycles_from_seconds(0.5) == CPU_HZ // 2
+
+
+class TestCostModel:
+    def test_vanilla_cost_linear_in_examined(self):
+        cost = CostModel()
+        base = cost.vanilla_schedule_cost(0)
+        assert cost.vanilla_schedule_cost(10) == base + 10 * cost.goodness_eval
+        # The O(n) problem in one line: 100 tasks cost 10x more than 10.
+        delta_10 = cost.vanilla_schedule_cost(10) - base
+        delta_100 = cost.vanilla_schedule_cost(100) - base
+        assert delta_100 == 10 * delta_10
+
+    def test_elsc_cost_includes_indexing(self):
+        cost = CostModel()
+        with_insert = cost.elsc_schedule_cost(examined=1, indexed=1)
+        without = cost.elsc_schedule_cost(examined=1, indexed=0)
+        assert with_insert - without == cost.elsc_index + cost.list_op
+
+    def test_recalc_cost_linear_in_system_size(self):
+        cost = CostModel()
+        assert cost.recalc_cost(2000) == 2000 * cost.recalc_per_task
+
+    def test_switch_cost_mm_penalty(self):
+        cost = CostModel()
+        assert (
+            cost.switch_cost(same_mm=False) - cost.switch_cost(same_mm=True)
+            == cost.mm_switch_extra
+        )
+
+    def test_scaled_copy(self):
+        cost = CostModel()
+        double = cost.scaled(2.0)
+        assert double.goodness_eval == 2 * cost.goodness_eval
+        assert double.recalc_per_task == 2 * cost.recalc_per_task
+        # Non-scheduler charges are untouched.
+        assert double.context_switch == cost.context_switch
+        # Frozen dataclass: the original is unchanged.
+        assert cost.goodness_eval == CostModel().goodness_eval
+
+
+class TestActions:
+    def test_run_requires_positive_cycles(self):
+        with pytest.raises(ValueError):
+            Run(0)
+        with pytest.raises(ValueError):
+            Run(-5)
+
+    def test_run_tracks_remaining(self):
+        r = Run(100)
+        assert r.remaining == 100
+        r.remaining -= 40
+        assert r.cycles == 100  # original request preserved
+
+    def test_sleep_requires_positive(self):
+        with pytest.raises(ValueError):
+            SleepFor(0)
+
+    def test_reprs_are_informative(self):
+        c = Channel(name="ch")
+        wq = WaitQueue("wq")
+        assert "ch" in repr(ChannelPut(c, 1))
+        assert "ch" in repr(ChannelGet(c))
+        assert "wq" in repr(WaitOn(wq))
+        assert "wq" in repr(WakeUp(wq))
+        assert "Yield" in repr(YieldCPU())
+        assert "Exit" in repr(Exit())
+        assert "Run" in repr(Run(5))
+        assert "SleepFor" in repr(SleepFor(5))

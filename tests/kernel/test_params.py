@@ -1,0 +1,64 @@
+"""Tests for kernel constants and unit conversions."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel import params
+
+
+class TestConstants:
+    def test_tick_is_ten_milliseconds(self):
+        # "Counter, measured in 10ms ticks" — HZ=100.
+        assert params.HZ == 100
+        assert params.TICK_SECONDS == 0.01
+        assert params.CYCLES_PER_TICK * params.HZ == params.CPU_HZ
+
+    def test_goodness_bonuses_match_paper(self):
+        # "A small, one point advantage … a somewhat larger (15 point) bonus"
+        assert params.MM_BONUS == 1
+        assert params.PROC_CHANGE_PENALTY == 15
+
+    def test_rt_goodness_base(self):
+        # "goodness() returns 1000 plus the value stored in rt_priority"
+        assert params.RT_GOODNESS_BASE == 1000
+
+    def test_elsc_table_shape(self):
+        # "an array of 30 doubly linked lists", "ten highest lists" for RT
+        assert params.ELSC_TABLE_SIZE == 30
+        assert params.ELSC_RT_LISTS == 10
+        assert params.ELSC_OTHER_LISTS == 20
+
+    def test_priority_range(self):
+        assert params.MIN_PRIORITY == 1
+        assert params.MAX_PRIORITY == 40
+        assert params.MAX_RT_PRIORITY == 99
+
+
+class TestConversions:
+    def test_round_trip_seconds(self):
+        assert params.cycles_to_seconds(params.CPU_HZ) == 1.0
+        assert params.seconds_to_cycles(1.0) == params.CPU_HZ
+
+    def test_zero(self):
+        assert params.cycles_to_seconds(0) == 0.0
+        assert params.seconds_to_cycles(0.0) == 0
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_round_trip_cycles(self, cycles):
+        assert params.seconds_to_cycles(params.cycles_to_seconds(cycles)) == cycles
+
+    def test_default_quantum_equals_priority(self):
+        for priority in (1, 20, 40):
+            assert params.default_quantum(priority) == priority
+
+    def test_counter_ceiling_is_twice_priority(self):
+        """Iterating counter = counter//2 + priority converges below
+        2*priority — the paper's "zero to twice the task's priority"."""
+        priority = 20
+        counter = 0
+        for _ in range(100):
+            counter = counter // 2 + priority
+        assert counter <= 2 * priority
+        assert counter >= priority

@@ -1,0 +1,124 @@
+"""Tests for /proc rendering and the Simulator driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, Machine, MachineSpec, Simulator, VanillaScheduler
+from repro.kernel.proc import (
+    render_runqueue,
+    render_schedstat,
+    render_tasks,
+    render_uptime,
+)
+from repro.kernel.simulator import PAPER_SPECS, make_machine
+
+
+def busy_machine():
+    machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+
+    def body(env):
+        yield env.run(us=100)
+
+    for i in range(3):
+        machine.spawn(body, name=f"worker{i}")
+    machine.run()
+    return machine
+
+
+class TestProcRendering:
+    def test_schedstat_contains_figure_counters(self):
+        text = render_schedstat(busy_machine())
+        for key in (
+            "schedule_calls",
+            "recalc_entries",
+            "tasks_examined",
+            "cycles_per_schedule",
+            "migrations",
+            "scheduler_fraction",
+        ):
+            assert key in text
+
+    def test_tasks_listing_has_all_tasks(self):
+        machine = busy_machine()
+        text = render_tasks(machine)
+        for i in range(3):
+            assert f"worker{i}" in text
+
+    def test_tasks_listing_limit(self):
+        machine = busy_machine()
+        text = render_tasks(machine, limit=1)
+        assert text.count("worker") == 1
+
+    def test_runqueue_rendering_empty_after_drain(self):
+        text = render_runqueue(busy_machine())
+        assert "0 resident" in text
+
+    def test_uptime_mentions_each_cpu(self):
+        machine = Machine(VanillaScheduler(), num_cpus=2)
+
+        def body(env):
+            yield env.run(us=10)
+
+        machine.spawn(body)
+        machine.run()
+        text = render_uptime(machine)
+        assert "cpu0" in text and "cpu1" in text
+
+
+class TestMachineSpec:
+    def test_up_spec(self):
+        spec = MachineSpec.up()
+        assert spec.num_cpus == 1
+        assert not spec.smp
+        assert spec.name == "UP"
+
+    def test_smp_specs(self):
+        assert MachineSpec.smp_n(4).name == "4P"
+        assert MachineSpec.smp_n(4).num_cpus == 4
+
+    def test_paper_specs_order(self):
+        assert [s.name for s in PAPER_SPECS] == ["UP", "1P", "2P", "4P"]
+
+    def test_make_machine_obeys_spec(self):
+        machine = make_machine(VanillaScheduler(), MachineSpec.smp_n(2))
+        assert len(machine.cpus) == 2
+        assert machine.smp
+
+
+class TestSimulator:
+    def test_run_collects_payload(self):
+        sim = Simulator(ELSCScheduler, MachineSpec.up())
+        state = {"count": 0}
+
+        def populate(machine):
+            def body(env):
+                yield env.run(us=10)
+                state["count"] += 1
+
+            machine.spawn(body)
+            return {"count": lambda: state["count"], "static": 7}
+
+        result = sim.run(populate)
+        assert result.ok
+        assert result.payload["count"] == 1
+        assert result.payload["static"] == 7
+        assert result.scheduler_name == "elsc"
+        assert result.spec.name == "UP"
+        assert result.seconds > 0
+
+    def test_fresh_machine_per_run(self):
+        sim = Simulator(VanillaScheduler, MachineSpec.up())
+
+        def populate(machine):
+            def body(env):
+                yield env.run(us=10)
+
+            machine.spawn(body)
+            return {}
+
+        first = sim.run(populate)
+        second = sim.run(populate)
+        # Identical, independent runs — state does not leak.
+        assert first.seconds == second.seconds
+        assert first.stats.schedule_calls == second.stats.schedule_calls

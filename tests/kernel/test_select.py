@@ -1,0 +1,169 @@
+"""Tests for the Select action (multiplexed channel waits)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Channel, Machine, MMStruct, VanillaScheduler
+from repro.kernel.actions import Select
+from repro.kernel.sync import CLOSED
+
+
+def up():
+    return Machine(VanillaScheduler(), num_cpus=1, smp=False)
+
+
+class TestSelectAction:
+    def test_needs_channels(self):
+        with pytest.raises(ValueError):
+            Select([])
+
+    def test_repr_truncates(self):
+        chans = [Channel(name=f"c{i}") for i in range(6)]
+        assert "…" in repr(Select(chans))
+
+
+class TestSelectSemantics:
+    def test_immediate_when_data_ready(self):
+        machine = up()
+        a, b = Channel(2, name="a"), Channel(2, name="b")
+        b.try_put("hello")
+        got = []
+
+        def body(env):
+            chan, item = yield env.select([a, b])
+            got.append((chan.name, item))
+
+        machine.spawn(body, mm=MMStruct())
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert got == [("b", "hello")]
+
+    def test_first_ready_channel_wins(self):
+        machine = up()
+        a, b = Channel(2, name="a"), Channel(2, name="b")
+        a.try_put(1)
+        b.try_put(2)
+        got = []
+
+        def body(env):
+            chan, item = yield env.select([a, b])
+            got.append(chan.name)
+
+        machine.spawn(body, mm=MMStruct())
+        machine.run()
+        assert got == ["a"]  # list order decides ties
+
+    def test_blocks_until_any_ready(self):
+        machine = up()
+        chans = [Channel(1, name=f"c{i}") for i in range(4)]
+        got = []
+
+        def selector(env):
+            for _ in range(2):
+                chan, item = yield env.select(chans)
+                got.append((chan.name, item))
+
+        def feeder(env):
+            yield env.sleep(0.002)
+            yield env.put(chans[2], "x")
+            yield env.sleep(0.002)
+            yield env.put(chans[0], "y")
+
+        mm = MMStruct()
+        machine.spawn(selector, name="sel", mm=mm)
+        machine.spawn(feeder, name="feed", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert got == [("c2", "x"), ("c0", "y")]
+
+    def test_no_residual_parking_after_wake(self):
+        """After a select completes, the task sits on no wait queue."""
+        machine = up()
+        chans = [Channel(1, name=f"c{i}") for i in range(3)]
+
+        def selector(env):
+            yield env.select(chans)
+
+        def feeder(env):
+            yield env.sleep(0.001)
+            yield env.put(chans[1], "x")
+
+        mm = MMStruct()
+        machine.spawn(selector, name="sel", mm=mm)
+        machine.spawn(feeder, name="feed", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        for chan in chans:
+            assert chan.readers.empty(), chan.name
+
+    def test_select_sees_closed_channel(self):
+        machine = up()
+        a = Channel(1, name="a")
+        got = []
+
+        def selector(env):
+            chan, item = yield env.select([a])
+            got.append(item)
+
+        def closer(env):
+            yield env.sleep(0.001)
+            a.close()
+            # Closing does not wake by itself in this kernel; poke the
+            # reader the way a real close path would.
+            yield env.wake(a.readers, nr_exclusive=0)
+
+        mm = MMStruct()
+        machine.spawn(selector, name="sel", mm=mm)
+        machine.spawn(closer, name="close", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert got == [CLOSED]
+
+    def test_two_selectors_share_a_channel(self):
+        """Wake-one: each deposit wakes exactly one selector."""
+        machine = up()
+        shared = Channel(4, name="shared")
+        got = {"s0": [], "s1": []}
+
+        def selector(env, tag):
+            for _ in range(2):
+                _, item = yield env.select([shared])
+                got[tag].append(item)
+
+        def feeder(env):
+            for i in range(4):
+                yield env.sleep(0.001)
+                yield env.put(shared, i)
+
+        mm = MMStruct()
+        machine.spawn(lambda env: selector(env, "s0"), name="s0", mm=mm)
+        machine.spawn(lambda env: selector(env, "s1"), name="s1", mm=mm)
+        machine.spawn(feeder, name="feed", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert sorted(got["s0"] + got["s1"]) == [0, 1, 2, 3]
+        assert got["s0"] and got["s1"]  # both made progress
+
+    def test_backpressure_writer_woken_by_select(self):
+        """A select that drains a full channel wakes its blocked writer."""
+        machine = up()
+        chan = Channel(1, name="tight")
+        sent = []
+
+        def writer(env):
+            for i in range(3):
+                yield env.put(chan, i)
+                sent.append(i)
+
+        def selector(env):
+            for _ in range(3):
+                yield env.select([chan])
+                yield env.run(us=5)
+
+        mm = MMStruct()
+        machine.spawn(writer, name="w", mm=mm)
+        machine.spawn(selector, name="s", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert sent == [0, 1, 2]

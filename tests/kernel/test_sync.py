@@ -1,0 +1,179 @@
+"""Tests for channels and the spin-yield lock."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Channel, Machine, MMStruct, SpinYieldLock, VanillaScheduler
+from repro.kernel.sync import CLOSED, ChannelClosed
+
+
+class TestChannelNonBlocking:
+    def test_put_get_fifo(self):
+        c = Channel(capacity=4)
+        for i in range(3):
+            assert c.try_put(i)
+        assert [c.try_get()[1] for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_enforced(self):
+        c = Channel(capacity=2)
+        assert c.try_put(1)
+        assert c.try_put(2)
+        assert not c.try_put(3)
+        assert c.full()
+
+    def test_unbounded_when_capacity_nonpositive(self):
+        c = Channel(capacity=0)
+        for i in range(1000):
+            assert c.try_put(i)
+        assert not c.full()
+
+    def test_get_empty_fails(self):
+        ok, value = Channel().try_get()
+        assert not ok
+        assert value is None
+
+    def test_counters(self):
+        c = Channel(capacity=4)
+        c.try_put("x")
+        c.try_get()
+        assert c.total_put == 1
+        assert c.total_got == 1
+
+    def test_len(self):
+        c = Channel(capacity=4)
+        c.try_put(1)
+        c.try_put(2)
+        assert len(c) == 2
+
+
+class TestChannelClose:
+    def test_put_on_closed_raises(self):
+        c = Channel()
+        c.close()
+        with pytest.raises(ChannelClosed):
+            c.try_put(1)
+
+    def test_drain_then_closed_sentinel(self):
+        c = Channel(capacity=4)
+        c.try_put("last")
+        c.close()
+        assert c.try_get() == (True, "last")
+        assert c.try_get() == (True, CLOSED)
+
+    def test_closed_repr_is_stable(self):
+        assert repr(CLOSED) == "<CLOSED>"
+
+
+class TestChannelPropertyBased:
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_conservation(self, items, capacity):
+        """Whatever goes in comes out, in order, never exceeding capacity."""
+        c = Channel(capacity=capacity)
+        out = []
+        pending = list(items)
+        while pending or len(c):
+            if pending and c.try_put(pending[0]):
+                pending.pop(0)
+                continue
+            ok, value = c.try_get()
+            assert ok
+            out.append(value)
+            assert len(c) <= capacity
+        assert out == items
+
+
+class TestSpinYieldLockInSimulation:
+    def _machine(self):
+        return Machine(VanillaScheduler(), num_cpus=1, smp=False)
+
+    def test_uncontended_acquire_release(self):
+        m = self._machine()
+        lock = SpinYieldLock("l")
+        done = []
+
+        def body(env):
+            yield from lock.acquire(env)
+            assert lock.owner is env.current
+            yield env.run(us=5)
+            yield from lock.release(env)
+            done.append(True)
+
+        m.spawn(body, name="solo", mm=MMStruct())
+        summary = m.run()
+        assert not summary.deadlocked
+        assert done == [True]
+        assert lock.owner is None
+        assert lock.acquisitions == 1
+        assert lock.contentions == 0
+
+    def test_contended_acquire_serialises(self):
+        m = self._machine()
+        lock = SpinYieldLock("l", spin_cycles=100, yield_rounds=1)
+        order = []
+
+        def body(env, tag):
+            yield from lock.acquire(env)
+            order.append(("in", tag))
+            yield env.run(us=100)
+            order.append(("out", tag))
+            yield from lock.release(env)
+
+        mm = MMStruct()
+        for tag in range(3):
+            m.spawn(lambda env, t=tag: body(env, t), name=f"w{tag}", mm=mm)
+        summary = m.run()
+        assert not summary.deadlocked
+        # Critical sections never interleave.
+        depth = 0
+        for kind, _ in order:
+            depth += 1 if kind == "in" else -1
+            assert depth in (0, 1)
+        assert len(order) == 6
+        assert lock.acquisitions == 3
+
+    def test_contention_yields_then_inflates(self):
+        m = self._machine()
+        lock = SpinYieldLock("l", spin_cycles=50, yield_rounds=1)
+
+        def holder(env):
+            yield from lock.acquire(env)
+            yield env.sleep(0.005)  # hold across a blocking wait
+            yield from lock.release(env)
+
+        def contender(env):
+            # Sleep (not run) so the holder is guaranteed to acquire
+            # first on the single CPU.
+            yield env.sleep(0.001)
+            yield from lock.acquire(env)
+            yield from lock.release(env)
+
+        mm = MMStruct()
+        m.spawn(holder, name="holder", mm=mm)
+        m.spawn(contender, name="contender", mm=mm)
+        summary = m.run()
+        assert not summary.deadlocked
+        assert lock.contentions >= 1
+        assert lock.inflations >= 1  # the contender eventually blocked
+
+    def test_release_by_non_owner_raises(self):
+        m = self._machine()
+        lock = SpinYieldLock("l")
+
+        def thief(env):
+            yield env.run(us=1)
+            yield from lock.release(env)
+
+        def holder(env):
+            yield from lock.acquire(env)
+            yield env.sleep(0.01)
+            yield from lock.release(env)
+
+        mm = MMStruct()
+        m.spawn(holder, name="holder", mm=mm)
+        m.spawn(thief, name="thief", mm=mm)
+        with pytest.raises(RuntimeError, match="releasing"):
+            m.run()

@@ -1,0 +1,153 @@
+"""Tests for setpriority / sched_setscheduler and run-queue re-indexing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, Machine, Task, VanillaScheduler
+from repro.kernel.syscalls import sched_setscheduler, set_priority
+from repro.kernel.task import SchedPolicy
+from tests.conftest import attach
+
+
+def rig(factory):
+    sched = factory()
+    machine = Machine(sched, num_cpus=1, smp=False)
+    return sched, machine
+
+
+class TestSetPriority:
+    def test_changes_priority(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        task = Task(priority=20)
+        attach(machine, task)
+        set_priority(machine, task, 35)
+        assert task.priority == 35
+
+    def test_counter_clamped_on_renice_down(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        task = Task(priority=40)
+        task.counter = 75
+        attach(machine, task)
+        set_priority(machine, task, 5)
+        assert task.counter <= 10  # 2 × new priority
+
+    def test_bounds_checked(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        task = Task()
+        attach(machine, task)
+        with pytest.raises(ValueError):
+            set_priority(machine, task, 0)
+        with pytest.raises(ValueError):
+            set_priority(machine, task, 41)
+
+    def test_exited_task_rejected(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        task = Task()
+        attach(machine, task)
+        task.mark_exited()
+        with pytest.raises(ValueError):
+            set_priority(machine, task, 10)
+
+    def test_elsc_reindexes_queued_task(self):
+        """Paper section 5: "its priority almost never changes, though
+        when it does, the ELSC scheduler adapts accordingly"."""
+        sched, machine = rig(ELSCScheduler)
+        task = Task(priority=8)
+        task.counter = 8
+        attach(machine, task)
+        sched.add_to_runqueue(task)
+        old_idx = sched.table.index_of(task)
+        set_priority(machine, task, 40)
+        task_idx = sched.table.index_of(task)
+        assert task_idx != old_idx
+        assert task_idx == sched.table.index_for(task)
+        sched.table.check_invariants()
+
+    def test_priority_change_affects_selection(self):
+        sched, machine = rig(ELSCScheduler)
+        cpu = machine.cpus[0]
+        loser = Task(name="loser", priority=20)
+        winner = Task(name="winner", priority=20)
+        for t in (loser, winner):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        set_priority(machine, loser, 5)
+        set_priority(machine, winner, 40)
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is winner
+
+    def test_unqueued_task_not_requeued(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        task = Task(priority=20)
+        attach(machine, task)  # never added to the run queue
+        set_priority(machine, task, 30)
+        assert not task.on_runqueue()
+
+
+class TestSchedSetscheduler:
+    def test_promote_to_realtime(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        cpu = machine.cpus[0]
+        normal = Task(name="normal", priority=40)
+        promoted = Task(name="promoted", priority=1)
+        for t in (normal, promoted):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        sched_setscheduler(
+            machine, promoted, policy=SchedPolicy.SCHED_FIFO, rt_priority=10
+        )
+        assert promoted.is_realtime()
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is promoted
+
+    def test_elsc_moves_promoted_task_to_rt_lists(self):
+        sched, machine = rig(ELSCScheduler)
+        task = Task(priority=20)
+        attach(machine, task)
+        sched.add_to_runqueue(task)
+        sched_setscheduler(
+            machine, task, policy=SchedPolicy.SCHED_RR, rt_priority=45
+        )
+        assert sched.table.index_of(task) == sched.table.rt_index(45)
+        sched.table.check_invariants()
+
+    def test_demote_to_other(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        task = Task(policy=SchedPolicy.SCHED_FIFO, rt_priority=10)
+        attach(machine, task)
+        sched.add_to_runqueue(task)
+        sched_setscheduler(
+            machine, task, policy=SchedPolicy.SCHED_OTHER, rt_priority=0
+        )
+        assert not task.is_realtime()
+
+    def test_other_requires_zero_rt_priority(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        task = Task()
+        attach(machine, task)
+        with pytest.raises(ValueError):
+            sched_setscheduler(
+                machine, task, policy=SchedPolicy.SCHED_OTHER, rt_priority=5
+            )
+
+    def test_rt_requires_nonzero_priority(self, paper_scheduler_factory):
+        sched, machine = rig(paper_scheduler_factory)
+        task = Task()
+        attach(machine, task)
+        with pytest.raises(ValueError):
+            sched_setscheduler(
+                machine, task, policy=SchedPolicy.SCHED_RR, rt_priority=0
+            )
+
+    def test_rt_priority_change_reorders_selection(self):
+        sched, machine = rig(ELSCScheduler)
+        cpu = machine.cpus[0]
+        a = Task(name="a", policy=SchedPolicy.SCHED_FIFO, rt_priority=50)
+        b = Task(name="b", policy=SchedPolicy.SCHED_FIFO, rt_priority=40)
+        for t in (a, b):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        sched_setscheduler(machine, b, rt_priority=60)
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is b

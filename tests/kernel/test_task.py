@@ -1,0 +1,162 @@
+"""Tests for the task structure (the paper's Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.mm import MMStruct
+from repro.kernel.params import DEFAULT_PRIORITY
+from repro.kernel.task import SCHED_YIELD, SchedPolicy, Task, TaskState
+
+
+class TestTable1Fields:
+    """The paper's Table 1 lists the scheduler-relevant task fields; all
+    of them must exist with kernel semantics."""
+
+    def test_fields_exist(self):
+        task = Task()
+        for field in (
+            "state",
+            "policy",
+            "counter",
+            "priority",
+            "mm",
+            "run_list",
+            "has_cpu",
+            "processor",
+            "rt_priority",
+        ):
+            assert hasattr(task, field), f"Table 1 field {field} missing"
+
+    def test_default_priority_is_twenty(self):
+        # "Twenty is the default value for all tasks."
+        assert Task().priority == DEFAULT_PRIORITY == 20
+
+    def test_priority_bounds(self):
+        # "an integer between 1 and 40"
+        Task(priority=1)
+        Task(priority=40)
+        with pytest.raises(ValueError):
+            Task(priority=0)
+        with pytest.raises(ValueError):
+            Task(priority=41)
+
+    def test_rt_priority_bounds(self):
+        # "it ranges from 0 to 99 and is stored in a separate field"
+        Task(rt_priority=0)
+        Task(rt_priority=99)
+        with pytest.raises(ValueError):
+            Task(rt_priority=100)
+        with pytest.raises(ValueError):
+            Task(rt_priority=-1)
+
+    def test_six_task_states(self):
+        assert len(TaskState) == 6
+
+    def test_new_task_is_runnable_with_full_quantum(self):
+        task = Task(priority=25)
+        assert task.state is TaskState.RUNNING
+        assert task.counter == 25
+        assert task.is_runnable()
+
+    def test_pids_unique_and_increasing(self):
+        a, b = Task(), Task()
+        assert b.pid > a.pid
+
+
+class TestPolicyWord:
+    def test_policy_word_plain(self):
+        assert Task().policy_word() == int(SchedPolicy.SCHED_OTHER)
+
+    def test_policy_word_with_yield_bit(self):
+        task = Task()
+        task.yield_pending = True
+        assert task.policy_word() == SCHED_YIELD
+        assert task.policy_word() & SCHED_YIELD
+
+    def test_rt_policy_word(self):
+        task = Task(policy=SchedPolicy.SCHED_RR, rt_priority=10)
+        assert task.policy_word() == int(SchedPolicy.SCHED_RR)
+
+    def test_is_realtime(self):
+        assert not Task().is_realtime()
+        assert Task(policy=SchedPolicy.SCHED_FIFO, rt_priority=1).is_realtime()
+        assert Task(policy=SchedPolicy.SCHED_RR, rt_priority=1).is_realtime()
+
+
+class TestStaticGoodness:
+    def test_static_goodness_is_counter_plus_priority(self):
+        task = Task(priority=20)
+        task.counter = 13
+        assert task.static_goodness() == 33
+
+    def test_static_goodness_constant_while_queued(self):
+        """The ELSC key property: neither component changes while a task
+        waits on the run queue (counters only tick down while running)."""
+        task = Task(priority=20)
+        before = task.static_goodness()
+        # Nothing in the run-queue path mutates counter/priority.
+        assert task.static_goodness() == before
+
+
+class TestRunqueueConventions:
+    def test_fresh_task_not_on_runqueue(self):
+        task = Task()
+        assert not task.on_runqueue()
+        assert not task.in_a_list()
+
+    def test_elsc_running_marker(self):
+        """next non-None + prev None = "on the run queue, in no list"."""
+        task = Task()
+        task.run_list.next = task.run_list
+        task.run_list.prev = None
+        assert task.on_runqueue()
+        assert not task.in_a_list()
+
+
+class TestMMRefcounting:
+    def test_task_grabs_mm(self):
+        mm = MMStruct("jvm")
+        Task(mm=mm)
+        assert mm.mm_users == 1
+
+    def test_exit_drops_mm(self):
+        mm = MMStruct("jvm")
+        task = Task(mm=mm)
+        task.mark_exited()
+        assert mm.mm_users == 0
+        assert task.state is TaskState.ZOMBIE
+        assert task.exited
+
+    def test_exit_callbacks_fire_once(self):
+        task = Task()
+        calls = []
+        task.exit_callbacks.append(calls.append)
+        task.mark_exited()
+        assert calls == [task]
+        assert task.exit_callbacks == []
+
+
+class TestLifecycle:
+    def test_start_requires_body(self):
+        with pytest.raises(ValueError):
+            Task().start(object())
+
+    def test_double_start_rejected(self):
+        def body(env):
+            yield
+
+        task = Task(body=body)
+        task.start(object())
+        with pytest.raises(RuntimeError):
+            task.start(object())
+
+    def test_zombie_not_runnable(self):
+        task = Task()
+        task.mark_exited()
+        assert not task.is_runnable()
+
+    def test_blocked_not_runnable(self):
+        task = Task()
+        task.state = TaskState.INTERRUPTIBLE
+        assert not task.is_runnable()

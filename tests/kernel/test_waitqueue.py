@@ -1,0 +1,109 @@
+"""Tests for wait queues: wake-all / wake-one discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.task import Task
+from repro.kernel.waitqueue import WaitQueue
+
+
+def make_tasks(n):
+    return [Task(name=f"t{i}") for i in range(n)]
+
+
+class TestAddRemove:
+    def test_add_and_len(self):
+        wq = WaitQueue("q")
+        tasks = make_tasks(3)
+        for t in tasks:
+            wq.add(t)
+        assert len(wq) == 3
+        assert not wq.empty()
+
+    def test_double_add_rejected(self):
+        wq = WaitQueue()
+        t = Task()
+        wq.add(t)
+        with pytest.raises(RuntimeError):
+            wq.add(t)
+
+    def test_remove_clears_wait_node(self):
+        wq = WaitQueue()
+        t = Task()
+        wq.add(t)
+        assert wq.remove(t)
+        assert t.wait_node is None
+        assert not wq.remove(t)  # second removal finds nothing
+
+    def test_waiters_snapshot(self):
+        wq = WaitQueue()
+        a, b = make_tasks(2)
+        wq.add(a, exclusive=True)
+        wq.add(b, exclusive=True)
+        assert list(wq.waiters()) == [a, b]
+
+
+class TestWakeSemantics:
+    def test_wake_one_exclusive(self):
+        wq = WaitQueue()
+        a, b, c = make_tasks(3)
+        for t in (a, b, c):
+            wq.add(t, exclusive=True)
+        woken = wq.collect_wakeable(nr_exclusive=1)
+        assert woken == [a]
+        assert len(wq) == 2
+
+    def test_wake_all_nonexclusive(self):
+        wq = WaitQueue()
+        tasks = make_tasks(3)
+        for t in tasks:
+            wq.add(t, exclusive=False)
+        woken = wq.collect_wakeable(nr_exclusive=1)
+        assert set(woken) == set(tasks)
+        assert wq.empty()
+
+    def test_mixed_wakes_all_nonexclusive_plus_one_exclusive(self):
+        wq = WaitQueue()
+        excl = make_tasks(2)
+        nonexcl = make_tasks(2)
+        for t in excl:
+            wq.add(t, exclusive=True)
+        for t in nonexcl:
+            wq.add(t, exclusive=False)
+        woken = wq.collect_wakeable(nr_exclusive=1)
+        assert set(nonexcl) <= set(woken)
+        assert len([t for t in woken if t in excl]) == 1
+        assert len(wq) == 1  # one exclusive waiter stays
+
+    def test_wake_everyone_with_nonpositive_budget(self):
+        wq = WaitQueue()
+        tasks = make_tasks(4)
+        for t in tasks:
+            wq.add(t, exclusive=True)
+        woken = wq.collect_wakeable(nr_exclusive=0)
+        assert set(woken) == set(tasks)
+        assert wq.empty()
+
+    def test_woken_tasks_have_no_wait_node(self):
+        wq = WaitQueue()
+        t = Task()
+        wq.add(t, exclusive=True)
+        wq.collect_wakeable(1)
+        assert t.wait_node is None
+
+    def test_fifo_among_exclusive(self):
+        wq = WaitQueue()
+        a, b = make_tasks(2)
+        wq.add(a, exclusive=True)
+        wq.add(b, exclusive=True)
+        assert wq.collect_wakeable(1) == [a]
+        assert wq.collect_wakeable(1) == [b]
+
+    def test_first(self):
+        wq = WaitQueue()
+        assert wq.first() is None
+        a, b = make_tasks(2)
+        wq.add(a, exclusive=True)
+        wq.add(b, exclusive=True)
+        assert wq.first() is a

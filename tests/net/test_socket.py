@@ -1,0 +1,150 @@
+"""Tests for loopback socket pairs."""
+
+from __future__ import annotations
+
+from repro import Machine, MMStruct, VanillaScheduler
+from repro.kernel.sync import CLOSED
+from repro.net import DEFAULT_SOCKET_BUFFER, SocketPair
+
+
+class TestWiring:
+    def test_endpoints_cross_connected(self):
+        pair = SocketPair()
+        assert pair.client.tx is pair.server.rx
+        assert pair.server.tx is pair.client.rx
+        assert pair.client.peer is pair.server
+        assert pair.server.peer is pair.client
+
+    def test_buffer_capacity(self):
+        pair = SocketPair(buffer_msgs=2)
+        assert pair.client.tx.capacity == 2
+        assert pair.server.tx.capacity == 2
+
+    def test_default_buffer_is_small(self):
+        # Small buffers cause the blocking ping-pong the paper measures.
+        assert DEFAULT_SOCKET_BUFFER <= 8
+
+    def test_names_derived_from_pair(self):
+        pair = SocketPair(name="conn")
+        assert "conn" in pair.client.name
+        assert "conn" in pair.server.name
+
+    def test_close_is_directional(self):
+        pair = SocketPair()
+        pair.client.close()
+        assert pair.server.rx.closed       # server reads see EOF
+        assert not pair.client.rx.closed   # server→client still open
+
+    def test_close_both(self):
+        pair = SocketPair()
+        pair.close_both()
+        assert pair.client.rx.closed and pair.server.rx.closed
+
+
+class TestBlockingSemantics:
+    def test_duplex_transfer_with_reader_writer_threads(self):
+        """Full-duplex echo: a dedicated reader and writer per side —
+        the thread structure Java's blocking I/O forces (paper §4)."""
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        pair = SocketPair(buffer_msgs=2)
+        mm = MMStruct()
+        received = {"client": [], "server": []}
+
+        def client_writer(env):
+            for i in range(10):
+                yield env.put(pair.client.tx, ("c", i))
+
+        def client_reader(env):
+            for _ in range(10):
+                msg = yield env.get(pair.client.rx)
+                received["client"].append(msg)
+
+        def server(env):
+            for _ in range(10):
+                msg = yield env.get(pair.server.rx)
+                received["server"].append(msg)
+                yield env.put(pair.server.tx, ("s", msg[1]))
+
+        machine.spawn(client_writer, name="cw", mm=mm)
+        machine.spawn(client_reader, name="cr", mm=mm)
+        machine.spawn(server, name="server", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert received["server"] == [("c", i) for i in range(10)]
+        assert received["client"] == [("s", i) for i in range(10)]
+
+    def test_single_threaded_duplex_deadlocks(self):
+        """The motivating phenomenon: a single-threaded client that sends
+        its whole batch before reading replies deadlocks against a small
+        socket buffer — this is *why* VolanoMark runs 4 threads per
+        connection, which is what stresses the scheduler."""
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        pair = SocketPair(buffer_msgs=2)
+        mm = MMStruct()
+
+        def client(env):
+            for i in range(10):
+                yield env.put(pair.client.tx, i)
+            for _ in range(10):
+                yield env.get(pair.client.rx)
+
+        def server(env):
+            for _ in range(10):
+                msg = yield env.get(pair.server.rx)
+                yield env.put(pair.server.tx, msg)
+
+        machine.spawn(client, name="client", mm=mm)
+        machine.spawn(server, name="server", mm=mm)
+        summary = machine.run()
+        assert summary.deadlocked
+        assert summary.tasks_blocked == 2
+
+    def test_writer_blocks_on_full_buffer(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        pair = SocketPair(buffer_msgs=1)
+        mm = MMStruct()
+        order = []
+
+        def writer(env):
+            for i in range(4):
+                yield env.put(pair.client.tx, i)
+                order.append(("w", i))
+
+        def reader(env):
+            for _ in range(4):
+                yield env.sleep(0.002)
+                msg = yield env.get(pair.server.rx)
+                order.append(("r", msg))
+
+        machine.spawn(writer, name="w", mm=mm)
+        machine.spawn(reader, name="r", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        # With a 1-message buffer the writer can stay at most 2 ahead
+        # (one buffered + one just consumed).
+        for i, (kind, value) in enumerate(order):
+            if kind == "w":
+                reads_before = sum(1 for k, _ in order[:i] if k == "r")
+                assert value - reads_before <= 1
+
+    def test_eof_after_close(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        pair = SocketPair()
+        mm = MMStruct()
+        seen = []
+
+        def client(env):
+            yield env.put(pair.client.tx, "only")
+            pair.client.close()
+
+        def server(env):
+            msg = yield env.get(pair.server.rx)
+            seen.append(msg)
+            eof = yield env.get(pair.server.rx)
+            seen.append(eof)
+
+        machine.spawn(client, name="c", mm=mm)
+        machine.spawn(server, name="s", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert seen == ["only", CLOSED]

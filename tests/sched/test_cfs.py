@@ -1,0 +1,187 @@
+"""Tests for the CFS-style fair scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CFSScheduler, Machine, Task
+from repro.kernel.task import SchedPolicy
+from repro.sched.cfs import _weight
+from repro.workloads.synthetic import fanout_broadcast, pingpong_pairs
+from tests.conftest import attach
+
+
+def rig(num_cpus=1):
+    sched = CFSScheduler()
+    machine = Machine(sched, num_cpus=num_cpus, smp=True)
+    return sched, machine
+
+
+class TestWeights:
+    def test_default_priority_weight(self):
+        assert _weight(20) == 1024
+
+    def test_weight_monotone_in_priority(self):
+        weights = [_weight(p) for p in range(1, 41)]
+        assert weights == sorted(weights)
+
+    def test_five_points_roughly_double(self):
+        assert 1.8 < _weight(25) / _weight(20) < 2.2
+
+
+class TestSelection:
+    def test_smallest_vruntime_wins(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        veteran = Task(name="veteran")
+        fresh = Task(name="fresh")
+        for t in (veteran, fresh):
+            attach(machine, t)
+        # The veteran has consumed CPU; the fresh task has not.
+        veteran.cpu_cycles = 0
+        sched.add_to_runqueue(veteran)
+        sched._vruntime[veteran.pid] = 5_000_000.0
+        sched.del_from_runqueue(veteran)
+        sched.add_to_runqueue(veteran)
+        sched.add_to_runqueue(fresh)
+        # Sleeper-fairness clamps fresh up to the timeline minimum, but
+        # not above the veteran.
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is fresh
+
+    def test_rt_tasks_beat_fair_tasks(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        fair = Task(name="fair", priority=40)
+        rt = Task(name="rt", policy=SchedPolicy.SCHED_FIFO, rt_priority=3)
+        for t in (fair, rt):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        assert sched.schedule(cpu.idle_task, cpu).next_task is rt
+
+    def test_rt_ordering_by_priority(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        low = Task(name="low", policy=SchedPolicy.SCHED_FIFO, rt_priority=10)
+        high = Task(name="high", policy=SchedPolicy.SCHED_FIFO, rt_priority=80)
+        for t in (low, high):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        assert sched.schedule(cpu.idle_task, cpu).next_task is high
+
+    def test_never_recalculates(self):
+        sched, machine = rig()
+
+        def hog(env):
+            yield env.run(seconds=0.4)
+
+        machine.spawn(hog, name="a")
+        machine.spawn(hog, name="b")
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert sched.stats.recalc_entries == 0
+
+
+class TestFairness:
+    def test_equal_tasks_share_equally(self):
+        sched, machine = rig()
+
+        def hog(env):
+            for _ in range(40):
+                yield env.run(us=5000)
+
+        a = machine.spawn(hog, name="a")
+        b = machine.spawn(hog, name="b")
+        machine.run(until_seconds=0.3)
+        ratio = a.cpu_cycles / max(1, b.cpu_cycles)
+        assert 0.8 < ratio < 1.25
+
+    def test_weighted_share_follows_priority(self):
+        """A priority-25 task should get roughly double a priority-20
+        task's CPU over a contended stretch."""
+        sched, machine = rig()
+
+        def hog(env):
+            for _ in range(200):
+                yield env.run(us=5000)
+
+        strong = machine.spawn(hog, name="strong", priority=25)
+        weak = machine.spawn(hog, name="weak", priority=20)
+        machine.run(until_seconds=0.5)
+        ratio = strong.cpu_cycles / max(1, weak.cpu_cycles)
+        assert 1.4 < ratio < 2.8, ratio
+
+    def test_vruntime_advances_with_execution(self):
+        sched, machine = rig()
+
+        def hog(env):
+            yield env.run(us=30_000)
+
+        task = machine.spawn(hog, name="t")
+        machine.run()
+        assert sched.vruntime_of(task) > 0
+
+    def test_sleeper_not_starved_nor_dominant(self):
+        """A task that slept long wakes near the pack minimum: it gets
+        the CPU promptly but cannot monopolise it."""
+        sched, machine = rig()
+        progress = []
+
+        def hog(env):
+            for _ in range(100):
+                yield env.run(us=2000)
+
+        def sleeper(env):
+            yield env.sleep(0.05)
+            yield env.run(us=2000)
+            progress.append(env.now)
+
+        machine.spawn(hog, name="hog")
+        machine.spawn(sleeper, name="sleeper")
+        machine.run(until_seconds=0.3)
+        assert progress, "sleeper starved"
+        # Woke at 50 ms; must have completed its 2 ms of work soon after.
+        from repro.kernel.params import seconds_to_cycles
+
+        assert progress[0] < seconds_to_cycles(0.12)
+
+
+class TestEndToEnd:
+    def test_pingpong(self):
+        sched, machine = rig()
+        counters = pingpong_pairs(machine, pairs=4, rounds=10)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert counters.messages == 40
+
+    def test_fanout_on_smp(self):
+        sched, machine = rig(num_cpus=4)
+        counters = fanout_broadcast(machine, consumers=30, rounds=8)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert counters.messages == 240
+
+    def test_volano_completes(self):
+        from repro import MachineSpec
+        from repro.workloads.volanomark import VolanoConfig, run_volanomark
+
+        cfg = VolanoConfig(rooms=2, users_per_room=5, messages_per_user=3)
+        result = run_volanomark(CFSScheduler, MachineSpec.smp_n(2), cfg)
+        assert result.messages_delivered == cfg.deliveries_expected
+
+    def test_yield_pushes_back(self):
+        sched, machine = rig()
+        order = []
+
+        def politeness(env, tag):
+            for _ in range(3):
+                yield env.run(us=100)
+                order.append(tag)
+                yield env.sched_yield()
+
+        machine.spawn(lambda env: politeness(env, "a"), name="a")
+        machine.spawn(lambda env: politeness(env, "b"), name="b")
+        summary = machine.run()
+        assert not summary.deadlocked
+        # Yields alternate the two tasks.
+        assert order[:4] in (["a", "b", "a", "b"], ["b", "a", "b", "a"])

@@ -1,0 +1,142 @@
+"""Tests for the goodness() heuristic (paper section 3.3.1)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.mm import MMStruct
+from repro.kernel.task import SchedPolicy, Task
+from repro.sched.goodness import (
+    dynamic_bonus,
+    goodness,
+    preemption_goodness,
+    prev_goodness,
+)
+
+
+def make_task(priority=20, counter=None, mm=None, processor=-1, rt=0, policy=None):
+    task = Task(
+        priority=priority,
+        mm=mm,
+        policy=policy or SchedPolicy.SCHED_OTHER,
+        rt_priority=rt,
+    )
+    if counter is not None:
+        task.counter = counter
+    task.processor = processor
+    return task
+
+
+class TestPaperRules:
+    def test_realtime_is_thousand_plus_rt_priority(self):
+        task = make_task(policy=SchedPolicy.SCHED_FIFO, rt=37)
+        assert goodness(task, this_cpu=0, this_mm=None) == 1037
+
+    def test_rt_ignores_counter(self):
+        task = make_task(policy=SchedPolicy.SCHED_RR, rt=5, counter=0)
+        assert goodness(task, 0, None) == 1005
+
+    def test_zero_counter_means_zero(self):
+        # "If a task has a counter value of zero, then goodness() returns
+        # a utility of zero."
+        task = make_task(counter=0)
+        assert goodness(task, 0, None) == 0
+
+    def test_base_is_counter_plus_priority(self):
+        task = make_task(priority=20, counter=13)
+        assert goodness(task, 99, None) == 33  # no bonuses apply
+
+    def test_mm_bonus_is_one_point(self):
+        mm = MMStruct()
+        task = make_task(counter=10, mm=mm)
+        assert goodness(task, 99, mm) - goodness(task, 99, None) == 1
+
+    def test_affinity_bonus_is_fifteen_points(self):
+        task = make_task(counter=10, processor=3)
+        assert goodness(task, 3, None) - goodness(task, 2, None) == 15
+
+    def test_both_bonuses_stack(self):
+        mm = MMStruct()
+        task = make_task(priority=20, counter=10, mm=mm, processor=1)
+        assert goodness(task, 1, mm) == 10 + 20 + 1 + 15
+
+    def test_no_mm_bonus_for_kernel_threads(self):
+        """A task without an mm never earns the mm bonus."""
+        task = make_task(counter=10)
+        assert goodness(task, 0, None) == task.counter + task.priority
+
+    def test_zero_counter_beats_nothing_but_still_zero_with_bonuses(self):
+        """The kernel returns 0 *before* bonuses for exhausted tasks."""
+        mm = MMStruct()
+        task = make_task(counter=0, mm=mm, processor=0)
+        assert goodness(task, 0, mm) == 0
+
+
+class TestPrevGoodness:
+    def test_yield_reads_as_zero(self):
+        task = make_task(counter=10)
+        task.yield_pending = True
+        assert prev_goodness(task, 0, None) == 0
+
+    def test_without_yield_same_as_goodness(self):
+        task = make_task(counter=10)
+        assert prev_goodness(task, 0, None) == goodness(task, 0, None)
+
+
+class TestPreemptionGoodness:
+    def test_better_task_positive(self):
+        weak = make_task(priority=10, counter=5)
+        strong = make_task(priority=40, counter=40)
+        assert preemption_goodness(strong, weak, cpu=0) > 0
+
+    def test_equal_tasks_zero_margin(self):
+        a = make_task(priority=20, counter=10)
+        b = make_task(priority=20, counter=10)
+        assert preemption_goodness(a, b, cpu=5) == 0
+
+    def test_affinity_protects_current(self):
+        current = make_task(priority=20, counter=10, processor=0)
+        candidate = make_task(priority=20, counter=12, processor=1)
+        # +2 static for the candidate, but current holds +15 affinity.
+        assert preemption_goodness(candidate, current, cpu=0) < 0
+
+
+class TestDynamicBonus:
+    def test_decomposition_matches_goodness(self):
+        """static + dynamic == goodness for every eligible task — the
+        identity the whole ELSC design rests on."""
+        mm = MMStruct()
+        for processor in (-1, 0, 1):
+            for task_mm in (None, mm):
+                task = make_task(counter=7, mm=task_mm, processor=processor)
+                expected = goodness(task, 0, mm)
+                got = task.static_goodness() + dynamic_bonus(task, 0, mm)
+                assert got == expected
+
+
+class TestPropertyBased:
+    @given(
+        priority=st.integers(1, 40),
+        counter=st.integers(1, 80),
+        cpu=st.integers(0, 3),
+        processor=st.integers(-1, 3),
+        share_mm=st.booleans(),
+    )
+    def test_goodness_bounds_for_eligible_other_tasks(
+        self, priority, counter, cpu, processor, share_mm
+    ):
+        mm = MMStruct()
+        task = make_task(
+            priority=priority, counter=counter, mm=mm if share_mm else None,
+            processor=processor,
+        )
+        g = goodness(task, cpu, mm)
+        assert counter + priority <= g <= counter + priority + 16
+        # Never reaches the real-time band.
+        assert g < 1000
+
+    @given(priority=st.integers(1, 40), counter=st.integers(1, 80))
+    def test_static_goodness_decomposition(self, priority, counter):
+        task = make_task(priority=priority, counter=counter)
+        assert goodness(task, 0, None) == task.static_goodness()

@@ -1,0 +1,136 @@
+"""Stock-scheduler SMP paths and remaining branches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Channel, Machine, MMStruct, Task, VanillaScheduler
+from repro.kernel.task import SchedPolicy, TaskState
+from tests.conftest import attach
+
+
+def rig(num_cpus=2):
+    sched = VanillaScheduler()
+    machine = Machine(sched, num_cpus=num_cpus, smp=True)
+    return sched, machine
+
+
+class TestSMPScan:
+    def test_all_busy_elsewhere_idles_without_recalc(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        for i in range(3):
+            busy = Task(name=f"busy{i}")
+            attach(machine, busy)
+            sched.add_to_runqueue(busy)
+            busy.has_cpu = True
+            busy.processor = 1
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is None
+        assert decision.recalcs == 0
+
+    def test_zero_counter_elsewhere_does_not_block_free_task(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        exhausted = Task(name="exhausted")
+        exhausted.counter = 0
+        free = Task(name="free")
+        for t in (exhausted, free):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is free
+        assert decision.recalcs == 0
+
+    def test_recalc_when_only_exhausted_tasks_are_schedulable(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        busy = Task(name="busy", priority=40)
+        attach(machine, busy)
+        sched.add_to_runqueue(busy)
+        busy.has_cpu = True
+        busy.processor = 1
+        exhausted = Task(name="exhausted")
+        exhausted.counter = 0
+        attach(machine, exhausted)
+        sched.add_to_runqueue(exhausted)
+        decision = sched.schedule(cpu.idle_task, cpu)
+        # The busy task is skipped; the exhausted one forces the recalc
+        # and then wins.
+        assert decision.recalcs == 1
+        assert decision.next_task is exhausted
+
+    def test_affinity_bonus_decides_between_equals(self):
+        sched, machine = rig()
+        cpu = machine.cpus[0]
+        here = Task(name="here")
+        here.processor = 0
+        there = Task(name="there")
+        there.processor = 1
+        for t in (there, here):
+            attach(machine, t)
+            sched.add_to_runqueue(t)
+        # `there` is at the front (inserted last) but `here` carries +15.
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is here
+
+
+class TestFullSimulationBranches:
+    def test_rt_fifo_runs_to_block_over_rr(self):
+        sched, machine = rig(num_cpus=1)
+        order = []
+
+        def fifo(env):
+            yield env.run(us=500)
+            order.append("fifo")
+
+        def rr(env):
+            yield env.run(us=500)
+            order.append("rr")
+
+        machine.spawn(rr, name="rr", policy=SchedPolicy.SCHED_RR, rt_priority=10)
+        machine.spawn(fifo, name="fifo", policy=SchedPolicy.SCHED_FIFO, rt_priority=20)
+        machine.run()
+        assert order == ["fifo", "rr"]
+
+    def test_mixed_rt_and_other_end_to_end(self):
+        sched, machine = rig(num_cpus=2)
+        chan = Channel(2)
+        mm = MMStruct()
+        log = []
+
+        def rt_producer(env):
+            for i in range(5):
+                yield env.run(us=50)
+                yield env.put(chan, i)
+
+        def other_consumer(env):
+            for _ in range(5):
+                value = yield env.get(chan)
+                log.append(value)
+                yield env.run(us=200)
+
+        machine.spawn(
+            rt_producer, name="rt",
+            policy=SchedPolicy.SCHED_FIFO, rt_priority=30, mm=mm,
+        )
+        machine.spawn(other_consumer, name="other", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert log == list(range(5))
+
+    def test_yielding_among_many_rotates_fairly(self):
+        sched, machine = rig(num_cpus=1)
+        counts = {"a": 0, "b": 0, "c": 0}
+
+        def polite(env, tag):
+            for _ in range(9):
+                yield env.run(us=20)
+                counts[tag] += 1
+                yield env.sched_yield()
+
+        for tag in counts:
+            machine.spawn(lambda env, t=tag: polite(env, t), name=tag)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert all(v == 9 for v in counts.values())

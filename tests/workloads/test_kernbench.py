@@ -1,0 +1,65 @@
+"""Tests for the kernel-compile workload (Table 2's generator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, Machine, MachineSpec, VanillaScheduler
+from repro.workloads.kernbench import Kernbench, KernbenchConfig, run_kernbench
+
+FAST = KernbenchConfig(
+    files=24, jobs=4, mean_compile_seconds=0.05, link_seconds=0.2
+)
+
+
+class TestConfig:
+    def test_defaults_model_the_paper_build(self):
+        cfg = KernbenchConfig()
+        assert cfg.jobs == 4  # "make -j4 bzImage"
+
+
+class TestExecution:
+    def test_build_completes(self, paper_scheduler_factory):
+        result = run_kernbench(paper_scheduler_factory, MachineSpec.up(), FAST)
+        assert result.elapsed_seconds > 0
+        assert result.sim.payload["completed"] == FAST.files
+        assert result.sim.payload["linked"]
+
+    def test_parallelism_bounded_by_jobs(self):
+        """At most -j compile tasks exist concurrently."""
+        machine = Machine(VanillaScheduler(), num_cpus=2, smp=True)
+        bench = Kernbench(FAST)
+        bench.populate(machine)
+        machine.run()
+        # Runqueue length statistics never exceeded jobs + make + margin.
+        stats = machine.scheduler.stats
+        assert stats.avg_runqueue_len() <= FAST.jobs + 2
+
+    def test_smp_speedup(self, paper_scheduler_factory):
+        up = run_kernbench(paper_scheduler_factory, MachineSpec.up(), FAST)
+        twop = run_kernbench(paper_scheduler_factory, MachineSpec.smp_n(2), FAST)
+        assert twop.elapsed_seconds < 0.75 * up.elapsed_seconds
+
+    def test_determinism(self):
+        a = run_kernbench(ELSCScheduler, MachineSpec.up(), FAST)
+        b = run_kernbench(ELSCScheduler, MachineSpec.up(), FAST)
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+    def test_light_load_parity(self):
+        """Table 2's point: the schedulers tie at light load (within 2%)."""
+        reg = run_kernbench(VanillaScheduler, MachineSpec.up(), FAST)
+        elsc = run_kernbench(ELSCScheduler, MachineSpec.up(), FAST)
+        ratio = elsc.elapsed_seconds / reg.elapsed_seconds
+        assert 0.98 < ratio < 1.02
+
+    def test_minutes_formatting(self):
+        result = run_kernbench(ELSCScheduler, MachineSpec.up(), FAST)
+        text = result.minutes_str()
+        minutes, seconds = text.split(":")
+        assert int(minutes) >= 0
+        assert 0 <= float(seconds) < 60
+
+    def test_scheduler_fraction_negligible(self, paper_scheduler_factory):
+        """Light load: the scheduler is a rounding error, unlike VolanoMark."""
+        result = run_kernbench(paper_scheduler_factory, MachineSpec.up(), FAST)
+        assert result.scheduler_fraction < 0.02

@@ -1,0 +1,106 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, VanillaScheduler
+from repro.kernel.task import SchedPolicy
+from repro.workloads.synthetic import (
+    cpu_hogs,
+    fanout_broadcast,
+    pingpong_pairs,
+    rt_mix,
+    yield_storm,
+)
+
+
+def up(factory=VanillaScheduler):
+    return Machine(factory(), num_cpus=1, smp=False)
+
+
+class TestCpuHogs:
+    def test_all_hogs_finish_their_budget(self):
+        machine = up()
+        counters = cpu_hogs(machine, count=3, seconds_each=0.05)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert len(counters.per_task_cycles) == 3
+
+    def test_separate_address_spaces_option(self):
+        machine = up()
+        cpu_hogs(machine, count=3, seconds_each=0.01, shared_mm=False)
+        mms = {t.mm for t in machine.all_tasks()}
+        assert len(mms) == 3
+
+
+class TestPingpong:
+    def test_message_count(self):
+        machine = up()
+        counters = pingpong_pairs(machine, pairs=3, rounds=10)
+        machine.run()
+        assert counters.messages == 30
+
+
+class TestFanout:
+    def test_broadcast_conservation(self):
+        machine = up()
+        counters = fanout_broadcast(machine, consumers=20, rounds=5)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert counters.messages == 100
+
+    def test_fanout_builds_long_runqueues(self):
+        """The point of the generator: queue length ≈ consumer count."""
+        machine = up()
+        fanout_broadcast(machine, consumers=30, rounds=10)
+        machine.run()
+        assert machine.scheduler.stats.avg_runqueue_len() > 10
+
+
+class TestYieldStorm:
+    def test_yield_counts(self):
+        machine = up()
+        counters = yield_storm(machine, tasks=2, yields_each=25)
+        machine.run()
+        assert counters.yields == 50
+
+    def test_lone_storm_recalcs_vanilla_only(self):
+        from repro import ELSCScheduler
+
+        reg_machine = up(VanillaScheduler)
+        yield_storm(reg_machine, tasks=1, yields_each=20)
+        reg_machine.run()
+        elsc_machine = Machine(ELSCScheduler(), num_cpus=1, smp=False)
+        yield_storm(elsc_machine, tasks=1, yields_each=20)
+        elsc_machine.run()
+        assert reg_machine.scheduler.stats.recalc_entries == 20
+        assert elsc_machine.scheduler.stats.recalc_entries == 0
+        assert elsc_machine.scheduler.stats.yield_reruns == 20
+
+
+class TestRtMix:
+    def test_rt_tasks_complete(self):
+        machine = up()
+        counters = rt_mix(machine, rt_tasks=2, other_tasks=2, rounds=5)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert len(counters.per_task_cycles) == 4
+
+    def test_rt_tasks_finish_before_background(self):
+        """RT always preempts SCHED_OTHER: with equal work, the RT tasks'
+        total turnaround is shorter."""
+        machine = up()
+        finish = {}
+
+        def note_exit(task):
+            finish[task.name] = machine.clock.now
+
+        # Background work (8 × 10 × 0.5 ms = 40 ms) far exceeds the RT
+        # task's turnaround (10 × (0.5 ms + 2 ms sleep) = 25 ms); since
+        # RT preempts on every wake, it must finish first.
+        rt_mix(machine, rt_tasks=1, other_tasks=8, rounds=10, work_us=500.0)
+        for t in machine.all_tasks():
+            t.exit_callbacks.append(note_exit)
+        machine.run()
+        assert finish["rt0"] < max(finish[n] for n in finish if n.startswith("bg"))

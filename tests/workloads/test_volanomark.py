@@ -1,0 +1,141 @@
+"""Tests for the VolanoMark model: topology, conservation, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, Machine, MachineSpec, VanillaScheduler
+from repro.workloads.volanomark import (
+    VolanoConfig,
+    VolanoMark,
+    run_volanomark,
+    run_volanomark_rules,
+)
+
+FAST = VolanoConfig(
+    rooms=2, users_per_room=4, messages_per_user=3, startup_stagger_us=50.0
+)
+
+
+class TestConfig:
+    def test_paper_parameters(self):
+        cfg = VolanoConfig.paper()
+        assert cfg.users_per_room == 20
+        assert cfg.messages_per_user == 100
+
+    def test_thread_count_is_eighty_per_room(self):
+        # "Each simulated user creates two threads, so each room creates
+        # a total of 80 threads" (2 client + 2 server per connection).
+        assert VolanoConfig(rooms=1).threads == 80
+        assert VolanoConfig(rooms=25).threads == 2000
+
+    def test_deliveries_expected(self):
+        cfg = VolanoConfig(rooms=2, users_per_room=3, messages_per_user=5)
+        # users² × messages per room.
+        assert cfg.deliveries_expected == 2 * 9 * 5
+
+    def test_with_rooms_copies(self):
+        cfg = VolanoConfig(rooms=5)
+        other = cfg.with_rooms(20)
+        assert other.rooms == 20
+        assert cfg.rooms == 5  # frozen original untouched
+
+
+class TestTopology:
+    def test_task_population(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        bench = VolanoMark(FAST)
+        bench.populate(machine)
+        names = [t.name for t in machine.all_tasks()]
+        # 4 threads per user-connection…
+        for role in ("cw", "cr", "sr", "sw"):
+            assert sum(1 for n in names if n.endswith(role)) == 8
+        # …plus one housekeeping thread per JVM.
+        assert sum(1 for n in names if ".gc" in n) == 2
+
+    def test_two_address_spaces(self):
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        bench = VolanoMark(FAST)
+        bench.populate(machine)
+        mms = {t.mm for t in machine.all_tasks()}
+        assert len(mms) == 2  # client JVM + server JVM
+
+
+class TestConservation:
+    def test_every_message_delivered(self, paper_scheduler_factory):
+        result = run_volanomark(paper_scheduler_factory, MachineSpec.up(), FAST)
+        assert result.messages_delivered == FAST.deliveries_expected
+
+    def test_smp_delivery_conservation(self, paper_scheduler_factory):
+        result = run_volanomark(
+            paper_scheduler_factory, MachineSpec.smp_n(2), FAST
+        )
+        assert result.messages_delivered == FAST.deliveries_expected
+
+    def test_throughput_positive(self):
+        result = run_volanomark(ELSCScheduler, MachineSpec.up(), FAST)
+        assert result.throughput > 0
+        assert result.elapsed_seconds > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_volanomark(VanillaScheduler, MachineSpec.up(), FAST)
+        b = run_volanomark(VanillaScheduler, MachineSpec.up(), FAST)
+        assert a.throughput == b.throughput
+        assert a.sim.stats.schedule_calls == b.sim.stats.schedule_calls
+        assert a.sim.stats.tasks_examined == b.sim.stats.tasks_examined
+
+    def test_different_seed_different_interleaving(self):
+        from dataclasses import replace
+
+        a = run_volanomark(VanillaScheduler, MachineSpec.up(), FAST)
+        b = run_volanomark(
+            VanillaScheduler, MachineSpec.up(), replace(FAST, seed=99)
+        )
+        # Jitter differs, so fine-grained counters should differ.
+        assert (
+            a.sim.stats.scheduler_cycles != b.sim.stats.scheduler_cycles
+            or a.throughput != b.throughput
+        )
+
+
+class TestRunRules:
+    def test_discards_first_run(self):
+        results = run_volanomark_rules(
+            ELSCScheduler, MachineSpec.up(), FAST, runs=3
+        )
+        assert len(results) == 2  # first of three discarded
+
+    def test_single_run_not_discarded(self):
+        results = run_volanomark_rules(
+            ELSCScheduler, MachineSpec.up(), FAST, runs=1
+        )
+        assert len(results) == 1
+
+    def test_keep_all_when_disabled(self):
+        results = run_volanomark_rules(
+            ELSCScheduler, MachineSpec.up(), FAST, runs=2, discard_first=False
+        )
+        assert len(results) == 2
+
+
+class TestSchedulerContrast:
+    """The paper's headline effects, at miniature scale."""
+
+    def test_elsc_examines_far_fewer_tasks(self):
+        cfg = VolanoConfig(rooms=2, messages_per_user=3)
+        reg = run_volanomark(VanillaScheduler, MachineSpec.up(), cfg)
+        elsc = run_volanomark(ELSCScheduler, MachineSpec.up(), cfg)
+        assert (
+            elsc.sim.stats.examined_per_schedule()
+            < reg.sim.stats.examined_per_schedule() / 3
+        )
+
+    def test_only_vanilla_recalculates(self):
+        cfg = VolanoConfig(rooms=2, messages_per_user=5)
+        reg = run_volanomark(VanillaScheduler, MachineSpec.up(), cfg)
+        elsc = run_volanomark(ELSCScheduler, MachineSpec.up(), cfg)
+        assert reg.sim.stats.recalc_entries > 0
+        assert elsc.sim.stats.recalc_entries == 0
+        assert elsc.sim.stats.yield_reruns > 0

@@ -1,0 +1,86 @@
+"""Tests for the select-server chat (the section 4 counterfactual)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, MachineSpec, VanillaScheduler
+from repro.workloads.volanomark import VolanoConfig, run_volanomark
+from repro.workloads.volanoselect import run_select_chat
+
+FAST = VolanoConfig(
+    rooms=2, users_per_room=5, messages_per_user=3, startup_stagger_us=50.0
+)
+
+
+class TestTopology:
+    def test_threads_per_room_is_forty_one(self):
+        result = run_select_chat(VanillaScheduler, MachineSpec.up(), FAST)
+        # 2 client threads per user + 1 server thread per room.
+        assert result.threads == FAST.rooms * (2 * FAST.users_per_room + 1)
+        # Roughly half the thread-per-connection architecture's count.
+        assert result.threads < FAST.threads
+
+
+class TestConservation:
+    def test_every_message_delivered(self, paper_scheduler_factory):
+        result = run_select_chat(paper_scheduler_factory, MachineSpec.up(), FAST)
+        assert result.messages_delivered == FAST.deliveries_expected
+
+    def test_smp_works(self, paper_scheduler_factory):
+        result = run_select_chat(
+            paper_scheduler_factory, MachineSpec.smp_n(2), FAST
+        )
+        assert result.messages_delivered == FAST.deliveries_expected
+
+    def test_determinism(self):
+        a = run_select_chat(ELSCScheduler, MachineSpec.up(), FAST)
+        b = run_select_chat(ELSCScheduler, MachineSpec.up(), FAST)
+        assert a.throughput == b.throughput
+
+
+class TestCounterfactualClaims:
+    """Section 4's implication, measured."""
+
+    @pytest.fixture(scope="class")
+    def quad(self):
+        cfg = VolanoConfig(rooms=4, messages_per_user=4)
+        return {
+            ("threads", "reg"): run_volanomark(
+                VanillaScheduler, MachineSpec.up(), cfg
+            ),
+            ("threads", "elsc"): run_volanomark(
+                ELSCScheduler, MachineSpec.up(), cfg
+            ),
+            ("select", "reg"): run_select_chat(
+                VanillaScheduler, MachineSpec.up(), cfg
+            ),
+            ("select", "elsc"): run_select_chat(
+                ELSCScheduler, MachineSpec.up(), cfg
+            ),
+        }
+
+    def test_select_shrinks_the_run_queue(self, quad):
+        threads = quad[("threads", "reg")].sim.stats.examined_per_schedule()
+        select = quad[("select", "reg")].sim.stats.examined_per_schedule()
+        assert select < threads / 2
+
+    def test_select_cuts_stock_scheduler_share(self, quad):
+        assert (
+            quad[("select", "reg")].scheduler_fraction
+            < quad[("threads", "reg")].scheduler_fraction
+        )
+
+    def test_scheduler_gap_narrows_under_select(self, quad):
+        """With the thread storm gone, reg and elsc converge — showing
+        the paper's problem is threads × O(n) scan, not Java per se."""
+        thread_gap = (
+            quad[("threads", "elsc")].throughput
+            / quad[("threads", "reg")].throughput
+        )
+        select_gap = (
+            quad[("select", "elsc")].throughput
+            / quad[("select", "reg")].throughput
+        )
+        assert select_gap < thread_gap
+        assert select_gap < 1.25  # near-parity under select

@@ -1,0 +1,54 @@
+"""Tests for the Apache-style web-server workload (future work §8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELSCScheduler, MachineSpec, VanillaScheduler
+from repro.workloads.webserver import WebServerConfig, run_webserver
+
+FAST = WebServerConfig(workers=4, clients=8, requests_per_client=5)
+
+
+class TestExecution:
+    def test_all_requests_served(self, paper_scheduler_factory):
+        result = run_webserver(paper_scheduler_factory, MachineSpec.up(), FAST)
+        assert result.requests_done == FAST.total_requests
+
+    def test_latency_stats_sane(self):
+        result = run_webserver(ELSCScheduler, MachineSpec.up(), FAST)
+        assert 0 < result.mean_latency_seconds <= result.p99_latency_seconds
+        assert result.throughput > 0
+
+    def test_smp_improves_throughput(self, paper_scheduler_factory):
+        cfg = WebServerConfig(workers=8, clients=32, requests_per_client=5)
+        up = run_webserver(paper_scheduler_factory, MachineSpec.up(), cfg)
+        four = run_webserver(paper_scheduler_factory, MachineSpec.smp_n(4), cfg)
+        assert four.throughput > up.throughput
+
+    def test_determinism(self):
+        a = run_webserver(VanillaScheduler, MachineSpec.up(), FAST)
+        b = run_webserver(VanillaScheduler, MachineSpec.up(), FAST)
+        assert a.throughput == b.throughput
+        assert a.p99_latency_seconds == b.p99_latency_seconds
+
+    def test_schedulers_near_parity(self):
+        """The paper's implied future-work answer: short run queues mean
+        the scheduler is not the bottleneck — throughput within 15 %."""
+        cfg = WebServerConfig(workers=8, clients=24, requests_per_client=8)
+        reg = run_webserver(VanillaScheduler, MachineSpec.up(), cfg)
+        elsc = run_webserver(ELSCScheduler, MachineSpec.up(), cfg)
+        ratio = elsc.throughput / reg.throughput
+        assert 0.85 < ratio < 1.18, ratio
+
+    def test_worker_pool_is_processes(self):
+        """Each httpd worker is its own address space (pre-fork model)."""
+        from repro import Machine
+        from repro.workloads.webserver import WebServer
+
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        WebServer(FAST).populate(machine)
+        worker_mms = {
+            t.mm for t in machine.all_tasks() if t.name.startswith("httpd")
+        }
+        assert len(worker_mms) == FAST.workers

@@ -1,0 +1,116 @@
+"""Internal behaviours of the workload models (the pieces the headline
+metrics are built from)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ELSCScheduler, Machine, MachineSpec, VanillaScheduler
+from repro.workloads.kernbench import Kernbench, KernbenchConfig
+from repro.workloads.volanomark import VolanoConfig, VolanoMark, run_volanomark
+from repro.workloads.webserver import WebServer, WebServerConfig
+
+
+class TestVolanoInternals:
+    def test_thread_rng_is_stable_per_thread(self):
+        bench = VolanoMark(VolanoConfig(seed=7))
+        a1 = bench._thread_rng("cw1").random()
+        a2 = bench._thread_rng("cw1").random()
+        b = bench._thread_rng("cw2").random()
+        assert a1 == a2
+        assert a1 != b
+
+    def test_work_cycles_respects_jitter_bounds(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            cycles = VolanoMark._work_cycles(rng, 100.0, 0.2)
+            base = 100.0 * 400  # µs → cycles at 400 MHz
+            assert 0.8 * base - 1 <= cycles <= 1.2 * base + 1
+
+    def test_zero_jitter_is_exact(self):
+        rng = random.Random(1)
+        assert VolanoMark._work_cycles(rng, 100.0, 0.0) == 40_000
+
+    def test_room_lock_contention_happens(self):
+        """The roster monitor must actually be contended at load —
+        otherwise the yield model is dead code."""
+        machine = Machine(VanillaScheduler(), num_cpus=2, smp=True)
+        bench = VolanoMark(VolanoConfig(rooms=2, messages_per_user=6))
+        bench.populate(machine)
+        machine.run()
+        # Walk the rooms' locks through the machine's channels? The rooms
+        # are internal; infer from stats instead: yields happened.
+        yields = sum(t.yield_count for t in machine.all_tasks())
+        assert yields > 0
+
+    def test_socket_buffer_size_changes_dynamics(self):
+        tight = run_volanomark(
+            ELSCScheduler,
+            MachineSpec.up(),
+            VolanoConfig(rooms=2, messages_per_user=4, socket_buffer=1),
+        )
+        roomy = run_volanomark(
+            ELSCScheduler,
+            MachineSpec.up(),
+            VolanoConfig(rooms=2, messages_per_user=4, socket_buffer=64),
+        )
+        # Bigger buffers mean fewer blocking round-trips → fewer calls.
+        assert (
+            roomy.sim.stats.schedule_calls < tight.sim.stats.schedule_calls
+        )
+
+    def test_housekeeping_disabled(self):
+        cfg = VolanoConfig(
+            rooms=1, users_per_room=4, messages_per_user=3,
+            housekeeping_threads=0,
+        )
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        bench = VolanoMark(cfg)
+        bench.populate(machine)
+        names = [t.name for t in machine.all_tasks()]
+        assert not any(".gc" in n for n in names)
+        summary = machine.run()
+        assert not summary.deadlocked
+
+
+class TestKernbenchInternals:
+    def test_duration_distribution_deterministic(self):
+        cfg = KernbenchConfig(files=50, seed=3)
+        a = Kernbench(cfg)
+        b = Kernbench(cfg)
+        assert a._durations == b._durations
+
+    def test_durations_have_spread(self):
+        """Log-normal-ish: a few big files, many small ones."""
+        bench = Kernbench(KernbenchConfig(files=200))
+        durations = sorted(bench._durations)
+        assert durations[-1] > 2 * durations[len(durations) // 2]
+
+    def test_different_seeds_differ(self):
+        a = Kernbench(KernbenchConfig(files=50, seed=1))
+        b = Kernbench(KernbenchConfig(files=50, seed=2))
+        assert a._durations != b._durations
+
+
+class TestWebServerInternals:
+    def test_latencies_recorded_per_request(self):
+        cfg = WebServerConfig(workers=2, clients=4, requests_per_client=3)
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        bench = WebServer(cfg)
+        bench.populate(machine)
+        machine.run()
+        assert len(bench.latencies_cycles) == cfg.total_requests
+        assert all(lat > 0 for lat in bench.latencies_cycles)
+
+    def test_backlog_bounds_listen_queue(self):
+        cfg = WebServerConfig(
+            workers=1, clients=8, requests_per_client=2, backlog=2
+        )
+        machine = Machine(VanillaScheduler(), num_cpus=1, smp=False)
+        bench = WebServer(cfg)
+        bench.populate(machine)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert bench.requests_done == cfg.total_requests
