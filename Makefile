@@ -1,29 +1,42 @@
 # Convenience targets for the ELSC reproduction.
+#
+# Everything runs against the source tree directly (PYTHONPATH=src),
+# matching the tier-1 invocation in ROADMAP.md — no install step needed.
 
-.PHONY: install test bench bench-full report examples clean
+PYTHON ?= python
+PY = PYTHONPATH=src $(PYTHON)
+JOBS ?= 0
+
+.PHONY: install test bench bench-full report sweep examples clean clean-cache
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	$(PY) -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
 
 bench-full:
-	pytest benchmarks/ -s
+	$(PY) -m pytest benchmarks/ -s
 
 report:
-	python -m repro report --messages 6 --output results/measured.txt
+	$(PY) -m repro report --messages 6 --jobs $(JOBS) --output results/measured.txt
+
+sweep:
+	$(PY) -m repro sweep --schedulers elsc,reg --specs UP,1P,2P,4P --jobs $(JOBS)
 
 examples:
-	python examples/quickstart.py
-	python examples/recalc_pathology.py
-	python examples/custom_scheduler.py
-	python examples/apache_webserver.py
-	python examples/select_vs_threads.py
-	python examples/priority_lab.py
+	$(PY) examples/quickstart.py
+	$(PY) examples/recalc_pathology.py
+	$(PY) examples/custom_scheduler.py
+	$(PY) examples/apache_webserver.py
+	$(PY) examples/select_vs_threads.py
+	$(PY) examples/priority_lab.py
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build *.egg-info src/*.egg-info
+
+clean-cache:
+	rm -rf results/cache results/manifest.jsonl

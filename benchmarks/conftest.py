@@ -1,71 +1,102 @@
 """Shared infrastructure for the benchmark suite.
 
 The expensive piece — the VolanoMark matrix over schedulers × machine
-configs × room counts — is computed once per session and shared by every
-figure bench.  Scale knobs come from the environment:
+configs × room counts — runs through the parallel experiment harness
+(:mod:`repro.harness`): the whole grid is prefetched once per session
+across a process pool, and completed cells land in the on-disk result
+cache under ``results/cache/``, so regenerating the figures a second
+time costs almost nothing.  Scale and execution knobs come from the
+environment:
 
 ``REPRO_BENCH_MESSAGES``
     messages per user (default 4; the paper used 100 — throughput is a
     rate, so the series *shapes* survive the reduction);
 ``REPRO_BENCH_ROOMS``
-    comma-separated room counts (default ``5,10,15,20`` — the paper's).
+    comma-separated room counts (default ``5,10,15,20`` — the paper's);
+``REPRO_BENCH_JOBS``
+    worker processes (default 0 = one per CPU; 1 = serial);
+``REPRO_BENCH_CACHE``
+    set to ``0`` to bypass the on-disk result cache;
+``REPRO_BENCH_PREFETCH``
+    set to ``0`` to compute cells lazily instead of prefetching the
+    grid.
 
-Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
-regenerated tables.
+Run with ``PYTHONPATH=src pytest benchmarks/ --benchmark-only -s`` to
+see the regenerated tables.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 
 import pytest
 
-from repro import ELSCScheduler, MachineSpec, VanillaScheduler
-from repro.workloads.volanomark import VolanoConfig, VolanoResult, run_volanomark
+from repro.harness import (
+    CellResult,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+)
+from repro.harness.cache import DEFAULT_CACHE_DIR
+from repro.harness.runner import DEFAULT_MANIFEST_PATH
+from repro.sched.stats import SchedStats
 
 MESSAGES = int(os.environ.get("REPRO_BENCH_MESSAGES", "4"))
 ROOMS = tuple(
     int(r) for r in os.environ.get("REPRO_BENCH_ROOMS", "5,10,15,20").split(",")
 )
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+USE_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+PREFETCH = os.environ.get("REPRO_BENCH_PREFETCH", "1") != "0"
 
-SPECS = {
-    "UP": MachineSpec.up(),
-    "1P": MachineSpec.smp_n(1),
-    "2P": MachineSpec.smp_n(2),
-    "4P": MachineSpec.smp_n(4),
-}
-
-SCHEDULERS = {"reg": VanillaScheduler, "elsc": ELSCScheduler}
-
-
-@dataclass(frozen=True)
-class Cell:
-    scheduler: str
-    spec: str
-    rooms: int
+SPECS = ("UP", "1P", "2P", "4P")
+SCHEDULERS = ("reg", "elsc")
 
 
 class VolanoMatrix:
-    """Lazy cache of VolanoMark results over the experiment grid."""
+    """Harness-backed cache of VolanoMark results over the experiment grid."""
 
     def __init__(self) -> None:
-        self._cache: dict[Cell, VolanoResult] = {}
+        self._runner = ParallelRunner(
+            jobs=JOBS or None,
+            cache=ResultCache(DEFAULT_CACHE_DIR) if USE_CACHE else None,
+            manifest_path=DEFAULT_MANIFEST_PATH,
+        )
+        self._results: dict[str, CellResult] = {}
+        if PREFETCH:
+            self.prefetch()
 
-    def get(self, scheduler: str, spec: str, rooms: int) -> VolanoResult:
-        cell = Cell(scheduler, spec, rooms)
-        if cell not in self._cache:
-            cfg = VolanoConfig(rooms=rooms, messages_per_user=MESSAGES)
-            self._cache[cell] = run_volanomark(
-                SCHEDULERS[scheduler], SPECS[spec], cfg
-            )
-        return self._cache[cell]
+    @staticmethod
+    def _spec(scheduler: str, spec: str, rooms: int) -> RunSpec:
+        return RunSpec(
+            "volano",
+            scheduler,
+            spec,
+            {"rooms": rooms, "messages_per_user": MESSAGES},
+        )
+
+    def prefetch(self) -> None:
+        """Fan the whole grid across the pool in one shot."""
+        specs = [
+            self._spec(sched, spec, rooms)
+            for sched in SCHEDULERS
+            for spec in SPECS
+            for rooms in ROOMS
+        ]
+        for spec, cell in zip(specs, self._runner.run(specs)):
+            self._results[spec.key] = cell
+
+    def get(self, scheduler: str, spec: str, rooms: int) -> CellResult:
+        run_spec = self._spec(scheduler, spec, rooms)
+        if run_spec.key not in self._results:
+            self._results[run_spec.key] = self._runner.run_one(run_spec)
+        return self._results[run_spec.key]
 
     def throughput(self, scheduler: str, spec: str, rooms: int) -> float:
         return self.get(scheduler, spec, rooms).throughput
 
-    def stats(self, scheduler: str, spec: str, rooms: int):
-        return self.get(scheduler, spec, rooms).sim.stats
+    def stats(self, scheduler: str, spec: str, rooms: int) -> SchedStats:
+        return self.get(scheduler, spec, rooms).sched_stats()
 
 
 @pytest.fixture(scope="session")

@@ -40,7 +40,7 @@ def test_ibm_baseline_regenerate(ibm_data):
             rooms,
             f"{result.throughput:.0f}",
             f"{result.scheduler_fraction:.1%}",
-            f"{result.sim.stats.avg_runqueue_len():.1f}",
+            f"{result.sched_stats().avg_runqueue_len():.1f}",
         ]
         for rooms, result in ibm_data.items()
     ]
@@ -72,8 +72,8 @@ def test_ibm_degradation_shape(ibm_data):
     )
     check.greater(
         "run queue grows with rooms",
-        ibm_data[HIGH].sim.stats.avg_runqueue_len(),
-        1.5 * ibm_data[BASE].sim.stats.avg_runqueue_len(),
+        ibm_data[HIGH].sched_stats().avg_runqueue_len(),
+        1.5 * ibm_data[BASE].sched_stats().avg_runqueue_len(),
     )
     emit(check.report("IBM baseline shape checks"))
     assert check.all_passed

@@ -15,7 +15,11 @@ The package contains:
 * :mod:`repro.workloads` — VolanoMark (the paper's stress test), a
   kernel-compile model (the paper's light-load test), a web-server model
   (future work §8), and synthetic mixes;
-* :mod:`repro.analysis` — metrics and paper-style table rendering.
+* :mod:`repro.analysis` — metrics and paper-style table rendering;
+* :mod:`repro.harness` — the parallel experiment harness: hashed
+  :class:`~repro.harness.RunSpec` cells, a content-addressed result
+  cache, and a process-pool :class:`~repro.harness.ParallelRunner`
+  (see ``docs/harness.md``).
 
 Quickstart::
 
@@ -68,7 +72,19 @@ from .sched import (
 
 __version__ = "1.0.0"
 
+from .harness import (  # noqa: E402 — needs __version__ for cache stamps
+    CellResult,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+)
+
 __all__ = [
+    # harness
+    "RunSpec",
+    "CellResult",
+    "ParallelRunner",
+    "ResultCache",
     "__version__",
     # schedulers
     "ELSCScheduler",

@@ -6,10 +6,12 @@ the future-work web server) and renders the paper-style tables that
 EXPERIMENTS.md records.  It is what ``python -m repro report`` and
 ``results/generate.py`` run.
 
-Scale is controlled by :class:`ReportConfig`; the default reduced
-message count keeps a full report in the minutes range (the stock
-scheduler's O(n) scan is simulated faithfully and dominates the wall
-clock, which is itself a faithful observation).
+Every cell goes through the :mod:`repro.harness` — so a report fans out
+across a process pool (``ReportConfig.jobs``) and can reuse the
+content-addressed result cache (``ReportConfig.cache_dir``); a repeated
+report recomputes only missing cells.  Scale is controlled by
+:class:`ReportConfig`; the default reduced message count keeps even a
+serial report in the minutes range.
 """
 
 from __future__ import annotations
@@ -17,34 +19,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..core.elsc import ELSCScheduler
-from ..kernel.simulator import MachineSpec
-from ..sched.base import Scheduler
-from ..sched.vanilla import VanillaScheduler
-from ..workloads.kernbench import KernbenchConfig, run_kernbench
-from ..workloads.volanomark import VolanoConfig, VolanoResult, run_volanomark
-from ..workloads.webserver import WebServerConfig, run_webserver
+from ..harness import CellResult, ParallelRunner, ResultCache, RunSpec
 from .metrics import Series, scaling_factor
-from .tables import format_figure, format_table
+from .tables import format_figure, format_minutes, format_table
 
 __all__ = ["ReportConfig", "build_report", "volano_grid"]
 
-_SPECS: dict[str, MachineSpec] = {
-    "UP": MachineSpec.up(),
-    "1P": MachineSpec.smp_n(1),
-    "2P": MachineSpec.smp_n(2),
-    "4P": MachineSpec.smp_n(4),
-}
+#: Presentation order of the paper's machine configurations.
+_SPEC_NAMES = ("UP", "1P", "2P", "4P")
 
-_SCHEDS: dict[str, Callable[[], Scheduler]] = {
-    "reg": VanillaScheduler,
-    "elsc": ELSCScheduler,
-}
+#: The two schedulers the paper compares, presentation order.
+_SCHED_NAMES = ("reg", "elsc")
 
 
 @dataclass(frozen=True)
 class ReportConfig:
-    """Scale knobs for a full report run."""
+    """Scale and execution knobs for a full report run."""
 
     messages_per_user: int = 6
     rooms: tuple[int, ...] = (5, 10, 15, 20)
@@ -53,6 +43,13 @@ class ReportConfig:
     kernbench_files: int = 400
     include_kernbench: bool = True
     include_webserver: bool = True
+    #: Harness parallelism: 1 = serial in-process, 0/None = one worker
+    #: per CPU, N = exactly N workers.
+    jobs: int = 1
+    #: Result-cache directory; ``None`` disables on-disk caching.
+    cache_dir: Optional[str] = None
+    #: Run-manifest path; ``None`` disables the manifest.
+    manifest_path: Optional[str] = None
     progress: Optional[Callable[[str], None]] = field(
         default=None, compare=False
     )
@@ -61,29 +58,55 @@ class ReportConfig:
         if self.progress is not None:
             self.progress(text)
 
+    def make_runner(self) -> ParallelRunner:
+        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        return ParallelRunner(
+            jobs=self.jobs, cache=cache, manifest_path=self.manifest_path
+        )
+
+
+def _volano_specs(
+    config: ReportConfig,
+) -> tuple[list[RunSpec], list[tuple[str, str, int]]]:
+    specs: list[RunSpec] = []
+    keys: list[tuple[str, str, int]] = []
+    for sched_name in _SCHED_NAMES:
+        for spec_name in _SPEC_NAMES:
+            for rooms in config.rooms:
+                specs.append(
+                    RunSpec(
+                        "volano",
+                        sched_name,
+                        spec_name,
+                        {
+                            "rooms": rooms,
+                            "messages_per_user": config.messages_per_user,
+                        },
+                    )
+                )
+                keys.append((sched_name, spec_name, rooms))
+    return specs, keys
+
 
 def volano_grid(
     config: ReportConfig,
-) -> dict[tuple[str, str, int], VolanoResult]:
+    runner: Optional[ParallelRunner] = None,
+) -> dict[tuple[str, str, int], CellResult]:
     """Run the full VolanoMark grid for a report config."""
-    grid: dict[tuple[str, str, int], VolanoResult] = {}
-    for sched_name, factory in _SCHEDS.items():
-        for spec_name, spec in _SPECS.items():
-            for rooms in config.rooms:
-                cfg = VolanoConfig(
-                    rooms=rooms, messages_per_user=config.messages_per_user
-                )
-                grid[(sched_name, spec_name, rooms)] = run_volanomark(
-                    factory, spec, cfg
-                )
-                config._note(f"volano {sched_name}-{spec_name} rooms={rooms}")
+    runner = runner if runner is not None else config.make_runner()
+    specs, keys = _volano_specs(config)
+    results = runner.run(specs)
+    grid: dict[tuple[str, str, int], CellResult] = {}
+    for (sched_name, spec_name, rooms), cell in zip(keys, results):
+        grid[(sched_name, spec_name, rooms)] = cell
+        config._note(f"volano {sched_name}-{spec_name} rooms={rooms}")
     return grid
 
 
 def _figure3(config: ReportConfig, grid) -> str:
     series = []
     for sched_name in ("elsc", "reg"):
-        for spec_name in _SPECS:
+        for spec_name in _SPEC_NAMES:
             s = Series(f"{sched_name}-{spec_name.lower()}")
             for rooms in config.rooms:
                 s.add(rooms, grid[(sched_name, spec_name, rooms)].throughput)
@@ -99,7 +122,7 @@ def _figure3(config: ReportConfig, grid) -> str:
 def _figure4(config: ReportConfig, grid) -> str:
     base, high = config.rooms[0], config.rooms[-1]
     rows = []
-    for spec_name in _SPECS:
+    for spec_name in _SPEC_NAMES:
         rows.append(
             [spec_name]
             + [
@@ -140,11 +163,11 @@ def _stat_figures(config: ReportConfig, grid) -> list[str]:
         ),
     ]:
         rows = []
-        for spec_name in _SPECS:
+        for spec_name in _SPEC_NAMES:
             rows.append(
                 [spec_name]
                 + [
-                    getter(grid[(s, spec_name, rooms)].sim.stats)
+                    getter(grid[(s, spec_name, rooms)].sched_stats())
                     for s in ("elsc", "reg")
                 ]
             )
@@ -166,36 +189,61 @@ def _ibm_baseline(config: ReportConfig, grid) -> str:
     )
 
 
-def _table2(config: ReportConfig) -> str:
-    kcfg = KernbenchConfig(files=config.kernbench_files)
-    rows = []
-    for label, factory in (("Current", VanillaScheduler), ("ELSC", ELSCScheduler)):
+def _kernbench_specs(
+    config: ReportConfig,
+) -> tuple[list[RunSpec], list[tuple[str, str]]]:
+    specs: list[RunSpec] = []
+    keys: list[tuple[str, str]] = []
+    for label, sched_name in (("Current", "reg"), ("ELSC", "elsc")):
         for spec_name in ("UP", "2P"):
-            result = run_kernbench(factory, _SPECS[spec_name], kcfg)
-            rows.append([f"{label} - {spec_name}", result.minutes_str()])
-            config._note(f"kernbench {label}-{spec_name}")
+            specs.append(
+                RunSpec(
+                    "kernbench",
+                    sched_name,
+                    spec_name,
+                    {"files": config.kernbench_files},
+                )
+            )
+            keys.append((label, spec_name))
+    return specs, keys
+
+
+def _table2(config: ReportConfig, cells, keys) -> str:
+    rows = []
+    for (label, spec_name), cell in zip(keys, cells):
+        rows.append(
+            [f"{label} - {spec_name}", format_minutes(cell.elapsed_seconds)]
+        )
+        config._note(f"kernbench {label}-{spec_name}")
     return format_table(
-        f"Table 2 — simulated kernel compile ({kcfg.files} objects)",
+        f"Table 2 — simulated kernel compile ({config.kernbench_files} objects)",
         ["Scheduler", "Time"],
         rows,
     )
 
 
-def _webserver(config: ReportConfig) -> str:
-    wcfg = WebServerConfig()
-    rows = []
-    for sched_name, factory in _SCHEDS.items():
+def _webserver_specs() -> tuple[list[RunSpec], list[tuple[str, str]]]:
+    specs: list[RunSpec] = []
+    keys: list[tuple[str, str]] = []
+    for sched_name in _SCHED_NAMES:
         for spec_name in ("UP", "2P"):
-            r = run_webserver(factory, _SPECS[spec_name], wcfg)
-            rows.append(
-                [
-                    f"{sched_name}-{spec_name}",
-                    f"{r.throughput:.0f}",
-                    f"{r.mean_latency_seconds * 1e3:.2f}",
-                    f"{r.p99_latency_seconds * 1e3:.2f}",
-                ]
-            )
-            config._note(f"webserver {sched_name}-{spec_name}")
+            specs.append(RunSpec("webserver", sched_name, spec_name, {}))
+            keys.append((sched_name, spec_name))
+    return specs, keys
+
+
+def _webserver(config: ReportConfig, cells, keys) -> str:
+    rows = []
+    for (sched_name, spec_name), cell in zip(keys, cells):
+        rows.append(
+            [
+                f"{sched_name}-{spec_name}",
+                f"{cell.throughput:.0f}",
+                f"{cell.metric('mean_latency_seconds') * 1e3:.2f}",
+                f"{cell.metric('p99_latency_seconds') * 1e3:.2f}",
+            ]
+        )
+        config._note(f"webserver {sched_name}-{spec_name}")
     return format_table(
         "Future work — web server",
         ["config", "req/s", "mean ms", "p99 ms"],
@@ -203,15 +251,43 @@ def _webserver(config: ReportConfig) -> str:
     )
 
 
-def build_report(config: Optional[ReportConfig] = None) -> str:
-    """Run everything and return the rendered report."""
+def build_report(
+    config: Optional[ReportConfig] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> str:
+    """Run everything and return the rendered report.
+
+    All sections are submitted to the harness as one batch, so with
+    ``jobs > 1`` the kernel compiles and web-server runs overlap the
+    VolanoMark grid instead of waiting for it.
+    """
     cfg = config if config is not None else ReportConfig()
-    grid = volano_grid(cfg)
+    runner = runner if runner is not None else cfg.make_runner()
+
+    volano_specs, volano_keys = _volano_specs(cfg)
+    kern_specs, kern_keys = (
+        _kernbench_specs(cfg) if cfg.include_kernbench else ([], [])
+    )
+    web_specs, web_keys = (
+        _webserver_specs() if cfg.include_webserver else ([], [])
+    )
+
+    results = runner.run(volano_specs + kern_specs + web_specs)
+    n_volano, n_kern = len(volano_specs), len(kern_specs)
+    volano_cells = results[:n_volano]
+    kern_cells = results[n_volano : n_volano + n_kern]
+    web_cells = results[n_volano + n_kern :]
+
+    grid: dict[tuple[str, str, int], CellResult] = {}
+    for key, cell in zip(volano_keys, volano_cells):
+        grid[key] = cell
+        cfg._note(f"volano {key[0]}-{key[1]} rooms={key[2]}")
+
     blocks = [_figure3(cfg, grid), _figure4(cfg, grid)]
     blocks.extend(_stat_figures(cfg, grid))
     blocks.append(_ibm_baseline(cfg, grid))
     if cfg.include_kernbench:
-        blocks.append(_table2(cfg))
+        blocks.append(_table2(cfg, kern_cells, kern_keys))
     if cfg.include_webserver:
-        blocks.append(_webserver(cfg))
+        blocks.append(_webserver(cfg, web_cells, web_keys))
     return "\n\n".join(blocks)

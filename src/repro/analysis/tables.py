@@ -12,7 +12,19 @@ from typing import Optional, Sequence
 
 from .metrics import Series
 
-__all__ = ["format_table", "format_figure", "format_kv", "bar_chart"]
+__all__ = [
+    "format_table",
+    "format_figure",
+    "format_kv",
+    "bar_chart",
+    "format_minutes",
+]
+
+
+def format_minutes(seconds: float) -> str:
+    """Format like the paper's ``time`` output, e.g. ``6:41.41``."""
+    minutes = int(seconds // 60)
+    return f"{minutes}:{seconds - 60 * minutes:05.2f}"
 
 
 def format_table(

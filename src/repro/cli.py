@@ -5,53 +5,47 @@ Usage (also available as the ``elsc-repro`` console script)::
     python -m repro volano   --scheduler elsc --spec 4P --rooms 10
     python -m repro kernbench --scheduler reg  --spec UP
     python -m repro webserver --scheduler elsc --spec 2P
-    python -m repro figure3  --messages 6            # full Figure 3 sweep
+    python -m repro figure3  --messages 6 --jobs 4   # full Figure 3 sweep
     python -m repro figure4  --messages 6            # scaling factors
+    python -m repro sweep --schedulers elsc,reg --specs UP,2P --rooms 5,10
     python -m repro schedstat --scheduler elsc --spec 1P --rooms 10
 
-The figure commands regenerate the paper's series with reduced message
-counts by default (pass ``--paper`` for the full 20 users × 100 messages
-parameters; expect long wall-clock times on the stock scheduler — the
-O(n) scan is simulated faithfully).
+The sweep-shaped commands (``figure3``, ``figure4``, ``report``,
+``sweep``) run through the parallel experiment harness: independent
+cells fan out across a process pool (``--jobs``, default one worker per
+CPU) and completed cells land in a content-addressed cache under
+``results/cache/``, so re-running a sweep — even the full ``--paper``
+grid — only computes missing cells.  See ``docs/harness.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Optional, Sequence
+import time
+from dataclasses import asdict
+from typing import Optional, Sequence
 
 from .analysis.metrics import Series
-from .analysis.tables import format_figure, format_kv, format_table
-from .core.elsc import ELSCScheduler
-from .kernel.proc import render_runqueue, render_schedstat, render_tasks
-from .kernel.simulator import MachineSpec
-from .sched.base import Scheduler
-from .sched.cfs import CFSScheduler
-from .sched.heap import HeapScheduler
-from .sched.multiqueue import MultiQueueScheduler
-from .sched.o1 import O1Scheduler
-from .sched.vanilla import VanillaScheduler
+from .analysis.tables import format_figure, format_kv, format_minutes, format_table
+from .harness import (
+    MACHINE_SPECS,
+    SCHEDULERS,
+    WORKLOADS,
+    CellResult,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+)
+from .harness.cache import DEFAULT_CACHE_DIR
+from .harness.runner import DEFAULT_MANIFEST_PATH
 from .workloads.kernbench import KernbenchConfig, run_kernbench
 from .workloads.volanomark import VolanoConfig, run_volanomark
 from .workloads.volanoselect import run_select_chat
 from .workloads.webserver import WebServerConfig, run_webserver
 
-SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
-    "reg": VanillaScheduler,
-    "elsc": ELSCScheduler,
-    "heap": HeapScheduler,
-    "mq": MultiQueueScheduler,
-    "o1": O1Scheduler,
-    "cfs": CFSScheduler,
-}
-
-SPECS: dict[str, MachineSpec] = {
-    "UP": MachineSpec.up(),
-    "1P": MachineSpec.smp_n(1),
-    "2P": MachineSpec.smp_n(2),
-    "4P": MachineSpec.smp_n(4),
-}
+#: Canonical name → factory/spec registries (shared with the harness).
+SPECS = MACHINE_SPECS
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -66,6 +60,42 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=list(SPECS),
         default="UP",
         help="machine configuration (UP = non-SMP build)",
+    )
+
+
+def _add_harness_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="parallel worker processes (0 = one per CPU, 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        help="result-cache directory",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=str(DEFAULT_MANIFEST_PATH),
+        help="run-manifest JSONL path ('' to disable)",
+    )
+
+
+def _runner_from_args(args: argparse.Namespace, progress=None) -> ParallelRunner:
+    if args.jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0 (0 = auto), got {args.jobs}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return ParallelRunner(
+        jobs=args.jobs,
+        cache=cache,
+        manifest_path=args.manifest or None,
+        progress=progress,
     )
 
 
@@ -127,6 +157,9 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     cfg = ReportConfig(
         messages_per_user=args.messages,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        manifest_path=args.manifest or None,
         progress=lambda text: print(f"  ran {text}", file=sys.stderr),
     )
     text = build_report(cfg)
@@ -174,24 +207,38 @@ def cmd_webserver(args: argparse.Namespace) -> int:
     return 0
 
 
+def _volano_cell_overrides(args: argparse.Namespace, rooms: int) -> dict:
+    if args.paper:
+        return asdict(VolanoConfig.paper().with_rooms(rooms))
+    return {"rooms": rooms, "messages_per_user": args.messages}
+
+
 def _figure3_series(args: argparse.Namespace, specs: Sequence[str]) -> list[Series]:
     rooms_axis = [int(r) for r in args.rooms_list.split(",")]
+    cells: list[RunSpec] = []
+    for sched_name in ("elsc", "reg"):
+        for spec_name in specs:
+            for rooms in rooms_axis:
+                cells.append(
+                    RunSpec(
+                        "volano",
+                        sched_name,
+                        spec_name,
+                        _volano_cell_overrides(args, rooms),
+                    )
+                )
+    results = _runner_from_args(args).run(cells)
     series: list[Series] = []
+    index = 0
     for sched_name in ("elsc", "reg"):
         for spec_name in specs:
             s = Series(f"{sched_name}-{spec_name.lower()}")
             for rooms in rooms_axis:
-                cfg = (
-                    VolanoConfig.paper().with_rooms(rooms)
-                    if args.paper
-                    else VolanoConfig(rooms=rooms, messages_per_user=args.messages)
-                )
-                result = run_volanomark(
-                    SCHEDULERS[sched_name], SPECS[spec_name], cfg
-                )
-                s.add(rooms, result.throughput)
+                cell = results[index]
+                index += 1
+                s.add(rooms, cell.throughput)
                 print(
-                    f"  {s.name} rooms={rooms}: {result.throughput:.0f} msg/s",
+                    f"  {s.name} rooms={rooms}: {cell.throughput:.0f} msg/s",
                     file=sys.stderr,
                 )
             series.append(s)
@@ -227,16 +274,118 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Headline metric per workload for the sweep table.
+_SWEEP_METRICS: dict[str, tuple[str, str]] = {
+    "volano": ("throughput", "msg/s"),
+    "select-chat": ("throughput", "msg/s"),
+    "kernbench": ("elapsed_seconds", "time"),
+    "webserver": ("throughput", "req/s"),
+}
+
+
+def _sweep_cell(
+    args: argparse.Namespace,
+    sched_name: str,
+    spec_name: str,
+    x: int,
+    seed_shift: int,
+) -> RunSpec:
+    """Overrides for one sweep cell; ``x`` is the workload's swept axis."""
+    if args.workload in ("volano", "select-chat"):
+        overrides = {
+            "rooms": x,
+            "messages_per_user": args.messages,
+            "users_per_room": args.users,
+        }
+        base_seed = VolanoConfig.seed
+    elif args.workload == "kernbench":
+        overrides = {"files": x}
+        base_seed = KernbenchConfig.seed
+    else:
+        overrides = {"clients": x, "workers": args.workers}
+        base_seed = WebServerConfig.seed
+    if seed_shift:
+        overrides["seed"] = base_seed + seed_shift
+    return RunSpec(args.workload, sched_name, spec_name, overrides)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    schedulers = [s for s in args.schedulers.split(",") if s]
+    spec_names = [s for s in args.specs.split(",") if s]
+    axis_raw = {
+        "volano": args.rooms,
+        "select-chat": args.rooms,
+        "kernbench": args.files,
+        "webserver": args.clients,
+    }[args.workload]
+    axis = [int(x) for x in str(axis_raw).split(",")]
+    for name in schedulers:
+        if name not in SCHEDULERS:
+            raise SystemExit(f"unknown scheduler {name!r}")
+    for name in spec_names:
+        if name not in SPECS:
+            raise SystemExit(f"unknown machine spec {name!r}")
+
+    cells: list[RunSpec] = []
+    labels: list[tuple[str, str, int, int]] = []
+    for sched_name in schedulers:
+        for spec_name in spec_names:
+            for x in axis:
+                for rep in range(args.repeats):
+                    cells.append(
+                        _sweep_cell(args, sched_name, spec_name, x, rep)
+                    )
+                    labels.append((sched_name, spec_name, x, rep))
+
+    computed = [0]
+
+    def progress(spec: RunSpec, cell: CellResult, cached: bool) -> None:
+        verb = "cache" if cached else "ran  "
+        computed[0] += 0 if cached else 1
+        print(f"  {verb} {spec.label} {spec.key[:12]}", file=sys.stderr)
+
+    runner = _runner_from_args(args, progress=progress)
+    start = time.perf_counter()
+    results = runner.run(cells)
+    wall = time.perf_counter() - start
+
+    metric, unit = _SWEEP_METRICS[args.workload]
+    axis_name = "files" if args.workload == "kernbench" else (
+        "clients" if args.workload == "webserver" else "rooms"
+    )
+    rows = []
+    for (sched_name, spec_name, x, rep), cell in zip(labels, results):
+        value = cell.metric(metric)
+        rendered = (
+            format_minutes(value) if metric == "elapsed_seconds" else f"{value:.0f}"
+        )
+        rows.append(
+            [f"{sched_name}-{spec_name.lower()}", x, rep, rendered]
+        )
+    print(
+        format_table(
+            f"Sweep — {args.workload} ({unit}), jobs={runner.jobs}",
+            ["config", axis_name, "rep", unit],
+            rows,
+        )
+    )
+    print(
+        f"  {len(cells)} cells, {computed[0]} computed, "
+        f"{len(cells) - computed[0]} cached, {wall:.1f}s wall",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_schedstat(args: argparse.Namespace) -> int:
-    from .kernel.simulator import Simulator
+    from .kernel.proc import render_runqueue, render_schedstat, render_tasks
+    from .kernel.simulator import Simulator, make_machine
     from .workloads.volanomark import VolanoMark
 
     cfg = _volano_config(args)
     bench = VolanoMark(cfg)
     sim = Simulator(SCHEDULERS[args.scheduler], SPECS[args.spec])
     scheduler = sim.scheduler_factory()
-    from .kernel.simulator import make_machine
-
     machine = make_machine(scheduler, sim.spec)
     bench.populate(machine)
     machine.run()
@@ -275,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="run the full evaluation and print it")
     p.add_argument("--messages", type=int, default=6)
     p.add_argument("--output", default="", help="also write to this file")
+    _add_harness_args(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("kernbench", help="one simulated kernel compile")
@@ -293,13 +443,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rooms-list", default="5,10,15,20")
     p.add_argument("--messages", type=int, default=6)
     p.add_argument("--paper", action="store_true")
+    _add_harness_args(p)
     p.set_defaults(func=cmd_figure3)
 
     p = sub.add_parser("figure4", help="regenerate Figure 4's scaling factors")
     p.add_argument("--rooms-list", default="5,10,15,20")
     p.add_argument("--messages", type=int, default=6)
     p.add_argument("--paper", action="store_true")
+    _add_harness_args(p)
     p.set_defaults(func=cmd_figure4)
+
+    p = sub.add_parser(
+        "sweep", help="ad-hoc experiment grid through the parallel harness"
+    )
+    p.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="volano"
+    )
+    p.add_argument("--schedulers", default="elsc,reg", help="comma-separated")
+    p.add_argument("--specs", default="UP", help="comma-separated machine specs")
+    p.add_argument("--rooms", default="5,10,15,20", help="volano room axis")
+    p.add_argument("--messages", type=int, default=6)
+    p.add_argument("--users", type=int, default=20, help="volano users per room")
+    p.add_argument("--files", default="400", help="kernbench file axis")
+    p.add_argument("--clients", default="64", help="webserver client axis")
+    p.add_argument("--workers", type=int, default=16, help="webserver workers")
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="repetitions per cell (seed perturbed per repeat)",
+    )
+    _add_harness_args(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("schedstat", help="/proc-style scheduler statistics")
     _add_common(p)

@@ -1,0 +1,33 @@
+"""Parallel experiment harness: specs, caching, and a process-pool runner.
+
+Every figure in the paper is a sweep — rooms × schedulers × machine
+specs — whose cells are *independent simulations*.  This package gives
+those cells a canonical identity (:class:`RunSpec`), a JSON-serialisable
+outcome (:class:`CellResult`), a content-addressed on-disk cache
+(:class:`ResultCache`), and a :class:`ParallelRunner` that fans cells
+across a ``ProcessPoolExecutor`` while keeping result order
+deterministic.  The CLI figure commands, ``python -m repro sweep``, the
+report builder and the benchmark suite all run through it.
+
+See ``docs/harness.md`` for the cache layout and manifest schema.
+"""
+
+from .cache import CACHE_VERSION, ResultCache
+from .registry import MACHINE_SPECS, SCHEDULERS, WORKLOADS, WorkloadDef
+from .result import CellResult
+from .runner import ParallelRunner, default_jobs, execute_spec
+from .spec import RunSpec
+
+__all__ = [
+    "RunSpec",
+    "CellResult",
+    "ResultCache",
+    "CACHE_VERSION",
+    "ParallelRunner",
+    "execute_spec",
+    "default_jobs",
+    "SCHEDULERS",
+    "MACHINE_SPECS",
+    "WORKLOADS",
+    "WorkloadDef",
+]

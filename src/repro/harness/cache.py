@@ -1,0 +1,121 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under ``results/cache/`` by default)::
+
+    results/cache/<key[:2]>/<key>.json
+
+where ``key`` is :attr:`RunSpec.key` (SHA-256 of the spec's canonical
+JSON).  Each entry stores the spec alongside the result so a cache
+directory is self-describing and auditable with ``jq``.
+
+Robustness contract: **any** unreadable, truncated, corrupted, or
+mismatched entry is a cache *miss*, never an error — the runner simply
+recomputes the cell and rewrites the entry.  Writes are atomic
+(temp file + ``os.replace``) so a killed sweep can't leave a torn entry
+behind for the next one to trip on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .result import CellResult
+from .spec import RunSpec
+
+
+def _library_version() -> str:
+    # Deferred so the harness can be re-exported from the package root
+    # without an import cycle.
+    from .. import __version__
+
+    return __version__
+
+__all__ = ["ResultCache", "CACHE_VERSION", "DEFAULT_CACHE_DIR"]
+
+#: Bump to invalidate every existing cache entry (schema change).
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+class ResultCache:
+    """Spec-hash → :class:`CellResult` store on the filesystem."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> Optional[CellResult]:
+        """The cached result for ``spec``, or ``None`` on any miss —
+        including a corrupt or foreign entry at the expected path."""
+        path = self.path_for(spec.key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["cache_version"] != CACHE_VERSION:
+                raise ValueError("cache schema version mismatch")
+            if entry["library_version"] != _library_version():
+                raise ValueError("library version mismatch")
+            if entry["key"] != spec.key:
+                raise ValueError("entry key does not match spec")
+            result = CellResult.from_dict(entry["result"])
+            if result.spec_key != spec.key:
+                raise ValueError("result spec_key does not match spec")
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing file, torn write, hand-edited JSON, renamed entry,
+            # old schema: all equally a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: CellResult) -> Path:
+        """Atomically (re)write the entry for ``spec``."""
+        if result.spec_key != spec.key:
+            raise ValueError(
+                f"result {result.spec_key[:12]} does not belong to "
+                f"spec {spec.key[:12]}"
+            )
+        path = self.path_for(spec.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache_version": CACHE_VERSION,
+            "library_version": _library_version(),
+            "key": spec.key,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache {self.root} entries={len(self)} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,106 @@
+"""The experiment axes, by name.
+
+The harness addresses every cell of a sweep with three strings — a
+workload, a scheduler, a machine spec — plus a config-override mapping.
+This module is the single place those names are defined; ``repro.cli``
+re-exports :data:`SCHEDULERS` and :data:`MACHINE_SPECS` so the CLI and
+the harness can never disagree about what ``"elsc"`` or ``"2P"`` means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.elsc import ELSCScheduler
+from ..kernel.simulator import MachineSpec
+from ..sched.base import Scheduler
+from ..sched.cfs import CFSScheduler
+from ..sched.heap import HeapScheduler
+from ..sched.multiqueue import MultiQueueScheduler
+from ..sched.o1 import O1Scheduler
+from ..sched.vanilla import VanillaScheduler
+from ..workloads.kernbench import KernbenchConfig, run_kernbench
+from ..workloads.volanomark import VolanoConfig, run_volanomark
+from ..workloads.volanoselect import run_select_chat
+from ..workloads.webserver import WebServerConfig, run_webserver
+
+__all__ = ["SCHEDULERS", "MACHINE_SPECS", "WORKLOADS", "WorkloadDef"]
+
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    "reg": VanillaScheduler,
+    "elsc": ELSCScheduler,
+    "heap": HeapScheduler,
+    "mq": MultiQueueScheduler,
+    "o1": O1Scheduler,
+    "cfs": CFSScheduler,
+}
+
+MACHINE_SPECS: dict[str, MachineSpec] = {
+    "UP": MachineSpec.up(),
+    "1P": MachineSpec.smp_n(1),
+    "2P": MachineSpec.smp_n(2),
+    "4P": MachineSpec.smp_n(4),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadDef:
+    """One runnable workload: its config class, entry point, and the
+    scalar metrics its result contributes to a :class:`CellResult`."""
+
+    name: str
+    config_cls: type
+    run: Callable[..., Any]
+    extract: Callable[[Any], dict[str, Any]]
+
+
+def _extract_volano(result: Any) -> dict[str, Any]:
+    return {
+        "throughput": result.throughput,
+        "messages_delivered": result.messages_delivered,
+        "elapsed_seconds": result.elapsed_seconds,
+        "scheduler_fraction": result.scheduler_fraction,
+    }
+
+
+def _extract_select_chat(result: Any) -> dict[str, Any]:
+    return {
+        "throughput": result.throughput,
+        "messages_delivered": result.messages_delivered,
+        "elapsed_seconds": result.elapsed_seconds,
+        "scheduler_fraction": result.scheduler_fraction,
+        "threads": result.threads,
+    }
+
+
+def _extract_kernbench(result: Any) -> dict[str, Any]:
+    return {
+        "elapsed_seconds": result.elapsed_seconds,
+        "scheduler_fraction": result.scheduler_fraction,
+    }
+
+
+def _extract_webserver(result: Any) -> dict[str, Any]:
+    return {
+        "throughput": result.throughput,
+        "requests_done": result.requests_done,
+        "elapsed_seconds": result.elapsed_seconds,
+        "mean_latency_seconds": result.mean_latency_seconds,
+        "p99_latency_seconds": result.p99_latency_seconds,
+        "scheduler_fraction": result.scheduler_fraction,
+    }
+
+
+WORKLOADS: dict[str, WorkloadDef] = {
+    "volano": WorkloadDef("volano", VolanoConfig, run_volanomark, _extract_volano),
+    "select-chat": WorkloadDef(
+        "select-chat", VolanoConfig, run_select_chat, _extract_select_chat
+    ),
+    "kernbench": WorkloadDef(
+        "kernbench", KernbenchConfig, run_kernbench, _extract_kernbench
+    ),
+    "webserver": WorkloadDef(
+        "webserver", WebServerConfig, run_webserver, _extract_webserver
+    ),
+}

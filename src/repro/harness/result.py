@@ -1,0 +1,101 @@
+"""The JSON-round-trippable outcome of one experiment cell.
+
+A full workload result (``VolanoResult`` etc.) drags the whole
+:class:`~repro.kernel.simulator.SimResult` along — machine, run summary,
+trace — which neither pickles cheaply across a process pool nor belongs
+in an on-disk cache.  :class:`CellResult` is the portable subset every
+figure actually consumes: the workload's scalar metrics plus the raw
+:class:`~repro.sched.stats.SchedStats` counters, from which the derived
+figures (cycles/schedule, examined/schedule) are recomputed on demand.
+
+Python's ``json`` emits ``repr(float)`` and parses it back exactly, so a
+cached cell is *bit-identical* to the freshly computed one — the
+property tests in ``tests/harness/`` hold the harness to that.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..sched.stats import SchedStats
+
+__all__ = ["CellResult"]
+
+_STAT_FIELDS = tuple(SchedStats.__dataclass_fields__)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Everything a sweep keeps from one simulation."""
+
+    spec_key: str
+    workload: str
+    scheduler: str
+    machine: str
+    #: The scheduler's self-reported name (e.g. ``"elsc"``).
+    scheduler_name: str
+    #: Workload metrics — throughput, latencies, elapsed time …
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: Raw SchedStats counters (ints), keyed by field name.
+    stats: dict[str, int] = field(default_factory=dict)
+
+    # -- convenience views -------------------------------------------------
+
+    @property
+    def throughput(self) -> float:
+        return float(self.metrics.get("throughput", 0.0))
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return float(self.metrics.get("elapsed_seconds", 0.0))
+
+    @property
+    def scheduler_fraction(self) -> float:
+        return float(self.metrics.get("scheduler_fraction", 0.0))
+
+    def metric(self, name: str) -> Any:
+        return self.metrics[name]
+
+    def sched_stats(self) -> SchedStats:
+        """Rebuild a :class:`SchedStats` so derived figures
+        (``cycles_per_schedule()`` …) work exactly as on a live run."""
+        return SchedStats(
+            **{f: self.stats.get(f, 0) for f in _STAT_FIELDS}
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec_key": self.spec_key,
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "machine": self.machine,
+            "scheduler_name": self.scheduler_name,
+            "metrics": dict(self.metrics),
+            "stats": dict(self.stats),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "CellResult":
+        return CellResult(
+            spec_key=data["spec_key"],
+            workload=data["workload"],
+            scheduler=data["scheduler"],
+            machine=data["machine"],
+            scheduler_name=data["scheduler_name"],
+            metrics=dict(data["metrics"]),
+            stats={k: int(v) for k, v in data["stats"].items()},
+        )
+
+    def canonical(self) -> str:
+        """Sorted-key JSON — byte-comparable across cache round trips."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def __repr__(self) -> str:
+        return (
+            f"<CellResult {self.workload}/{self.scheduler}-{self.machine} "
+            f"{self.spec_key[:12]}>"
+        )

@@ -1,0 +1,229 @@
+"""Fan experiment cells across a process pool, deterministically.
+
+:class:`ParallelRunner` takes a sequence of :class:`RunSpec`\\ s and
+returns one :class:`CellResult` per spec **in input order**, however the
+pool happens to finish them.  Each unique spec is computed at most once
+per call (duplicates are served from the in-memory round), consulted
+against the on-disk :class:`ResultCache` first, and recorded in a
+JSONL run manifest: one line per requested cell with its key, wall
+clock, and whether it was a cache hit.
+
+The simulations themselves are deterministic (all randomness flows from
+seeded per-thread RNGs), so a cell computes bit-identically whether it
+runs in-process, in a worker, or came from cache —
+``tests/harness/test_determinism.py`` enforces exactly that for every
+registered scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from ..sched.stats import SchedStats
+from .cache import ResultCache
+from .registry import MACHINE_SPECS, SCHEDULERS, WORKLOADS
+from .result import CellResult
+from .spec import RunSpec
+
+__all__ = [
+    "ParallelRunner",
+    "execute_spec",
+    "default_jobs",
+    "DEFAULT_MANIFEST_PATH",
+]
+
+DEFAULT_MANIFEST_PATH = Path("results") / "manifest.jsonl"
+
+#: progress callback signature: (spec, result, cached)
+ProgressFn = Callable[[RunSpec, CellResult, bool], None]
+
+
+def default_jobs() -> int:
+    """Worker-count auto-detection: one per *available* CPU (the
+    affinity mask, where supported, not the machine's nominal count)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover — macOS/Windows
+        return max(1, os.cpu_count() or 1)
+
+
+def execute_spec(spec: RunSpec) -> CellResult:
+    """Run one cell in this process and distil it to a CellResult."""
+    workload = WORKLOADS[spec.workload]
+    raw = workload.run(
+        SCHEDULERS[spec.scheduler],
+        MACHINE_SPECS[spec.machine],
+        spec.build_config(),
+    )
+    stats = raw.sim.stats
+    return CellResult(
+        spec_key=spec.key,
+        workload=spec.workload,
+        scheduler=spec.scheduler,
+        machine=spec.machine,
+        scheduler_name=raw.sim.scheduler_name,
+        metrics=workload.extract(raw),
+        stats={f: getattr(stats, f) for f in SchedStats.__dataclass_fields__},
+    )
+
+
+def _execute_payload(payload: str) -> tuple[str, dict, float, str]:
+    """Pool worker entry point: canonical-JSON spec in, result dict out.
+
+    Exceptions are returned as formatted tracebacks rather than raised,
+    so one bad cell doesn't poison the pool and the parent can attribute
+    the failure to its spec in the manifest.
+    """
+    spec = RunSpec.from_json(payload)
+    start = time.perf_counter()
+    try:
+        result = execute_spec(spec)
+        return spec.key, result.to_dict(), time.perf_counter() - start, ""
+    except Exception:  # noqa: BLE001 — reported via the manifest
+        return spec.key, {}, time.perf_counter() - start, traceback.format_exc()
+
+
+class ParallelRunner:
+    """Run cells through a pool (or serially), cache-aware.
+
+    ``jobs``
+        ``None`` or ``0`` auto-detects (:func:`default_jobs`); ``1``
+        runs every cell in-process with no pool — the reference serial
+        mode the conformance tests compare against.
+    ``cache``
+        a :class:`ResultCache` or ``None`` to disable on-disk caching.
+    ``manifest_path``
+        JSONL file appended with one record per requested cell;
+        ``None`` disables the manifest.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        manifest_path: Union[str, Path, None] = DEFAULT_MANIFEST_PATH,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.jobs = jobs if jobs else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.cache = cache
+        self.manifest_path = Path(manifest_path) if manifest_path else None
+        self.progress = progress
+
+    def run(self, specs: Sequence[RunSpec]) -> list[CellResult]:
+        """Compute every spec; results align with ``specs`` by index."""
+        specs = list(specs)
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.key, spec)
+
+        results: dict[str, CellResult] = {}
+        durations: dict[str, float] = {}
+        errors: dict[str, str] = {}
+        from_cache: set[str] = set()
+
+        if self.cache is not None:
+            for key, spec in unique.items():
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    results[key] = hit
+                    durations[key] = 0.0
+                    from_cache.add(key)
+                    self._notify(spec, hit, cached=True)
+
+        misses = [s for k, s in unique.items() if k not in results]
+        if misses:
+            self._compute(misses, results, durations, errors)
+            if self.cache is not None:
+                for spec in misses:
+                    if spec.key in results:
+                        self.cache.put(spec, results[spec.key])
+
+        self._write_manifest(specs, results, durations, errors, from_cache)
+
+        if errors:
+            first = next(iter(errors.values()))
+            raise RuntimeError(
+                f"{len(errors)} of {len(unique)} cells failed; "
+                f"first failure:\n{first}"
+            )
+        return [results[spec.key] for spec in specs]
+
+    def run_one(self, spec: RunSpec) -> CellResult:
+        return self.run([spec])[0]
+
+    # -- internals ---------------------------------------------------------
+
+    def _notify(self, spec: RunSpec, result: CellResult, cached: bool) -> None:
+        if self.progress is not None:
+            self.progress(spec, result, cached)
+
+    def _compute(
+        self,
+        misses: Sequence[RunSpec],
+        results: dict[str, CellResult],
+        durations: dict[str, float],
+        errors: dict[str, str],
+    ) -> None:
+        by_key = {spec.key: spec for spec in misses}
+        if self.jobs == 1 or len(misses) == 1:
+            for spec in misses:
+                start = time.perf_counter()
+                try:
+                    result = execute_spec(spec)
+                except Exception:  # noqa: BLE001 — surfaced after manifest
+                    errors[spec.key] = traceback.format_exc()
+                else:
+                    results[spec.key] = result
+                    self._notify(spec, result, cached=False)
+                durations[spec.key] = time.perf_counter() - start
+            return
+        workers = min(self.jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_execute_payload, spec.canonical())
+                for spec in misses
+            ]
+            for future in as_completed(futures):
+                key, data, wall, error = future.result()
+                durations[key] = wall
+                if error:
+                    errors[key] = error
+                else:
+                    result = CellResult.from_dict(data)
+                    results[key] = result
+                    self._notify(by_key[key], result, cached=False)
+
+    def _write_manifest(
+        self,
+        specs: Sequence[RunSpec],
+        results: dict[str, CellResult],
+        durations: dict[str, float],
+        errors: dict[str, str],
+        from_cache: set[str],
+    ) -> None:
+        if self.manifest_path is None or not specs:
+            return
+        self.manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        with open(self.manifest_path, "a", encoding="utf-8") as handle:
+            for spec in specs:
+                record = {
+                    "ts": round(now, 3),
+                    "key": spec.key,
+                    "workload": spec.workload,
+                    "scheduler": spec.scheduler,
+                    "machine": spec.machine,
+                    "cached": spec.key in from_cache,
+                    "wall_seconds": round(durations.get(spec.key, 0.0), 6),
+                    "outcome": "error" if spec.key in errors else "ok",
+                    "jobs": self.jobs,
+                }
+                handle.write(json.dumps(record, sort_keys=True) + "\n")

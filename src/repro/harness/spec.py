@@ -1,0 +1,145 @@
+"""Canonical identity for one experiment cell.
+
+A :class:`RunSpec` names a (workload, scheduler, machine spec, workload
+config) tuple and gives it a *content address*: the config overrides are
+normalised through the workload's config dataclass (so defaults are
+filled in and unknown fields rejected), serialised as sorted-key JSON,
+and hashed with SHA-256.  Two specs that describe the same simulation —
+regardless of field order or whether a default was spelled out — hash
+identically, which is what makes the on-disk result cache safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Mapping, Tuple, Union
+
+from .registry import MACHINE_SPECS, SCHEDULERS, WORKLOADS
+
+__all__ = ["RunSpec"]
+
+_SCALARS = (bool, int, float, str, type(None))
+
+ConfigLike = Union[Mapping[str, Any], Iterable[Tuple[str, Any]]]
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalise a config value to JSON-stable form (tuples → lists)."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    raise TypeError(
+        f"config value {value!r} ({type(value).__name__}) is not "
+        "JSON-serialisable; RunSpec configs hold scalars and lists only"
+    )
+
+
+def _normalize_config(workload: str, config: ConfigLike) -> tuple:
+    """Fill defaults via the workload's config class; sort the fields.
+
+    Returns a sorted tuple of (name, value) pairs so the frozen
+    dataclass stays hashable and order-insensitive.
+    """
+    overrides = dict(config)
+    instance = WORKLOADS[workload].config_cls(**overrides)
+    complete = {k: _jsonable(v) for k, v in asdict(instance).items()}
+    return tuple(sorted(complete.items()))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of an experiment sweep, content-addressable.
+
+    ``config`` accepts any mapping of workload-config overrides; it is
+    normalised (defaults filled, fields sorted) at construction, so
+    equality and :attr:`key` ignore field order and spelled-out
+    defaults.
+    """
+
+    workload: str
+    scheduler: str
+    machine: str
+    config: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"choose from {sorted(WORKLOADS)}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(SCHEDULERS)}"
+            )
+        if self.machine not in MACHINE_SPECS:
+            raise ValueError(
+                f"unknown machine spec {self.machine!r}; "
+                f"choose from {list(MACHINE_SPECS)}"
+            )
+        object.__setattr__(
+            self, "config", _normalize_config(self.workload, self.config)
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def config_dict(self) -> dict[str, Any]:
+        return dict(self.config)
+
+    def canonical(self) -> str:
+        """The canonical JSON form — the string that gets hashed, and
+        the wire format workers receive."""
+        return json.dumps(
+            {
+                "workload": self.workload,
+                "scheduler": self.scheduler,
+                "machine": self.machine,
+                "config": self.config_dict,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @property
+    def key(self) -> str:
+        """SHA-256 of the canonical form: the cache address."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable cell name for logs and manifests."""
+        return f"{self.workload}/{self.scheduler}-{self.machine}"
+
+    # -- construction helpers ----------------------------------------------
+
+    def build_config(self) -> Any:
+        """Instantiate the workload's config dataclass for this cell."""
+        return WORKLOADS[self.workload].config_cls(**self.config_dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "machine": self.machine,
+            "config": self.config_dict,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "RunSpec":
+        return RunSpec(
+            workload=data["workload"],
+            scheduler=data["scheduler"],
+            machine=data["machine"],
+            config=dict(data.get("config", {})),
+        )
+
+    @staticmethod
+    def from_json(payload: str) -> "RunSpec":
+        return RunSpec.from_dict(json.loads(payload))
+
+    def __repr__(self) -> str:
+        return f"<RunSpec {self.label} {self.key[:12]}>"

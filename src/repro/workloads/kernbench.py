@@ -74,9 +74,9 @@ class KernbenchResult:
 
     def minutes_str(self) -> str:
         """Format like the paper's ``time`` output, e.g. ``6:41.41``."""
-        minutes = int(self.elapsed_seconds // 60)
-        seconds = self.elapsed_seconds - 60 * minutes
-        return f"{minutes}:{seconds:05.2f}"
+        from ..analysis.tables import format_minutes
+
+        return format_minutes(self.elapsed_seconds)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,132 @@
+"""Cache behaviour, including the poisoning contract.
+
+A corrupted, truncated, or otherwise unreadable cache entry must be a
+*miss* — recompute and rewrite — never a crash.  A sweep interrupted
+mid-write, a full disk, or a hand-edited entry should cost one cell of
+recomputation, not the whole run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import CACHE_VERSION, CellResult, ResultCache, RunSpec
+
+TINY = {"rooms": 1, "users_per_room": 2, "messages_per_user": 1}
+
+
+@pytest.fixture
+def spec() -> RunSpec:
+    return RunSpec("volano", "elsc", "UP", TINY)
+
+
+@pytest.fixture
+def result(spec) -> CellResult:
+    return CellResult(
+        spec_key=spec.key,
+        workload="volano",
+        scheduler="elsc",
+        machine="UP",
+        scheduler_name="elsc",
+        metrics={"throughput": 1234.5, "elapsed_seconds": 0.25},
+        stats={"schedule_calls": 10},
+    )
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+class TestBasics:
+    def test_empty_cache_misses(self, cache, spec):
+        assert cache.get(spec) is None
+        assert len(cache) == 0
+
+    def test_put_then_get(self, cache, spec, result):
+        cache.put(spec, result)
+        assert len(cache) == 1
+        assert cache.get(spec) == result
+
+    def test_put_rejects_foreign_result(self, cache, spec, result):
+        other = RunSpec("volano", "reg", "UP", TINY)
+        with pytest.raises(ValueError):
+            cache.put(other, result)
+
+    def test_entry_is_self_describing(self, cache, spec, result):
+        path = cache.put(spec, result)
+        entry = json.loads(path.read_text())
+        assert entry["spec"] == spec.to_dict()
+        assert entry["key"] == spec.key
+        assert entry["cache_version"] == CACHE_VERSION
+
+
+class TestPoisoning:
+    """Every flavour of bad entry reads as a miss."""
+
+    def _poison(self, cache, spec, text: str) -> None:
+        path = cache.path_for(spec.key)
+        path.write_text(text)
+
+    def test_truncated_json_is_a_miss(self, cache, spec, result):
+        path = cache.put(spec, result)
+        good = path.read_text()
+        self._poison(cache, spec, good[: len(good) // 2])
+        assert cache.get(spec) is None
+
+    def test_empty_file_is_a_miss(self, cache, spec, result):
+        cache.put(spec, result)
+        self._poison(cache, spec, "")
+        assert cache.get(spec) is None
+
+    def test_garbage_bytes_are_a_miss(self, cache, spec, result):
+        cache.put(spec, result)
+        self._poison(cache, spec, "\x00\xff not json at all {{{")
+        assert cache.get(spec) is None
+
+    def test_wrong_json_shape_is_a_miss(self, cache, spec, result):
+        cache.put(spec, result)
+        self._poison(cache, spec, json.dumps([1, 2, 3]))
+        assert cache.get(spec) is None
+
+    def test_missing_result_field_is_a_miss(self, cache, spec, result):
+        path = cache.put(spec, result)
+        entry = json.loads(path.read_text())
+        del entry["result"]
+        self._poison(cache, spec, json.dumps(entry))
+        assert cache.get(spec) is None
+
+    def test_key_mismatch_is_a_miss(self, cache, spec, result):
+        """An entry renamed/copied to another spec's address is foreign."""
+        path = cache.put(spec, result)
+        entry = json.loads(path.read_text())
+        other = RunSpec("volano", "reg", "UP", TINY)
+        target = cache.path_for(other.key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(entry))
+        assert cache.get(other) is None
+
+    def test_stale_schema_version_is_a_miss(self, cache, spec, result):
+        path = cache.put(spec, result)
+        entry = json.loads(path.read_text())
+        entry["cache_version"] = CACHE_VERSION + 1
+        self._poison(cache, spec, json.dumps(entry))
+        assert cache.get(spec) is None
+
+    def test_poisoned_entry_is_rewritten_after_recompute(
+        self, cache, spec, result
+    ):
+        """The runner's contract: miss → recompute → put heals the entry."""
+        cache.put(spec, result)
+        self._poison(cache, spec, "{ torn write")
+        assert cache.get(spec) is None
+        cache.put(spec, result)  # what ParallelRunner does after the miss
+        assert cache.get(spec) == result
+
+    def test_clear_removes_everything(self, cache, spec, result):
+        cache.put(spec, result)
+        assert cache.clear() == 1
+        assert cache.get(spec) is None
+        assert len(cache) == 0

@@ -1,0 +1,168 @@
+"""ParallelRunner behaviour: ordering, caching, manifest, errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import ParallelRunner, ResultCache, RunSpec
+from repro.harness import runner as runner_mod
+
+TINY = {"rooms": 1, "users_per_room": 2, "messages_per_user": 1}
+
+
+def _spec(scheduler: str = "elsc", rooms: int = 1) -> RunSpec:
+    return RunSpec("volano", scheduler, "UP", {**TINY, "rooms": rooms})
+
+
+def _read_manifest(path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestValidation:
+    def test_unknown_scheduler_rejected_at_spec_construction(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            RunSpec("volano", "bfs", "UP", TINY)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            RunSpec("doom", "elsc", "UP", {})
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            RunSpec("volano", "elsc", "8P", TINY)
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(TypeError):
+            RunSpec("volano", "elsc", "UP", {"no_such_knob": 1})
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=-2)
+
+    def test_auto_jobs_is_at_least_one(self):
+        assert ParallelRunner(jobs=None, manifest_path=None).jobs >= 1
+        assert ParallelRunner(jobs=0, manifest_path=None).jobs >= 1
+
+
+class TestOrderingAndDedup:
+    def test_results_align_with_input_order(self, tmp_path):
+        specs = [_spec(s) for s in ("cfs", "reg", "elsc", "heap")]
+        runner = ParallelRunner(jobs=2, cache=None, manifest_path=None)
+        results = runner.run(specs)
+        assert [r.spec_key for r in results] == [s.key for s in specs]
+        assert [r.scheduler for r in results] == ["cfs", "reg", "elsc", "heap"]
+
+    def test_duplicate_specs_computed_once(self, tmp_path):
+        manifest = tmp_path / "manifest.jsonl"
+        spec = _spec()
+        runner = ParallelRunner(jobs=1, cache=None, manifest_path=manifest)
+        results = runner.run([spec, spec, spec])
+        assert len(results) == 3
+        assert results[0] == results[1] == results[2]
+        # three manifest lines for the three requested cells
+        assert len(_read_manifest(manifest)) == 3
+
+    def test_empty_spec_list_is_fine(self, tmp_path):
+        runner = ParallelRunner(
+            jobs=1, cache=None, manifest_path=tmp_path / "m.jsonl"
+        )
+        assert runner.run([]) == []
+
+
+class TestCachingAndManifest:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        manifest = tmp_path / "manifest.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(jobs=1, cache=cache, manifest_path=manifest)
+        specs = [_spec("elsc"), _spec("reg")]
+
+        first = runner.run(specs)
+        second = runner.run(specs)
+        assert [r.canonical() for r in first] == [
+            r.canonical() for r in second
+        ]
+
+        lines = _read_manifest(manifest)
+        assert len(lines) == 4
+        assert [l["cached"] for l in lines] == [False, False, True, True]
+        assert all(l["outcome"] == "ok" for l in lines)
+        assert {l["key"] for l in lines} == {s.key for s in specs}
+
+    def test_manifest_records_wall_clock_and_axes(self, tmp_path):
+        manifest = tmp_path / "manifest.jsonl"
+        runner = ParallelRunner(jobs=1, cache=None, manifest_path=manifest)
+        runner.run([_spec("elsc")])
+        (line,) = _read_manifest(manifest)
+        assert line["workload"] == "volano"
+        assert line["scheduler"] == "elsc"
+        assert line["machine"] == "UP"
+        assert line["jobs"] == 1
+        assert line["wall_seconds"] > 0
+
+    def test_poisoned_cache_entry_recomputed_and_healed(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        manifest = tmp_path / "manifest.jsonl"
+        runner = ParallelRunner(jobs=1, cache=cache, manifest_path=manifest)
+        spec = _spec()
+        (original,) = runner.run([spec])
+
+        cache.path_for(spec.key).write_text("{ torn")
+        (recomputed,) = runner.run([spec])
+        assert recomputed.canonical() == original.canonical()
+        # the third run hits the healed entry
+        (healed,) = runner.run([spec])
+        lines = _read_manifest(manifest)
+        assert [l["cached"] for l in lines] == [False, False, True]
+        assert healed.canonical() == original.canonical()
+
+    def test_progress_reports_cached_flag(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        seen: list[tuple[str, bool]] = []
+        runner = ParallelRunner(
+            jobs=1,
+            cache=cache,
+            manifest_path=None,
+            progress=lambda spec, cell, cached: seen.append(
+                (spec.scheduler, cached)
+            ),
+        )
+        runner.run([_spec()])
+        runner.run([_spec()])
+        assert seen == [("elsc", False), ("elsc", True)]
+
+
+class TestErrors:
+    def test_failing_cell_raises_and_lands_in_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        manifest = tmp_path / "manifest.jsonl"
+
+        def boom(spec):
+            raise RuntimeError("simulated cell failure")
+
+        monkeypatch.setattr(runner_mod, "execute_spec", boom)
+        runner = ParallelRunner(jobs=1, cache=None, manifest_path=manifest)
+        with pytest.raises(RuntimeError, match="1 of 1 cells failed"):
+            runner.run([_spec()])
+        (line,) = _read_manifest(manifest)
+        assert line["outcome"] == "error"
+
+    def test_failure_does_not_poison_the_cache(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+
+        def boom(spec):
+            raise RuntimeError("simulated cell failure")
+
+        monkeypatch.setattr(runner_mod, "execute_spec", boom)
+        runner = ParallelRunner(jobs=1, cache=cache, manifest_path=None)
+        with pytest.raises(RuntimeError):
+            runner.run([_spec()])
+        assert len(cache) == 0
+        monkeypatch.undo()
+        # a later healthy run computes and caches normally
+        (result,) = ParallelRunner(
+            jobs=1, cache=cache, manifest_path=None
+        ).run([_spec()])
+        assert cache.get(_spec()) == result

@@ -1,0 +1,103 @@
+"""Property-based tests for RunSpec hashing and cache round-trips."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness import CellResult, ResultCache, RunSpec
+
+# -- strategies -------------------------------------------------------------
+
+_OVERRIDES = st.fixed_dictionaries(
+    {},
+    optional={
+        "rooms": st.integers(1, 50),
+        "users_per_room": st.integers(1, 40),
+        "messages_per_user": st.integers(1, 200),
+        "seed": st.integers(0, 2**31),
+        "jitter": st.floats(0.0, 0.9, allow_nan=False),
+        "socket_buffer": st.integers(1, 64),
+        "client_send_work_us": st.floats(0.1, 1e3, allow_nan=False),
+    },
+)
+
+_SCHED = st.sampled_from(["reg", "elsc", "heap", "mq", "o1", "cfs"])
+_MACHINE = st.sampled_from(["UP", "1P", "2P", "4P"])
+
+_METRIC_VALUES = st.one_of(
+    st.integers(-(2**53), 2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+_IDENT = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=20
+)
+
+
+@given(overrides=_OVERRIDES, order=st.randoms(), sched=_SCHED, machine=_MACHINE)
+def test_hash_stable_across_field_order_permutations(
+    overrides, order, sched, machine
+):
+    items = list(overrides.items())
+    order.shuffle(items)
+    original = RunSpec("volano", sched, machine, overrides)
+    permuted = RunSpec("volano", sched, machine, dict(items))
+    assert original == permuted
+    assert original.key == permuted.key
+    assert original.canonical() == permuted.canonical()
+
+
+@given(overrides=_OVERRIDES)
+def test_hash_ignores_spelled_out_defaults(overrides):
+    """A spec whose overrides happen to restate a default value hashes
+    like one that omitted the field entirely."""
+    implicit = RunSpec("volano", "elsc", "UP", overrides)
+    defaults = implicit.config_dict  # normalisation filled every field
+    explicit = RunSpec("volano", "elsc", "UP", defaults)
+    assert implicit.key == explicit.key
+
+
+@given(overrides=_OVERRIDES, sched=_SCHED, machine=_MACHINE)
+def test_spec_round_trips_through_wire_format(overrides, sched, machine):
+    spec = RunSpec("volano", sched, machine, overrides)
+    assert RunSpec.from_json(spec.canonical()) == spec
+    assert RunSpec.from_dict(spec.to_dict()).key == spec.key
+
+
+@given(
+    overrides=_OVERRIDES,
+    metrics=st.dictionaries(_IDENT, _METRIC_VALUES, max_size=6),
+    stats=st.dictionaries(
+        st.sampled_from(
+            ["schedule_calls", "recalc_entries", "migrations", "enqueues"]
+        ),
+        st.integers(0, 2**53),
+        max_size=4,
+    ),
+)
+@settings(max_examples=50)
+def test_cache_hit_returns_original_result_byte_for_byte(
+    overrides, metrics, stats
+):
+    spec = RunSpec("volano", "elsc", "UP", overrides)
+    original = CellResult(
+        spec_key=spec.key,
+        workload="volano",
+        scheduler="elsc",
+        machine="UP",
+        scheduler_name="elsc",
+        metrics=metrics,
+        stats=stats,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        assert cache.get(spec) is None
+        cache.put(spec, original)
+        hit = cache.get(spec)
+    assert hit is not None
+    assert hit == original
+    assert hit.canonical() == original.canonical()
+    assert hit.canonical().encode() == original.canonical().encode()
