@@ -175,6 +175,30 @@ def _stat_figures(config: ReportConfig, grid) -> list[str]:
     return blocks
 
 
+def _trace_events(config: ReportConfig, grid) -> str:
+    """PREEMPT / MIGRATE counters per scheduler.
+
+    Both counters have been collected since the tracer existed
+    (``TraceKind.PREEMPT`` / ``TraceKind.MIGRATE``) but the comparison
+    report never rendered them; quantum-expiry preemptions and
+    cross-processor migrations are exactly the events the live serving
+    layer tunes against, so they get their own table.
+    """
+    rooms = config.stats_rooms
+    rows = []
+    for spec_name in _SPEC_NAMES:
+        row: list[object] = [spec_name]
+        for sched_name in ("elsc", "reg"):
+            st = grid[(sched_name, spec_name, rooms)].sched_stats()
+            row.extend([st.preemptions, st.migrations])
+        rows.append(row)
+    return format_table(
+        f"Trace events — preemptions and migrations ({rooms} rooms)",
+        ["config", "elsc preempt", "elsc migrate", "reg preempt", "reg migrate"],
+        rows,
+    )
+
+
 def _ibm_baseline(config: ReportConfig, grid) -> str:
     rows = [
         [
@@ -285,6 +309,7 @@ def build_report(
 
     blocks = [_figure3(cfg, grid), _figure4(cfg, grid)]
     blocks.extend(_stat_figures(cfg, grid))
+    blocks.append(_trace_events(cfg, grid))
     blocks.append(_ibm_baseline(cfg, grid))
     if cfg.include_kernbench:
         blocks.append(_table2(cfg, kern_cells, kern_keys))

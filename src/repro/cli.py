@@ -30,12 +30,14 @@ from .analysis.metrics import Series
 from .analysis.tables import format_figure, format_kv, format_minutes, format_table
 from .harness import (
     MACHINE_SPECS,
+    SCHEDULER_ALIASES,
     SCHEDULERS,
     WORKLOADS,
     CellResult,
     ParallelRunner,
     ResultCache,
     RunSpec,
+    resolve_scheduler,
 )
 from .harness.cache import DEFAULT_CACHE_DIR
 from .harness.runner import DEFAULT_MANIFEST_PATH
@@ -204,6 +206,119 @@ def cmd_webserver(args: argparse.Namespace) -> int:
             ],
         )
     )
+    return 0
+
+
+def _serve_overrides(args: argparse.Namespace) -> dict:
+    return {
+        "rooms": args.rooms,
+        "clients_per_room": args.clients,
+        "messages_per_client": args.messages,
+        "message_interval_ms": args.interval_ms,
+        "duration_s": args.duration,
+        "batch": args.batch,
+        "max_pending": args.max_pending,
+        "seed": args.seed,
+    }
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live chat server in the foreground until interrupted."""
+    import asyncio
+
+    from .serve import ChatServer, SchedulerExecutor, ServeConfig
+
+    sched_name = resolve_scheduler(args.scheduler)
+    spec = SPECS[args.spec]
+    config = ServeConfig(port=args.port)
+
+    async def _main() -> None:
+        scheduler = SCHEDULERS[sched_name]()
+        executor = SchedulerExecutor(
+            scheduler, num_cpus=spec.num_cpus, smp=spec.smp
+        )
+        server = ChatServer(executor, config)
+        await server.start(args.host)
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"(scheduler={sched_name}, spec={args.spec}) — ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+            print(
+                format_kv(
+                    f"Serve session — {sched_name}/{args.spec}",
+                    sorted(server.counters().items()),
+                )
+            )
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """One end-to-end localhost loadtest, recorded as a harness cell."""
+    sched_name = resolve_scheduler(args.scheduler)
+    spec = RunSpec("serve", sched_name, args.spec, _serve_overrides(args))
+    cached = [False]
+
+    def progress(s: RunSpec, cell: CellResult, hit: bool) -> None:
+        cached[0] = hit
+
+    cell = _runner_from_args(args, progress=progress).run_one(spec)
+    stats = cell.sched_stats()
+    m = cell.metrics
+    print(
+        format_kv(
+            f"Live loadtest — {sched_name}/{args.spec}, "
+            f"{args.rooms} rooms × {args.clients} clients"
+            + (" [cached]" if cached[0] else ""),
+            [
+                ("cell key", spec.key[:12]),
+                ("elapsed (s)", f"{m['elapsed_seconds']:.2f}"),
+                ("messages sent", m["sent"]),
+                ("requests completed", m["completed"]),
+                ("fan-out deliveries", m["deliveries"]),
+                ("shed (admission)", m["shed"]),
+                ("dropped (outbox)", m["dropped_fanout"]),
+                ("throughput (msg/s)", f"{m['throughput']:.0f}"),
+                ("latency p50 (ms)", f"{m['latency_ms_p50']:.2f}"),
+                ("latency p95 (ms)", f"{m['latency_ms_p95']:.2f}"),
+                ("latency p99 (ms)", f"{m['latency_ms_p99']:.2f}"),
+                ("pick p50 (µs)", f"{m['pick_us_p50']:.1f}"),
+                ("pick p99 (µs)", f"{m['pick_us_p99']:.1f}"),
+                ("queue depth avg/max",
+                 f"{m['queue_depth_avg']:.1f}/{m['queue_depth_max']}"),
+                ("schedule() calls", stats.schedule_calls),
+                ("preemptions", stats.preemptions),
+                ("migrations", stats.migrations),
+            ],
+        )
+    )
+    if args.json:
+        import json as _json
+        import os as _os
+
+        parent = _os.path.dirname(args.json)
+        if parent:
+            _os.makedirs(parent, exist_ok=True)
+        payload = {
+            "spec": spec.to_dict(),
+            "key": spec.key,
+            "cached": cached[0],
+            "metrics": m,
+            "stats": cell.stats,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"(metrics written to {args.json})", file=sys.stderr)
     return 0
 
 
@@ -475,6 +590,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_harness_args(p)
     p.set_defaults(func=cmd_sweep)
+
+    sched_vocab = sorted(SCHEDULERS) + sorted(SCHEDULER_ALIASES)
+
+    p = sub.add_parser(
+        "serve", help="run the live scheduler-driven chat server (foreground)"
+    )
+    p.add_argument("--scheduler", choices=sched_vocab, default="vanilla")
+    p.add_argument("--spec", choices=list(SPECS), default="UP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7100)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="live localhost loadtest through the harness (one RunSpec cell)",
+    )
+    p.add_argument("--scheduler", choices=sched_vocab, default="vanilla")
+    p.add_argument("--spec", choices=list(SPECS), default="UP")
+    p.add_argument("--rooms", type=int, default=2)
+    p.add_argument("--clients", type=int, default=8, help="clients per room")
+    p.add_argument(
+        "--messages", type=int, default=10, help="messages per client"
+    )
+    p.add_argument(
+        "--interval-ms",
+        type=float,
+        default=2.0,
+        help="open-loop arrival period per client",
+    )
+    p.add_argument(
+        "--duration", type=float, default=10.0, help="hard deadline, seconds"
+    )
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--max-pending", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--json", default="", help="also write metrics JSON here")
+    _add_harness_args(p)
+    p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser("schedstat", help="/proc-style scheduler statistics")
     _add_common(p)

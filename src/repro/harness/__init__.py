@@ -13,7 +13,14 @@ See ``docs/harness.md`` for the cache layout and manifest schema.
 """
 
 from .cache import CACHE_VERSION, ResultCache
-from .registry import MACHINE_SPECS, SCHEDULERS, WORKLOADS, WorkloadDef
+from .registry import (
+    MACHINE_SPECS,
+    SCHEDULER_ALIASES,
+    SCHEDULERS,
+    WORKLOADS,
+    WorkloadDef,
+    resolve_scheduler,
+)
 from .result import CellResult
 from .runner import ParallelRunner, default_jobs, execute_spec
 from .spec import RunSpec
@@ -27,7 +34,9 @@ __all__ = [
     "execute_spec",
     "default_jobs",
     "SCHEDULERS",
+    "SCHEDULER_ALIASES",
     "MACHINE_SPECS",
     "WORKLOADS",
     "WorkloadDef",
+    "resolve_scheduler",
 ]

@@ -36,7 +36,7 @@ def _library_version() -> str:
 __all__ = ["ResultCache", "CACHE_VERSION", "DEFAULT_CACHE_DIR"]
 
 #: Bump to invalidate every existing cache entry (schema change).
-CACHE_VERSION = 1
+CACHE_VERSION = 2  # v2: SchedStats gained the `preemptions` counter
 
 DEFAULT_CACHE_DIR = Path("results") / "cache"
 

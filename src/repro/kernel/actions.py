@@ -30,6 +30,7 @@ __all__ = [
     "Run",
     "ChannelPut",
     "ChannelGet",
+    "CloseChannel",
     "SleepFor",
     "YieldCPU",
     "Exit",
@@ -92,6 +93,24 @@ class ChannelGet(Action):
 
     def __repr__(self) -> str:
         return f"ChannelGet({self.channel.name})"
+
+
+class CloseChannel(Action):
+    """Close ``channel`` and deliver EOF to everyone blocked on it.
+
+    A bare ``Channel.close()`` only flips the flag — readers that are
+    *already parked* (plain gets and multi-parked ``select()``\\ s alike)
+    would sleep forever on a half-closed session.  Closing through the
+    kernel wakes them so their retry observes ``CLOSED``.
+    """
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: "Channel") -> None:
+        self.channel = channel
+
+    def __repr__(self) -> str:
+        return f"CloseChannel({self.channel.name})"
 
 
 class SleepFor(Action):

@@ -31,6 +31,7 @@ from .actions import (
     Action,
     ChannelGet,
     ChannelPut,
+    CloseChannel,
     Exit,
     Run,
     Select,
@@ -151,6 +152,10 @@ class KernelHandle:
 
     def sleep(self, seconds: float) -> SleepFor:
         return SleepFor(max(1, seconds_to_cycles(seconds)))
+
+    def close(self, channel: Channel) -> CloseChannel:
+        """Close a channel, waking parked readers so they see EOF."""
+        return CloseChannel(channel)
 
     def select(self, channels: list) -> Select:
         """Block until any channel is readable; yields (channel, item)."""
@@ -553,6 +558,17 @@ class Machine:
                         t, TraceKind.BLOCK, cpu.cpu_id, task, f"get {chan.name}"
                     )
                 return t
+            if isinstance(action, CloseChannel):
+                t += syscall
+                task.current_action = None
+                chan = action.channel
+                chan.close()
+                # EOF is a broadcast condition: wake every parked reader
+                # (exclusive gets and multi-parked selects alike) so each
+                # retry observes CLOSED instead of sleeping forever.
+                for waiter in chan.readers.collect_wakeable(0):
+                    t += self.wake_up_process(waiter, t, cpu)
+                continue
             if isinstance(action, SleepFor):
                 t += syscall
                 task.current_action = None
@@ -670,6 +686,7 @@ class Machine:
                 task.counter = 0
                 cpu.need_resched = True
         if cpu.need_resched:
+            self.scheduler.stats.preemptions += 1
             if self.tracer is not None:
                 self.tracer.record(
                     t, TraceKind.PREEMPT, cpu.cpu_id, task,

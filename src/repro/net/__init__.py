@@ -1,5 +1,15 @@
 """Simulated loopback networking."""
 
-from .socket import DEFAULT_SOCKET_BUFFER, SocketEndpoint, SocketPair
+from .socket import (
+    DEFAULT_SOCKET_BUFFER,
+    SocketEndpoint,
+    SocketPair,
+    poll_endpoints,
+)
 
-__all__ = ["SocketPair", "SocketEndpoint", "DEFAULT_SOCKET_BUFFER"]
+__all__ = [
+    "SocketPair",
+    "SocketEndpoint",
+    "DEFAULT_SOCKET_BUFFER",
+    "poll_endpoints",
+]

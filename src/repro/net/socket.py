@@ -15,11 +15,16 @@ I/O is modelled faithfully by there being *only* blocking operations.
 from __future__ import annotations
 
 import itertools
-from typing import Any
+from typing import Any, Iterable
 
 from ..kernel.sync import Channel
 
-__all__ = ["SocketEndpoint", "SocketPair", "DEFAULT_SOCKET_BUFFER"]
+__all__ = [
+    "SocketEndpoint",
+    "SocketPair",
+    "DEFAULT_SOCKET_BUFFER",
+    "poll_endpoints",
+]
 
 #: Messages a loopback socket buffers before writers block.  Small on
 #: purpose: a 2.3-era loopback socket buffered a few KB, i.e. a handful
@@ -44,11 +49,60 @@ class SocketEndpoint:
         self.peer: "SocketEndpoint | None" = None
 
     def close(self) -> None:
-        """Close the write side; the peer's reads drain then see CLOSED."""
+        """Close the write side; the peer's reads drain then see CLOSED.
+
+        This is the *synchronous* half-close: the flag flips, but a peer
+        reader that is already parked in a blocking ``get``/``select``
+        stays asleep.  From inside a task body, prefer yielding
+        :meth:`shutdown` so the kernel wakes those readers into EOF.
+        """
         self.tx.close()
+
+    def shutdown(self, env: Any) -> Any:
+        """Kernel-assisted half-close; yield the returned action.
+
+        ``yield sock.client.shutdown(env)`` closes this endpoint's write
+        side *and* wakes every reader parked on the peer's receive path,
+        so a half-closed session delivers EOF instead of deadlocking.
+        """
+        return env.close(self.tx)
+
+    # -- zero-timeout readiness (the select()-path fast checks) -----------
+
+    def readable(self) -> bool:
+        """Zero-timeout poll: would a read complete immediately?
+
+        True while data is buffered **or** the peer has closed — a
+        drained, closed stream stays readable so select-style loops
+        observe the CLOSED sentinel instead of blocking forever.
+        """
+        return bool(len(self.rx)) or self.rx.closed
+
+    def eof(self) -> bool:
+        """True once the peer closed and every buffered message drained."""
+        return self.rx.closed and not len(self.rx)
+
+    @property
+    def half_closed(self) -> bool:
+        """True when this endpoint closed its write side but the peer's
+        direction is still open (data may still arrive)."""
+        return self.tx.closed and not self.rx.closed
 
     def __repr__(self) -> str:
         return f"<SocketEndpoint {self.name}>"
+
+
+def poll_endpoints(
+    endpoints: Iterable[SocketEndpoint],
+) -> list[SocketEndpoint]:
+    """``select(..., timeout=0)`` over endpoints: the ready subset.
+
+    Ready means a read would not block: buffered data *or* pending EOF.
+    Returns in input order; an empty list is the "timed out immediately"
+    outcome a zero-timeout poll must support (callers decide whether to
+    back off or issue a blocking ``Select``).
+    """
+    return [ep for ep in endpoints if ep.readable()]
 
 
 class SocketPair:

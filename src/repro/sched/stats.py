@@ -50,6 +50,10 @@ class SchedStats:
     #: (Figure 6, second chart).
     migrations: int = 0
 
+    #: Tick-driven preemptions: schedule() entries forced because the
+    #: running task's quantum expired (the PREEMPT trace events).
+    preemptions: int = 0
+
     #: Dispatches where the chosen task received no processor-affinity
     #: bonus (the paper correlates these with the extra schedule() calls
     #: ELSC makes on SMP).

@@ -1,0 +1,32 @@
+"""repro.serve — live request serving driven by the pluggable schedulers.
+
+The simulator asks "how would this policy behave on 2001 hardware?";
+this package asks "what does this policy do to a real server's latency
+tail *right now*?"  A :class:`SchedulerExecutor` hosts any registered
+:class:`~repro.sched.base.Scheduler` unmodified as the dispatch policy
+of an asyncio chat server (a live VolanoMark), and the deterministic
+open-loop load generator turns runs into comparable, harness-cacheable
+cells.  See ``docs/serving.md``.
+"""
+
+from .config import ServeConfig
+from .executor import SchedulerExecutor
+from .loadgen import ClientStats, LoadReport, run_loadgen
+from .metrics import DepthTracker, LatencySummary, percentile
+from .server import ChatServer, Session
+from .workload import LoadtestResult, run_serve_loadtest
+
+__all__ = [
+    "ServeConfig",
+    "SchedulerExecutor",
+    "ChatServer",
+    "Session",
+    "ClientStats",
+    "LoadReport",
+    "run_loadgen",
+    "LoadtestResult",
+    "run_serve_loadtest",
+    "DepthTracker",
+    "LatencySummary",
+    "percentile",
+]

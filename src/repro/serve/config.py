@@ -1,0 +1,79 @@
+"""Configuration for the live serving subsystem.
+
+:class:`ServeConfig` is the single knob surface shared by the chat
+server, the load generator, and the harness workload definition — it is
+registered as the config class of the ``"serve"`` workload, so every
+live run is addressable as a :class:`~repro.harness.RunSpec` cell
+(scalars only, defaults filled, content-hashed) exactly like a
+simulated one.
+
+The defaults mirror the paper's VolanoMark topology at miniature scale:
+``rooms × clients_per_room`` chat clients, every message fanned out to
+the whole room.  ``VolanoConfig.paper()`` uses 20 users per room; the
+live default is reduced so smoke runs stay in the seconds range — scale
+``rooms``/``clients_per_room`` up for a real loadtest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of one live serve/loadtest run (JSON-scalar fields only)."""
+
+    #: Chat rooms the load generator populates.
+    rooms: int = 2
+    #: Clients per room; each message fans out to every room member
+    #: (sender included), so one room moves ``clients² × messages``
+    #: deliveries — the paper's VolanoMark arithmetic.
+    clients_per_room: int = 8
+    #: Messages each client sends over the run.
+    messages_per_client: int = 10
+    #: Open-loop arrival period per client, milliseconds.  Arrivals are
+    #: scheduled from the clock, not from completions, so an overloaded
+    #: server sees queue growth instead of a self-throttling client.
+    message_interval_ms: float = 2.0
+    #: ± fractional jitter on each arrival gap (deterministic per seed).
+    arrival_jitter: float = 0.3
+    #: Extra payload bytes padded onto every chat message.
+    payload_bytes: int = 32
+    #: Requests a picked handler may process per dispatch slice before
+    #: the executor re-enters the scheduling policy.
+    batch: int = 8
+    #: Admission bound: total queued requests across all sessions.
+    #: Arrivals beyond it are shed with an ``{"op": "shed"}`` reply.
+    max_pending: int = 4096
+    #: Per-session outbound queue bound (messages).  A slow consumer's
+    #: overflowing fan-out is dropped (and counted), never buffered
+    #: without bound — the backpressure stage.
+    session_outbox: int = 1024
+    #: Hard wall-clock deadline for the whole run, seconds.  Clients
+    #: stop sending and waiting at the deadline; whatever completed by
+    #: then is the result.  The CI smoke job uses a 5-second burst.
+    duration_s: float = 10.0
+    #: Seed for the deterministic arrival schedule.
+    seed: int = 42
+    #: TCP port to bind (0 = ephemeral, the default for loadtests).
+    port: int = 0
+
+    @property
+    def clients(self) -> int:
+        """Total live connections the load generator opens."""
+        return self.rooms * self.clients_per_room
+
+    @property
+    def messages_expected(self) -> int:
+        """Messages the generator will offer over an unshed run."""
+        return self.clients * self.messages_per_client
+
+    @property
+    def deliveries_expected(self) -> int:
+        """Client-bound fan-out deliveries of an unshed, undropped run."""
+        return self.rooms * self.clients_per_room**2 * self.messages_per_client
+
+    def with_rooms(self, rooms: int) -> "ServeConfig":
+        return replace(self, rooms=rooms)

@@ -1,0 +1,283 @@
+"""SchedulerExecutor — kernel scheduling policies driving userspace work.
+
+The simulator's :class:`~repro.sched.base.Scheduler` interface is five
+functions over :class:`~repro.kernel.task.Task` objects.  Nothing in it
+requires simulated time: ``goodness()``, the ELSC tables, and the
+multi-queue stealing logic read task fields (``counter``, ``priority``,
+``has_cpu``, ``processor``) and CPU identity only.  This module exploits
+that to run any registered policy *unmodified* as the dispatch policy of
+a live server: each connection handler is mapped to a ``Task``, arrivals
+are wakeups, and "which session do we serve next" is answered by the
+policy's own ``schedule()``.
+
+The executor mirrors the Machine's bookkeeping contract exactly —
+``wake_up_process`` wakeup dedup, ``_dispatch``'s ``has_cpu`` /
+``processor`` / migration accounting — so a policy cannot tell whether
+it is bound to the discrete-event machine or to a socket loop.  The
+differential conformance test (``tests/serve/``) holds the two hosts to
+the same dispatch order for identical arrival traces.
+
+SMP is modelled with *virtual CPUs*: the asyncio loop is one real
+thread, but ``schedule()`` is invoked round-robin over ``num_cpus``
+:class:`~repro.kernel.cpu.CPU` objects, so per-CPU policies (``mq``,
+``o1``) exercise their multi-queue paths — including migrations by
+stealing — exactly as they would on real processors.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from ..kernel.cost_model import CostModel
+from ..kernel.cpu import CPU
+from ..kernel.task import SchedPolicy, Task, TaskState
+from ..sched.base import Scheduler
+
+__all__ = ["SchedulerExecutor"]
+
+
+class _Clock:
+    """Monotonic virtual time; advanced by decision cost per pick."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now: int = 0
+
+
+class _ExecutorMachine:
+    """The duck-typed machine a :class:`Scheduler` binds against.
+
+    Provides every attribute the scheduler layer touches — ``cost``,
+    ``smp``, ``cpus``, ``live_tasks()``, ``clock``, ``tracer`` and the
+    global-lock timeline fields — with none of the event loop.
+    """
+
+    def __init__(self, num_cpus: int, smp: bool, cost: CostModel) -> None:
+        self.cost = cost
+        self.smp = smp
+        self.cpus = [CPU(i) for i in range(num_cpus)]
+        self.clock = _Clock()
+        self.tracer = None
+        self.lock_free_at = 0
+        self.lock_owner_cpu: Optional[int] = None
+        self._tasks: dict[int, Task] = {}
+
+    def live_tasks(self) -> Iterable[Task]:
+        return (t for t in self._tasks.values() if not t.exited)
+
+
+class SchedulerExecutor:
+    """Dispatch userspace work units through a kernel scheduling policy.
+
+    Life cycle of one handler::
+
+        task = executor.register("session-3")      # blocked, no work yet
+        executor.ready(task)                       # request arrived
+        picked = executor.pick()                   # policy chooses
+        ...serve up to `batch` requests...
+        executor.charge_slice(picked)              # quantum accounting
+        executor.release(picked, blocked=empty)    # back to the queue/bed
+        executor.deregister(task)                  # connection closed
+
+    ``pick()`` rotates over the virtual CPUs; a ``None`` return means
+    every policy table was empty *for the CPUs tried this round* — use
+    :meth:`has_runnable` (not ``pick() is None``) as the wait gate,
+    because a runnable handler that is still ``cpu.current`` elsewhere
+    is invisible to other CPUs' ``schedule()`` by the kernel contract.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        num_cpus: int = 1,
+        smp: bool = False,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        if num_cpus < 1:
+            raise ValueError("executor needs at least one virtual CPU")
+        self.scheduler = scheduler
+        self.machine = _ExecutorMachine(
+            num_cpus, smp, cost if cost is not None else CostModel()
+        )
+        scheduler.bind(self.machine)  # type: ignore[arg-type]
+        self._cursor = 0
+        #: Wall-clock nanoseconds spent inside schedule(), one sample
+        #: per invocation (the live pick-latency metric).
+        self.pick_ns: list[int] = []
+        self._pick_ns_cap = 1 << 16
+        self.picks = 0
+        self.idle_picks = 0
+
+    # -- handler lifecycle ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        priority: Optional[int] = None,
+        policy: SchedPolicy = SchedPolicy.SCHED_OTHER,
+        rt_priority: int = 0,
+        user: object = None,
+    ) -> Task:
+        """Create the Task standing in for one handler; starts blocked."""
+        task = (
+            Task(name=name, policy=policy, rt_priority=rt_priority)
+            if priority is None
+            else Task(
+                name=name,
+                priority=priority,
+                policy=policy,
+                rt_priority=rt_priority,
+            )
+        )
+        # A fresh Task is born RUNNING; a fresh handler has no work.
+        task.state = TaskState.INTERRUPTIBLE
+        task.user = user
+        self.machine._tasks[task.pid] = task
+        return task
+
+    def deregister(self, task: Task) -> None:
+        """Handler gone (connection closed): off the queue, off a CPU."""
+        if task.exited:
+            return
+        for cpu in self.machine.cpus:
+            if cpu.current is task:
+                cpu.current = cpu.idle_task
+                cpu.idle_task.has_cpu = True
+        task.has_cpu = False
+        self.scheduler.del_from_runqueue(task)
+        task.mark_exited()
+        self.machine._tasks.pop(task.pid, None)
+
+    # -- wakeup (mirrors Machine.wake_up_process) -----------------------------
+
+    def ready(self, task: Task) -> bool:
+        """Work arrived for ``task``; returns True if it was enqueued.
+
+        Dedup semantics are the kernel's: a task already runnable on the
+        queue is a spurious wake; a task still ``on_runqueue`` (it is
+        somebody's ``current``) just flips back to RUNNING.
+        """
+        if task.exited:
+            return False
+        if task.state is TaskState.RUNNING and task.on_runqueue():
+            return False
+        task.state = TaskState.RUNNING
+        if task.on_runqueue():
+            return False
+        task.wakeup_count += 1
+        self.scheduler.add_to_runqueue(task)
+        return True
+
+    # -- dispatch (mirrors Machine._dispatch bookkeeping) ---------------------
+
+    def pick(self) -> Optional[Task]:
+        """Ask the policy for the next handler to serve.
+
+        Tries each virtual CPU once, round-robin, and returns the first
+        non-idle decision; ``None`` when every try came back idle.
+        """
+        machine = self.machine
+        ncpu = len(machine.cpus)
+        for _ in range(ncpu):
+            cpu = machine.cpus[self._cursor]
+            self._cursor = (self._cursor + 1) % ncpu
+            task = self._pick_on(cpu)
+            if task is not None:
+                return task
+        return None
+
+    def _pick_on(self, cpu: CPU) -> Optional[Task]:
+        scheduler = self.scheduler
+        stats = scheduler.stats
+        prev = cpu.current
+        self.picks += 1
+        t0 = time.perf_counter_ns()
+        decision = scheduler.schedule(prev, cpu)
+        elapsed = time.perf_counter_ns() - t0
+        if len(self.pick_ns) < self._pick_ns_cap:
+            self.pick_ns.append(elapsed)
+        machine = self.machine
+        machine.clock.now += max(1, decision.cost)
+        next_task = decision.next_task
+
+        prev.has_cpu = False
+        if next_task is None:
+            stats.idle_schedules += 1
+            self.idle_picks += 1
+            cpu.current = cpu.idle_task
+            cpu.idle_task.has_cpu = True
+            return None
+        if next_task is not prev:
+            stats.switches += 1
+        if next_task.processor != cpu.cpu_id:
+            stats.picks_without_affinity += 1
+            if next_task.processor != -1:
+                stats.migrations += 1
+                next_task.migration_count += 1
+                next_task.cache_cold = True
+        next_task.has_cpu = True
+        next_task.processor = cpu.cpu_id
+        next_task.dispatch_count += 1
+        cpu.current = next_task
+        cpu.dispatches += 1
+        return next_task
+
+    # -- slice accounting ------------------------------------------------------
+
+    def charge_slice(self, task: Task) -> None:
+        """One dispatch slice consumed: the tick-handler's quantum math.
+
+        SCHED_FIFO runs untimed; everyone else burns one counter tick,
+        and hitting zero is recorded as a quantum-expiry preemption —
+        the same event the simulator's tick path counts.
+        """
+        if task.policy is SchedPolicy.SCHED_FIFO:
+            return
+        task.ticks_consumed += 1
+        if task.counter > 0:
+            task.counter -= 1
+            if task.counter == 0:
+                self.scheduler.stats.preemptions += 1
+
+    def release(self, task: Task, blocked: bool) -> None:
+        """Return a served handler to the policy's jurisdiction.
+
+        The task stays ``cpu.current`` / ``has_cpu`` until the next
+        ``schedule()`` on that CPU — exactly the kernel's window between
+        a task blocking and its CPU switching away.  ``blocked=True``
+        when the handler's inbox is empty.
+        """
+        if task.exited:
+            return
+        task.state = (
+            TaskState.INTERRUPTIBLE if blocked else TaskState.RUNNING
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def has_runnable(self) -> bool:
+        """True while any registered handler is runnable (the wait gate)."""
+        return any(
+            t.state is TaskState.RUNNING
+            for t in self.machine._tasks.values()
+            if not t.exited
+        )
+
+    def runnable_count(self) -> int:
+        return sum(
+            1
+            for t in self.machine._tasks.values()
+            if not t.exited and t.state is TaskState.RUNNING
+        )
+
+    def live_count(self) -> int:
+        return sum(1 for _ in self.machine.live_tasks())
+
+    def __repr__(self) -> str:
+        return (
+            f"<SchedulerExecutor {self.scheduler.name} "
+            f"cpus={len(self.machine.cpus)} live={self.live_count()} "
+            f"picks={self.picks}>"
+        )

@@ -1,0 +1,233 @@
+"""Deterministic open-loop load generator for the live chat server.
+
+Arrivals are **open-loop**: each client computes its whole send schedule
+up front from a seeded RNG and sends at those absolute times regardless
+of how fast replies come back.  An overloaded server therefore sees the
+queue grow (and admission control engage) instead of the client
+politely slowing down — the load model under which tail latency and
+shedding are meaningful.
+
+Determinism: client ``(room, client)`` derives its RNG from
+``f"{seed}/{room}/{client}"``, so the *offered* load — arrival times,
+message count, payload — is a pure function of :class:`ServeConfig`.
+(Service times and therefore latencies remain as nondeterministic as
+the machine the test runs on; the harness cache keys on the config, not
+the result.)
+
+Latency is measured end-to-end: the client stamps
+``time.perf_counter_ns()`` into each message's ``t`` field and clocks
+the round trip when its *own* fan-out copy returns — admission queueing,
+scheduler pick, fan-out, and both socket directions included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from . import protocol
+from .config import ServeConfig
+from .metrics import LatencySummary
+
+__all__ = ["ClientStats", "LoadReport", "run_loadgen"]
+
+
+@dataclass
+class ClientStats:
+    """One client's view of the run."""
+
+    sent: int = 0
+    echoes: int = 0        # own messages seen back (latency samples)
+    received: int = 0      # every fan-out delivery, own or not
+    shed: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+
+@dataclass
+class LoadReport:
+    """Aggregated result of one loadgen run."""
+
+    config: ServeConfig
+    elapsed_seconds: float
+    sent: int
+    received: int
+    echoes: int
+    shed: int
+    connect_failures: int
+    latencies_ms: list[float]
+
+    @property
+    def latency(self) -> LatencySummary:
+        return LatencySummary.from_samples(self.latencies_ms)
+
+    @property
+    def throughput(self) -> float:
+        """Completed round trips per second (echo-confirmed sends)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.echoes / self.elapsed_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "sent": self.sent,
+            "received": self.received,
+            "echoes": self.echoes,
+            "shed": self.shed,
+            "connect_failures": self.connect_failures,
+            "throughput": self.throughput,
+            **self.latency.to_dict("latency_ms_"),
+        }
+
+
+def _arrival_schedule(config: ServeConfig, room: int, client: int) -> list[float]:
+    """Absolute send offsets (seconds) for one client, seed-determined."""
+    rng = random.Random(f"{config.seed}/{room}/{client}")
+    interval = config.message_interval_ms / 1e3
+    jitter = config.arrival_jitter
+    at = 0.0
+    schedule = []
+    for _ in range(config.messages_per_client):
+        at += interval * (1.0 + jitter * rng.uniform(-1.0, 1.0))
+        schedule.append(at)
+    return schedule
+
+
+def _payload(config: ServeConfig, room: int, client: int) -> str:
+    rng = random.Random(f"{config.seed}/pad/{room}/{client}")
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "".join(rng.choice(alphabet) for _ in range(config.payload_bytes))
+
+
+async def _client(
+    host: str,
+    port: int,
+    config: ServeConfig,
+    room: int,
+    client: int,
+    deadline: float,
+    stats: ClientStats,
+) -> None:
+    me = f"u{room}.{client}"
+    room_name = f"r{room}"
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        raise
+    try:
+        writer.write(
+            protocol.encode(
+                {"op": protocol.OP_JOIN, "room": room_name, "user": me}
+            )
+        )
+        await writer.drain()
+
+        async def receive() -> None:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    message = protocol.decode(line)
+                except protocol.ProtocolError:
+                    return
+                if message is None:
+                    continue
+                op = message.get("op")
+                if op == protocol.OP_MSG:
+                    stats.received += 1
+                    if message.get("user") == me:
+                        stats.echoes += 1
+                        t = message.get("t")
+                        if isinstance(t, int):
+                            stats.latencies_ms.append(
+                                (time.perf_counter_ns() - t) / 1e6
+                            )
+                elif op == protocol.OP_SHED:
+                    stats.shed += 1
+                elif op == protocol.OP_BYE:
+                    return
+
+        rx = asyncio.create_task(receive())
+        pad = _payload(config, room, client)
+        start = time.monotonic()
+        for seq, offset in enumerate(_arrival_schedule(config, room, client)):
+            now = time.monotonic()
+            if now >= deadline:
+                break
+            send_at = start + offset
+            if send_at > now:
+                await asyncio.sleep(min(send_at - now, deadline - now))
+                if time.monotonic() >= deadline:
+                    break
+            writer.write(
+                protocol.encode(
+                    {
+                        "op": protocol.OP_MSG,
+                        "room": room_name,
+                        "user": me,
+                        "seq": seq,
+                        "t": time.perf_counter_ns(),
+                        "pad": pad,
+                    }
+                )
+            )
+            await writer.drain()
+            stats.sent += 1
+        # Give in-flight fan-out a chance to arrive, then say goodbye.
+        grace = max(0.0, min(0.5, deadline - time.monotonic()))
+        if grace:
+            try:
+                await asyncio.wait_for(asyncio.shield(rx), timeout=grace)
+            except asyncio.TimeoutError:
+                pass
+        writer.write(protocol.encode({"op": protocol.OP_QUIT}))
+        await writer.drain()
+        try:
+            await asyncio.wait_for(rx, timeout=1.0)
+        except asyncio.TimeoutError:
+            rx.cancel()
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def run_loadgen(
+    host: str, port: int, config: ServeConfig
+) -> LoadReport:
+    """Drive one full deterministic load against a running server."""
+    deadline = time.monotonic() + config.duration_s
+    stats = [
+        ClientStats()
+        for _ in range(config.rooms * config.clients_per_room)
+    ]
+    started = time.monotonic()
+    jobs = []
+    index = 0
+    for room in range(config.rooms):
+        for client in range(config.clients_per_room):
+            jobs.append(
+                _client(host, port, config, room, client, deadline, stats[index])
+            )
+            index += 1
+    outcomes = await asyncio.gather(*jobs, return_exceptions=True)
+    elapsed = time.monotonic() - started
+    failures = sum(1 for o in outcomes if isinstance(o, BaseException))
+    latencies: list[float] = []
+    for s in stats:
+        latencies.extend(s.latencies_ms)
+    return LoadReport(
+        config=config,
+        elapsed_seconds=elapsed,
+        sent=sum(s.sent for s in stats),
+        received=sum(s.received for s in stats),
+        echoes=sum(s.echoes for s in stats),
+        shed=sum(s.shed for s in stats),
+        connect_failures=failures,
+        latencies_ms=latencies,
+    )

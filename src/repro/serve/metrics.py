@@ -1,0 +1,109 @@
+"""Latency/throughput metrics for live serve runs.
+
+The live pipeline measures three things the simulator cannot:
+
+* **request latency** — client-stamped round-trip of every chat message
+  through the server's admission queue, scheduler pick, fan-out, and
+  socket writes (p50/p95/p99, the numbers a serving system is judged by);
+* **scheduler pick latency** — wall nanoseconds spent inside the
+  policy's ``schedule()`` per dispatch, the userspace analogue of the
+  paper's cycles-per-schedule Figure 5;
+* **queue depth** — pending requests observed at every dispatch, the
+  backpressure signal admission control acts on.
+
+Everything reduces to plain floats so a live run exports through the
+same :class:`~repro.harness.CellResult` metrics dict as a simulated one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["percentile", "LatencySummary", "DepthTracker"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches ``numpy.percentile``'s default for the common cases without
+    the dependency; 0.0 on an empty sample set (a fully shed run).
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile wants 0..100, got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p95/p99/mean/max over one set of samples (any unit)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySummary(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            max=float(max(samples)),
+        )
+
+    def to_dict(self, prefix: str = "") -> dict[str, Any]:
+        return {
+            f"{prefix}count": self.count,
+            f"{prefix}mean": self.mean,
+            f"{prefix}p50": self.p50,
+            f"{prefix}p95": self.p95,
+            f"{prefix}p99": self.p99,
+            f"{prefix}max": self.max,
+        }
+
+
+@dataclass
+class DepthTracker:
+    """Constant-space queue-depth accounting (avg/max over all samples)."""
+
+    samples: int = 0
+    total: int = 0
+    peak: int = 0
+    #: Bounded reservoir of recent depths for percentile reporting.
+    recent: list[int] = field(default_factory=list)
+    reservoir: int = 4096
+
+    def observe(self, depth: int) -> None:
+        self.samples += 1
+        self.total += depth
+        if depth > self.peak:
+            self.peak = depth
+        if len(self.recent) < self.reservoir:
+            self.recent.append(depth)
+
+    @property
+    def average(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def to_dict(self, prefix: str = "") -> dict[str, Any]:
+        return {
+            f"{prefix}avg": self.average,
+            f"{prefix}max": self.peak,
+            f"{prefix}samples": self.samples,
+        }

@@ -1,0 +1,83 @@
+"""Wire protocol of the live chat server: newline-delimited JSON.
+
+One JSON object per line, UTF-8, ``\\n`` terminated — trivially
+debuggable with ``nc`` and framing-safe over asyncio stream readers.
+
+Client → server operations::
+
+    {"op": "join", "room": "r0", "user": "u3"}
+    {"op": "msg",  "room": "r0", "user": "u3", "seq": 7, "t": <ns>, "pad": "…"}
+    {"op": "quit"}
+
+Server → client operations::
+
+    {"op": "welcome", "session": 12}
+    {"op": "joined",  "room": "r0", "members": 8}
+    {"op": "msg",     …fan-out copy, origin fields preserved…}
+    {"op": "shed",    "seq": 7}          # admission control dropped it
+    {"op": "bye"}
+
+``t`` is an opaque client timestamp echoed back unmodified; the load
+generator stamps ``time.perf_counter_ns()`` and computes round-trip
+latency when its own fan-out copy returns.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+__all__ = [
+    "OP_JOIN",
+    "OP_MSG",
+    "OP_QUIT",
+    "OP_WELCOME",
+    "OP_JOINED",
+    "OP_SHED",
+    "OP_BYE",
+    "MAX_LINE_BYTES",
+    "encode",
+    "decode",
+    "ProtocolError",
+]
+
+OP_JOIN = "join"
+OP_MSG = "msg"
+OP_QUIT = "quit"
+OP_WELCOME = "welcome"
+OP_JOINED = "joined"
+OP_SHED = "shed"
+OP_BYE = "bye"
+
+#: Upper bound on one frame; oversized lines are a protocol error, not
+#: an allocation.  Generous for padded benchmark messages.
+MAX_LINE_BYTES = 64 * 1024
+
+
+class ProtocolError(ValueError):
+    """A frame that is not valid line-JSON or has no ``op``."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One frame: compact JSON plus the line terminator."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> Optional[dict[str, Any]]:
+    """Parse one received line; ``None`` for a blank keep-alive line.
+
+    Raises :class:`ProtocolError` on garbage — the server answers by
+    closing the session rather than guessing.
+    """
+    stripped = line.strip()
+    if not stripped:
+        return None
+    if len(stripped) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame of {len(stripped)} bytes exceeds limit")
+    try:
+        message = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad frame: {exc}") from exc
+    if not isinstance(message, dict) or "op" not in message:
+        raise ProtocolError(f"frame without op: {message!r}")
+    return message

@@ -1,0 +1,324 @@
+"""The live chat server: VolanoMark semantics over real sockets.
+
+One asyncio process, N rooms × M clients, every message fanned out to
+the whole room — but *which session gets served next* is not asyncio's
+FIFO callback order.  Ready sessions are handed to a
+:class:`~repro.serve.executor.SchedulerExecutor` and the wrapped kernel
+policy's ``schedule()`` picks the next handler, so ``vanilla`` and
+``multiqueue`` produce genuinely different service orders (and latency
+tails) on the same offered load.
+
+Overload is handled in two bounded stages:
+
+* **admission control** — at most ``config.max_pending`` requests may be
+  queued across all sessions; an arrival beyond that is answered with
+  ``{"op": "shed"}`` and never enters the scheduler's world;
+* **fan-out backpressure** — each session's outbound queue holds at most
+  ``config.session_outbox`` frames; a slow consumer's overflow is
+  dropped and counted (``dropped_fanout``), never buffered unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Optional
+
+from ..kernel.task import Task
+from . import protocol
+from .config import ServeConfig
+from .executor import SchedulerExecutor
+from .metrics import DepthTracker
+
+__all__ = ["ChatServer", "Session"]
+
+#: Outbox sentinel: the writer coroutine drains the queue, sees this,
+#: flushes, and closes the transport.
+_CLOSE = object()
+
+
+class Session:
+    """One connected client: socket streams plus its scheduler Task."""
+
+    __slots__ = (
+        "sid",
+        "reader",
+        "writer",
+        "task",
+        "room",
+        "user_name",
+        "inbox",
+        "outbox",
+        "outbox_wake",
+        "closing",
+    )
+
+    def __init__(
+        self,
+        sid: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.sid = sid
+        self.reader = reader
+        self.writer = writer
+        self.task: Optional[Task] = None
+        self.room: Optional[str] = None
+        self.user_name = f"anon{sid}"
+        #: Requests accepted by admission control, awaiting dispatch.
+        self.inbox: deque[dict[str, Any]] = deque()
+        #: Outbound frames awaiting the writer coroutine.
+        self.outbox: deque[Any] = deque()
+        self.outbox_wake = asyncio.Event()
+        self.closing = False
+
+
+class ChatServer:
+    """Scheduler-driven chat server on a localhost TCP socket."""
+
+    def __init__(self, executor: SchedulerExecutor, config: ServeConfig) -> None:
+        self.executor = executor
+        self.config = config
+        self.rooms: dict[str, set[Session]] = {}
+        self.sessions: dict[int, Session] = {}
+        self._next_sid = 0
+        #: Requests admitted but not yet dispatched, across all sessions.
+        self.pending = 0
+        self._work = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._writers: set[asyncio.Task] = set()
+        self.port = 0
+        # -- counters -------------------------------------------------
+        self.completed = 0
+        self.shed = 0
+        self.dropped_fanout = 0
+        self.deliveries = 0
+        self.protocol_errors = 0
+        self.sessions_total = 0
+        self.depth = DepthTracker()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1") -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="serve-dispatch"
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for session in list(self.sessions.values()):
+            self._close_session(session)
+        for writer in list(self._writers):
+            writer.cancel()
+        if self._writers:
+            await asyncio.gather(*self._writers, return_exceptions=True)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._next_sid += 1
+        session = Session(self._next_sid, reader, writer)
+        session.task = self.executor.register(
+            f"session-{session.sid}", user=session
+        )
+        self.sessions[session.sid] = session
+        self.sessions_total += 1
+        pump = asyncio.create_task(
+            self._writer_loop(session), name=f"serve-out-{session.sid}"
+        )
+        self._writers.add(pump)
+        pump.add_done_callback(self._writers.discard)
+        self._send(session, {"op": protocol.OP_WELCOME, "session": session.sid})
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break  # EOF: client went away or half-closed
+                try:
+                    message = protocol.decode(line)
+                except protocol.ProtocolError:
+                    self.protocol_errors += 1
+                    break
+                if message is None:
+                    continue
+                if not self._handle_frame(session, message):
+                    break
+        finally:
+            self._close_session(session)
+
+    def _handle_frame(self, session: Session, message: dict[str, Any]) -> bool:
+        """Apply one client frame; False ends the connection."""
+        op = message.get("op")
+        if op == protocol.OP_JOIN:
+            room = str(message.get("room", "lobby"))
+            session.user_name = str(message.get("user", session.user_name))
+            self._leave_room(session)
+            session.room = room
+            members = self.rooms.setdefault(room, set())
+            members.add(session)
+            self._send(
+                session,
+                {
+                    "op": protocol.OP_JOINED,
+                    "room": room,
+                    "members": len(members),
+                },
+            )
+            return True
+        if op == protocol.OP_MSG:
+            if self.pending >= self.config.max_pending:
+                # Admission control: the request never reaches the
+                # scheduler; the client learns immediately.
+                self.shed += 1
+                self._send(
+                    session,
+                    {"op": protocol.OP_SHED, "seq": message.get("seq")},
+                )
+                return True
+            session.inbox.append(message)
+            self.pending += 1
+            assert session.task is not None
+            self.executor.ready(session.task)
+            self._work.set()
+            return True
+        if op == protocol.OP_QUIT:
+            self._send(session, {"op": protocol.OP_BYE})
+            return False
+        # Unknown op: tolerate (forward-compatible), ignore.
+        return True
+
+    def _leave_room(self, session: Session) -> None:
+        if session.room is not None:
+            members = self.rooms.get(session.room)
+            if members is not None:
+                members.discard(session)
+        session.room = None
+
+    def _close_session(self, session: Session) -> None:
+        if session.closing:
+            return
+        session.closing = True
+        self._leave_room(session)
+        self.sessions.pop(session.sid, None)
+        # Unserved requests die with the connection.
+        self.pending -= len(session.inbox)
+        session.inbox.clear()
+        if session.task is not None:
+            self.executor.deregister(session.task)
+        session.outbox.append(_CLOSE)
+        session.outbox_wake.set()
+
+    # -- outbound path ------------------------------------------------------
+
+    def _send(self, session: Session, message: dict[str, Any]) -> bool:
+        """Queue one frame for a session, bounded; False when dropped."""
+        if session.closing:
+            return False
+        if len(session.outbox) >= self.config.session_outbox:
+            self.dropped_fanout += 1
+            return False
+        session.outbox.append(message)
+        session.outbox_wake.set()
+        return True
+
+    async def _writer_loop(self, session: Session) -> None:
+        writer = session.writer
+        try:
+            while True:
+                await session.outbox_wake.wait()
+                session.outbox_wake.clear()
+                while session.outbox:
+                    item = session.outbox.popleft()
+                    if item is _CLOSE:
+                        return
+                    writer.write(protocol.encode(item))
+                    # drain() is the real backpressure edge: a slow
+                    # client stalls only its own pump while frames pile
+                    # into (and overflow out of) its bounded outbox.
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # -- the scheduler-driven dispatch loop ---------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        executor = self.executor
+        while True:
+            if not executor.has_runnable():
+                self._work.clear()
+                # Re-check: a ready() may have raced the clear.
+                if not executor.has_runnable():
+                    await self._work.wait()
+                continue
+            self.depth.observe(self.pending)
+            task = executor.pick()
+            if task is None:
+                # Runnable exists but this rotation found nothing
+                # pickable (transient in multi-CPU configurations).
+                await asyncio.sleep(0)
+                continue
+            self._serve(task)
+            # Yield to the event loop so readers/writers make progress
+            # between dispatches — the "timer tick" of this userspace
+            # kernel.
+            await asyncio.sleep(0)
+
+    def _serve(self, task: Task) -> None:
+        """Serve up to ``config.batch`` queued requests of one session."""
+        session: Session = task.user
+        budget = self.config.batch
+        while session.inbox and budget > 0:
+            message = session.inbox.popleft()
+            self.pending -= 1
+            budget -= 1
+            self._fan_out(session, message)
+            self.completed += 1
+        self.executor.charge_slice(task)
+        self.executor.release(task, blocked=not session.inbox)
+
+    def _fan_out(self, session: Session, message: dict[str, Any]) -> None:
+        room = session.room
+        if room is None:
+            # Not in a room: echo back to the sender only.
+            if self._send(session, message):
+                self.deliveries += 1
+            return
+        for member in tuple(self.rooms.get(room, ())):
+            if self._send(member, message):
+                self.deliveries += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "completed": self.completed,
+            "deliveries": self.deliveries,
+            "shed": self.shed,
+            "dropped_fanout": self.dropped_fanout,
+            "protocol_errors": self.protocol_errors,
+            "sessions_total": self.sessions_total,
+            **self.depth.to_dict("queue_depth_"),
+        }

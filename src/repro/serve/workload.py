@@ -1,0 +1,124 @@
+"""The "serve" workload: a live loadtest as one harness cell.
+
+:func:`run_serve_loadtest` has the same shape as every simulated
+workload entry point — ``run(scheduler_factory, machine_spec, config)``
+returning an object with a ``.sim`` exposing ``stats`` and
+``scheduler_name`` — so ``execute_spec`` runs it unchanged and a live
+run becomes an addressable, cacheable :class:`~repro.harness.RunSpec`
+cell next to the simulated ones.
+
+The machine spec maps onto the executor's *virtual* CPUs: a ``4P`` live
+cell drives the policy through four round-robin CPU contexts, so
+per-CPU designs exercise their real multi-queue paths.
+
+Latencies are wall-clock and therefore machine-dependent; the harness
+cache keys on the config alone, so a repeated identical cell is a cache
+hit by construction (the acceptance property), and cross-machine
+comparisons should rerun with ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..kernel.simulator import MachineSpec
+from ..sched.base import Scheduler
+from ..sched.stats import SchedStats
+from .config import ServeConfig
+from .executor import SchedulerExecutor
+from .loadgen import LoadReport, run_loadgen
+from .metrics import LatencySummary
+from .server import ChatServer
+
+__all__ = ["LoadtestResult", "run_serve_loadtest"]
+
+
+@dataclass
+class _SimShim:
+    """What ``execute_spec`` reads off a workload result's ``.sim``."""
+
+    stats: SchedStats
+    scheduler_name: str
+
+
+class LoadtestResult:
+    """Everything one live loadtest produced."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        executor: SchedulerExecutor,
+        server_counters: dict[str, Any],
+        report: LoadReport,
+    ) -> None:
+        self.sim = _SimShim(stats=scheduler.stats, scheduler_name=scheduler.name)
+        self.executor = executor
+        self.server_counters = server_counters
+        self.report = report
+        self.pick_latency_us = LatencySummary.from_samples(
+            [ns / 1e3 for ns in executor.pick_ns]
+        )
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.report.elapsed_seconds
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput
+
+    def metrics(self) -> dict[str, Any]:
+        """The scalar export (what the harness records for the cell)."""
+        out: dict[str, Any] = {
+            "throughput": self.throughput,
+            "elapsed_seconds": self.elapsed_seconds,
+            **{
+                k: self.server_counters[k]
+                for k in (
+                    "completed",
+                    "deliveries",
+                    "shed",
+                    "dropped_fanout",
+                    "sessions_total",
+                    "queue_depth_avg",
+                    "queue_depth_max",
+                )
+            },
+            "sent": self.report.sent,
+            "received": self.report.received,
+            "echoes": self.report.echoes,
+            "connect_failures": self.report.connect_failures,
+            **self.report.latency.to_dict("latency_ms_"),
+            **self.pick_latency_us.to_dict("pick_us_"),
+            "picks": self.executor.picks,
+            "idle_picks": self.executor.idle_picks,
+        }
+        return out
+
+
+async def _run(
+    scheduler: Scheduler, spec: MachineSpec, config: ServeConfig
+) -> LoadtestResult:
+    executor = SchedulerExecutor(
+        scheduler, num_cpus=spec.num_cpus, smp=spec.smp
+    )
+    server = ChatServer(executor, config)
+    await server.start()
+    try:
+        report = await run_loadgen("127.0.0.1", server.port, config)
+    finally:
+        counters = server.counters()
+        await server.stop()
+    return LoadtestResult(scheduler, executor, counters, report)
+
+
+def run_serve_loadtest(
+    scheduler_factory: Callable[[], Scheduler],
+    spec: MachineSpec,
+    config: ServeConfig,
+) -> LoadtestResult:
+    """One live serve cell: start server, drive the load, tear down."""
+    scheduler = scheduler_factory()
+    return asyncio.run(_run(scheduler, spec, config))

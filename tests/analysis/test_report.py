@@ -51,10 +51,18 @@ class TestBuildReport:
             "Figure 5b",
             "Figure 6a",
             "Figure 6b",
+            "Trace events",
             "IBM baseline",
             "Table 2",
         ):
             assert marker in report, marker
+
+    def test_trace_events_table_has_both_counters(self, report):
+        block = report.split("Trace events")[1].split("\n\n")[0]
+        assert "elsc preempt" in block and "reg migrate" in block
+        # Four machine-config rows, one per spec.
+        for spec_name in ("UP", "1P", "2P", "4P"):
+            assert spec_name in block
 
     def test_webserver_excluded_when_disabled(self, report):
         assert "Future work" not in report

@@ -1,0 +1,168 @@
+"""Select-path edge cases: zero-timeout polls and EOF on half-closed
+sessions (the ``socket.py`` fixes this PR ships)."""
+
+from __future__ import annotations
+
+from repro import Machine, MMStruct, VanillaScheduler
+from repro.kernel.sync import CLOSED
+from repro.net import SocketPair, poll_endpoints
+
+
+def up_machine():
+    return Machine(VanillaScheduler(), num_cpus=1, smp=False)
+
+
+class TestZeroTimeoutPoll:
+    def test_fresh_endpoint_not_readable(self):
+        pair = SocketPair()
+        assert not pair.server.readable()
+        assert not pair.server.eof()
+        assert poll_endpoints([pair.server, pair.client]) == []
+
+    def test_buffered_data_is_readable(self):
+        pair = SocketPair()
+        pair.client.tx.try_put("hello")
+        assert pair.server.readable()
+        assert not pair.server.eof()
+        assert poll_endpoints([pair.client, pair.server]) == [pair.server]
+
+    def test_closed_and_drained_stays_readable(self):
+        """A drained, closed stream must poll readable so select-style
+        loops observe CLOSED instead of parking forever."""
+        pair = SocketPair()
+        pair.client.tx.try_put("last")
+        pair.client.close()
+        assert pair.server.readable()          # the buffered message
+        ok, msg = pair.server.rx.try_get()
+        assert ok and msg == "last"
+        assert pair.server.readable()          # now the pending EOF
+        assert pair.server.eof()
+        ok, msg = pair.server.rx.try_get()
+        assert ok and msg is CLOSED
+
+    def test_poll_preserves_input_order(self):
+        pairs = [SocketPair() for _ in range(3)]
+        pairs[2].client.tx.try_put("c")
+        pairs[0].client.tx.try_put("a")
+        servers = [p.server for p in pairs]
+        assert poll_endpoints(servers) == [servers[0], servers[2]]
+
+    def test_half_closed_flag(self):
+        pair = SocketPair()
+        pair.client.close()
+        assert pair.client.half_closed      # wrote-side closed, rx open
+        assert not pair.server.half_closed  # server's tx is still open
+
+
+class TestEofDelivery:
+    def test_shutdown_wakes_blocked_reader(self):
+        """The deadlock this PR fixes: a reader already parked in a
+        blocking get never saw a plain close(); the kernel-assisted
+        shutdown wakes it into CLOSED."""
+        machine = up_machine()
+        pair = SocketPair()
+        mm = MMStruct()
+        seen = []
+
+        def server(env):
+            # Parks immediately: nothing has been sent yet.
+            msg = yield env.get(pair.server.rx)
+            seen.append(msg)
+
+        def client(env):
+            yield env.sleep(0.001)  # let the server block first
+            yield pair.client.shutdown(env)
+
+        machine.spawn(server, name="s", mm=mm)
+        machine.spawn(client, name="c", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert seen == [CLOSED]
+
+    def test_shutdown_wakes_parked_select(self):
+        """Multi-parked select: EOF is a broadcast condition, so a
+        selector blocked across channels wakes when any one closes."""
+        machine = up_machine()
+        a, b = SocketPair(), SocketPair()
+        mm = MMStruct()
+        seen = []
+
+        def selector(env):
+            chan, item = yield env.select([a.server.rx, b.server.rx])
+            seen.append((chan is b.server.rx, item))
+
+        def closer(env):
+            yield env.sleep(0.001)
+            yield b.client.shutdown(env)
+
+        machine.spawn(selector, name="sel", mm=mm)
+        machine.spawn(closer, name="closer", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert seen == [(True, CLOSED)]
+
+    def test_shutdown_wakes_every_parked_reader(self):
+        machine = up_machine()
+        pair = SocketPair()
+        mm = MMStruct()
+        seen = []
+
+        def reader(env):
+            msg = yield env.get(pair.server.rx)
+            seen.append(msg)
+
+        def closer(env):
+            yield env.sleep(0.001)
+            yield pair.client.shutdown(env)
+
+        for i in range(3):
+            machine.spawn(reader, name=f"r{i}", mm=mm)
+        machine.spawn(closer, name="closer", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert seen == [CLOSED] * 3
+
+    def test_half_closed_session_still_serves_other_direction(self):
+        """After the client half-closes, the server can still write back
+        (its tx is the other channel) — replies drain, then both end."""
+        machine = up_machine()
+        pair = SocketPair()
+        mm = MMStruct()
+        replies = []
+
+        def client(env):
+            yield env.put(pair.client.tx, "req")
+            yield pair.client.shutdown(env)
+            reply = yield env.get(pair.client.rx)
+            replies.append(reply)
+
+        def server(env):
+            while True:
+                msg = yield env.get(pair.server.rx)
+                if msg is CLOSED:
+                    # EOF on the read side; answer what we got, then go.
+                    yield env.put(pair.server.tx, "ack")
+                    return
+                assert msg == "req"
+
+        machine.spawn(client, name="c", mm=mm)
+        machine.spawn(server, name="s", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert replies == ["ack"]
+
+    def test_select_on_already_closed_channel_is_instant(self):
+        machine = up_machine()
+        pair = SocketPair()
+        pair.client.close()
+        mm = MMStruct()
+        seen = []
+
+        def selector(env):
+            chan, item = yield env.select([pair.server.rx])
+            seen.append(item)
+
+        machine.spawn(selector, name="sel", mm=mm)
+        summary = machine.run()
+        assert not summary.deadlocked
+        assert seen == [CLOSED]

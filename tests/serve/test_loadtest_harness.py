@@ -1,0 +1,96 @@
+"""The "serve" workload as a harness citizen: RunSpec identity, cache
+hits on repeat, and the scalar-metrics contract."""
+
+from __future__ import annotations
+
+from repro.harness import (
+    SCHEDULER_ALIASES,
+    SCHEDULERS,
+    WORKLOADS,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    resolve_scheduler,
+)
+
+import pytest
+
+_TINY = {
+    "rooms": 1,
+    "clients_per_room": 2,
+    "messages_per_client": 3,
+    "message_interval_ms": 1.0,
+    "duration_s": 8.0,
+}
+
+
+class TestRegistry:
+    def test_serve_workload_registered(self):
+        assert "serve" in WORKLOADS
+        assert WORKLOADS["serve"].config_cls.__name__ == "ServeConfig"
+
+    def test_aliases_resolve_but_stay_out_of_the_axis(self):
+        assert resolve_scheduler("vanilla") == "reg"
+        assert resolve_scheduler("multiqueue") == "mq"
+        assert resolve_scheduler("mq") == "mq"
+        # The canonical axis is untouched: aliases are CLI vocabulary,
+        # not new cells.
+        assert not set(SCHEDULER_ALIASES) & set(SCHEDULERS)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(KeyError):
+            resolve_scheduler("bogus")
+
+
+class TestSpecIdentity:
+    def test_same_config_same_key(self):
+        a = RunSpec("serve", "reg", "UP", _TINY)
+        b = RunSpec("serve", "reg", "UP", dict(reversed(list(_TINY.items()))))
+        assert a.key == b.key
+
+    def test_defaults_spelled_out_hash_identically(self):
+        a = RunSpec("serve", "reg", "UP", _TINY)
+        b = RunSpec("serve", "reg", "UP", {**_TINY, "seed": 42})
+        assert a.key == b.key
+
+    def test_scheduler_changes_key(self):
+        a = RunSpec("serve", "reg", "UP", _TINY)
+        b = RunSpec("serve", "mq", "UP", _TINY)
+        assert a.key != b.key
+
+
+class TestCacheRoundTrip:
+    def test_repeat_run_is_a_cache_hit(self, tmp_path):
+        """The acceptance property: identical config → cache hit, no
+        second live run (live latencies are nondeterministic; identity
+        is the config, not the samples)."""
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(jobs=1, cache=cache, manifest_path=None)
+        spec = RunSpec("serve", "reg", "UP", _TINY)
+
+        first = runner.run_one(spec)
+        assert cache.misses == 1 and cache.hits == 0
+        second = runner.run_one(spec)
+        assert cache.hits == 1
+        assert second.canonical() == first.canonical()
+
+    def test_live_cell_metrics_are_scalars(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(jobs=1, cache=cache, manifest_path=None)
+        cell = runner.run_one(RunSpec("serve", "mq", "2P", _TINY))
+        for key in (
+            "throughput",
+            "completed",
+            "shed",
+            "latency_ms_p50",
+            "latency_ms_p95",
+            "latency_ms_p99",
+            "pick_us_p50",
+            "pick_us_p99",
+            "queue_depth_avg",
+            "queue_depth_max",
+        ):
+            assert isinstance(cell.metrics[key], (int, float)), key
+        # The preemptions counter flows through the stats dict.
+        assert "preemptions" in cell.stats
+        assert cell.scheduler_name == "mq"
