@@ -58,10 +58,13 @@ class ReportConfig:
         if self.progress is not None:
             self.progress(text)
 
-    def make_runner(self) -> ParallelRunner:
+    def make_runner(self, profile: bool = False) -> ParallelRunner:
         cache = ResultCache(self.cache_dir) if self.cache_dir else None
         return ParallelRunner(
-            jobs=self.jobs, cache=cache, manifest_path=self.manifest_path
+            jobs=self.jobs,
+            cache=cache,
+            manifest_path=self.manifest_path,
+            profile=profile,
         )
 
 
@@ -173,6 +176,52 @@ def _stat_figures(config: ReportConfig, grid) -> list[str]:
             )
         blocks.append(format_table(title, ["config", "elsc", "reg"], rows))
     return blocks
+
+
+#: Machine configs the Table-1 profile compares (UP and the widest SMP:
+#: the two ends of the paper's lock-contention story).
+_TABLE1_SPECS = ("UP", "4P")
+
+
+def _table1_specs(
+    config: ReportConfig,
+) -> tuple[list[RunSpec], list[tuple[str, str]]]:
+    specs: list[RunSpec] = []
+    keys: list[tuple[str, str]] = []
+    for sched_name in _SCHED_NAMES:
+        for spec_name in _TABLE1_SPECS:
+            specs.append(
+                RunSpec(
+                    "volano",
+                    sched_name,
+                    spec_name,
+                    {
+                        "rooms": config.stats_rooms,
+                        "messages_per_user": config.messages_per_user,
+                    },
+                )
+            )
+            keys.append((sched_name, spec_name))
+    return specs, keys
+
+
+def _table1(config: ReportConfig, cells, keys) -> str:
+    """The paper's Table 1 via the cycle-attribution profiler.
+
+    These cells are the same VolanoMark runs as the statistics figures,
+    recomputed through a profiled runner (the profiled cache entry is a
+    superset, so later unprofiled reports reuse it).
+    """
+    from ..prof import table1_comparison
+
+    profiles = {}
+    for (sched_name, spec_name), cell in zip(keys, cells):
+        profiles[f"{sched_name}-{spec_name}"] = cell.profiler()
+        config._note(f"table1 {sched_name}-{spec_name}")
+    return (
+        table1_comparison(profiles)
+        + f"\n(VolanoMark, {config.stats_rooms} rooms)"
+    )
 
 
 def _trace_events(config: ReportConfig, grid) -> str:
@@ -307,7 +356,14 @@ def build_report(
         grid[key] = cell
         cfg._note(f"volano {key[0]}-{key[1]} rooms={key[2]}")
 
-    blocks = [_figure3(cfg, grid), _figure4(cfg, grid)]
+    # Table 1 needs cycle attribution, so its cells go through a
+    # profile-enabled runner (sharing the same cache directory).
+    table1_specs, table1_keys = _table1_specs(cfg)
+    table1_cells = cfg.make_runner(profile=True).run(table1_specs)
+
+    blocks = [_table1(cfg, table1_cells, table1_keys)]
+    blocks.append(_figure3(cfg, grid))
+    blocks.append(_figure4(cfg, grid))
     blocks.extend(_stat_figures(cfg, grid))
     blocks.append(_trace_events(cfg, grid))
     blocks.append(_ibm_baseline(cfg, grid))

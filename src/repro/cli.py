@@ -9,6 +9,7 @@ Usage (also available as the ``elsc-repro`` console script)::
     python -m repro figure4  --messages 6            # scaling factors
     python -m repro sweep --schedulers elsc,reg --specs UP,2P --rooms 5,10
     python -m repro schedstat --scheduler elsc --spec 1P --rooms 10
+    python -m repro profile --workload volanomark --sched vanilla,multiqueue
 
 The sweep-shaped commands (``figure3``, ``figure4``, ``report``,
 ``sweep``) run through the parallel experiment harness: independent
@@ -32,15 +33,21 @@ from .harness import (
     MACHINE_SPECS,
     SCHEDULER_ALIASES,
     SCHEDULERS,
+    WORKLOAD_ALIASES,
     WORKLOADS,
     CellResult,
     ParallelRunner,
     ResultCache,
     RunSpec,
     resolve_scheduler,
+    resolve_workload,
 )
 from .harness.cache import DEFAULT_CACHE_DIR
-from .harness.runner import DEFAULT_MANIFEST_PATH
+from .harness.runner import (
+    DEFAULT_MANIFEST_PATH,
+    DEFAULT_PROFILE_TICKS,
+    execute_spec,
+)
 from .workloads.kernbench import KernbenchConfig, run_kernbench
 from .workloads.volanomark import VolanoConfig, run_volanomark
 from .workloads.volanoselect import run_select_chat
@@ -98,6 +105,7 @@ def _runner_from_args(args: argparse.Namespace, progress=None) -> ParallelRunner
         cache=cache,
         manifest_path=args.manifest or None,
         progress=progress,
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -301,6 +309,11 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if args.profile and cell.profiled:
+        from .prof import flat_table
+
+        print()
+        print(flat_table(cell.profiler()))
     if args.json:
         import json as _json
         import os as _os
@@ -315,6 +328,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             "metrics": m,
             "stats": cell.stats,
         }
+        if cell.profiled:
+            payload["profile"] = cell.profile
         with open(args.json, "w", encoding="utf-8") as handle:
             _json.dump(payload, handle, indent=1, sort_keys=True)
             handle.write("\n")
@@ -484,11 +499,115 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.profile:
+        from .prof import SCHEDULER_PHASES
+
+        prows = []
+        for (sched_name, spec_name, x, rep), cell in zip(labels, results):
+            prof = cell.profiler()
+            prows.append(
+                [f"{sched_name}-{spec_name.lower()}", x, rep]
+                + [
+                    f"{100.0 * prof.phase_fraction(p):.2f}"
+                    for p in SCHEDULER_PHASES
+                ]
+                + [
+                    f"{100.0 * prof.phase_fraction('lock_wait'):.2f}",
+                    f"{100.0 * prof.scheduler_fraction():.2f}",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                "Profile — % of busy CPU-time per phase",
+                ["config", axis_name, "rep", *SCHEDULER_PHASES,
+                 "lock_wait", "sched%"],
+                prows,
+            )
+        )
     print(
         f"  {len(cells)} cells, {computed[0]} computed, "
         f"{len(cells) - computed[0]} cached, {wall:.1f}s wall",
         file=sys.stderr,
     )
+    return 0
+
+
+def _profile_overrides(args: argparse.Namespace, workload: str) -> dict:
+    """Config overrides for one profiled run of ``workload``."""
+    if workload in ("volano", "select-chat"):
+        return {
+            "rooms": args.rooms,
+            "messages_per_user": args.messages,
+            "users_per_room": args.users,
+        }
+    if workload == "kernbench":
+        return {"files": args.files}
+    if workload == "webserver":
+        return {"clients": args.clients, "workers": args.workers}
+    # serve: library defaults; use `loadtest --profile` for full control.
+    return {}
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Cycle-attribution profile: one workload × one or more schedulers."""
+    import json as _json
+
+    from .prof import collapsed_stacks, flat_table, table1_comparison
+
+    workload = resolve_workload(args.workload)
+    sched_names = [resolve_scheduler(s) for s in args.sched.split(",") if s]
+    if not sched_names:
+        raise SystemExit("--sched must name at least one scheduler")
+    if args.ticks < 1:
+        raise SystemExit(f"--ticks must be >= 1, got {args.ticks}")
+    overrides = _profile_overrides(args, workload)
+
+    profiles = {}
+    for sched_name in sched_names:
+        spec = RunSpec(workload, sched_name, args.spec, overrides)
+        cell = execute_spec(spec, profile=True, profile_ticks=args.ticks)
+        profiles[sched_name] = cell.profiler()
+
+    # With `--json -` the JSON document owns stdout; tables go to stderr.
+    out = sys.stderr if args.json == "-" else sys.stdout
+    print(
+        f"Profile — {workload}/{args.spec}, "
+        f"series bucket = {args.ticks} ticks",
+        file=out,
+    )
+    for prof in profiles.values():
+        print(file=out)
+        print(flat_table(prof, top_tasks=args.top), file=out)
+    if len(profiles) > 1:
+        print(file=out)
+        print(table1_comparison(profiles), file=out)
+
+    if args.collapsed:
+        text = "".join(collapsed_stacks(p) for p in profiles.values())
+        if args.collapsed == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.collapsed, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"(collapsed stacks written to {args.collapsed})",
+                  file=sys.stderr)
+    if args.json:
+        payload = {
+            "workload": workload,
+            "machine": args.spec,
+            "overrides": overrides,
+            "bucket_ticks": args.ticks,
+            "profiles": {n: p.to_dict() for n, p in profiles.items()},
+        }
+        if args.json == "-":
+            _json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                _json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"(profile JSON written to {args.json})", file=sys.stderr)
     return 0
 
 
@@ -588,10 +707,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="repetitions per cell (seed perturbed per repeat)",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the cycle-attribution profiler to every cell and "
+        "print a per-phase breakdown table",
+    )
     _add_harness_args(p)
     p.set_defaults(func=cmd_sweep)
 
     sched_vocab = sorted(SCHEDULERS) + sorted(SCHEDULER_ALIASES)
+    workload_vocab = sorted(WORKLOADS) + sorted(WORKLOAD_ALIASES)
+
+    p = sub.add_parser(
+        "profile",
+        help="kernprof-style cycle attribution (flat table, Table 1, "
+        "flamegraph stacks)",
+    )
+    p.add_argument("--workload", choices=workload_vocab, default="volano")
+    p.add_argument(
+        "--sched",
+        "--schedulers",
+        dest="sched",
+        default="vanilla",
+        help="comma-separated schedulers (aliases accepted; two or more "
+        "add a Table-1 comparison)",
+    )
+    p.add_argument("--spec", choices=list(SPECS), default="UP")
+    p.add_argument("--rooms", type=int, default=10)
+    p.add_argument("--messages", type=int, default=6)
+    p.add_argument("--users", type=int, default=20)
+    p.add_argument("--files", type=int, default=400, help="kernbench files")
+    p.add_argument("--clients", type=int, default=64, help="webserver clients")
+    p.add_argument("--workers", type=int, default=16, help="webserver workers")
+    p.add_argument(
+        "--ticks",
+        type=int,
+        default=DEFAULT_PROFILE_TICKS,
+        help="timer ticks per time-series bucket",
+    )
+    p.add_argument(
+        "--top", type=int, default=10, help="hottest tasks per flat table"
+    )
+    p.add_argument(
+        "--json",
+        default="",
+        help="write the profile JSON here ('-' = stdout, tables to stderr)",
+    )
+    p.add_argument(
+        "--collapsed",
+        default="",
+        help="write flamegraph collapsed stacks here ('-' = stdout)",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "serve", help="run the live scheduler-driven chat server (foreground)"
@@ -626,6 +794,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pending", type=int, default=4096)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--json", default="", help="also write metrics JSON here")
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the cycle-attribution profiler and print its flat table",
+    )
     _add_harness_args(p)
     p.set_defaults(func=cmd_loadtest)
 

@@ -155,6 +155,7 @@ class ELSCScheduler(Scheduler):
         examined = 0
         indexed = 0
         recalcs = 0
+        recalc_cycles = 0
         prev_yielded = prev is not idle and prev.yield_pending
 
         # Step 1: the previous task goes back into the table if it is
@@ -179,7 +180,9 @@ class ELSCScheduler(Scheduler):
             if top is None:
                 if self.table.next_top is not None:
                     # Step 2: all quanta exhausted — recalculate and retry.
-                    cost_cycles += self.recalculate_counters()
+                    recalc_charge = self.recalculate_counters()
+                    cost_cycles += recalc_charge
+                    recalc_cycles += recalc_charge
                     recalcs += 1
                     continue
                 chosen = None  # empty table: idle
@@ -212,7 +215,12 @@ class ELSCScheduler(Scheduler):
         self.stats.tasks_examined += examined
         self.stats.scheduler_cycles += cost_cycles
         return SchedDecision(
-            next_task=chosen, cost=cost_cycles, examined=examined, recalcs=recalcs
+            next_task=chosen,
+            cost=cost_cycles,
+            examined=examined,
+            recalcs=recalcs,
+            eval_cycles=self.cost.elsc_examine * examined,
+            recalc_cycles=recalc_cycles,
         )
 
     def _search_list(

@@ -17,9 +17,11 @@ from .registry import (
     MACHINE_SPECS,
     SCHEDULER_ALIASES,
     SCHEDULERS,
+    WORKLOAD_ALIASES,
     WORKLOADS,
     WorkloadDef,
     resolve_scheduler,
+    resolve_workload,
 )
 from .result import CellResult
 from .runner import ParallelRunner, default_jobs, execute_spec
@@ -37,6 +39,8 @@ __all__ = [
     "SCHEDULER_ALIASES",
     "MACHINE_SPECS",
     "WORKLOADS",
+    "WORKLOAD_ALIASES",
     "WorkloadDef",
     "resolve_scheduler",
+    "resolve_workload",
 ]

@@ -52,9 +52,17 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, spec: RunSpec) -> Optional[CellResult]:
+    def get(
+        self, spec: RunSpec, require_profile: bool = False
+    ) -> Optional[CellResult]:
         """The cached result for ``spec``, or ``None`` on any miss —
-        including a corrupt or foreign entry at the expected path."""
+        including a corrupt or foreign entry at the expected path.
+
+        ``require_profile`` treats an entry without a cycle-attribution
+        profile as a miss (the cell is recomputed with profiling on and
+        the richer entry overwrites the plain one; profiled entries
+        serve plain requests unchanged).
+        """
         path = self.path_for(spec.key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -68,6 +76,8 @@ class ResultCache:
             result = CellResult.from_dict(entry["result"])
             if result.spec_key != spec.key:
                 raise ValueError("result spec_key does not match spec")
+            if require_profile and not result.profiled:
+                raise ValueError("entry has no profile")
         except (OSError, ValueError, KeyError, TypeError):
             # Missing file, torn write, hand-edited JSON, renamed entry,
             # old schema: all equally a miss.

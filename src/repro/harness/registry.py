@@ -32,8 +32,10 @@ __all__ = [
     "SCHEDULER_ALIASES",
     "MACHINE_SPECS",
     "WORKLOADS",
+    "WORKLOAD_ALIASES",
     "WorkloadDef",
     "resolve_scheduler",
+    "resolve_workload",
 ]
 
 SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
@@ -129,6 +131,29 @@ def _extract_serve(result: Any) -> dict[str, Any]:
     # dimensions than the simulated ones: latency percentiles, pick
     # latency, queue depth, shedding).
     return result.metrics()
+
+
+#: Paper-facing synonyms accepted anywhere a workload is named (the
+#: paper says "VolanoMark"; the canonical axis says "volano").
+WORKLOAD_ALIASES: dict[str, str] = {
+    "volanomark": "volano",
+    "select": "select-chat",
+    "loadtest": "serve",
+}
+
+
+def resolve_workload(name: str) -> str:
+    """Canonical workload name for ``name`` (aliases resolved).
+
+    Raises ``KeyError`` with the full vocabulary for an unknown name.
+    """
+    canonical = WORKLOAD_ALIASES.get(name, name)
+    if canonical not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(WORKLOADS) + sorted(WORKLOAD_ALIASES)}"
+        )
+    return canonical
 
 
 WORKLOADS: dict[str, WorkloadDef] = {

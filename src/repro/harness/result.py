@@ -40,6 +40,10 @@ class CellResult:
     metrics: dict[str, Any] = field(default_factory=dict)
     #: Raw SchedStats counters (ints), keyed by field name.
     stats: dict[str, int] = field(default_factory=dict)
+    #: Cycle-attribution profile (``Profiler.to_dict()``); empty when
+    #: the cell ran unprofiled.  A profiled entry is a superset of the
+    #: plain one, so it serves unprofiled requests too.
+    profile: dict[str, Any] = field(default_factory=dict)
 
     # -- convenience views -------------------------------------------------
 
@@ -65,6 +69,18 @@ class CellResult:
             **{f: self.stats.get(f, 0) for f in _STAT_FIELDS}
         )
 
+    @property
+    def profiled(self) -> bool:
+        return bool(self.profile)
+
+    def profiler(self) -> Any:
+        """Rebuild the :class:`~repro.prof.Profiler` for a profiled cell."""
+        if not self.profile:
+            raise ValueError(f"cell {self.spec_key[:12]} was not profiled")
+        from ..prof.profiler import Profiler  # local import: layering
+
+        return Profiler.from_dict(self.profile)
+
     # -- serialisation -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -76,6 +92,7 @@ class CellResult:
             "scheduler_name": self.scheduler_name,
             "metrics": dict(self.metrics),
             "stats": dict(self.stats),
+            "profile": dict(self.profile),
         }
 
     @staticmethod
@@ -88,6 +105,8 @@ class CellResult:
             scheduler_name=data["scheduler_name"],
             metrics=dict(data["metrics"]),
             stats={k: int(v) for k, v in data["stats"].items()},
+            # Absent in pre-profiler cache entries: default to empty.
+            profile=dict(data.get("profile") or {}),
         )
 
     def canonical(self) -> str:

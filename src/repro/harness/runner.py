@@ -53,13 +53,34 @@ def default_jobs() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def execute_spec(spec: RunSpec) -> CellResult:
-    """Run one cell in this process and distil it to a CellResult."""
+#: Series granularity (timer ticks per bucket) for harness-driven
+#: profiling; ``repro profile`` exposes it as ``--ticks``.
+DEFAULT_PROFILE_TICKS = 100
+
+
+def execute_spec(
+    spec: RunSpec,
+    profile: bool = False,
+    profile_ticks: int = DEFAULT_PROFILE_TICKS,
+) -> CellResult:
+    """Run one cell in this process and distil it to a CellResult.
+
+    ``profile=True`` attaches a **fresh** :class:`~repro.prof.Profiler`
+    for this cell only (never shared across cells — attribution state,
+    like ``SchedStats``, must not leak between runs) and stores its
+    JSON form on the result.
+    """
     workload = WORKLOADS[spec.workload]
+    prof = None
+    if profile:
+        from ..prof.profiler import Profiler  # local import: layering
+
+        prof = Profiler(bucket_ticks=profile_ticks)
     raw = workload.run(
         SCHEDULERS[spec.scheduler],
         MACHINE_SPECS[spec.machine],
         spec.build_config(),
+        prof=prof,
     )
     stats = raw.sim.stats
     return CellResult(
@@ -70,10 +91,13 @@ def execute_spec(spec: RunSpec) -> CellResult:
         scheduler_name=raw.sim.scheduler_name,
         metrics=workload.extract(raw),
         stats={f: getattr(stats, f) for f in SchedStats.__dataclass_fields__},
+        profile=prof.to_dict() if prof is not None else {},
     )
 
 
-def _execute_payload(payload: str) -> tuple[str, dict, float, str]:
+def _execute_payload(
+    payload: str, profile: bool = False, profile_ticks: int = DEFAULT_PROFILE_TICKS
+) -> tuple[str, dict, float, str]:
     """Pool worker entry point: canonical-JSON spec in, result dict out.
 
     Exceptions are returned as formatted tracebacks rather than raised,
@@ -83,7 +107,7 @@ def _execute_payload(payload: str) -> tuple[str, dict, float, str]:
     spec = RunSpec.from_json(payload)
     start = time.perf_counter()
     try:
-        result = execute_spec(spec)
+        result = execute_spec(spec, profile=profile, profile_ticks=profile_ticks)
         return spec.key, result.to_dict(), time.perf_counter() - start, ""
     except Exception:  # noqa: BLE001 — reported via the manifest
         return spec.key, {}, time.perf_counter() - start, traceback.format_exc()
@@ -101,6 +125,10 @@ class ParallelRunner:
     ``manifest_path``
         JSONL file appended with one record per requested cell;
         ``None`` disables the manifest.
+    ``profile``
+        attach a fresh cycle-attribution profiler to every computed
+        cell; cached entries without a profile count as misses (the
+        profiled recompute overwrites them with a superset entry).
     """
 
     def __init__(
@@ -109,6 +137,8 @@ class ParallelRunner:
         cache: Optional[ResultCache] = None,
         manifest_path: Union[str, Path, None] = DEFAULT_MANIFEST_PATH,
         progress: Optional[ProgressFn] = None,
+        profile: bool = False,
+        profile_ticks: int = DEFAULT_PROFILE_TICKS,
     ) -> None:
         self.jobs = jobs if jobs else default_jobs()
         if self.jobs < 1:
@@ -116,6 +146,8 @@ class ParallelRunner:
         self.cache = cache
         self.manifest_path = Path(manifest_path) if manifest_path else None
         self.progress = progress
+        self.profile = profile
+        self.profile_ticks = profile_ticks
 
     def run(self, specs: Sequence[RunSpec]) -> list[CellResult]:
         """Compute every spec; results align with ``specs`` by index."""
@@ -131,7 +163,7 @@ class ParallelRunner:
 
         if self.cache is not None:
             for key, spec in unique.items():
-                hit = self.cache.get(spec)
+                hit = self.cache.get(spec, require_profile=self.profile)
                 if hit is not None:
                     results[key] = hit
                     durations[key] = 0.0
@@ -177,7 +209,11 @@ class ParallelRunner:
             for spec in misses:
                 start = time.perf_counter()
                 try:
-                    result = execute_spec(spec)
+                    result = execute_spec(
+                        spec,
+                        profile=self.profile,
+                        profile_ticks=self.profile_ticks,
+                    )
                 except Exception:  # noqa: BLE001 — surfaced after manifest
                     errors[spec.key] = traceback.format_exc()
                 else:
@@ -188,7 +224,12 @@ class ParallelRunner:
         workers = min(self.jobs, len(misses))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_execute_payload, spec.canonical())
+                pool.submit(
+                    _execute_payload,
+                    spec.canonical(),
+                    self.profile,
+                    self.profile_ticks,
+                )
                 for spec in misses
             ]
             for future in as_completed(futures):

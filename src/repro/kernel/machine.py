@@ -215,12 +215,28 @@ class Machine:
         self.total_ticks = 0
         #: Optional event tracer (see kernel.trace); None = no tracing.
         self.tracer: Optional[Tracer] = None
+        #: Optional cycle-attribution sink (see repro.prof); None = off.
+        #: Every profiling hook is guarded on this attribute and charges
+        #: nothing to simulated time, so a disabled profiler is free.
+        self.prof: Optional[Any] = None
         scheduler.bind(self)
 
     def attach_tracer(self, tracer: Optional[Tracer] = None) -> Tracer:
         """Attach (and return) a tracer; a default-sized one if omitted."""
         self.tracer = tracer if tracer is not None else Tracer()
         return self.tracer
+
+    def attach_profiler(self, prof: Optional[Any] = None) -> Any:
+        """Attach (and return) a ProfSink; a default Profiler if omitted."""
+        if prof is None:
+            from ..prof.profiler import Profiler  # local import: layering
+
+            prof = Profiler()
+        self.prof = prof
+        set_sched = getattr(prof, "set_scheduler", None)
+        if set_sched is not None:
+            set_sched(self.scheduler.name)
+        return prof
 
     # -- task population -----------------------------------------------------
 
@@ -311,8 +327,23 @@ class Machine:
             charge += insert
             self.lock_free_at = t + spin + self.cost.lock_acquire + insert
             self.lock_owner_cpu = waker_id
+            if self.prof is not None:
+                waker = waker_id if waker_id is not None else -1
+                if spin:
+                    self.prof.charge("lock_wait", spin, t, waker, task)
+                self.prof.charge(
+                    "lock_hold", self.cost.lock_acquire, t + spin, waker, task
+                )
+                self.prof.charge(
+                    "wakeup", self.cost.wakeup_cost + insert, t + spin, waker, task
+                )
         else:
-            charge += self.scheduler.add_to_runqueue(task)
+            insert = self.scheduler.add_to_runqueue(task)
+            charge += insert
+            if self.prof is not None:
+                self.prof.charge(
+                    "wakeup", self.cost.wakeup_cost + insert, t, 0, task
+                )
         self._reschedule_idle(task, t + charge)
         return charge
 
@@ -430,6 +461,24 @@ class Machine:
                 switch = self.cost.switch_cost(same_mm)
                 stats.switches += 1
             end = dec_end + switch
+            if self.prof is not None:
+                prof = self.prof
+                cid = cpu.cpu_id
+                if spin:
+                    prof.charge("lock_wait", spin, at, cid, prev)
+                if hold:
+                    prof.charge("lock_hold", hold, start, cid, prev)
+                eval_c = decision.eval_cycles
+                recalc_c = decision.recalc_cycles
+                prof.charge(
+                    "pick", decision.cost - eval_c - recalc_c, start, cid, target
+                )
+                if eval_c:
+                    prof.charge("goodness_eval", eval_c, start, cid, target)
+                if recalc_c:
+                    prof.charge("recalc", recalc_c, start, cid, target)
+                if switch:
+                    prof.charge("dispatch", switch, dec_end, cid, target)
             prev.has_cpu = False
             if next_task is None:
                 # Idle: park the CPU; wakeups restart it.
@@ -521,6 +570,10 @@ class Machine:
                 if task.cache_cold:
                     action.remaining += self.cost.cache_refill
                     task.cache_cold = False
+                    if self.prof is not None:
+                        self.prof.charge(
+                            "migrate", self.cost.cache_refill, t, cpu.cpu_id, task
+                        )
                 cpu.run_started_at = t
                 cpu.run_event = self.events.schedule(
                     t + action.remaining, EventKind.ACTION_DONE, cpu

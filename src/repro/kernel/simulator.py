@@ -91,10 +91,14 @@ class Simulator:
         scheduler_factory: Callable[[], Scheduler],
         spec: MachineSpec,
         cost: Optional[CostModel] = None,
+        prof: Optional[Any] = None,
     ) -> None:
         self.scheduler_factory = scheduler_factory
         self.spec = spec
         self.cost = cost
+        #: Optional cycle-attribution sink (repro.prof); attached to the
+        #: machine before the run, denominators finalised after it.
+        self.prof = prof
 
     def run(
         self,
@@ -109,8 +113,16 @@ class Simulator:
         """
         scheduler = self.scheduler_factory()
         machine = make_machine(scheduler, self.spec, self.cost)
+        if self.prof is not None:
+            machine.attach_profiler(self.prof)
         payload = populate(machine) or {}
         summary = machine.run(until_seconds=until_seconds)
+        if self.prof is not None:
+            finalize = getattr(self.prof, "set_denominators", None)
+            if finalize is not None:
+                total = machine.clock.now * len(machine.cpus)
+                idle = sum(cpu.idle_cycles for cpu in machine.cpus)
+                finalize(total - idle, total)
         resolved: dict[str, Any] = {}
         for key, value in payload.items():
             resolved[key] = value() if callable(value) else value

@@ -1,0 +1,49 @@
+"""repro.prof — kernprof-style cycle attribution for the simulator.
+
+The paper's headline evidence is a kernel profile: SGI kernprof showing
+37-55 % of kernel time inside ``schedule()``/``goodness()`` under
+VolanoMark (Table 1, Figures 5-6).  This package is that instrument for
+the simulator (and for the live :mod:`repro.serve` executor): every
+cycle the machine charges is attributed to one of eight phases —
+
+``pick``            the schedule() walk minus its goodness/recalc work
+``goodness_eval``   per-task goodness()/utility evaluations
+``recalc``          whole-system counter recalculation loops
+``lock_wait``       spinning on the global runqueue lock
+``lock_hold``       acquiring/holding the lock (uncontended cost)
+``wakeup``          wake_up_process + run-queue insert
+``dispatch``        the context switch out of schedule()
+``migrate``         cache-refill penalty after a cross-CPU migration
+
+— and to a (scheduler, CPU, task) triple, with per-phase power-of-two
+histograms and a per-N-ticks time series.  Profiling is **off by
+default and zero-cost when disabled**: every hook in
+:mod:`repro.kernel.machine` is guarded by ``if machine.prof is not
+None`` and charges nothing to simulated time either way, so a profiled
+run and an unprofiled run are cycle-identical (pinned by
+``tests/prof/test_overhead.py``).
+
+Entry points: ``python -m repro profile``, the ``--profile`` flag on
+``sweep``/``loadtest``, and the Table-1 section of
+:func:`repro.analysis.report.build_report`.  See ``docs/profiling.md``.
+"""
+
+from .profiler import Profiler
+from .report import (
+    collapsed_stacks,
+    flat_table,
+    parse_collapsed,
+    table1_comparison,
+)
+from .sink import PHASES, SCHEDULER_PHASES, ProfSink
+
+__all__ = [
+    "PHASES",
+    "SCHEDULER_PHASES",
+    "ProfSink",
+    "Profiler",
+    "collapsed_stacks",
+    "flat_table",
+    "parse_collapsed",
+    "table1_comparison",
+]

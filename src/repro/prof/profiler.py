@@ -1,0 +1,192 @@
+"""The shipped :class:`ProfSink`: accumulate, slice, and summarise.
+
+One :class:`Profiler` instance covers one run (the harness creates a
+fresh one per cell, mirroring how each cell gets a fresh scheduler and
+machine — see ``tests/harness/test_stats_isolation.py``).  It keeps
+
+* per-``(phase, cpu, task)`` cycle cells — the flamegraph leaves;
+* per-phase totals, charge counts, and power-of-two size histograms
+  (a charge of ``c`` cycles lands in bucket ``c.bit_length()``);
+* a time series: cycles per phase per ``bucket_ticks`` timer ticks;
+* the run's denominators (busy and total CPU-cycles), set after the
+  run, from which the paper's "% of kernel time in the scheduler"
+  statistic falls out per policy.
+
+Everything is plain ints and strings, so :meth:`to_dict` /
+:meth:`from_dict` round-trip losslessly through JSON — that is the
+representation the harness cache stores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..kernel.params import CYCLES_PER_TICK
+from .sink import PHASES, SCHEDULER_PHASES
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Cycle-attribution accumulator implementing the ProfSink protocol."""
+
+    def __init__(self, bucket_ticks: int = 100, scheduler: str = "?") -> None:
+        if bucket_ticks < 1:
+            raise ValueError("bucket_ticks must be >= 1")
+        self.bucket_ticks = bucket_ticks
+        self.bucket_cycles = bucket_ticks * CYCLES_PER_TICK
+        self.scheduler = scheduler
+        #: Every cycle ever charged, across all phases.
+        self.total_cycles = 0
+        #: phase -> cycles.
+        self.phase_cycles: dict[str, int] = {}
+        #: phase -> number of charges.
+        self.counts: dict[str, int] = {}
+        #: (phase, cpu, task-label) -> cycles.
+        self.cells: dict[tuple[str, int, str], int] = {}
+        #: time-bucket index -> phase -> cycles.
+        self.series: dict[int, dict[str, int]] = {}
+        #: phase -> pow2 bucket (charge.bit_length()) -> count.
+        self.hist: dict[str, dict[int, int]] = {}
+        #: Denominators, set once after the run (0 = not yet set).
+        self.busy_cycles = 0
+        self.total_cpu_cycles = 0
+
+    # -- the sink interface ---------------------------------------------------
+
+    def charge(
+        self,
+        phase: str,
+        cycles: int,
+        t: int,
+        cpu: int = -1,
+        task: Optional[Any] = None,
+    ) -> None:
+        if cycles <= 0:
+            return
+        self.total_cycles += cycles
+        self.phase_cycles[phase] = self.phase_cycles.get(phase, 0) + cycles
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+        label = "-" if task is None else (task.name or f"pid{task.pid}")
+        key = (phase, cpu, label)
+        self.cells[key] = self.cells.get(key, 0) + cycles
+        bucket = t // self.bucket_cycles
+        slot = self.series.setdefault(bucket, {})
+        slot[phase] = slot.get(phase, 0) + cycles
+        hist = self.hist.setdefault(phase, {})
+        size = cycles.bit_length()
+        hist[size] = hist.get(size, 0) + 1
+
+    # -- run metadata ---------------------------------------------------------
+
+    def set_scheduler(self, name: str) -> None:
+        self.scheduler = name
+
+    def set_denominators(self, busy_cycles: int, total_cpu_cycles: int) -> None:
+        """Record the run's busy and total CPU-cycle denominators."""
+        self.busy_cycles = max(0, busy_cycles)
+        self.total_cpu_cycles = max(0, total_cpu_cycles)
+
+    # -- derived views --------------------------------------------------------
+
+    def phase_total(self, phase: str) -> int:
+        return self.phase_cycles.get(phase, 0)
+
+    def scheduler_cycles(self) -> int:
+        """Cycles of decision work: matches ``SchedStats.scheduler_cycles``."""
+        return sum(self.phase_cycles.get(p, 0) for p in SCHEDULER_PHASES)
+
+    def total_scheduler_cycles(self) -> int:
+        """Decision work plus lock spin: ``SchedStats.total_scheduler_cycles``."""
+        return self.scheduler_cycles() + self.phase_cycles.get("lock_wait", 0)
+
+    def scheduler_fraction(self) -> float:
+        """Scheduler share of busy CPU-time — the paper's Table-1 number."""
+        if self.busy_cycles <= 0:
+            return 0.0
+        return min(1.0, self.total_scheduler_cycles() / self.busy_cycles)
+
+    def phase_fraction(self, phase: str) -> float:
+        """One phase's share of busy CPU-time."""
+        if self.busy_cycles <= 0:
+            return 0.0
+        return self.phase_cycles.get(phase, 0) / self.busy_cycles
+
+    def by_cpu(self) -> dict[int, int]:
+        """Attributed cycles per CPU id (-1: interrupt/timer context)."""
+        out: dict[int, int] = {}
+        for (_, cpu, _), cycles in self.cells.items():
+            out[cpu] = out.get(cpu, 0) + cycles
+        return out
+
+    def by_task(self) -> dict[str, int]:
+        """Attributed cycles per task label, descending."""
+        out: dict[str, int] = {}
+        for (_, _, label), cycles in self.cells.items():
+            out[label] = out.get(label, 0) + cycles
+        return dict(sorted(out.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def series_rows(self) -> list[tuple[int, dict[str, int]]]:
+        """(bucket-start-tick, phase->cycles) rows in time order."""
+        return [
+            (bucket * self.bucket_ticks, dict(self.series[bucket]))
+            for bucket in sorted(self.series)
+        ]
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Lossless JSON-safe representation (the harness-cache payload)."""
+        return {
+            "scheduler": self.scheduler,
+            "bucket_ticks": self.bucket_ticks,
+            "total_cycles": self.total_cycles,
+            "busy_cycles": self.busy_cycles,
+            "total_cpu_cycles": self.total_cpu_cycles,
+            "phase_cycles": {p: self.phase_cycles[p] for p in PHASES if p in self.phase_cycles},
+            "counts": {p: self.counts[p] for p in PHASES if p in self.counts},
+            "cells": [
+                [phase, cpu, label, cycles]
+                for (phase, cpu, label), cycles in sorted(self.cells.items())
+            ],
+            "series": [
+                [bucket, dict(sorted(slot.items()))]
+                for bucket, slot in sorted(self.series.items())
+            ],
+            "hist": {
+                phase: {str(size): count for size, count in sorted(buckets.items())}
+                for phase, buckets in sorted(self.hist.items())
+            },
+            "scheduler_fraction": self.scheduler_fraction(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Profiler":
+        prof = cls(
+            bucket_ticks=int(data.get("bucket_ticks", 100)),
+            scheduler=str(data.get("scheduler", "?")),
+        )
+        prof.total_cycles = int(data.get("total_cycles", 0))
+        prof.busy_cycles = int(data.get("busy_cycles", 0))
+        prof.total_cpu_cycles = int(data.get("total_cpu_cycles", 0))
+        prof.phase_cycles = {str(k): int(v) for k, v in data.get("phase_cycles", {}).items()}
+        prof.counts = {str(k): int(v) for k, v in data.get("counts", {}).items()}
+        prof.cells = {
+            (str(phase), int(cpu), str(label)): int(cycles)
+            for phase, cpu, label, cycles in data.get("cells", [])
+        }
+        prof.series = {
+            int(bucket): {str(p): int(c) for p, c in slot.items()}
+            for bucket, slot in data.get("series", [])
+        }
+        prof.hist = {
+            str(phase): {int(size): int(count) for size, count in buckets.items()}
+            for phase, buckets in data.get("hist", {}).items()
+        }
+        return prof
+
+    def __repr__(self) -> str:
+        return (
+            f"<Profiler sched={self.scheduler} total={self.total_cycles} "
+            f"phases={len(self.phase_cycles)}>"
+        )

@@ -1,0 +1,152 @@
+"""Rendering profiles: flat tables, collapsed stacks, Table-1 comparisons.
+
+Three output formats, mirroring what the paper's tooling produced:
+
+* :func:`flat_table` — a kernprof-style flat profile (per-phase cycles,
+  share of busy time, charge counts) plus the hottest tasks;
+* :func:`collapsed_stacks` — Brendan Gregg's collapsed-stack format
+  (``sched;cpu;phase;task cycles`` per line), directly consumable by
+  ``flamegraph.pl`` or speedscope; :func:`parse_collapsed` inverts it;
+* :func:`table1_comparison` — the paper's Table 1: per-phase share of
+  busy CPU-time, one column per scheduler, with the headline "% of
+  kernel time in the scheduler" row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Union
+
+from .profiler import Profiler
+from .sink import PHASES, SCHEDULER_PHASES
+
+__all__ = [
+    "flat_table",
+    "collapsed_stacks",
+    "parse_collapsed",
+    "table1_comparison",
+]
+
+ProfileLike = Union[Profiler, Mapping[str, Any]]
+
+
+def _as_profiler(profile: ProfileLike) -> Profiler:
+    if isinstance(profile, Profiler):
+        return profile
+    return Profiler.from_dict(dict(profile))
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole > 0 else "    -"
+
+
+def flat_table(profile: ProfileLike, top_tasks: int = 10) -> str:
+    """Kernprof-style flat profile for one run."""
+    prof = _as_profiler(profile)
+    busy = prof.busy_cycles
+    lines = [
+        f"profile: scheduler={prof.scheduler}  "
+        f"busy={busy} cycles  attributed={prof.total_cycles} cycles",
+        "",
+        f"{'phase':<14} {'cycles':>14} {'%busy':>7} {'charges':>10} {'avg':>8}",
+    ]
+    for phase in PHASES:
+        cycles = prof.phase_cycles.get(phase, 0)
+        count = prof.counts.get(phase, 0)
+        avg = cycles // count if count else 0
+        lines.append(
+            f"{phase:<14} {cycles:>14} {_pct(cycles, busy):>7} "
+            f"{count:>10} {avg:>8}"
+        )
+    lines.append(
+        f"{'total':<14} {prof.total_cycles:>14} "
+        f"{_pct(prof.total_cycles, busy):>7}"
+    )
+    lines.append("")
+    lines.append(
+        "in scheduler (pick+goodness_eval+recalc+lock_wait): "
+        f"{prof.total_scheduler_cycles()} cycles = "
+        f"{100.0 * prof.scheduler_fraction():.1f}% of busy time"
+    )
+    tasks = [(label, cyc) for label, cyc in prof.by_task().items() if label != "-"]
+    if tasks:
+        lines.append("")
+        lines.append(f"hottest tasks (top {min(top_tasks, len(tasks))}):")
+        for label, cycles in tasks[:top_tasks]:
+            lines.append(f"  {label:<24} {cycles:>14} {_pct(cycles, busy):>7}")
+    return "\n".join(lines)
+
+
+def _cpu_frame(cpu: int) -> str:
+    return "irq" if cpu < 0 else f"cpu{cpu}"
+
+
+def collapsed_stacks(profile: ProfileLike) -> str:
+    """Collapsed-stack lines: ``scheduler;cpu;phase;task cycles``.
+
+    Feed the output straight to ``flamegraph.pl`` (or concatenate the
+    files of two runs for a differential flamegraph — each stack's root
+    frame is the scheduler name, so the runs stay distinguishable).
+    """
+    prof = _as_profiler(profile)
+    lines = []
+    for (phase, cpu, label), cycles in sorted(prof.cells.items()):
+        lines.append(f"{prof.scheduler};{_cpu_frame(cpu)};{phase};{label} {cycles}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str) -> dict[tuple[str, str, int, str], int]:
+    """Invert :func:`collapsed_stacks`.
+
+    Returns ``(scheduler, phase, cpu, task-label) -> cycles``; lines
+    from multiple concatenated profiles merge additively, exactly as
+    flamegraph tooling treats them.
+    """
+    out: dict[tuple[str, str, int, str], int] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        frames = stack.split(";")
+        if len(frames) != 4:
+            raise ValueError(f"malformed collapsed-stack line: {line!r}")
+        sched, cpu_frame, phase, label = frames
+        cpu = -1 if cpu_frame == "irq" else int(cpu_frame.removeprefix("cpu"))
+        key = (sched, phase, cpu, label)
+        out[key] = out.get(key, 0) + int(count)
+    return out
+
+
+def table1_comparison(profiles: Mapping[str, ProfileLike]) -> str:
+    """The paper's Table 1: % of busy kernel time per phase, per policy.
+
+    ``profiles`` maps a display name (usually the scheduler name) to a
+    profile.  The headline row is the statistic behind the paper's
+    "37-55 % of kernel time in the scheduler" observation.
+    """
+    profs = {name: _as_profiler(p) for name, p in profiles.items()}
+    names = list(profs)
+    width = max(10, *(len(n) + 2 for n in names))
+    header = f"{'phase':<14}" + "".join(f"{n:>{width}}" for n in names)
+    lines = [
+        "Table 1 — where busy CPU-time goes, per scheduling policy",
+        header,
+        "-" * len(header),
+    ]
+    for phase in PHASES:
+        row = f"{phase:<14}"
+        for name in names:
+            prof = profs[name]
+            row += f"{100.0 * prof.phase_fraction(phase):>{width}.2f}"
+        lines.append(row)
+    lines.append("-" * len(header))
+    row = f"{'in scheduler':<14}"
+    for name in names:
+        row += f"{100.0 * profs[name].scheduler_fraction():>{width}.2f}"
+    lines.append(row)
+    lines.append(
+        "(columns: % of non-idle CPU-time; 'in scheduler' = "
+        + "+".join(SCHEDULER_PHASES)
+        + "+lock_wait)"
+    )
+    return "\n".join(lines)

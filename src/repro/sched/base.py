@@ -33,12 +33,22 @@ class SchedDecision:
     ``next_task is None`` means "run the idle task".  ``cost`` is the
     cycle charge for the decision itself (the machine adds lock and
     context-switch charges on top).
+
+    ``eval_cycles`` and ``recalc_cycles`` split ``cost`` for the
+    profiler: cycles spent evaluating goodness/utility and cycles spent
+    in whole-system counter recalculation (including any structure
+    rebuild it forces).  The remainder, ``cost - eval_cycles -
+    recalc_cycles``, is the ``pick`` phase.  The split cannot be
+    recovered after the fact (recalculation cost depends on the live
+    task count at the moment it ran), so schedulers report it here.
     """
 
     next_task: Optional["Task"]
     cost: int
     examined: int = 0
     recalcs: int = 0
+    eval_cycles: int = 0
+    recalc_cycles: int = 0
 
 
 class Scheduler(abc.ABC):

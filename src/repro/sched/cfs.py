@@ -288,7 +288,12 @@ class CFSScheduler(Scheduler):
         cost_cycles += self.cost.schedule_entry + self.cost.elsc_examine
         self.stats.tasks_examined += examined
         self.stats.scheduler_cycles += cost_cycles
-        return SchedDecision(next_task=chosen, cost=cost_cycles, examined=examined)
+        return SchedDecision(
+            next_task=chosen,
+            cost=cost_cycles,
+            examined=examined,
+            eval_cycles=self.cost.elsc_examine,
+        )
 
     def _steal_victim(self, my: int) -> Optional[int]:
         best = None

@@ -167,6 +167,7 @@ class HeapScheduler(Scheduler):
         examined = 0
         indexed = 0
         recalcs = 0
+        recalc_cycles = 0
         prev_yielded = prev is not idle and prev.yield_pending
 
         if prev is not idle:
@@ -189,7 +190,7 @@ class HeapScheduler(Scheduler):
             if top is None:
                 break  # empty: idle
             if not self._eligible_key(top.key):
-                cost_cycles += self.recalculate_counters()
+                recalc_charge = self.recalculate_counters()
                 recalcs += 1
                 # Keys changed: rebuild the heap from live entries.
                 live = [e for e in self._heap if not e.dead]
@@ -197,7 +198,10 @@ class HeapScheduler(Scheduler):
                     entry.key = self.key_for(entry.task)
                 heapq.heapify(live)
                 self._heap = live
-                cost_cycles += self.cost.elsc_index * max(1, len(live))
+                # The rebuild is part of the recalculation's price.
+                recalc_charge += self.cost.elsc_index * max(1, len(live))
+                cost_cycles += recalc_charge
+                recalc_cycles += recalc_charge
                 continue
             chosen, exam, popped = self._pick(top, prev, cpu)
             examined += exam
@@ -221,7 +225,12 @@ class HeapScheduler(Scheduler):
         self.stats.tasks_examined += examined
         self.stats.scheduler_cycles += cost_cycles
         return SchedDecision(
-            next_task=chosen, cost=cost_cycles, examined=examined, recalcs=recalcs
+            next_task=chosen,
+            cost=cost_cycles,
+            examined=examined,
+            recalcs=recalcs,
+            eval_cycles=self.cost.elsc_examine * examined,
+            recalc_cycles=recalc_cycles,
         )
 
     def _pick(

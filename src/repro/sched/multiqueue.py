@@ -117,6 +117,7 @@ class MultiQueueScheduler(Scheduler):
         examined = 0
         indexed = 0
         recalcs = 0
+        recalc_cycles = 0
         prev_yielded = prev is not idle and prev.yield_pending
         my = cpu.cpu_id if cpu.cpu_id < len(self._tables) else 0
 
@@ -139,7 +140,9 @@ class MultiQueueScheduler(Scheduler):
             table = self._tables[table_idx]
             if table.top is None:
                 if table.next_top is not None:
-                    cost_cycles += self._recalculate(table)
+                    recalc_charge = self._recalculate(table)
+                    cost_cycles += recalc_charge
+                    recalc_cycles += recalc_charge
                     recalcs += 1
                     continue
                 # My queue is empty: steal from the busiest table.
@@ -172,7 +175,12 @@ class MultiQueueScheduler(Scheduler):
         self.stats.tasks_examined += examined
         self.stats.scheduler_cycles += cost_cycles
         return SchedDecision(
-            next_task=chosen, cost=cost_cycles, examined=examined, recalcs=recalcs
+            next_task=chosen,
+            cost=cost_cycles,
+            examined=examined,
+            recalcs=recalcs,
+            eval_cycles=self.cost.elsc_examine * examined,
+            recalc_cycles=recalc_cycles,
         )
 
     def _recalculate(self, table: ELSCRunqueueTable) -> int:

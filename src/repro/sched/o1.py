@@ -248,7 +248,12 @@ class O1Scheduler(Scheduler):
         cost_cycles += self.cost.schedule_entry + self.cost.elsc_examine
         self.stats.tasks_examined += examined
         self.stats.scheduler_cycles += cost_cycles
-        return SchedDecision(next_task=chosen, cost=cost_cycles, examined=examined)
+        return SchedDecision(
+            next_task=chosen,
+            cost=cost_cycles,
+            examined=examined,
+            eval_cycles=self.cost.elsc_examine,
+        )
 
     def _dequeue_first(self, cpu_idx: int, prev: Task) -> Optional[Task]:
         rq = self._queues[cpu_idx]

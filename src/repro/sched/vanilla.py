@@ -99,6 +99,7 @@ class VanillaScheduler(Scheduler):
         cost = 0
         examined_total = 0
         recalcs = 0
+        recalc_cycles = 0
 
         # Exhausted round-robin real-time tasks get a fresh quantum and go
         # to the back of the line before the scan.
@@ -166,7 +167,9 @@ class VanillaScheduler(Scheduler):
                 break
             # Every candidate's quantum is spent: recalculate the counter
             # of every task in the system and search again.
-            cost += self.recalculate_counters()
+            recalc_charge = self.recalculate_counters()
+            cost += recalc_charge
+            recalc_cycles += recalc_charge
             recalcs += 1
         else:
             raise RuntimeError("vanilla scheduler failed to converge")
@@ -175,7 +178,12 @@ class VanillaScheduler(Scheduler):
         self.stats.tasks_examined += examined_total
         self.stats.scheduler_cycles += cost
         return SchedDecision(
-            next_task=next_task, cost=cost, examined=examined_total, recalcs=recalcs
+            next_task=next_task,
+            cost=cost,
+            examined=examined_total,
+            recalcs=recalcs,
+            eval_cycles=self.cost.goodness_eval * examined_total,
+            recalc_cycles=recalc_cycles,
         )
 
     # -- introspection -------------------------------------------------------------

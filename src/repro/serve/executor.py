@@ -94,6 +94,7 @@ class SchedulerExecutor:
         num_cpus: int = 1,
         smp: bool = False,
         cost: Optional[CostModel] = None,
+        prof: Optional[object] = None,
     ) -> None:
         if num_cpus < 1:
             raise ValueError("executor needs at least one virtual CPU")
@@ -101,6 +102,16 @@ class SchedulerExecutor:
         self.machine = _ExecutorMachine(
             num_cpus, smp, cost if cost is not None else CostModel()
         )
+        #: Optional cycle-attribution sink (repro.prof).  The executor
+        #: reports the same phases as the simulated machine: the
+        #: schedule() phase split is exact (it is the decision's own
+        #: cost), while ``dispatch``/``migrate`` are the cost model's
+        #: *imputed* switch and cache-refill charges (the live server
+        #: pays them in wall time, not virtual cycles).
+        self.prof = prof
+        set_sched = getattr(prof, "set_scheduler", None)
+        if set_sched is not None:
+            set_sched(scheduler.name)
         scheduler.bind(self.machine)  # type: ignore[arg-type]
         self._cursor = 0
         #: Wall-clock nanoseconds spent inside schedule(), one sample
@@ -167,7 +178,15 @@ class SchedulerExecutor:
         if task.on_runqueue():
             return False
         task.wakeup_count += 1
-        self.scheduler.add_to_runqueue(task)
+        insert = self.scheduler.add_to_runqueue(task)
+        if self.prof is not None:
+            self.prof.charge(
+                "wakeup",
+                self.machine.cost.wakeup_cost + insert,
+                self.machine.clock.now,
+                -1,
+                task,
+            )
         return True
 
     # -- dispatch (mirrors Machine._dispatch bookkeeping) ---------------------
@@ -199,8 +218,31 @@ class SchedulerExecutor:
         if len(self.pick_ns) < self._pick_ns_cap:
             self.pick_ns.append(elapsed)
         machine = self.machine
+        picked_at = machine.clock.now
         machine.clock.now += max(1, decision.cost)
         next_task = decision.next_task
+        if self.prof is not None:
+            prof = self.prof
+            cid = cpu.cpu_id
+            target = next_task if next_task is not None else cpu.idle_task
+            eval_c = decision.eval_cycles
+            recalc_c = decision.recalc_cycles
+            prof.charge(
+                "pick", decision.cost - eval_c - recalc_c, picked_at, cid, target
+            )
+            if eval_c:
+                prof.charge("goodness_eval", eval_c, picked_at, cid, target)
+            if recalc_c:
+                prof.charge("recalc", recalc_c, picked_at, cid, target)
+            if next_task is not None and next_task is not prev:
+                same_mm = next_task.mm is None or next_task.mm is prev.mm
+                prof.charge(
+                    "dispatch",
+                    machine.cost.switch_cost(same_mm),
+                    picked_at,
+                    cid,
+                    next_task,
+                )
 
         prev.has_cpu = False
         if next_task is None:
@@ -217,6 +259,14 @@ class SchedulerExecutor:
                 stats.migrations += 1
                 next_task.migration_count += 1
                 next_task.cache_cold = True
+                if self.prof is not None:
+                    self.prof.charge(
+                        "migrate",
+                        machine.cost.cache_refill,
+                        machine.clock.now,
+                        cpu.cpu_id,
+                        next_task,
+                    )
         next_task.has_cpu = True
         next_task.processor = cpu.cpu_id
         next_task.dispatch_count += 1

@@ -99,10 +99,13 @@ class LoadtestResult:
 
 
 async def _run(
-    scheduler: Scheduler, spec: MachineSpec, config: ServeConfig
+    scheduler: Scheduler,
+    spec: MachineSpec,
+    config: ServeConfig,
+    prof: Any = None,
 ) -> LoadtestResult:
     executor = SchedulerExecutor(
-        scheduler, num_cpus=spec.num_cpus, smp=spec.smp
+        scheduler, num_cpus=spec.num_cpus, smp=spec.smp, prof=prof
     )
     server = ChatServer(executor, config)
     await server.start()
@@ -111,6 +114,14 @@ async def _run(
     finally:
         counters = server.counters()
         await server.stop()
+    if prof is not None:
+        finalize = getattr(prof, "set_denominators", None)
+        if finalize is not None:
+            # Live runs have no idle-cycle ledger; the denominator is
+            # all attributed (virtual) work, so the Table-1 fraction
+            # reads "scheduler share of modelled kernel work".
+            total = getattr(prof, "total_cycles", executor.machine.clock.now)
+            finalize(total, total)
     return LoadtestResult(scheduler, executor, counters, report)
 
 
@@ -118,7 +129,8 @@ def run_serve_loadtest(
     scheduler_factory: Callable[[], Scheduler],
     spec: MachineSpec,
     config: ServeConfig,
+    prof: Any = None,
 ) -> LoadtestResult:
     """One live serve cell: start server, drive the load, tear down."""
     scheduler = scheduler_factory()
-    return asyncio.run(_run(scheduler, spec, config))
+    return asyncio.run(_run(scheduler, spec, config, prof=prof))

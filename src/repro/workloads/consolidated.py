@@ -22,7 +22,7 @@ tenant's latency sane while the chat tenant floods the run queue?
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from ..kernel.cost_model import CostModel
 from ..kernel.machine import Machine
@@ -85,6 +85,7 @@ def run_consolidated(
     spec: MachineSpec,
     config: Optional[ConsolidatedConfig] = None,
     cost: Optional[CostModel] = None,
+    prof: Optional[Any] = None,
 ) -> ConsolidatedResult:
     """Run all three tenants on one machine and collect their metrics."""
     cfg = config if config is not None else ConsolidatedConfig()
@@ -107,7 +108,7 @@ def run_consolidated(
                 )
         return {}
 
-    sim = Simulator(scheduler_factory, spec, cost=cost)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
     result = sim.run(populate)
     if result.summary.deadlocked:
         raise RuntimeError(f"consolidated run deadlocked: {result.summary!r}")

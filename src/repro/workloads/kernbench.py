@@ -172,11 +172,12 @@ def run_kernbench(
     spec: MachineSpec,
     config: Optional[KernbenchConfig] = None,
     cost: Optional[CostModel] = None,
+    prof: Optional[Any] = None,
 ) -> KernbenchResult:
     """One simulated kernel build — a Table 2 cell."""
     cfg = config if config is not None else KernbenchConfig()
     bench = Kernbench(cfg)
-    sim = Simulator(scheduler_factory, spec, cost=cost)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
     result = sim.run(bench.populate)
     if result.summary.deadlocked:
         raise RuntimeError(f"kernbench deadlocked: {result.summary!r}")

@@ -376,11 +376,12 @@ def run_volanomark(
     spec: MachineSpec,
     config: Optional[VolanoConfig] = None,
     cost: Optional[CostModel] = None,
+    prof: Optional[Any] = None,
 ) -> VolanoResult:
     """One VolanoMark run on a fresh machine; the workhorse of Figures 2–6."""
     cfg = config if config is not None else VolanoConfig()
     bench = VolanoMark(cfg)
-    sim = Simulator(scheduler_factory, spec, cost=cost)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
     result = sim.run(bench.populate)
     if result.summary.deadlocked:
         raise RuntimeError(

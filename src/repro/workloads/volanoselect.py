@@ -181,11 +181,12 @@ def run_select_chat(
     spec: MachineSpec,
     config: Optional[VolanoConfig] = None,
     cost: Optional[CostModel] = None,
+    prof: Optional[Any] = None,
 ) -> SelectChatResult:
     """One run of the select-server chat; same metric as VolanoMark."""
     cfg = config if config is not None else VolanoConfig()
     bench = SelectChat(cfg)
-    sim = Simulator(scheduler_factory, spec, cost=cost)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
     result = sim.run(bench.populate)
     if result.summary.deadlocked:
         raise RuntimeError(f"select chat deadlocked: {result.summary!r}")

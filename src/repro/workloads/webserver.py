@@ -171,11 +171,12 @@ def run_webserver(
     spec: MachineSpec,
     config: Optional[WebServerConfig] = None,
     cost: Optional[CostModel] = None,
+    prof: Optional[Any] = None,
 ) -> WebServerResult:
     """One web-server run: throughput and latency under a worker pool."""
     cfg = config if config is not None else WebServerConfig()
     bench = WebServer(cfg)
-    sim = Simulator(scheduler_factory, spec, cost=cost)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
     result = sim.run(bench.populate)
     if result.summary.deadlocked:
         raise RuntimeError(f"webserver deadlocked: {result.summary!r}")

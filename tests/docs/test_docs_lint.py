@@ -1,0 +1,73 @@
+"""Documentation stays true: links resolve, commands parse.
+
+Runs the same checks as ``tools/docs_lint.py`` (CI's docs-lint job)
+inside the tier-1 suite, so a renamed flag or moved doc fails locally
+before it fails in CI.  Nothing here *executes* a command — the
+``--execute`` pass stays in CI where its runtime belongs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "docs_lint", ROOT / "tools" / "docs_lint.py"
+)
+docs_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_spec and docs_lint)
+
+DOCS = docs_lint.doc_files()
+
+
+def _ids(paths):
+    return [p.name for p in paths]
+
+
+@pytest.mark.parametrize("path", DOCS, ids=_ids(DOCS))
+def test_every_internal_link_resolves(path):
+    assert docs_lint.check_links(path) == []
+
+
+@pytest.mark.parametrize("path", DOCS, ids=_ids(DOCS))
+def test_every_fenced_repro_command_parses(path):
+    assert docs_lint.check_commands(path) == []
+
+
+def test_docs_index_exists_and_is_linted():
+    names = {p.name for p in DOCS}
+    assert {"index.md", "profiling.md", "harness.md", "serving.md"} <= names
+    assert (ROOT / "README.md") in DOCS
+
+
+def test_index_matrix_has_executable_commands():
+    """The figure→command matrix must contain runnable commands for CI's
+    execute pass — an empty matrix would make that pass vacuous."""
+    commands = docs_lint.extract_commands(ROOT / "docs" / "index.md")
+    argvs = [docs_lint.command_argv(c) for _, c in commands]
+    subcommands = {argv[0] for argv in argvs if argv}
+    # Tables 1–2, Figures 2–6, live serving: at least these entry points.
+    assert {"profile", "kernbench", "schedstat", "figure3", "figure4",
+            "loadtest"} <= subcommands
+
+
+def test_continuation_lines_are_joined(tmp_path):
+    doc = tmp_path / "sample.md"
+    doc.write_text(
+        "```console\n$ python -m repro sweep \\\n      --specs UP\n```\n"
+    )
+    assert docs_lint.extract_commands(doc) == [
+        (2, "python -m repro sweep --specs UP")
+    ]
+
+
+def test_env_prefix_and_comments_are_stripped():
+    argv = docs_lint.command_argv(
+        "PYTHONPATH=src python -m repro profile --sched vanilla  # Table 1"
+    )
+    assert argv == ["profile", "--sched", "vanilla"]
+    assert docs_lint.command_argv("pytest tests/") is None

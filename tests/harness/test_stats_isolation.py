@@ -1,0 +1,99 @@
+"""Regression: no counter state leaks between in-process cell runs.
+
+A cache miss makes the harness re-run a :class:`RunSpec` in the *same*
+process that may already have executed other cells (or the same cell).
+Every run must therefore start from fresh ``SchedStats`` — and, since
+profiling rides the same lifecycle, from a fresh ``Profiler``.  These
+tests pin that isolation; if anyone introduces a module-level stats
+object or reuses a profiler across cells, they fail with doubled
+counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    SCHEDULERS,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    execute_spec,
+)
+
+TINY = {"rooms": 2, "users_per_room": 3, "messages_per_user": 2}
+
+
+def _spec(scheduler: str = "reg") -> RunSpec:
+    return RunSpec("volano", scheduler, "2P", TINY)
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_repeated_cache_miss_reruns_do_not_accumulate(scheduler):
+    """Three back-to-back in-process runs: byte-identical stats, not
+    1×/2×/3× counters."""
+    cells = [execute_spec(_spec(scheduler)) for _ in range(3)]
+    assert cells[0].stats == cells[1].stats == cells[2].stats
+    assert cells[0].canonical() == cells[2].canonical()
+
+
+def test_profiled_reruns_get_fresh_profilers():
+    first = execute_spec(_spec(), profile=True)
+    second = execute_spec(_spec(), profile=True)
+    assert first.profile == second.profile
+    assert first.profiler().total_cycles == second.profiler().total_cycles
+
+
+def test_interleaved_schedulers_do_not_cross_talk():
+    """reg → elsc → reg: the second reg run matches the first even
+    though a different scheduler ran in between."""
+    a = execute_spec(_spec("reg"), profile=True)
+    execute_spec(_spec("elsc"), profile=True)
+    b = execute_spec(_spec("reg"), profile=True)
+    assert a.canonical() == b.canonical()
+    assert a.profiler().to_dict() == b.profiler().to_dict()
+
+
+def test_unprofiled_cell_refuses_to_build_a_profiler():
+    cell = execute_spec(_spec())
+    assert not cell.profiled
+    with pytest.raises(ValueError):
+        cell.profiler()
+
+
+class TestProfileThroughCache:
+    def test_profile_round_trips_through_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(
+            jobs=1, cache=cache, manifest_path=None, profile=True
+        )
+        first = runner.run_one(_spec())
+        again = runner.run_one(_spec())
+        assert cache.hits == 1
+        assert again.profiled
+        assert again.profile == first.profile
+
+    def test_plain_entry_is_a_miss_for_a_profiled_request(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        plain = ParallelRunner(jobs=1, cache=cache, manifest_path=None)
+        profiled = ParallelRunner(
+            jobs=1, cache=cache, manifest_path=None, profile=True
+        )
+        assert not plain.run_one(_spec()).profiled
+        cell = profiled.run_one(_spec())  # recomputes: entry had no profile
+        assert cell.profiled
+        # The profiled entry is a superset: it now serves plain requests.
+        served = plain.run_one(_spec())
+        assert served.profiled
+        assert served.stats == cell.stats
+
+    def test_pool_workers_return_profiles(self, tmp_path):
+        runner = ParallelRunner(
+            jobs=2, cache=None, manifest_path=None, profile=True
+        )
+        specs = [_spec("reg"), _spec("elsc")]
+        pooled = runner.run(specs)
+        serial = [execute_spec(s, profile=True) for s in specs]
+        for a, b in zip(pooled, serial):
+            assert a.profiled
+            assert a.profile == b.profile

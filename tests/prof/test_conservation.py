@@ -1,0 +1,139 @@
+"""Cycle-conservation contract of the profiling layer.
+
+The profiler is an *observer*: every cycle the cost model charges must
+be attributed to exactly one phase, and attaching the profiler must not
+change the simulation by a single cycle.  These tests pin both halves:
+
+* phase totals equal the :class:`SchedStats` counters **exactly** —
+  ``pick + goodness_eval + recalc == scheduler_cycles`` and
+  ``lock_wait == lock_spin_cycles`` (no epsilon: integers);
+* a profiled run and an unprofiled run of the same spec are
+  bit-identical in metrics and stats (zero added cycles when disabled
+  *and* when enabled);
+* the accumulator is internally consistent: cells, series, and phase
+  totals are three views of the same cycles.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness import SCHEDULERS, RunSpec, execute_spec
+from repro.prof import PHASES, SCHEDULER_PHASES, Profiler
+
+TINY = {"rooms": 2, "users_per_room": 4, "messages_per_user": 2}
+
+
+def _profiled(scheduler: str, machine: str = "4P", overrides: dict = TINY):
+    spec = RunSpec("volano", scheduler, machine, overrides)
+    cell = execute_spec(spec, profile=True)
+    return cell, cell.profiler()
+
+
+def _assert_conserved(cell, prof) -> None:
+    # Decision work: the three scheduler phases are an exact partition
+    # of the SchedStats counter the simulator already kept.
+    assert prof.scheduler_cycles() == cell.stats["scheduler_cycles"]
+    assert prof.phase_total("lock_wait") == cell.stats["lock_spin_cycles"]
+    # Internal consistency: three decompositions of the same total.
+    assert sum(prof.phase_cycles.values()) == prof.total_cycles
+    assert sum(prof.cells.values()) == prof.total_cycles
+    assert (
+        sum(sum(slot.values()) for slot in prof.series.values())
+        == prof.total_cycles
+    )
+    assert sum(prof.counts.values()) == sum(
+        count for hist in prof.hist.values() for count in hist.values()
+    )
+    assert set(prof.phase_cycles) <= set(PHASES)
+
+
+@pytest.mark.parametrize("machine", ["UP", "4P"])
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_phase_totals_equal_schedstats_exactly(scheduler, machine):
+    cell, prof = _profiled(scheduler, machine)
+    _assert_conserved(cell, prof)
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_disabled_profiler_run_is_bit_identical(scheduler):
+    spec = RunSpec("volano", scheduler, "4P", TINY)
+    plain = execute_spec(spec)
+    profiled = execute_spec(spec, profile=True)
+    # Same simulation to the cycle: profiling charged nothing.
+    assert plain.metrics == profiled.metrics
+    assert plain.stats == profiled.stats
+    assert not plain.profiled and profiled.profiled
+
+
+def test_scheduler_fraction_matches_simulator():
+    cell, prof = _profiled("reg", "4P")
+    assert prof.scheduler_fraction() == pytest.approx(
+        cell.metrics["scheduler_fraction"]
+    )
+    assert 0.0 < prof.scheduler_fraction() <= 1.0
+
+
+def test_scheduler_phases_are_a_subset_of_phases():
+    assert set(SCHEDULER_PHASES) < set(PHASES)
+    assert "lock_wait" in PHASES and "lock_wait" not in SCHEDULER_PHASES
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    scheduler=st.sampled_from(sorted(SCHEDULERS)),
+    machine=st.sampled_from(["UP", "2P"]),
+    rooms=st.integers(min_value=1, max_value=3),
+    users=st.integers(min_value=2, max_value=5),
+    messages=st.integers(min_value=1, max_value=3),
+)
+def test_conservation_holds_across_workload_shapes(
+    scheduler, machine, rooms, users, messages
+):
+    """Property form: conservation is not an artefact of one config."""
+    overrides = {
+        "rooms": rooms,
+        "users_per_room": users,
+        "messages_per_user": messages,
+    }
+    cell, prof = _profiled(scheduler, machine, overrides)
+    _assert_conserved(cell, prof)
+
+
+def test_serve_executor_conserves_scheduler_cycles():
+    """The live-serving path reports the same phases as the simulator:
+    its scheduler phases must equal the executor's SchedStats exactly."""
+    from repro.harness import MACHINE_SPECS
+    from repro.serve.config import ServeConfig
+    from repro.serve.workload import run_serve_loadtest
+
+    prof = Profiler()
+    config = ServeConfig(
+        rooms=1,
+        clients_per_room=2,
+        messages_per_client=3,
+        message_interval_ms=1.0,
+        duration_s=8.0,
+    )
+    result = run_serve_loadtest(
+        SCHEDULERS["reg"], MACHINE_SPECS["UP"], config, prof=prof
+    )
+    stats = result.sim.stats
+    assert prof.scheduler_cycles() == stats.scheduler_cycles
+    assert prof.phase_total("lock_wait") == stats.lock_spin_cycles
+    assert prof.total_cycles > 0
+    assert prof.busy_cycles == prof.total_cycles  # imputed denominators
+
+
+def test_bucket_ticks_must_be_positive():
+    with pytest.raises(ValueError):
+        Profiler(bucket_ticks=0)
+
+
+def test_negative_and_zero_charges_are_ignored():
+    prof = Profiler()
+    prof.charge("pick", 0, t=0)
+    prof.charge("pick", -5, t=0)
+    assert prof.total_cycles == 0 and not prof.cells

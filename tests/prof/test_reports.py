@@ -1,0 +1,138 @@
+"""Round-trips and rendering of the profile output formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness import RunSpec, execute_spec
+from repro.prof import (
+    PHASES,
+    Profiler,
+    collapsed_stacks,
+    flat_table,
+    parse_collapsed,
+    table1_comparison,
+)
+
+TINY = {"rooms": 2, "users_per_room": 3, "messages_per_user": 2}
+
+
+def _profile(scheduler: str, machine: str = "2P") -> Profiler:
+    spec = RunSpec("volano", scheduler, machine, TINY)
+    return execute_spec(spec, profile=True).profiler()
+
+
+@pytest.fixture(scope="module")
+def reg_profile():
+    return _profile("reg")
+
+
+class TestSerialisation:
+    def test_to_dict_from_dict_round_trip(self, reg_profile):
+        clone = Profiler.from_dict(reg_profile.to_dict())
+        assert clone.to_dict() == reg_profile.to_dict()
+        assert clone.cells == reg_profile.cells
+        assert clone.series == reg_profile.series
+        assert clone.hist == reg_profile.hist
+
+    def test_survives_json_text(self, reg_profile):
+        text = json.dumps(reg_profile.to_dict(), sort_keys=True)
+        clone = Profiler.from_dict(json.loads(text))
+        assert clone.to_dict() == reg_profile.to_dict()
+
+    def test_report_helpers_accept_raw_dicts(self, reg_profile):
+        data = reg_profile.to_dict()
+        assert flat_table(data) == flat_table(reg_profile)
+        assert collapsed_stacks(data) == collapsed_stacks(reg_profile)
+
+
+class TestCollapsedStacks:
+    def test_round_trip_preserves_every_cell(self, reg_profile):
+        parsed = parse_collapsed(collapsed_stacks(reg_profile))
+        want = {
+            (reg_profile.scheduler, phase, cpu, label): cycles
+            for (phase, cpu, label), cycles in reg_profile.cells.items()
+        }
+        assert parsed == want
+        assert sum(parsed.values()) == reg_profile.total_cycles
+
+    def test_concatenated_profiles_merge_additively(self, reg_profile):
+        doubled = parse_collapsed(
+            collapsed_stacks(reg_profile) + collapsed_stacks(reg_profile)
+        )
+        assert sum(doubled.values()) == 2 * reg_profile.total_cycles
+
+    def test_differential_roots_stay_distinguishable(self, reg_profile):
+        other = _profile("mq")
+        merged = parse_collapsed(
+            collapsed_stacks(reg_profile) + collapsed_stacks(other)
+        )
+        roots = {key[0] for key in merged}
+        assert roots == {"reg", "mq"}
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_collapsed("just;two 17")
+
+    def test_empty_profile_renders_empty(self):
+        assert collapsed_stacks(Profiler()) == ""
+        assert parse_collapsed("") == {}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.sampled_from(PHASES),
+                st.integers(min_value=-1, max_value=3),
+                st.sampled_from(["t1", "t2", "pid9", "-"]),
+                st.integers(min_value=1, max_value=10**9),
+            ),
+            max_size=30,
+        )
+    )
+    def test_round_trip_for_arbitrary_charges(self, entries):
+        prof = Profiler(scheduler="elsc")
+        for phase, cpu, label, cycles in entries:
+            task = (
+                None
+                if label == "-"
+                else type("T", (), {"name": label, "pid": 0})()
+            )
+            prof.charge(phase, cycles, t=0, cpu=cpu, task=task)
+        parsed = parse_collapsed(collapsed_stacks(prof))
+        assert sum(parsed.values()) == prof.total_cycles
+
+
+class TestRendering:
+    def test_flat_table_lists_every_phase(self, reg_profile):
+        table = flat_table(reg_profile)
+        for phase in PHASES:
+            assert phase in table
+        assert "in scheduler" in table
+        assert "hottest tasks" in table
+
+    def test_flat_table_top_tasks_bound(self, reg_profile):
+        table = flat_table(reg_profile, top_tasks=1)
+        assert table.count(".cr") + table.count(".sw") + table.count(
+            ".sr"
+        ) <= 1
+
+    def test_table1_has_one_column_per_policy(self):
+        profiles = {name: _profile(name) for name in ("reg", "elsc")}
+        table = table1_comparison(profiles)
+        assert "Table 1" in table
+        assert "reg" in table and "elsc" in table
+        assert "in scheduler" in table
+
+    def test_table1_shows_vanilla_paying_more_than_multiqueue(self):
+        """The acceptance comparison: on 4P VolanoMark the O(n) global-
+        lock scheduler spends a larger share of busy time in the
+        scheduler than the per-CPU multiqueue design."""
+        reg = _profile("reg", "4P")
+        mq = _profile("mq", "4P")
+        assert reg.scheduler_fraction() > mq.scheduler_fraction()
+        assert mq.phase_total("lock_wait") == 0  # no global lock at all

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Documentation lint: every link resolves, every command parses.
+
+Two checks over ``README.md`` and ``docs/*.md``:
+
+1. **Links** — every relative markdown link target (``[text](path)``)
+   must exist on disk, resolved against the file containing it (that is
+   how GitHub resolves them).  External (``http``/``https``/``mailto``)
+   and pure-anchor (``#…``) links are skipped.
+2. **Commands** — every ``python -m repro …`` line inside a fenced code
+   block must parse through the real CLI (``repro.cli.build_parser``):
+   unknown subcommands, renamed flags, or stale vocabulary fail the
+   lint without running anything.  ``$`` prompts, ``VAR=…`` prefixes,
+   trailing ``# comments`` and ``\\`` line continuations are handled;
+   lines with shell syntax the linter can't model (pipes, heredocs,
+   loops) are skipped.
+
+``--execute`` additionally *runs* every ``python -m repro`` command
+found in ``docs/index.md`` (the figure/table → command matrix, which is
+written at smoke scale on purpose) and fails on non-zero exit.  CI runs
+the parse-only lint on every push and the execute pass in the docs job.
+
+Usage::
+
+    python tools/docs_lint.py            # links + parse every command
+    python tools/docs_lint.py --execute  # also run the docs/index.md matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```")
+_EXTERNAL = ("http://", "https://", "mailto:")
+_ENV_TOKEN = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+#: Shell constructs the linter does not model; such lines are skipped.
+_UNSUPPORTED = ("|", "<<", ">", "&&", ";", "$(")
+
+
+def doc_files() -> list[Path]:
+    return [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+
+
+# -- links -------------------------------------------------------------------
+
+
+def check_links(path: Path) -> list[str]:
+    """Broken relative link targets in one markdown file."""
+    errors = []
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        for target in _LINK_RE.findall(line):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{number}: "
+                    f"broken link target {target!r}"
+                )
+    return errors
+
+
+# -- commands ----------------------------------------------------------------
+
+
+def extract_commands(path: Path) -> list[tuple[int, str]]:
+    """``python -m repro …`` lines from fenced blocks, continuations
+    joined, as ``(line-number, command)`` pairs."""
+    commands: list[tuple[int, str]] = []
+    in_fence = False
+    pending: tuple[int, str] | None = None
+    for number, raw in enumerate(path.read_text().splitlines(), 1):
+        if _FENCE_RE.match(raw.strip()):
+            in_fence = not in_fence
+            pending = None
+            continue
+        if not in_fence:
+            continue
+        line = raw.strip()
+        if pending is not None:
+            start, acc = pending
+            line = acc + " " + line
+            number = start
+            pending = None
+        else:
+            line = line.lstrip("$").strip()
+        if line.endswith("\\"):
+            pending = (number, line[:-1].strip())
+            continue
+        if "python -m repro" not in line:
+            continue
+        if any(tok in line for tok in _UNSUPPORTED):
+            continue
+        commands.append((number, line))
+    if pending is not None and "python -m repro" in pending[1]:
+        commands.append(pending)
+    return commands
+
+
+def command_argv(command: str) -> list[str] | None:
+    """The arguments after ``python -m repro``, or ``None`` to skip."""
+    try:
+        tokens = shlex.split(command, comments=True)
+    except ValueError:
+        return None
+    while tokens and _ENV_TOKEN.match(tokens[0]):
+        tokens.pop(0)
+    if tokens[:3] != ["python", "-m", "repro"]:
+        return None
+    return tokens[3:]
+
+
+def check_commands(path: Path) -> list[str]:
+    """Commands in one file that the real CLI parser rejects."""
+    from repro.cli import build_parser
+
+    errors = []
+    for number, command in extract_commands(path):
+        argv = command_argv(command)
+        if argv is None:
+            continue
+        parser = build_parser()
+        try:
+            # argparse reports errors on stderr then raises SystemExit.
+            with contextlib.redirect_stderr(io.StringIO()) as captured:
+                parser.parse_args(argv)
+        except SystemExit:
+            detail = captured.getvalue().strip().splitlines()
+            errors.append(
+                f"{path.relative_to(ROOT)}:{number}: does not parse: "
+                f"{command!r} ({detail[-1] if detail else 'argparse error'})"
+            )
+    return errors
+
+
+def execute_matrix(path: Path) -> list[str]:
+    """Run every command in ``path`` (smoke scale); non-zero exits fail."""
+    errors = []
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    for number, command in extract_commands(path):
+        argv = command_argv(command)
+        if argv is None:
+            continue
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            cwd=ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        status = "ok" if proc.returncode == 0 else f"exit {proc.returncode}"
+        print(f"  ran [{status}] {command}", file=sys.stderr)
+        if proc.returncode != 0:
+            errors.append(
+                f"{path.relative_to(ROOT)}:{number}: exit "
+                f"{proc.returncode}: {command!r}\n{proc.stderr.strip()}"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--execute",
+        action="store_true",
+        help="also run every repro command in docs/index.md",
+    )
+    args = parser.parse_args(argv)
+
+    errors: list[str] = []
+    checked = 0
+    for path in doc_files():
+        errors.extend(check_links(path))
+        command_errors = check_commands(path)
+        checked += len(extract_commands(path))
+        errors.extend(command_errors)
+    print(f"docs-lint: {len(doc_files())} files, {checked} commands parsed")
+    if args.execute:
+        errors.extend(execute_matrix(ROOT / "docs" / "index.md"))
+    for error in errors:
+        print(error, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
