@@ -218,7 +218,7 @@ def cmd_webserver(args: argparse.Namespace) -> int:
 
 
 def _serve_overrides(args: argparse.Namespace) -> dict:
-    return {
+    overrides = {
         "rooms": args.rooms,
         "clients_per_room": args.clients,
         "messages_per_client": args.messages,
@@ -228,6 +228,15 @@ def _serve_overrides(args: argparse.Namespace) -> dict:
         "max_pending": args.max_pending,
         "seed": args.seed,
     }
+    if getattr(args, "deadline_ms", 0.0):
+        overrides["request_deadline_ms"] = args.deadline_ms
+    if getattr(args, "fault_plan", ""):
+        from .faults import resolve_plan
+
+        # Resolve to canonical JSON so the cell key depends on the
+        # plan's *content*, not on the registry name it came from.
+        overrides["fault_plan"] = resolve_plan(args.fault_plan).to_config()
+    return overrides
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -294,6 +303,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 ("requests completed", m["completed"]),
                 ("fan-out deliveries", m["deliveries"]),
                 ("shed (admission)", m["shed"]),
+                ("shed w/ retry-after", m["shed_retry_after"]),
+                ("expired (deadline)", m["expired"]),
+                ("executor restarts", m["executor_restarts"]),
                 ("dropped (outbox)", m["dropped_fanout"]),
                 ("throughput (msg/s)", f"{m['throughput']:.0f}"),
                 ("latency p50 (ms)", f"{m['latency_ms_p50']:.2f}"),
@@ -611,6 +623,148 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_overrides(args: argparse.Namespace, workload: str) -> dict:
+    """Smoke-scale config overrides for one chaos run of ``workload``."""
+    if workload in ("volano", "select-chat"):
+        return {
+            "rooms": args.rooms,
+            "messages_per_user": args.messages,
+            "users_per_room": args.users,
+        }
+    if workload == "kernbench":
+        return {"files": args.files}
+    if workload == "webserver":
+        return {"clients": args.clients, "workers": args.workers}
+    # serve: a short live burst.
+    return {
+        "rooms": args.rooms,
+        "clients_per_room": 4,
+        "messages_per_client": max(args.messages, 10),
+        "duration_s": args.duration,
+    }
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one workload under a fault plan and report survival stats.
+
+    The same cell is run twice — clean, then with the plan attached —
+    so the output shows what the injected faults actually cost.
+    """
+    from .faults import resolve_plan
+
+    try:
+        plan = resolve_plan(args.plan)
+    except (KeyError, OSError, ValueError) as exc:
+        raise SystemExit(f"chaos: {exc}")
+    workload_name = resolve_workload(args.workload)
+    sched_name = resolve_scheduler(args.scheduler)
+    workload = WORKLOADS[workload_name]
+    factory = SCHEDULERS[sched_name]
+    machine_spec = SPECS[args.spec]
+    overrides = _chaos_overrides(args, workload_name)
+
+    baseline_raw = workload.run(
+        factory, machine_spec, workload.config_cls(**overrides)
+    )
+    chaos_cfg = workload.config_cls(
+        **{**overrides, "fault_plan": plan.to_config()}
+    )
+    faulted_raw = workload.run(factory, machine_spec, chaos_cfg)
+
+    summary = getattr(faulted_raw.sim, "fault_summary", {}) or {}
+    deadlocked = bool(
+        getattr(getattr(faulted_raw.sim, "summary", None), "deadlocked", False)
+    )
+    baseline = workload.extract(baseline_raw)
+    faulted = workload.extract(faulted_raw)
+
+    by_kind = summary.get("by_kind", {})
+    injected = summary.get("injected", len(summary.get("log", [])) or None)
+    if injected is None:
+        # Live plans log through the driver, surfaced as fault_events.
+        injected = faulted.get("fault_events", 0)
+    print(
+        format_kv(
+            f"Chaos — plan {plan.name!r} on "
+            f"{workload_name}/{sched_name}/{args.spec}",
+            [
+                ("faults in plan", len(plan.faults)),
+                ("faults injected", injected),
+                ("by kind", ", ".join(
+                    f"{k}×{v}" for k, v in sorted(by_kind.items())
+                ) or "-"),
+                ("survived", "no (deadlock)" if deadlocked else "yes"),
+            ],
+        )
+    )
+    shared = [
+        k
+        for k in faulted
+        if k in baseline and isinstance(faulted[k], (int, float))
+    ]
+    rows = [
+        [k, f"{baseline[k]:.6g}", f"{faulted[k]:.6g}"] for k in shared
+    ]
+    print()
+    print(
+        format_table(
+            "Baseline vs faulted", ["metric", "baseline", "faulted"], rows
+        )
+    )
+    for event in summary.get("log", []):
+        print(
+            f"  t={event['t_s']:.6f}s {event['kind']} "
+            f"{event.get('target', '')} {event['outcome']}: "
+            f"{event.get('detail', '')}",
+            file=sys.stderr,
+        )
+    if args.json:
+        import json as _json
+        import os as _os
+
+        parent = _os.path.dirname(args.json)
+        if parent:
+            _os.makedirs(parent, exist_ok=True)
+        payload = {
+            "plan": plan.to_dict(),
+            "workload": workload_name,
+            "scheduler": sched_name,
+            "machine": args.spec,
+            "overrides": overrides,
+            "injected": injected,
+            "by_kind": by_kind,
+            "log": summary.get("log", []),
+            "survived": not deadlocked,
+            "baseline": baseline,
+            "faulted": faulted,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"(chaos report written to {args.json})", file=sys.stderr)
+    return 1 if deadlocked else 0
+
+
+def cmd_clean_cache(args: argparse.Namespace) -> int:
+    """Clear the result cache, or list/purge its quarantined entries."""
+    cache = ResultCache(args.cache_dir)
+    if args.quarantined:
+        entries = cache.quarantined_entries()
+        for path in entries:
+            print(path)
+        if args.purge:
+            removed = cache.purge_quarantined()
+            print(f"purged {removed} quarantined entries", file=sys.stderr)
+        elif not entries:
+            print("no quarantined entries", file=sys.stderr)
+        return 0
+    removed = cache.clear()
+    print(
+        f"removed {removed} cache entries from {cache.root}", file=sys.stderr
+    )
+    return 0
+
+
 def cmd_schedstat(args: argparse.Namespace) -> int:
     from .kernel.proc import render_runqueue, render_schedstat, render_tasks
     from .kernel.simulator import Simulator, make_machine
@@ -793,6 +947,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=8)
     p.add_argument("--max-pending", type=int, default=4096)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="per-request deadline; queued past it is answered 'expired'",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default="",
+        help="run under live chaos: a named plan, inline JSON, or @file",
+    )
     p.add_argument("--json", default="", help="also write metrics JSON here")
     p.add_argument(
         "--profile",
@@ -801,6 +966,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_harness_args(p)
     p.set_defaults(func=cmd_loadtest)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run one workload under a fault plan and report survival",
+    )
+    p.add_argument(
+        "--plan",
+        required=True,
+        help="named fault plan, inline JSON, or @file (see docs/faults.md)",
+    )
+    p.add_argument("--workload", choices=workload_vocab, default="volano")
+    p.add_argument("--scheduler", choices=sched_vocab, default="elsc")
+    p.add_argument("--spec", choices=list(SPECS), default="2P")
+    p.add_argument("--rooms", type=int, default=1)
+    p.add_argument("--messages", type=int, default=2)
+    p.add_argument("--users", type=int, default=3)
+    p.add_argument("--files", type=int, default=50, help="kernbench files")
+    p.add_argument("--clients", type=int, default=8, help="webserver clients")
+    p.add_argument("--workers", type=int, default=4, help="webserver workers")
+    p.add_argument(
+        "--duration", type=float, default=3.0, help="serve burst, seconds"
+    )
+    p.add_argument("--json", default="", help="write the chaos report here")
+    p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "clean-cache",
+        help="clear the result cache or manage quarantined entries",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        help="result-cache directory",
+    )
+    p.add_argument(
+        "--quarantined",
+        action="store_true",
+        help="list quarantined (corrupt) entries instead of clearing",
+    )
+    p.add_argument(
+        "--purge",
+        action="store_true",
+        help="with --quarantined: delete the listed entries",
+    )
+    p.set_defaults(func=cmd_clean_cache)
 
     p = sub.add_parser("schedstat", help="/proc-style scheduler statistics")
     _add_common(p)

@@ -1,0 +1,37 @@
+"""Seeded, deterministic fault injection for every layer of the repro.
+
+``repro.faults`` turns each existing workload into a resilience
+benchmark: a declarative :class:`FaultPlan` schedules chaos (task
+crashes, hangs, spurious wakeups, clock skew, lock stretches, CPU
+stalls/offlining, worker kills, serving overload) and the matching
+injectors apply it — :class:`FaultInjector` inside the simulated kernel,
+the worker pool honouring ``worker_kill``, and
+:class:`LiveFaultDriver` against the live chat server.  With no plan
+attached, every hook is a single attribute test and runs are
+bit-identical to a tree without this package.
+"""
+
+from .injector import FaultInjector
+from .live import LiveFaultDriver
+from .plan import (
+    ALL_KINDS,
+    HARNESS_KINDS,
+    KERNEL_KINDS,
+    LIVE_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+from .plans import NAMED_PLANS, resolve_plan
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "LiveFaultDriver",
+    "NAMED_PLANS",
+    "resolve_plan",
+    "KERNEL_KINDS",
+    "HARNESS_KINDS",
+    "LIVE_KINDS",
+    "ALL_KINDS",
+]

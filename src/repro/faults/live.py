@@ -1,0 +1,90 @@
+"""Wall-clock fault driver for the live serving stack.
+
+The kernel injector speaks virtual cycles; the chat server and its
+scheduler executor live on the asyncio clock.  :class:`LiveFaultDriver`
+runs beside the load generator and applies the plan's live faults
+(``overload`` windows, ``executor_crash``) at their wall-clock offsets,
+restoring state when each window closes.  Everything it does is logged
+so the loadtest can report what chaos actually landed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..serve.executor import SchedulerExecutor
+    from ..serve.server import ChatServer
+
+__all__ = ["LiveFaultDriver"]
+
+
+class LiveFaultDriver:
+    """Applies a plan's live faults against a running server/executor."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        server: "ChatServer",
+        executor: "SchedulerExecutor",
+    ) -> None:
+        self.plan = plan
+        self.server = server
+        self.executor = executor
+        self.log: list[dict] = []
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        faults = self.plan.live_faults()
+        if faults:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    def _record(self, t: float, kind: str, detail: str) -> None:
+        self.log.append({"t_s": round(t, 3), "kind": kind, "detail": detail})
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        # One sub-task per fault keeps overlapping windows independent.
+        await asyncio.gather(
+            *(self._apply(spec, start) for spec in self.plan.live_faults())
+        )
+
+    async def _apply(self, spec, start: float) -> None:
+        loop = asyncio.get_running_loop()
+        delay = start + spec.at_s - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        now = loop.time() - start
+        if spec.kind == "overload":
+            previous = self.server.admission_limit
+            window_ms = max(1.0, spec.duration_s * 1000.0)
+            self.server.set_admission_limit(spec.count, retry_after_ms=window_ms)
+            self._record(
+                now, "overload", f"admission limit {previous} -> {spec.count}"
+            )
+            try:
+                await asyncio.sleep(max(spec.duration_s, 0.0))
+            finally:
+                self.server.set_admission_limit(previous)
+                self._record(
+                    loop.time() - start,
+                    "overload",
+                    f"admission limit restored to {previous}",
+                )
+        elif spec.kind == "executor_crash":
+            self.executor.inject_crash()
+            self._record(now, "executor_crash", "next pick will raise")

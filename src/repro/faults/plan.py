@@ -1,0 +1,220 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a schedule of :class:`FaultSpec` entries — *what*
+goes wrong, *when* (virtual seconds for kernel faults, wall-clock seconds
+for live serving faults), and *to whom* (a glob over task names).  Plans
+are plain frozen data so they serialize canonically: :meth:`FaultPlan.
+to_config` renders a compact sorted-JSON string that embeds into any
+workload config as an ordinary scalar, which means a faulted cell gets a
+distinct, stable :class:`~repro.harness.spec.RunSpec` key and caches like
+any other cell.
+
+Fault kinds
+-----------
+
+Kernel faults (injected into the simulated machine by
+:class:`~repro.faults.injector.FaultInjector`):
+
+``task_crash``
+    The victim exits immediately, wherever it is — running, queued, or
+    blocked on a wait queue.
+``task_hang``
+    The victim is taken off the run queue and parked UNINTERRUPTIBLE; a
+    positive ``duration_s`` schedules a timer that un-hangs it.
+``task_livelock``
+    The victim's in-flight ``Run`` is inflated by ``duration_s`` worth of
+    cycles — CPU burned with no forward progress.
+``spurious_wakeup``
+    ``count`` blocked tasks are woken without the condition they were
+    waiting for (their blocking actions retry, per kernel semantics).
+``clock_skew``
+    Every pending timer is shifted by ``skew_s`` (clamped to "not before
+    now") — sleeps fire late (positive skew) or early (negative).
+``lock_stretch``
+    The cost model's ``lock_acquire`` charge is multiplied by ``factor``
+    for ``duration_s`` virtual seconds — a stand-in for a stretched
+    runqueue-lock hold.
+``cpu_stall``
+    The CPU stops dispatching for ``duration_s``; whatever was running
+    resumes on the same CPU afterwards (an SMI-style stall).
+``cpu_offline``
+    The CPU is taken offline for ``duration_s``: its current task is
+    displaced back onto the run queue and rescheduled elsewhere, then the
+    CPU comes back online.
+
+Harness faults (honoured by the worker pool, ignored by the kernel):
+
+``worker_kill``
+    A pool worker SIGKILLs itself before computing the cell, once: a
+    marker file at ``token`` arms the fault, so the retried attempt runs
+    clean.  Exercises the runner's crash-safe retry path end to end.
+
+Live-serving faults (honoured by :class:`~repro.faults.live.
+LiveFaultDriver`; ``at_s`` is wall-clock from loadtest start):
+
+``overload``
+    For ``duration_s`` seconds the server's admission limit is clamped to
+    ``count`` pending messages (default 0: shed everything) — the
+    client-visible signature of a load spike beyond capacity.  Shed
+    replies carry ``retry_after_ms``.
+``executor_crash``
+    The scheduler adapter raises out of its next pick; supervision must
+    restart it and keep serving.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "KERNEL_KINDS",
+    "HARNESS_KINDS",
+    "LIVE_KINDS",
+    "ALL_KINDS",
+]
+
+#: Kinds the kernel-level injector acts on.
+KERNEL_KINDS = frozenset(
+    {
+        "task_crash",
+        "task_hang",
+        "task_livelock",
+        "spurious_wakeup",
+        "clock_skew",
+        "lock_stretch",
+        "cpu_stall",
+        "cpu_offline",
+    }
+)
+#: Kinds honoured by the harness worker pool.
+HARNESS_KINDS = frozenset({"worker_kill"})
+#: Kinds honoured by the live serving layer.
+LIVE_KINDS = frozenset({"overload", "executor_crash"})
+ALL_KINDS = KERNEL_KINDS | HARNESS_KINDS | LIVE_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.  Unused knobs stay at their defaults."""
+
+    kind: str
+    #: When the fault fires: virtual seconds for kernel faults,
+    #: wall-clock seconds from start for live faults.
+    at_s: float = 0.0
+    #: Glob over task names selecting the victim pool (kernel faults).
+    target: str = "*"
+    #: How long the condition lasts (hang/livelock/stretch/stall/offline/
+    #: overload); 0 means "forever" for hangs, "instant" otherwise.
+    duration_s: float = 0.0
+    #: Multiplier for lock_stretch.
+    factor: float = 1.0
+    #: Victim count (crash/hang/wakeup) or admission limit (overload).
+    count: int = 1
+    #: CPU index for cpu_stall/cpu_offline; -1 picks one deterministically.
+    cpu: int = -1
+    #: Timer shift for clock_skew (seconds; may be negative).
+    skew_s: float = 0.0
+    #: Marker-file path arming worker_kill (kill once, then run clean).
+    token: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(sorted(ALL_KINDS))}"
+            )
+        if self.at_s < 0:
+            raise ValueError(f"fault at_s must be >= 0, got {self.at_s}")
+        if self.duration_s < 0:
+            raise ValueError(
+                f"fault duration_s must be >= 0, got {self.duration_s}"
+            )
+        if self.count < 0:
+            raise ValueError(f"fault count must be >= 0, got {self.count}")
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of faults plus an optional run horizon.
+
+    ``horizon_s`` bounds the virtual run when faults can strand work
+    forever (a crashed worker means "all messages delivered" never
+    happens); the machine's horizon stop keeps the run finite and the
+    summary honest.  ``seed`` makes victim selection deterministic.
+    """
+
+    name: str = "plan"
+    seed: int = 0
+    horizon_s: float = 0.0
+    faults: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"faults must be FaultSpec, got {spec!r}")
+        if self.horizon_s < 0:
+            raise ValueError(f"horizon_s must be >= 0, got {self.horizon_s}")
+
+    # -- canonical serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "horizon_s": self.horizon_s,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    def to_config(self) -> str:
+        """Compact sorted-JSON string, embeddable in any workload config.
+
+        Workload configs only admit scalar fields, so the plan travels as
+        one canonical string; equal plans render byte-identical strings
+        and therefore hash to the same :class:`RunSpec` key.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f.name for f in fields(FaultSpec)}
+        faults = tuple(
+            FaultSpec(**{k: v for k, v in entry.items() if k in known})
+            for entry in data.get("faults", ())
+        )
+        return cls(
+            name=data.get("name", "plan"),
+            seed=int(data.get("seed", 0)),
+            horizon_s=float(data.get("horizon_s", 0.0)),
+            faults=faults,
+        )
+
+    @classmethod
+    def from_config(cls, text: str) -> "FaultPlan":
+        """Parse a plan back out of its :meth:`to_config` string."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {data!r}")
+        return cls.from_dict(data)
+
+    # -- convenience ------------------------------------------------------------
+
+    def kinds(self) -> set:
+        return {spec.kind for spec in self.faults}
+
+    def kernel_faults(self) -> tuple:
+        return tuple(s for s in self.faults if s.kind in KERNEL_KINDS)
+
+    def live_faults(self) -> tuple:
+        return tuple(s for s in self.faults if s.kind in LIVE_KINDS)
+
+    def harness_faults(self) -> tuple:
+        return tuple(s for s in self.faults if s.kind in HARNESS_KINDS)

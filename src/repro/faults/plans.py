@@ -1,0 +1,115 @@
+"""Named, ready-to-run fault plans for the ``repro chaos`` CLI and CI.
+
+Each entry is a :class:`~repro.faults.plan.FaultPlan` at smoke scale:
+faults land within the first millisecond (the smoke workloads finish in
+a couple of virtual milliseconds) and plans that can strand work carry a
+``horizon_s`` so the run stays finite.  ``resolve_plan`` also accepts inline JSON and
+``@file`` references, so plans are not limited to this registry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["NAMED_PLANS", "resolve_plan"]
+
+NAMED_PLANS: dict[str, FaultPlan] = {
+    # A VolanoMark server-writer thread dies mid-benchmark; deliveries
+    # to its client are lost and the horizon bounds the run.
+    "kill-one-worker": FaultPlan(
+        name="kill-one-worker",
+        seed=1,
+        horizon_s=5.0,
+        faults=(FaultSpec(kind="task_crash", at_s=0.0005, target="*.sw"),),
+    ),
+    # A client reader hangs UNINTERRUPTIBLE for 10 ms, then recovers —
+    # deliveries finish late but nothing is lost.
+    "hang-one-worker": FaultPlan(
+        name="hang-one-worker",
+        seed=2,
+        horizon_s=5.0,
+        faults=(
+            FaultSpec(
+                kind="task_hang", at_s=0.0005, target="*.cr", duration_s=0.01
+            ),
+        ),
+    ),
+    # Eight blocked tasks are woken without their condition holding;
+    # kernel retry semantics must absorb every one.
+    "spurious-storm": FaultPlan(
+        name="spurious-storm",
+        seed=3,
+        horizon_s=5.0,
+        faults=(
+            FaultSpec(kind="spurious_wakeup", at_s=0.0005, count=8),
+            FaultSpec(kind="spurious_wakeup", at_s=0.001, count=8),
+        ),
+    ),
+    # The runqueue-lock hold cost is stretched 50x for 50 ms.
+    "lock-stretch": FaultPlan(
+        name="lock-stretch",
+        seed=4,
+        horizon_s=5.0,
+        faults=(
+            FaultSpec(
+                kind="lock_stretch", at_s=0.0002, duration_s=0.05, factor=50.0
+            ),
+        ),
+    ),
+    # CPU 1 disappears for 5 ms; its task is displaced and rescheduled.
+    "cpu-offline": FaultPlan(
+        name="cpu-offline",
+        seed=5,
+        horizon_s=5.0,
+        faults=(
+            FaultSpec(kind="cpu_offline", at_s=0.0005, duration_s=0.005, cpu=1),
+        ),
+    ),
+    # Every pending sleep fires 2 ms late.
+    "clock-skew": FaultPlan(
+        name="clock-skew",
+        seed=6,
+        horizon_s=5.0,
+        faults=(FaultSpec(kind="clock_skew", at_s=0.0005, skew_s=0.002),),
+    ),
+    # One busy task burns 5 ms of CPU with no forward progress.
+    "livelock": FaultPlan(
+        name="livelock",
+        seed=7,
+        horizon_s=5.0,
+        faults=(FaultSpec(kind="task_livelock", at_s=0.0005, duration_s=0.005),),
+    ),
+    # Live serving: admission clamps to zero for a 2-second window, the
+    # signature of a 2x offered-load spike — everything beyond capacity
+    # is shed with retry-after, and service recovers when it lifts.
+    "overload-2x": FaultPlan(
+        name="overload-2x",
+        seed=8,
+        faults=(
+            FaultSpec(kind="overload", at_s=1.0, duration_s=2.0, count=0),
+        ),
+    ),
+    # Live serving: the scheduler adapter crashes out of a pick and the
+    # supervisor must restart it mid-traffic.
+    "crash-executor": FaultPlan(
+        name="crash-executor",
+        seed=9,
+        faults=(FaultSpec(kind="executor_crash", at_s=1.0),),
+    ),
+}
+
+
+def resolve_plan(ref: str) -> FaultPlan:
+    """A plan from a registry name, inline JSON, or ``@path`` to a file."""
+    if ref in NAMED_PLANS:
+        return NAMED_PLANS[ref]
+    if ref.startswith("@"):
+        return FaultPlan.from_config(Path(ref[1:]).read_text())
+    if ref.lstrip().startswith("{"):
+        return FaultPlan.from_config(ref)
+    raise KeyError(
+        f"unknown fault plan {ref!r}; named plans: "
+        f"{', '.join(sorted(NAMED_PLANS))} (or inline JSON / @file)"
+    )

@@ -3,20 +3,30 @@
 Layout (under ``results/cache/`` by default)::
 
     results/cache/<key[:2]>/<key>.json
+    results/cache/quarantine/<key>.json.bad
 
 where ``key`` is :attr:`RunSpec.key` (SHA-256 of the spec's canonical
 JSON).  Each entry stores the spec alongside the result so a cache
-directory is self-describing and auditable with ``jq``.
+directory is self-describing and auditable with ``jq``, plus a
+``sha256`` checksum over the rest of the entry so bit-rot and torn
+writes are *detected*, not just shrugged off.
 
 Robustness contract: **any** unreadable, truncated, corrupted, or
 mismatched entry is a cache *miss*, never an error — the runner simply
-recomputes the cell and rewrites the entry.  Writes are atomic
-(temp file + ``os.replace``) so a killed sweep can't leave a torn entry
-behind for the next one to trip on.
+recomputes the cell and rewrites the entry.  Entries that are damaged
+(unparseable, checksum mismatch, foreign key) are additionally moved to
+the ``quarantine/`` subdirectory — renamed with a ``.json.bad`` suffix
+so no lookup or ``clear()`` glob ever matches them again — where
+``repro clean-cache --quarantined`` can list and purge them.  Entries
+that are merely *stale* (older schema or library version) are normal
+misses and get overwritten in place.  Writes are atomic (temp file +
+``os.replace``) so a killed sweep can't leave a torn entry behind for
+the next one to trip on.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -36,9 +46,22 @@ def _library_version() -> str:
 __all__ = ["ResultCache", "CACHE_VERSION", "DEFAULT_CACHE_DIR"]
 
 #: Bump to invalidate every existing cache entry (schema change).
-CACHE_VERSION = 2  # v2: SchedStats gained the `preemptions` counter
+CACHE_VERSION = 3  # v3: entries carry a sha256 integrity checksum
 
 DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+_QUARANTINE_DIR = "quarantine"
+
+
+def _entry_digest(entry: dict) -> str:
+    """Checksum over the entry minus its own ``sha256`` field."""
+    core = {k: v for k, v in entry.items() if k != "sha256"}
+    canonical = json.dumps(core, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class _CorruptEntry(ValueError):
+    """An entry that is damaged (vs merely stale) — quarantine it."""
 
 
 class ResultCache:
@@ -48,9 +71,15 @@ class ResultCache:
         self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
         self.hits = 0
         self.misses = 0
+        #: Damaged entries moved aside by this instance.
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / _QUARANTINE_DIR
 
     def get(
         self, spec: RunSpec, require_profile: bool = False
@@ -61,30 +90,66 @@ class ResultCache:
         ``require_profile`` treats an entry without a cycle-attribution
         profile as a miss (the cell is recomputed with profiling on and
         the richer entry overwrites the plain one; profiled entries
-        serve plain requests unchanged).
+        serve plain requests unchanged).  Damaged entries — unparseable
+        JSON, checksum failures, entries whose key does not match their
+        path — are moved to quarantine on the way to the miss.
         """
         path = self.path_for(spec.key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry["cache_version"] != CACHE_VERSION:
-                raise ValueError("cache schema version mismatch")
-            if entry["library_version"] != _library_version():
-                raise ValueError("library version mismatch")
-            if entry["key"] != spec.key:
-                raise ValueError("entry key does not match spec")
-            result = CellResult.from_dict(entry["result"])
-            if result.spec_key != spec.key:
-                raise ValueError("result spec_key does not match spec")
-            if require_profile and not result.profiled:
-                raise ValueError("entry has no profile")
+            result = self._load(path, spec, require_profile)
+        except _CorruptEntry:
+            self._quarantine(path, spec.key)
+            self.misses += 1
+            return None
         except (OSError, ValueError, KeyError, TypeError):
-            # Missing file, torn write, hand-edited JSON, renamed entry,
-            # old schema: all equally a miss.
+            # Missing file or stale (schema/library) entry: a plain miss;
+            # the recompute overwrites it in place.
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _load(
+        self, path: Path, spec: RunSpec, require_profile: bool
+    ) -> CellResult:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            entry = json.loads(text)
+        except ValueError as exc:
+            raise _CorruptEntry(f"unparseable entry: {exc}") from exc
+        if not isinstance(entry, dict):
+            raise _CorruptEntry("entry is not a JSON object")
+        if "cache_version" not in entry:
+            raise _CorruptEntry("entry missing cache_version")
+        if entry["cache_version"] != CACHE_VERSION:
+            raise ValueError("cache schema version mismatch")  # stale
+        if entry.get("library_version") != _library_version():
+            raise ValueError("library version mismatch")  # stale
+        stored = entry.get("sha256")
+        if stored != _entry_digest(entry):
+            raise _CorruptEntry("checksum mismatch (torn write or bit-rot)")
+        if entry.get("key") != spec.key:
+            raise _CorruptEntry("entry key does not match spec")
+        try:
+            result = CellResult.from_dict(entry["result"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _CorruptEntry(f"undecodable result: {exc}") from exc
+        if result.spec_key != spec.key:
+            raise _CorruptEntry("result spec_key does not match spec")
+        if require_profile and not result.profiled:
+            raise ValueError("entry has no profile")  # valid, just plain
+        return result
+
+    def _quarantine(self, path: Path, key: str) -> None:
+        """Move a damaged entry aside; never served, never re-globbed."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / f"{key}.json.bad")
+            self.quarantined += 1
+        except OSError:
+            # Quarantine is best-effort: losing the move still misses.
+            pass
 
     def put(self, spec: RunSpec, result: CellResult) -> Path:
         """Atomically (re)write the entry for ``spec``."""
@@ -102,6 +167,7 @@ class ResultCache:
             "spec": spec.to_dict(),
             "result": result.to_dict(),
         }
+        entry["sha256"] = _entry_digest(entry)
         tmp = path.with_suffix(".json.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(entry, handle, sort_keys=True, indent=1)
@@ -119,6 +185,22 @@ class ResultCache:
             removed += 1
         return removed
 
+    # -- quarantine management ---------------------------------------------------
+
+    def quarantined_entries(self) -> list[Path]:
+        """Damaged entries previously moved aside, sorted by name."""
+        if not self.quarantine_dir.exists():
+            return []
+        return sorted(self.quarantine_dir.glob("*.json.bad"))
+
+    def purge_quarantined(self) -> int:
+        """Delete quarantined entries; returns how many were removed."""
+        removed = 0
+        for path in self.quarantined_entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
@@ -127,5 +209,6 @@ class ResultCache:
     def __repr__(self) -> str:
         return (
             f"<ResultCache {self.root} entries={len(self)} "
-            f"hits={self.hits} misses={self.misses}>"
+            f"hits={self.hits} misses={self.misses} "
+            f"quarantined={self.quarantined}>"
         )

@@ -13,15 +13,31 @@ seeded per-thread RNGs), so a cell computes bit-identically whether it
 runs in-process, in a worker, or came from cache —
 ``tests/harness/test_determinism.py`` enforces exactly that for every
 registered scheduler.
+
+Crash safety: the pool path survives killed and wedged workers.  A cell
+whose worker dies (SIGKILL, OOM) or exceeds ``cell_timeout_s`` is
+retried on a **fresh** pool up to ``max_retries`` times with seeded
+exponential backoff + jitter, each retry logged as an ``event: retry``
+line in the manifest.  Cells that still fail are either raised
+(``on_error="raise"``, the default) or *quarantined*
+(``on_error="quarantine"``): the manifest records the full failing
+``RunSpec`` — fault plan included — with outcome ``quarantined`` and
+the sweep carries on, returning ``None`` for those cells.
+Deterministic in-cell exceptions (a traceback from the workload itself)
+are never retried; rerunning identical code on identical input cannot
+help.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
+import random
+import signal
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
@@ -95,6 +111,28 @@ def execute_spec(
     )
 
 
+def _honour_worker_kill(spec: RunSpec) -> None:
+    """Carry out a ``worker_kill`` fault: SIGKILL this pool worker, once.
+
+    The fault's ``token`` marker file arms it — the first worker to pick
+    the cell writes the marker and dies mid-cell; the retry finds the
+    marker and runs clean.  Only the pool entry point calls this, so
+    in-process (``jobs=1``) runs never self-destruct.
+    """
+    text = spec.config_dict.get("fault_plan") or ""
+    if not text or "worker_kill" not in text:
+        return
+    from ..faults import FaultPlan  # local import: layering
+
+    for fault in FaultPlan.from_config(text).harness_faults():
+        if fault.kind == "worker_kill" and fault.token:
+            marker = Path(fault.token)
+            if not marker.exists():
+                marker.parent.mkdir(parents=True, exist_ok=True)
+                marker.write_text("armed\n", encoding="utf-8")
+                os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _execute_payload(
     payload: str, profile: bool = False, profile_ticks: int = DEFAULT_PROFILE_TICKS
 ) -> tuple[str, dict, float, str]:
@@ -105,6 +143,7 @@ def _execute_payload(
     the failure to its spec in the manifest.
     """
     spec = RunSpec.from_json(payload)
+    _honour_worker_kill(spec)
     start = time.perf_counter()
     try:
         result = execute_spec(spec, profile=profile, profile_ticks=profile_ticks)
@@ -129,6 +168,21 @@ class ParallelRunner:
         attach a fresh cycle-attribution profiler to every computed
         cell; cached entries without a profile count as misses (the
         profiled recompute overwrites them with a superset entry).
+    ``max_retries``
+        pool rounds to re-attempt cells whose worker died or timed out
+        (deterministic in-cell failures are never retried).
+    ``backoff_base_s`` / ``backoff_jitter``
+        retry delay: ``base * 2**(attempt-1)``, stretched by up to
+        ``jitter`` fractionally (seeded, so sweeps stay reproducible).
+    ``cell_timeout_s``
+        wall-clock budget per cell; a pool round is given
+        ``ceil(cells / workers)`` budgets, after which its unfinished
+        workers are killed and their cells retried.  ``None`` disables.
+    ``on_error``
+        ``"raise"`` aborts after the manifest is written (the historical
+        behaviour); ``"quarantine"`` records each failed cell — full
+        ``RunSpec`` included — in the manifest and returns ``None`` in
+        its result slot instead of raising.
     """
 
     def __init__(
@@ -139,18 +193,36 @@ class ParallelRunner:
         progress: Optional[ProgressFn] = None,
         profile: bool = False,
         profile_ticks: int = DEFAULT_PROFILE_TICKS,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.25,
+        backoff_jitter: float = 0.25,
+        cell_timeout_s: Optional[float] = None,
+        on_error: str = "raise",
     ) -> None:
         self.jobs = jobs if jobs else default_jobs()
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if on_error not in ("raise", "quarantine"):
+            raise ValueError(f"on_error must be raise|quarantine, got {on_error}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.cache = cache
         self.manifest_path = Path(manifest_path) if manifest_path else None
         self.progress = progress
         self.profile = profile
         self.profile_ticks = profile_ticks
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_jitter = backoff_jitter
+        self.cell_timeout_s = cell_timeout_s
+        self.on_error = on_error
 
-    def run(self, specs: Sequence[RunSpec]) -> list[CellResult]:
-        """Compute every spec; results align with ``specs`` by index."""
+    def run(self, specs: Sequence[RunSpec]) -> list[Optional[CellResult]]:
+        """Compute every spec; results align with ``specs`` by index.
+
+        Slots are ``None`` only under ``on_error="quarantine"`` for
+        cells that failed every attempt.
+        """
         specs = list(specs)
         unique: dict[str, RunSpec] = {}
         for spec in specs:
@@ -159,6 +231,8 @@ class ParallelRunner:
         results: dict[str, CellResult] = {}
         durations: dict[str, float] = {}
         errors: dict[str, str] = {}
+        attempts: dict[str, int] = {}
+        retry_events: list[dict] = []
         from_cache: set[str] = set()
 
         if self.cache is not None:
@@ -172,21 +246,23 @@ class ParallelRunner:
 
         misses = [s for k, s in unique.items() if k not in results]
         if misses:
-            self._compute(misses, results, durations, errors)
+            self._compute(misses, results, durations, errors, attempts, retry_events)
             if self.cache is not None:
                 for spec in misses:
                     if spec.key in results:
                         self.cache.put(spec, results[spec.key])
 
-        self._write_manifest(specs, results, durations, errors, from_cache)
+        self._write_manifest(
+            specs, results, durations, errors, from_cache, attempts, retry_events
+        )
 
-        if errors:
+        if errors and self.on_error == "raise":
             first = next(iter(errors.values()))
             raise RuntimeError(
                 f"{len(errors)} of {len(unique)} cells failed; "
                 f"first failure:\n{first}"
             )
-        return [results[spec.key] for spec in specs]
+        return [results.get(spec.key) for spec in specs]
 
     def run_one(self, spec: RunSpec) -> CellResult:
         return self.run([spec])[0]
@@ -203,10 +279,12 @@ class ParallelRunner:
         results: dict[str, CellResult],
         durations: dict[str, float],
         errors: dict[str, str],
+        attempts: dict[str, int],
+        retry_events: list[dict],
     ) -> None:
-        by_key = {spec.key: spec for spec in misses}
         if self.jobs == 1 or len(misses) == 1:
             for spec in misses:
+                attempts[spec.key] = 1
                 start = time.perf_counter()
                 try:
                     result = execute_spec(
@@ -221,26 +299,96 @@ class ParallelRunner:
                     self._notify(spec, result, cached=False)
                 durations[spec.key] = time.perf_counter() - start
             return
-        workers = min(self.jobs, len(misses))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
+
+        # Pool path: rounds of fresh pools until every cell resolves or
+        # the retry budget is spent.  A fresh pool per round matters — a
+        # SIGKILLed worker breaks its ProcessPoolExecutor for good.
+        pending = list(misses)
+        rng = random.Random("harness-backoff")
+        attempt = 1
+        while pending:
+            for spec in pending:
+                attempts[spec.key] = attempt
+            failures = self._pool_round(pending, results, durations, errors)
+            if not failures:
+                return
+            if attempt > self.max_retries:
+                for spec, reason in failures:
+                    errors[spec.key] = (
+                        f"cell failed after {attempt} attempt(s): {reason}"
+                    )
+                return
+            delay = self.backoff_base_s * (2 ** (attempt - 1))
+            delay *= 1.0 + self.backoff_jitter * rng.random()
+            retry_events.append(
+                {
+                    "event": "retry",
+                    "ts": round(time.time(), 3),
+                    "attempt": attempt,
+                    "backoff_s": round(delay, 3),
+                    "keys": [spec.key for spec, _ in failures],
+                    "reasons": sorted({reason for _, reason in failures}),
+                    "jobs": self.jobs,
+                }
+            )
+            time.sleep(delay)
+            pending = [spec for spec, _ in failures]
+            attempt += 1
+
+    def _pool_round(
+        self,
+        specs: Sequence[RunSpec],
+        results: dict[str, CellResult],
+        durations: dict[str, float],
+        errors: dict[str, str],
+    ) -> list[tuple[RunSpec, str]]:
+        """One pool pass; returns the cells that need another attempt."""
+        workers = min(self.jobs, len(specs))
+        failures: list[tuple[RunSpec, str]] = []
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {
                 pool.submit(
                     _execute_payload,
                     spec.canonical(),
                     self.profile,
                     self.profile_ticks,
-                )
-                for spec in misses
-            ]
-            for future in as_completed(futures):
-                key, data, wall, error = future.result()
+                ): spec
+                for spec in specs
+            }
+            timeout = None
+            if self.cell_timeout_s:
+                timeout = self.cell_timeout_s * math.ceil(len(specs) / workers)
+            done, not_done = wait(set(futures), timeout=timeout)
+            for future in done:
+                spec = futures[future]
+                try:
+                    key, data, wall, error = future.result()
+                except Exception as exc:  # noqa: BLE001 — worker died
+                    # BrokenProcessPool (SIGKILL, OOM): retryable — the
+                    # failure came from the process, not the cell.
+                    failures.append(
+                        (spec, f"worker died ({type(exc).__name__})")
+                    )
+                    continue
                 durations[key] = wall
                 if error:
-                    errors[key] = error
+                    errors[key] = error  # deterministic: retry can't help
                 else:
                     result = CellResult.from_dict(data)
                     results[key] = result
-                    self._notify(by_key[key], result, cached=False)
+                    self._notify(spec, result, cached=False)
+            if not_done:
+                # Wedged workers: cancel what we can, kill the rest, and
+                # mark every unfinished cell for retry.
+                for future in not_done:
+                    future.cancel()
+                    failures.append((futures[future], "cell timed out"))
+                for proc in list((pool._processes or {}).values()):
+                    proc.kill()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return failures
 
     def _write_manifest(
         self,
@@ -249,13 +397,23 @@ class ParallelRunner:
         durations: dict[str, float],
         errors: dict[str, str],
         from_cache: set[str],
+        attempts: dict[str, int],
+        retry_events: list[dict],
     ) -> None:
         if self.manifest_path is None or not specs:
             return
         self.manifest_path.parent.mkdir(parents=True, exist_ok=True)
         now = time.time()
         with open(self.manifest_path, "a", encoding="utf-8") as handle:
+            for event in retry_events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
             for spec in specs:
+                if spec.key in errors:
+                    outcome = (
+                        "quarantined" if self.on_error == "quarantine" else "error"
+                    )
+                else:
+                    outcome = "ok"
                 record = {
                     "ts": round(now, 3),
                     "key": spec.key,
@@ -264,7 +422,14 @@ class ParallelRunner:
                     "machine": spec.machine,
                     "cached": spec.key in from_cache,
                     "wall_seconds": round(durations.get(spec.key, 0.0), 6),
-                    "outcome": "error" if spec.key in errors else "ok",
+                    "outcome": outcome,
                     "jobs": self.jobs,
                 }
+                if attempts.get(spec.key, 1) > 1:
+                    record["attempts"] = attempts[spec.key]
+                if outcome == "quarantined":
+                    # The full failing spec — fault plan included — so a
+                    # quarantined cell can be replayed verbatim.
+                    record["spec"] = spec.to_dict()
+                    record["error"] = errors[spec.key].strip().splitlines()[-1]
                 handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -32,6 +32,7 @@ class CPU:
         "run_overhead",
         "tick_event",
         "dispatch_pending",
+        "offline",
         "busy_cycles",
         "idle_since",
         "idle_cycles",
@@ -58,6 +59,9 @@ class CPU:
         #: True while an idle-CPU dispatch event is queued for this CPU,
         #: so concurrent wakeups fan out to *other* idle CPUs.
         self.dispatch_pending = False
+        #: True while a fault plan has this CPU stalled or offline; every
+        #: dispatch path skips offline CPUs.  Never set outside chaos runs.
+        self.offline = False
         self.busy_cycles = 0
         self.idle_since: int = 0
         self.idle_cycles = 0

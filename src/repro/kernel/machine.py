@@ -219,6 +219,10 @@ class Machine:
         #: Every profiling hook is guarded on this attribute and charges
         #: nothing to simulated time, so a disabled profiler is free.
         self.prof: Optional[Any] = None
+        #: Optional fault injector (see repro.faults); None = no chaos.
+        #: Attachment only schedules the plan's CALLBACK events, so a
+        #: machine without a plan runs the identical event stream.
+        self.faults: Optional[Any] = None
         scheduler.bind(self)
 
     def attach_tracer(self, tracer: Optional[Tracer] = None) -> Tracer:
@@ -237,6 +241,12 @@ class Machine:
         if set_sched is not None:
             set_sched(self.scheduler.name)
         return prof
+
+    def attach_faults(self, injector: Any) -> Any:
+        """Attach (and return) a fault injector; schedules its plan."""
+        self.faults = injector
+        injector.bind(self)
+        return injector
 
     # -- task population -----------------------------------------------------
 
@@ -357,12 +367,12 @@ class Machine:
         # Last-run CPU, if idle.
         if 0 <= task.processor < len(self.cpus):
             home = self.cpus[task.processor]
-            if home.is_idle() and not home.dispatch_pending:
+            if home.is_idle() and not home.dispatch_pending and not home.offline:
                 self._defer_dispatch(home, t)
                 return
         # Any idle CPU.
         for cpu in self.cpus:
-            if cpu.is_idle() and not cpu.dispatch_pending:
+            if cpu.is_idle() and not cpu.dispatch_pending and not cpu.offline:
                 self._defer_dispatch(cpu, t)
                 return
         # Preempt the weakest current task, if the waked task beats it.
@@ -371,6 +381,8 @@ class Machine:
         best_cpu: Optional[CPU] = None
         best_margin = 0
         for cpu in self.cpus:
+            if cpu.offline:
+                continue
             cur = cpu.current
             margin = goodness(task, cpu.cpu_id, cur.mm) - goodness(
                 cur, cpu.cpu_id, cur.mm
@@ -393,13 +405,13 @@ class Machine:
     @staticmethod
     def _deferred_dispatch_cb(machine: "Machine", event: Event, cpu: CPU) -> None:
         cpu.dispatch_pending = False
-        if cpu.is_idle():
+        if cpu.is_idle() and not cpu.offline:
             machine._dispatch(cpu, machine.clock.now)
 
     @staticmethod
     def _resume_dispatch_cb(machine: "Machine", event: Event, cpu: CPU) -> None:
         """Continue a dispatch that was deferred to preserve event order."""
-        if cpu.run_event is None:
+        if cpu.run_event is None and not cpu.offline:
             machine._dispatch(cpu, machine.clock.now)
 
     # -- the dispatch loop --------------------------------------------------------
@@ -424,6 +436,8 @@ class Machine:
     def _dispatch(self, cpu: CPU, at: int) -> None:
         """Run ``schedule()`` on ``cpu`` (and keep dispatching while tasks
         perform only instantaneous work before blocking again)."""
+        if cpu.offline:
+            return  # chaos: a stalled/offlined CPU dispatches nothing
         at = max(at, self.clock.now)
         self._stop_current_run(cpu, at)
         if cpu.is_idle():
@@ -727,7 +741,7 @@ class Machine:
 
     def _handle_tick(self, cpu: CPU, t: int) -> None:
         cpu.tick_event = None
-        if cpu.is_idle():
+        if cpu.is_idle() or cpu.offline:
             return  # tick chain dies; re-armed at next dispatch
         self.total_ticks += 1
         task = cpu.current

@@ -77,6 +77,8 @@ class SimResult:
     busy_fraction: float
     #: Workload-specific payload (e.g. messages delivered).
     payload: dict[str, Any] = field(default_factory=dict)
+    #: Injection log/counts when a fault plan was attached; {} otherwise.
+    fault_summary: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -92,6 +94,7 @@ class Simulator:
         spec: MachineSpec,
         cost: Optional[CostModel] = None,
         prof: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         self.scheduler_factory = scheduler_factory
         self.spec = spec
@@ -99,6 +102,10 @@ class Simulator:
         #: Optional cycle-attribution sink (repro.prof); attached to the
         #: machine before the run, denominators finalised after it.
         self.prof = prof
+        #: Optional FaultPlan (repro.faults); its horizon bounds the run
+        #: when the caller gives none, since injected faults can strand
+        #: workload completion conditions forever.
+        self.fault_plan = fault_plan
 
     def run(
         self,
@@ -115,6 +122,13 @@ class Simulator:
         machine = make_machine(scheduler, self.spec, self.cost)
         if self.prof is not None:
             machine.attach_profiler(self.prof)
+        injector = None
+        if self.fault_plan is not None:
+            from ..faults.injector import FaultInjector  # layering
+
+            injector = machine.attach_faults(FaultInjector(self.fault_plan))
+            if until_seconds is None and self.fault_plan.horizon_s > 0:
+                until_seconds = self.fault_plan.horizon_s
         payload = populate(machine) or {}
         summary = machine.run(until_seconds=until_seconds)
         if self.prof is not None:
@@ -135,4 +149,5 @@ class Simulator:
             scheduler_fraction=machine.scheduler_fraction(),
             busy_fraction=machine.busy_fraction(),
             payload=resolved,
+            fault_summary=injector.summary() if injector is not None else {},
         )

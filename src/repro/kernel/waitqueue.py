@@ -25,11 +25,17 @@ __all__ = ["WaitQueue"]
 
 
 class _WaitEntry:
-    __slots__ = ("task", "exclusive")
+    # ``queue`` back-references the owning WaitQueue so an external actor
+    # (fault injection crashing a blocked task) can unlink the node
+    # without knowing which queue parked it.
+    __slots__ = ("task", "exclusive", "queue")
 
-    def __init__(self, task: "Task", exclusive: bool) -> None:
+    def __init__(
+        self, task: "Task", exclusive: bool, queue: Optional["WaitQueue"] = None
+    ) -> None:
         self.task = task
         self.exclusive = exclusive
+        self.queue = queue
 
 
 class WaitQueue:
@@ -49,7 +55,7 @@ class WaitQueue:
         """
         if task.wait_node is not None:
             raise RuntimeError(f"{task.name} is already on a wait queue")
-        entry = _WaitEntry(task, exclusive)
+        entry = _WaitEntry(task, exclusive, self)
         task.wait_node = entry
         if exclusive:
             self._entries.append(entry)
@@ -64,7 +70,7 @@ class WaitQueue:
         on several queues at once, and the waker/retry logic removes the
         stragglers explicitly via :meth:`remove`.
         """
-        self._entries.append(_WaitEntry(task, exclusive))
+        self._entries.append(_WaitEntry(task, exclusive, self))
 
     def remove(self, task: "Task") -> bool:
         """Take ``task`` off the queue (e.g. timed-out sleep); True if found."""
@@ -88,6 +94,13 @@ class WaitQueue:
         wake_all = nr_exclusive <= 0
         budget = nr_exclusive
         for entry in self._entries:
+            if entry.task.exited:
+                # A crashed (fault-injected) task left a stale entry;
+                # drop it without consuming any wake budget.  Tasks never
+                # exit while parked outside chaos runs.
+                if entry.task.wait_node is entry:
+                    entry.task.wait_node = None
+                continue
             if entry.exclusive and not wake_all and budget == 0:
                 remaining.append(entry)
                 continue

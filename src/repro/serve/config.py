@@ -59,6 +59,18 @@ class ServeConfig:
     seed: int = 42
     #: TCP port to bind (0 = ephemeral, the default for loadtests).
     port: int = 0
+    #: How long a client waits for in-flight fan-out after its QUIT,
+    #: seconds, before cancelling its receive loop.
+    drain_grace_s: float = 1.0
+    #: Per-request deadline, milliseconds, measured from admission to
+    #: dispatch.  A request still queued past it is answered with
+    #: ``{"op": "expired"}`` instead of being served.  0 disables.
+    request_deadline_ms: float = 0.0
+    #: Fault plan for live chaos runs: a named plan, inline canonical
+    #: JSON, or ``@file`` (see :func:`repro.faults.resolve_plan`).
+    #: "" = no chaos.  Only ``overload`` / ``executor_crash`` faults
+    #: apply to live serving.
+    fault_plan: str = ""
 
     @property
     def clients(self) -> int:

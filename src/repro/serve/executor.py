@@ -27,12 +27,13 @@ stealing — exactly as they would on real processors.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..kernel.cost_model import CostModel
 from ..kernel.cpu import CPU
 from ..kernel.task import SchedPolicy, Task, TaskState
 from ..sched.base import Scheduler
+from ..sched.stats import SchedStats
 
 __all__ = ["SchedulerExecutor"]
 
@@ -95,10 +96,22 @@ class SchedulerExecutor:
         smp: bool = False,
         cost: Optional[CostModel] = None,
         prof: Optional[object] = None,
+        factory: Optional[Callable[[], Scheduler]] = None,
     ) -> None:
         if num_cpus < 1:
             raise ValueError("executor needs at least one virtual CPU")
         self.scheduler = scheduler
+        #: How :meth:`rebuild` replaces a crashed policy instance.  The
+        #: default assumes a no-argument scheduler class, which every
+        #: registered policy satisfies.
+        self._factory: Callable[[], Scheduler] = (
+            factory if factory is not None else type(scheduler)
+        )
+        #: Stats of scheduler instances retired by :meth:`rebuild`, so
+        #: a supervised restart loses no accounting.
+        self._retired_stats: list[SchedStats] = []
+        self.rebuilds = 0
+        self._crash_next = False
         self.machine = _ExecutorMachine(
             num_cpus, smp, cost if cost is not None else CostModel()
         )
@@ -208,6 +221,12 @@ class SchedulerExecutor:
         return None
 
     def _pick_on(self, cpu: CPU) -> Optional[Task]:
+        if self._crash_next:
+            # Chaos hook (repro.faults): the adapter blows up out of a
+            # pick, exactly like a policy bug would, and the server's
+            # supervisor is expected to rebuild() us.
+            self._crash_next = False
+            raise RuntimeError("injected executor crash (fault plan)")
         scheduler = self.scheduler
         stats = scheduler.stats
         prev = cpu.current
@@ -304,6 +323,48 @@ class SchedulerExecutor:
         task.state = (
             TaskState.INTERRUPTIBLE if blocked else TaskState.RUNNING
         )
+
+    # -- supervision -----------------------------------------------------------
+
+    def inject_crash(self) -> None:
+        """Arm a one-shot crash: the next ``pick()`` raises."""
+        self._crash_next = True
+
+    def rebuild(self) -> None:
+        """Replace a crashed scheduler instance, preserving every handler.
+
+        The dead instance's stats are retired (``merged_stats`` still
+        counts them), a fresh policy is built and bound, the virtual
+        CPUs are reset to idle, every surviving task's runqueue linkage
+        is cleared, and the runnable ones are re-enqueued — the live
+        analogue of rebuilding the runqueue after a scheduler hot-swap.
+        """
+        self._retired_stats.append(self.scheduler.stats)
+        machine = self.machine
+        for cpu in machine.cpus:
+            cpu.current = cpu.idle_task
+            cpu.idle_task.has_cpu = True
+        for task in machine._tasks.values():
+            # Old policy's intrusive links are garbage now: unlink.
+            task.has_cpu = False
+            task.run_list.next = None
+            task.run_list.prev = None
+        self.scheduler = self._factory()
+        self.scheduler.bind(machine)  # type: ignore[arg-type]
+        set_sched = getattr(self.prof, "set_scheduler", None)
+        if set_sched is not None:
+            set_sched(self.scheduler.name)
+        for task in machine._tasks.values():
+            if not task.exited and task.state is TaskState.RUNNING:
+                self.scheduler.add_to_runqueue(task)
+        self.rebuilds += 1
+
+    def merged_stats(self) -> SchedStats:
+        """Stats across the current scheduler and every retired one."""
+        total = self.scheduler.stats
+        for retired in self._retired_stats:
+            total = total.merged_with(retired)
+        return total
 
     # -- introspection ---------------------------------------------------------
 

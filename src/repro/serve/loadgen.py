@@ -178,17 +178,26 @@ async def _client(
             await writer.drain()
             stats.sent += 1
         # Give in-flight fan-out a chance to arrive, then say goodbye.
+        # A chaos run may reset the connection under us at any of these
+        # steps; a dead socket here means "drained", not "failed".
         grace = max(0.0, min(0.5, deadline - time.monotonic()))
         if grace:
             try:
                 await asyncio.wait_for(asyncio.shield(rx), timeout=grace)
-            except asyncio.TimeoutError:
+            except (
+                asyncio.TimeoutError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
                 pass
-        writer.write(protocol.encode({"op": protocol.OP_QUIT}))
-        await writer.drain()
         try:
-            await asyncio.wait_for(rx, timeout=1.0)
-        except asyncio.TimeoutError:
+            writer.write(protocol.encode({"op": protocol.OP_QUIT}))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        try:
+            await asyncio.wait_for(rx, timeout=config.drain_grace_s)
+        except (asyncio.TimeoutError, ConnectionResetError, BrokenPipeError):
             rx.cancel()
     finally:
         try:

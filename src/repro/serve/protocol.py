@@ -15,6 +15,9 @@ Server → client operations::
     {"op": "joined",  "room": "r0", "members": 8}
     {"op": "msg",     …fan-out copy, origin fields preserved…}
     {"op": "shed",    "seq": 7}          # admission control dropped it
+    {"op": "shed",    "seq": 7, "retry_after_ms": 2000.0}   # shed under
+                                         # a declared overload window
+    {"op": "expired", "seq": 7}          # queued past its deadline
     {"op": "bye"}
 
 ``t`` is an opaque client timestamp echoed back unmodified; the load
@@ -34,6 +37,7 @@ __all__ = [
     "OP_WELCOME",
     "OP_JOINED",
     "OP_SHED",
+    "OP_EXPIRED",
     "OP_BYE",
     "MAX_LINE_BYTES",
     "encode",
@@ -47,6 +51,7 @@ OP_QUIT = "quit"
 OP_WELCOME = "welcome"
 OP_JOINED = "joined"
 OP_SHED = "shed"
+OP_EXPIRED = "expired"
 OP_BYE = "bye"
 
 #: Upper bound on one frame; oversized lines are a protocol error, not

@@ -21,6 +21,7 @@ Overload is handled in two bounded stages:
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from typing import Any, Optional
 
@@ -65,8 +66,10 @@ class Session:
         self.task: Optional[Task] = None
         self.room: Optional[str] = None
         self.user_name = f"anon{sid}"
-        #: Requests accepted by admission control, awaiting dispatch.
-        self.inbox: deque[dict[str, Any]] = deque()
+        #: Requests accepted by admission control, awaiting dispatch:
+        #: ``(message, admitted_at)`` pairs, the timestamp feeding the
+        #: per-request deadline check.
+        self.inbox: deque[tuple[dict[str, Any], float]] = deque()
         #: Outbound frames awaiting the writer coroutine.
         self.outbox: deque[Any] = deque()
         self.outbox_wake = asyncio.Event()
@@ -84,6 +87,11 @@ class ChatServer:
         self._next_sid = 0
         #: Requests admitted but not yet dispatched, across all sessions.
         self.pending = 0
+        #: Current admission bound; starts at the configured cap and is
+        #: lowered/restored by chaos drivers (overload windows).
+        self._admission_limit = config.max_pending
+        #: Advertised in shed replies while > 0 (overload window width).
+        self._retry_after_ms = 0.0
         self._work = asyncio.Event()
         self._server: Optional[asyncio.base_events.Server] = None
         self._dispatcher: Optional[asyncio.Task] = None
@@ -92,11 +100,35 @@ class ChatServer:
         # -- counters -------------------------------------------------
         self.completed = 0
         self.shed = 0
+        #: Sheds that carried a retry-after hint (overload-window sheds).
+        self.shed_retry_after = 0
+        #: Requests that aged past ``config.request_deadline_ms`` queued.
+        self.expired = 0
+        #: Scheduler-adapter crashes survived by rebuilding the executor.
+        self.executor_restarts = 0
         self.dropped_fanout = 0
         self.deliveries = 0
         self.protocol_errors = 0
         self.sessions_total = 0
         self.depth = DepthTracker()
+
+    # -- admission control --------------------------------------------------
+
+    @property
+    def admission_limit(self) -> int:
+        return self._admission_limit
+
+    def set_admission_limit(
+        self, limit: int, retry_after_ms: float = 0.0
+    ) -> None:
+        """Adjust the admission bound at runtime (chaos/overload hook).
+
+        ``retry_after_ms`` > 0 is advertised in every shed reply while
+        the bound is in force, so well-behaved clients know when the
+        overload window is expected to lift.
+        """
+        self._admission_limit = max(0, limit)
+        self._retry_after_ms = max(0.0, retry_after_ms)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -184,16 +216,17 @@ class ChatServer:
             )
             return True
         if op == protocol.OP_MSG:
-            if self.pending >= self.config.max_pending:
+            if self.pending >= self._admission_limit:
                 # Admission control: the request never reaches the
                 # scheduler; the client learns immediately.
                 self.shed += 1
-                self._send(
-                    session,
-                    {"op": protocol.OP_SHED, "seq": message.get("seq")},
-                )
+                reply = {"op": protocol.OP_SHED, "seq": message.get("seq")}
+                if self._retry_after_ms > 0:
+                    reply["retry_after_ms"] = self._retry_after_ms
+                    self.shed_retry_after += 1
+                self._send(session, reply)
                 return True
-            session.inbox.append(message)
+            session.inbox.append((message, time.monotonic()))
             self.pending += 1
             assert session.task is not None
             self.executor.ready(session.task)
@@ -274,13 +307,24 @@ class ChatServer:
                     await self._work.wait()
                 continue
             self.depth.observe(self.pending)
-            task = executor.pick()
-            if task is None:
-                # Runnable exists but this rotation found nothing
-                # pickable (transient in multi-CPU configurations).
+            try:
+                task = executor.pick()
+                if task is None:
+                    # Runnable exists but this rotation found nothing
+                    # pickable (transient in multi-CPU configurations).
+                    await asyncio.sleep(0)
+                    continue
+                self._serve(task)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 — supervised: degrade, don't die
+                # The scheduler adapter crashed out of a pick or a
+                # serve.  Rebuild it with every session intact and keep
+                # dispatching; the restart is the metric, not the end.
+                self.executor_restarts += 1
+                executor.rebuild()
                 await asyncio.sleep(0)
                 continue
-            self._serve(task)
             # Yield to the event loop so readers/writers make progress
             # between dispatches — the "timer tick" of this userspace
             # kernel.
@@ -290,10 +334,21 @@ class ChatServer:
         """Serve up to ``config.batch`` queued requests of one session."""
         session: Session = task.user
         budget = self.config.batch
+        deadline_s = self.config.request_deadline_ms / 1e3
+        now = time.monotonic() if deadline_s > 0 else 0.0
         while session.inbox and budget > 0:
-            message = session.inbox.popleft()
+            message, admitted_at = session.inbox.popleft()
             self.pending -= 1
             budget -= 1
+            if deadline_s > 0 and now - admitted_at > deadline_s:
+                # Queued past its deadline: answering late would be
+                # worse than answering "expired" now.
+                self.expired += 1
+                self._send(
+                    session,
+                    {"op": protocol.OP_EXPIRED, "seq": message.get("seq")},
+                )
+                continue
             self._fan_out(session, message)
             self.completed += 1
         self.executor.charge_slice(task)
@@ -317,6 +372,9 @@ class ChatServer:
             "completed": self.completed,
             "deliveries": self.deliveries,
             "shed": self.shed,
+            "shed_retry_after": self.shed_retry_after,
+            "expired": self.expired,
+            "executor_restarts": self.executor_restarts,
             "dropped_fanout": self.dropped_fanout,
             "protocol_errors": self.protocol_errors,
             "sessions_total": self.sessions_total,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from ..kernel.simulator import MachineSpec
 from ..sched.base import Scheduler
@@ -52,11 +52,17 @@ class LoadtestResult:
         executor: SchedulerExecutor,
         server_counters: dict[str, Any],
         report: LoadReport,
+        fault_events: Optional[list[dict[str, Any]]] = None,
     ) -> None:
-        self.sim = _SimShim(stats=scheduler.stats, scheduler_name=scheduler.name)
+        # merged_stats() spans executor rebuilds — a supervised restart
+        # mid-run must not zero the accounting.
+        self.sim = _SimShim(
+            stats=executor.merged_stats(), scheduler_name=scheduler.name
+        )
         self.executor = executor
         self.server_counters = server_counters
         self.report = report
+        self.fault_events = fault_events or []
         self.pick_latency_us = LatencySummary.from_samples(
             [ns / 1e3 for ns in executor.pick_ns]
         )
@@ -80,6 +86,9 @@ class LoadtestResult:
                     "completed",
                     "deliveries",
                     "shed",
+                    "shed_retry_after",
+                    "expired",
+                    "executor_restarts",
                     "dropped_fanout",
                     "sessions_total",
                     "queue_depth_avg",
@@ -94,6 +103,7 @@ class LoadtestResult:
             **self.pick_latency_us.to_dict("pick_us_"),
             "picks": self.executor.picks,
             "idle_picks": self.executor.idle_picks,
+            "fault_events": len(self.fault_events),
         }
         return out
 
@@ -103,15 +113,29 @@ async def _run(
     spec: MachineSpec,
     config: ServeConfig,
     prof: Any = None,
+    scheduler_factory: Optional[Callable[[], Scheduler]] = None,
 ) -> LoadtestResult:
     executor = SchedulerExecutor(
-        scheduler, num_cpus=spec.num_cpus, smp=spec.smp, prof=prof
+        scheduler,
+        num_cpus=spec.num_cpus,
+        smp=spec.smp,
+        prof=prof,
+        factory=scheduler_factory,
     )
     server = ChatServer(executor, config)
+    driver = None
+    if config.fault_plan:
+        from ..faults import LiveFaultDriver, resolve_plan
+
+        driver = LiveFaultDriver(resolve_plan(config.fault_plan), server, executor)
     await server.start()
+    if driver is not None:
+        driver.start()
     try:
         report = await run_loadgen("127.0.0.1", server.port, config)
     finally:
+        if driver is not None:
+            await driver.stop()
         counters = server.counters()
         await server.stop()
     if prof is not None:
@@ -122,7 +146,13 @@ async def _run(
             # reads "scheduler share of modelled kernel work".
             total = getattr(prof, "total_cycles", executor.machine.clock.now)
             finalize(total, total)
-    return LoadtestResult(scheduler, executor, counters, report)
+    return LoadtestResult(
+        scheduler,
+        executor,
+        counters,
+        report,
+        fault_events=driver.log if driver is not None else None,
+    )
 
 
 def run_serve_loadtest(
@@ -133,4 +163,12 @@ def run_serve_loadtest(
 ) -> LoadtestResult:
     """One live serve cell: start server, drive the load, tear down."""
     scheduler = scheduler_factory()
-    return asyncio.run(_run(scheduler, spec, config, prof=prof))
+    return asyncio.run(
+        _run(
+            scheduler,
+            spec,
+            config,
+            prof=prof,
+            scheduler_factory=scheduler_factory,
+        )
+    )

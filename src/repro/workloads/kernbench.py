@@ -58,6 +58,8 @@ class KernbenchConfig:
     #: Number of compiler phases (cpp → cc1 → as) per job; each phase
     #: boundary re-enters the scheduler like a pipe handoff does.
     phases: int = 3
+    #: Canonical FaultPlan JSON (see repro.faults), "" = no chaos.
+    fault_plan: str = ""
 
 
 @dataclass
@@ -177,15 +179,21 @@ def run_kernbench(
     """One simulated kernel build — a Table 2 cell."""
     cfg = config if config is not None else KernbenchConfig()
     bench = Kernbench(cfg)
-    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
+    plan = None
+    if cfg.fault_plan:
+        from ..faults import FaultPlan
+
+        plan = FaultPlan.from_config(cfg.fault_plan)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan)
     result = sim.run(bench.populate)
-    if result.summary.deadlocked:
-        raise RuntimeError(f"kernbench deadlocked: {result.summary!r}")
-    if result.payload["completed"] != cfg.files or not result.payload["linked"]:
-        raise RuntimeError(
-            f"incomplete build: {result.payload['completed']}/{cfg.files} "
-            f"objects, linked={result.payload['linked']}"
-        )
+    if plan is None:
+        if result.summary.deadlocked:
+            raise RuntimeError(f"kernbench deadlocked: {result.summary!r}")
+        if result.payload["completed"] != cfg.files or not result.payload["linked"]:
+            raise RuntimeError(
+                f"incomplete build: {result.payload['completed']}/{cfg.files} "
+                f"objects, linked={result.payload['linked']}"
+            )
     return KernbenchResult(
         config=cfg,
         spec=spec,

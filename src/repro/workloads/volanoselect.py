@@ -186,15 +186,21 @@ def run_select_chat(
     """One run of the select-server chat; same metric as VolanoMark."""
     cfg = config if config is not None else VolanoConfig()
     bench = SelectChat(cfg)
-    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
+    plan = None
+    if cfg.fault_plan:
+        from ..faults import FaultPlan
+
+        plan = FaultPlan.from_config(cfg.fault_plan)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan)
     result = sim.run(bench.populate)
-    if result.summary.deadlocked:
-        raise RuntimeError(f"select chat deadlocked: {result.summary!r}")
     delivered = result.payload["delivered"]
-    if delivered != cfg.deliveries_expected:
-        raise RuntimeError(
-            f"message loss: {delivered}/{cfg.deliveries_expected}"
-        )
+    if plan is None:
+        if result.summary.deadlocked:
+            raise RuntimeError(f"select chat deadlocked: {result.summary!r}")
+        if delivered != cfg.deliveries_expected:
+            raise RuntimeError(
+                f"message loss: {delivered}/{cfg.deliveries_expected}"
+            )
     elapsed = cycles_to_seconds(result.payload["last_delivery_cycles"])
     if elapsed <= 0:
         elapsed = result.seconds

@@ -55,6 +55,8 @@ class WebServerConfig:
     think_seconds: float = 0.005
     #: Listen queue depth (SYN backlog).
     backlog: int = 128
+    #: Canonical FaultPlan JSON (see repro.faults), "" = no chaos.
+    fault_plan: str = ""
 
     @property
     def total_requests(self) -> int:
@@ -176,14 +178,20 @@ def run_webserver(
     """One web-server run: throughput and latency under a worker pool."""
     cfg = config if config is not None else WebServerConfig()
     bench = WebServer(cfg)
-    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
+    plan = None
+    if cfg.fault_plan:
+        from ..faults import FaultPlan
+
+        plan = FaultPlan.from_config(cfg.fault_plan)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan)
     result = sim.run(bench.populate)
-    if result.summary.deadlocked:
-        raise RuntimeError(f"webserver deadlocked: {result.summary!r}")
-    if bench.requests_done != cfg.total_requests:
-        raise RuntimeError(
-            f"request loss: {bench.requests_done}/{cfg.total_requests}"
-        )
+    if plan is None:
+        if result.summary.deadlocked:
+            raise RuntimeError(f"webserver deadlocked: {result.summary!r}")
+        if bench.requests_done != cfg.total_requests:
+            raise RuntimeError(
+                f"request loss: {bench.requests_done}/{cfg.total_requests}"
+            )
     elapsed = cycles_to_seconds(bench.last_response_cycles) or result.seconds
     lat = sorted(bench.latencies_cycles)
     mean_latency = cycles_to_seconds(sum(lat) // len(lat)) if lat else 0.0

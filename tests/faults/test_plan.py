@@ -1,0 +1,153 @@
+"""FaultPlan/FaultSpec: validation, serialisation, cache identity.
+
+The property block (hypothesis, skipped when unavailable) pins the
+contract that makes chaos cells cacheable: any plan serialised into a
+``RunSpec``'s ``fault_plan`` field hashes stably and round-trips through
+the result cache bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import (
+    ALL_KINDS,
+    HARNESS_KINDS,
+    KERNEL_KINDS,
+    LIVE_KINDS,
+    FaultPlan,
+    FaultSpec,
+    NAMED_PLANS,
+    resolve_plan,
+)
+
+
+def test_kind_sets_partition():
+    assert KERNEL_KINDS | HARNESS_KINDS | LIVE_KINDS == ALL_KINDS
+    assert not (KERNEL_KINDS & LIVE_KINDS)
+    assert not (KERNEL_KINDS & HARNESS_KINDS)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="nonsense")
+    with pytest.raises(ValueError):
+        FaultSpec(kind="task_crash", at_s=-1.0)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="task_hang", duration_s=-0.1)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="spurious_wakeup", count=-2)
+
+
+def test_plan_round_trip():
+    plan = FaultPlan(
+        name="rt",
+        seed=7,
+        horizon_s=2.0,
+        faults=(
+            FaultSpec(kind="task_crash", at_s=0.01, target="*.sw"),
+            FaultSpec(kind="clock_skew", at_s=0.02, skew_s=0.005),
+        ),
+    )
+    text = plan.to_config()
+    again = FaultPlan.from_config(text)
+    assert again == plan
+    assert again.to_config() == text
+    # Canonical: compact separators, sorted keys.
+    assert text == json.dumps(json.loads(text), sort_keys=True,
+                              separators=(",", ":"))
+
+
+def test_plan_kind_filters():
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(kind="task_crash"),
+            FaultSpec(kind="overload", at_s=1.0),
+            FaultSpec(kind="worker_kill", token="/tmp/x"),
+        )
+    )
+    assert [f.kind for f in plan.kernel_faults()] == ["task_crash"]
+    assert [f.kind for f in plan.live_faults()] == ["overload"]
+    assert [f.kind for f in plan.harness_faults()] == ["worker_kill"]
+
+
+def test_resolve_plan_forms(tmp_path):
+    assert resolve_plan("kill-one-worker") is NAMED_PLANS["kill-one-worker"]
+    inline = NAMED_PLANS["clock-skew"].to_config()
+    assert resolve_plan(inline) == NAMED_PLANS["clock-skew"]
+    path = tmp_path / "plan.json"
+    path.write_text(inline)
+    assert resolve_plan(f"@{path}") == NAMED_PLANS["clock-skew"]
+    with pytest.raises(KeyError):
+        resolve_plan("no-such-plan")
+
+
+def test_named_plans_all_valid():
+    for name, plan in NAMED_PLANS.items():
+        assert plan.name == name
+        assert plan.faults
+        # Every named plan survives a serialisation round trip.
+        assert FaultPlan.from_config(plan.to_config()) == plan
+
+
+# -- property: plans are stable cache citizens ---------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_specs = st.builds(
+    FaultSpec,
+    kind=st.sampled_from(sorted(ALL_KINDS)),
+    at_s=st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+    target=st.sampled_from(["*", "*.sw", "*.cr", "httpd*"]),
+    duration_s=st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False),
+    factor=st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+    count=st.integers(0, 16),
+    cpu=st.integers(-1, 4),
+    skew_s=st.floats(-1.0, 1.0, allow_nan=False, allow_infinity=False),
+    token=st.sampled_from(["", "/tmp/tok"]),
+)
+_plans = st.builds(
+    FaultPlan,
+    name=st.sampled_from(["p", "chaos", "x-1"]),
+    seed=st.integers(0, 2**31),
+    horizon_s=st.floats(0.0, 60.0, allow_nan=False, allow_infinity=False),
+    faults=st.lists(_specs, max_size=4).map(tuple),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(plan=_plans)
+def test_plan_in_runspec_hashes_stably_and_caches(plan, tmp_path_factory):
+    from repro.harness import ResultCache, RunSpec
+    from repro.harness.result import CellResult
+
+    overrides = {
+        "rooms": 1,
+        "users_per_room": 3,
+        "messages_per_user": 2,
+        "fault_plan": plan.to_config(),
+    }
+    spec = RunSpec("volano", "elsc", "2P", overrides)
+    # Identity is a pure function of plan content.
+    assert spec.key == RunSpec("volano", "elsc", "2P", overrides).key
+    reparsed = dict(overrides, fault_plan=FaultPlan.from_config(
+        plan.to_config()).to_config())
+    assert RunSpec("volano", "elsc", "2P", reparsed).key == spec.key
+
+    cache = ResultCache(tmp_path_factory.mktemp("cache"))
+    result = CellResult(
+        spec_key=spec.key,
+        workload="volano",
+        scheduler="elsc",
+        machine="2P",
+        scheduler_name="elsc",
+        metrics={"throughput": 1.0},
+        stats={"schedule_calls": 1},
+    )
+    cache.put(spec, result)
+    loaded = cache.get(spec)
+    assert loaded is not None
+    assert loaded.to_dict() == result.to_dict()

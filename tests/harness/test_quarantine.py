@@ -1,0 +1,85 @@
+"""Cache integrity: checksums, quarantine moves, stale-vs-damaged split."""
+
+from __future__ import annotations
+
+import json
+
+from repro.harness import ResultCache, RunSpec
+from repro.harness.cache import CACHE_VERSION
+from repro.harness.result import CellResult
+
+TINY = {"rooms": 1, "users_per_room": 3, "messages_per_user": 2}
+
+
+def _seed(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    spec = RunSpec("volano", "elsc", "2P", TINY)
+    result = CellResult(
+        spec_key=spec.key,
+        workload="volano",
+        scheduler="elsc",
+        machine="2P",
+        scheduler_name="elsc",
+        metrics={"throughput": 10.0},
+        stats={"schedule_calls": 5},
+    )
+    cache.put(spec, result)
+    return cache, spec, result
+
+
+def test_put_is_atomic_no_temp_left(tmp_path):
+    cache, spec, _ = _seed(tmp_path)
+    assert cache.path_for(spec.key).exists()
+    assert not list(cache.root.rglob("*.tmp"))
+
+
+def test_checksum_flip_quarantines(tmp_path):
+    cache, spec, _ = _seed(tmp_path)
+    path = cache.path_for(spec.key)
+    entry = json.loads(path.read_text())
+    entry["result"]["metrics"]["throughput"] = 999.0  # bit-rot
+    path.write_text(json.dumps(entry))
+    assert cache.get(spec) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+    quarantined = cache.quarantined_entries()
+    assert [p.name for p in quarantined] == [f"{spec.key}.json.bad"]
+    # Quarantined entries are invisible to normal cache accounting.
+    assert len(cache) == 0
+    assert cache.clear() == 0
+    assert cache.quarantined_entries() == quarantined
+    assert cache.purge_quarantined() == 1
+    assert cache.quarantined_entries() == []
+
+
+def test_truncated_entry_quarantines(tmp_path):
+    cache, spec, _ = _seed(tmp_path)
+    path = cache.path_for(spec.key)
+    path.write_text(path.read_text()[: 40])  # torn write
+    assert cache.get(spec) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+
+
+def test_stale_version_is_plain_miss_not_quarantine(tmp_path):
+    cache, spec, result = _seed(tmp_path)
+    path = cache.path_for(spec.key)
+    entry = json.loads(path.read_text())
+    entry["cache_version"] = CACHE_VERSION - 1
+    path.write_text(json.dumps(entry))
+    assert cache.get(spec) is None
+    assert cache.quarantined == 0  # stale, not damaged
+    assert path.exists()  # overwritten in place by the next put
+    cache.put(spec, result)
+    assert cache.get(spec) is not None
+
+
+def test_recompute_after_quarantine_repopulates(tmp_path):
+    cache, spec, result = _seed(tmp_path)
+    path = cache.path_for(spec.key)
+    path.write_text("garbage")
+    assert cache.get(spec) is None
+    cache.put(spec, result)
+    loaded = cache.get(spec)
+    assert loaded is not None
+    assert loaded.to_dict() == result.to_dict()
