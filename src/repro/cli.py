@@ -29,18 +29,22 @@ from typing import Optional, Sequence
 
 from .analysis.metrics import Series
 from .analysis.tables import format_figure, format_kv, format_minutes, format_table
+from .cli_common import (
+    machine_vocab,
+    resolve_scheduler_arg,
+    resolve_scheduler_list,
+    resolve_workload_arg,
+    scheduler_vocab,
+    workload_vocab,
+)
 from .harness import (
     MACHINE_SPECS,
-    SCHEDULER_ALIASES,
     SCHEDULERS,
-    WORKLOAD_ALIASES,
     WORKLOADS,
     CellResult,
     ParallelRunner,
     ResultCache,
     RunSpec,
-    resolve_scheduler,
-    resolve_workload,
 )
 from .harness.cache import DEFAULT_CACHE_DIR
 from .harness.runner import (
@@ -106,6 +110,7 @@ def _runner_from_args(args: argparse.Namespace, progress=None) -> ParallelRunner
         manifest_path=args.manifest or None,
         progress=progress,
         profile=getattr(args, "profile", False),
+        metrics=getattr(args, "metrics", False),
     )
 
 
@@ -245,7 +250,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import ChatServer, SchedulerExecutor, ServeConfig
 
-    sched_name = resolve_scheduler(args.scheduler)
+    sched_name = resolve_scheduler_arg(args.scheduler)
     spec = SPECS[args.spec]
     config = ServeConfig(port=args.port)
 
@@ -254,6 +259,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         executor = SchedulerExecutor(
             scheduler, num_cpus=spec.num_cpus, smp=spec.smp
         )
+        if args.metrics:
+            from .obs import MetricsProbe
+
+            executor.attach(MetricsProbe())
         server = ChatServer(executor, config)
         await server.start(args.host)
         print(
@@ -281,7 +290,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
     """One end-to-end localhost loadtest, recorded as a harness cell."""
-    sched_name = resolve_scheduler(args.scheduler)
+    sched_name = resolve_scheduler_arg(args.scheduler)
     spec = RunSpec("serve", sched_name, args.spec, _serve_overrides(args))
     cached = [False]
 
@@ -326,6 +335,11 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
 
         print()
         print(flat_table(cell.profiler()))
+    if args.metrics and cell.metered:
+        from .obs import format_metrics
+
+        print()
+        print(format_metrics(cell.metrics_probe().snapshot()))
     if args.json:
         import json as _json
         import os as _os
@@ -342,6 +356,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         }
         if cell.profiled:
             payload["profile"] = cell.profile
+        if cell.metered:
+            payload["obs_metrics"] = cell.obs_metrics
         with open(args.json, "w", encoding="utf-8") as handle:
             _json.dump(payload, handle, indent=1, sort_keys=True)
             handle.write("\n")
@@ -537,6 +553,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 prows,
             )
         )
+    if args.metrics:
+        mrows = []
+        for (sched_name, spec_name, x, rep), cell in zip(labels, results):
+            c = cell.obs_metrics.get("counters", {})
+            t = cell.obs_metrics.get("totals", {})
+            picks = c.get("picks", 0)
+            per_pick = t.get("decision_cycles", 0) / picks if picks else 0.0
+            mrows.append(
+                [
+                    f"{sched_name}-{spec_name.lower()}", x, rep,
+                    picks,
+                    c.get("preemptions", 0),
+                    c.get("migrations", 0),
+                    c.get("lock_contentions", 0),
+                    f"{per_pick:.0f}",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                "Metrics — probe counters per cell",
+                ["config", axis_name, "rep", "picks", "preempt",
+                 "migrate", "contend", "cyc/pick"],
+                mrows,
+            )
+        )
     print(
         f"  {len(cells)} cells, {computed[0]} computed, "
         f"{len(cells) - computed[0]} cached, {wall:.1f}s wall",
@@ -567,8 +609,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     from .prof import collapsed_stacks, flat_table, table1_comparison
 
-    workload = resolve_workload(args.workload)
-    sched_names = [resolve_scheduler(s) for s in args.sched.split(",") if s]
+    workload = resolve_workload_arg(args.workload)
+    sched_names = resolve_scheduler_list(args.sched)
     if not sched_names:
         raise SystemExit("--sched must name at least one scheduler")
     if args.ticks < 1:
@@ -623,6 +665,61 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Probe-pipeline counters/histograms: one workload × schedulers.
+
+    Runs through the harness, so metered cells land in the result cache
+    with the same superset semantics as profiled ones: a metered entry
+    serves plain requests, a plain entry is recomputed with the probe
+    attached and overwritten in place.
+    """
+    from .obs import format_metrics
+
+    workload = resolve_workload_arg(args.workload)
+    sched_names = resolve_scheduler_list(args.sched)
+    if not sched_names:
+        raise SystemExit("--sched must name at least one scheduler")
+    overrides = _profile_overrides(args, workload)
+
+    args.metrics = True  # _runner_from_args reads it; this command IS it
+    runner = _runner_from_args(args)
+    specs = [
+        RunSpec(workload, sched_name, args.spec, overrides)
+        for sched_name in sched_names
+    ]
+    cells = runner.run(specs)
+
+    # With `--json -` the JSON document owns stdout; tables go to stderr.
+    out = sys.stderr if args.json == "-" else sys.stdout
+    print(f"Metrics — {workload}/{args.spec}", file=out)
+    snapshots = {}
+    for sched_name, cell in zip(sched_names, cells):
+        snapshot = cell.metrics_probe().snapshot()
+        snapshots[sched_name] = snapshot
+        print(file=out)
+        print(f"[{sched_name}]", file=out)
+        print(format_metrics(snapshot), file=out)
+
+    if args.json:
+        import json as _json
+
+        payload = {
+            "workload": workload,
+            "machine": args.spec,
+            "overrides": overrides,
+            "metrics": snapshots,
+        }
+        if args.json == "-":
+            _json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                _json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"(metrics JSON written to {args.json})", file=sys.stderr)
+    return 0
+
+
 def _chaos_overrides(args: argparse.Namespace, workload: str) -> dict:
     """Smoke-scale config overrides for one chaos run of ``workload``."""
     if workload in ("volano", "select-chat"):
@@ -656,8 +753,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         plan = resolve_plan(args.plan)
     except (KeyError, OSError, ValueError) as exc:
         raise SystemExit(f"chaos: {exc}")
-    workload_name = resolve_workload(args.workload)
-    sched_name = resolve_scheduler(args.scheduler)
+    workload_name = resolve_workload_arg(args.workload)
+    sched_name = resolve_scheduler_arg(args.scheduler)
     workload = WORKLOADS[workload_name]
     factory = SCHEDULERS[sched_name]
     machine_spec = SPECS[args.spec]
@@ -867,18 +964,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the cycle-attribution profiler to every cell and "
         "print a per-phase breakdown table",
     )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach the MetricsProbe to every cell and print a "
+        "per-cell counter summary",
+    )
     _add_harness_args(p)
     p.set_defaults(func=cmd_sweep)
 
-    sched_vocab = sorted(SCHEDULERS) + sorted(SCHEDULER_ALIASES)
-    workload_vocab = sorted(WORKLOADS) + sorted(WORKLOAD_ALIASES)
+    sched_choices = scheduler_vocab()
+    workload_choices = workload_vocab()
 
     p = sub.add_parser(
         "profile",
         help="kernprof-style cycle attribution (flat table, Table 1, "
         "flamegraph stacks)",
     )
-    p.add_argument("--workload", choices=workload_vocab, default="volano")
+    p.add_argument("--workload", choices=workload_choices, default="volano")
     p.add_argument(
         "--sched",
         "--schedulers",
@@ -916,20 +1019,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
+        "metrics",
+        help="probe-pipeline counters and histograms for one workload "
+        "(cached like profiled cells)",
+    )
+    p.add_argument("--workload", choices=workload_choices, default="volano")
+    p.add_argument(
+        "--sched",
+        "--schedulers",
+        dest="sched",
+        default="vanilla",
+        help="comma-separated schedulers (aliases accepted)",
+    )
+    p.add_argument("--spec", choices=machine_vocab(), default="UP")
+    p.add_argument("--rooms", type=int, default=10)
+    p.add_argument("--messages", type=int, default=6)
+    p.add_argument("--users", type=int, default=20)
+    p.add_argument("--files", type=int, default=400, help="kernbench files")
+    p.add_argument("--clients", type=int, default=64, help="webserver clients")
+    p.add_argument("--workers", type=int, default=16, help="webserver workers")
+    p.add_argument(
+        "--json",
+        default="",
+        help="write the metrics JSON here ('-' = stdout, tables to stderr)",
+    )
+    _add_harness_args(p)
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
         "serve", help="run the live scheduler-driven chat server (foreground)"
     )
-    p.add_argument("--scheduler", choices=sched_vocab, default="vanilla")
-    p.add_argument("--spec", choices=list(SPECS), default="UP")
+    p.add_argument("--scheduler", choices=sched_choices, default="vanilla")
+    p.add_argument("--spec", choices=machine_vocab(), default="UP")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7100)
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach a live MetricsProbe; clients can snapshot it with "
+        'a {"op": "metrics"} frame',
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "loadtest",
         help="live localhost loadtest through the harness (one RunSpec cell)",
     )
-    p.add_argument("--scheduler", choices=sched_vocab, default="vanilla")
-    p.add_argument("--spec", choices=list(SPECS), default="UP")
+    p.add_argument("--scheduler", choices=sched_choices, default="vanilla")
+    p.add_argument("--spec", choices=machine_vocab(), default="UP")
     p.add_argument("--rooms", type=int, default=2)
     p.add_argument("--clients", type=int, default=8, help="clients per room")
     p.add_argument(
@@ -964,6 +1101,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the cycle-attribution profiler and print its flat table",
     )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach the MetricsProbe and print its counter/histogram block",
+    )
     _add_harness_args(p)
     p.set_defaults(func=cmd_loadtest)
 
@@ -976,9 +1118,9 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="named fault plan, inline JSON, or @file (see docs/faults.md)",
     )
-    p.add_argument("--workload", choices=workload_vocab, default="volano")
-    p.add_argument("--scheduler", choices=sched_vocab, default="elsc")
-    p.add_argument("--spec", choices=list(SPECS), default="2P")
+    p.add_argument("--workload", choices=workload_choices, default="volano")
+    p.add_argument("--scheduler", choices=sched_choices, default="elsc")
+    p.add_argument("--spec", choices=machine_vocab(), default="2P")
     p.add_argument("--rooms", type=int, default=1)
     p.add_argument("--messages", type=int, default=2)
     p.add_argument("--users", type=int, default=3)

@@ -1,0 +1,80 @@
+"""Shared name resolution for every ``repro`` subcommand.
+
+The profile, serve, loadtest, chaos, and metrics subcommands all accept
+scheduler and workload names *with aliases* (``vanilla`` for ``reg``,
+``volanomark`` for ``volano`` …).  Each of them used to build its own
+``choices`` vocabulary and call the registry resolvers directly —
+identical code, four copies, and a raw ``KeyError`` traceback whenever
+a name slipped past argparse (e.g. through a config file).  This module
+is the single copy: the vocabularies the parsers advertise and the
+resolvers that turn any accepted spelling into its canonical registry
+key, failing with a clean ``SystemExit`` instead of a traceback.
+
+The *canonical* registries stay in :mod:`repro.harness.registry`; this
+module only adapts them to the command line.
+"""
+
+from __future__ import annotations
+
+from .harness.registry import (
+    MACHINE_SPECS,
+    SCHEDULER_ALIASES,
+    SCHEDULERS,
+    WORKLOAD_ALIASES,
+    WORKLOADS,
+    resolve_scheduler,
+    resolve_workload,
+)
+
+__all__ = [
+    "scheduler_vocab",
+    "workload_vocab",
+    "machine_vocab",
+    "resolve_scheduler_arg",
+    "resolve_workload_arg",
+    "resolve_scheduler_list",
+]
+
+
+def scheduler_vocab() -> list[str]:
+    """Every accepted scheduler spelling: canonical names then aliases."""
+    return sorted(SCHEDULERS) + sorted(SCHEDULER_ALIASES)
+
+
+def workload_vocab() -> list[str]:
+    """Every accepted workload spelling: canonical names then aliases."""
+    return sorted(WORKLOADS) + sorted(WORKLOAD_ALIASES)
+
+
+def machine_vocab() -> list[str]:
+    """Machine-spec names in registry (presentation) order."""
+    return list(MACHINE_SPECS)
+
+
+def resolve_scheduler_arg(name: str) -> str:
+    """Canonical scheduler key for a CLI-supplied ``name``.
+
+    Unknown names exit with the full vocabulary rather than raising the
+    registry's ``KeyError`` traceback.
+    """
+    try:
+        return resolve_scheduler(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from exc
+
+
+def resolve_workload_arg(name: str) -> str:
+    """Canonical workload key for a CLI-supplied ``name``."""
+    try:
+        return resolve_workload(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from exc
+
+
+def resolve_scheduler_list(csv: str) -> list[str]:
+    """Canonical scheduler keys for a comma-separated CLI list.
+
+    Blank segments are skipped (``"elsc,,reg"`` is two schedulers);
+    an empty result is the caller's error to report.
+    """
+    return [resolve_scheduler_arg(s) for s in csv.split(",") if s]

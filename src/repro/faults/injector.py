@@ -30,6 +30,7 @@ from ..kernel.actions import Run
 from ..kernel.events import EventKind
 from ..kernel.params import cycles_to_seconds, seconds_to_cycles
 from ..kernel.task import TaskState
+from ..obs.probe import FaultEvent, Probe
 from .plan import KERNEL_KINDS, FaultPlan, FaultSpec
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,8 +43,18 @@ __all__ = ["FaultInjector"]
 _BLOCKED = (TaskState.INTERRUPTIBLE, TaskState.UNINTERRUPTIBLE)
 
 
-class FaultInjector:
-    """Executes a :class:`FaultPlan` against one machine run."""
+class FaultInjector(Probe):
+    """Executes a :class:`FaultPlan` against one machine run.
+
+    A probe with a twist: attachment (``on_attach``) schedules the
+    plan's CALLBACK events, and every fired/skipped/restored fault is
+    emitted as a :class:`~repro.obs.probe.FaultEvent` through the
+    machine's pipeline — this injector's own ``on_fault`` keeps the
+    chronological ``log``, and any other fault-kind subscriber (e.g.
+    MetricsProbe) sees the same stream.
+    """
+
+    kinds = frozenset({"fault"})
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
@@ -52,6 +63,9 @@ class FaultInjector:
         self.log: list[dict] = []
 
     # -- attachment --------------------------------------------------------------
+
+    def on_attach(self, host: "Machine") -> None:
+        self.bind(host)
 
     def bind(self, machine: "Machine") -> None:
         """Schedule one CALLBACK per kernel fault; no other footprint."""
@@ -64,6 +78,32 @@ class FaultInjector:
                 EventKind.CALLBACK,
                 partial(_fire_cb, injector=self, index=index),
             )
+
+    # -- event emission ----------------------------------------------------------
+
+    def on_fault(self, ev: FaultEvent) -> None:
+        self.log.append(
+            {
+                "t_s": round(cycles_to_seconds(ev.t), 6),
+                "kind": ev.kind,
+                "target": ev.target,
+                "outcome": ev.outcome,
+                "detail": ev.detail,
+            }
+        )
+
+    def _emit(self, ev: FaultEvent) -> None:
+        """Deliver through the pipeline; direct-bound (legacy) injectors
+        that are not in the ProbeSet still log their own events."""
+        probes = getattr(self.machine, "probes", None)
+        seen_self = False
+        if probes is not None and probes.fault:
+            for p in probes.fault:
+                p.on_fault(ev)
+                if p is self:
+                    seen_self = True
+        if not seen_self:
+            self.on_fault(ev)
 
     # -- reporting ---------------------------------------------------------------
 
@@ -82,15 +122,7 @@ class FaultInjector:
         }
 
     def _record(self, spec: FaultSpec, t: int, outcome: str, detail: str) -> None:
-        self.log.append(
-            {
-                "t_s": round(cycles_to_seconds(t), 6),
-                "kind": spec.kind,
-                "target": spec.target,
-                "outcome": outcome,
-                "detail": detail,
-            }
-        )
+        self._emit(FaultEvent(t, spec.kind, spec.target, outcome, detail))
 
     # -- firing ------------------------------------------------------------------
 
@@ -353,26 +385,22 @@ def _fire_cb(machine, event, injector: FaultInjector, index: int) -> None:
 
 def _restore_cost_cb(machine, event, injector: FaultInjector, cost) -> None:
     machine.cost = cost
-    injector.log.append(
-        {
-            "t_s": round(cycles_to_seconds(event.time), 6),
-            "kind": "lock_stretch",
-            "target": "",
-            "outcome": "restored",
-            "detail": f"lock_acquire back to {cost.lock_acquire}",
-        }
+    injector._emit(
+        FaultEvent(
+            event.time,
+            "lock_stretch",
+            "",
+            "restored",
+            f"lock_acquire back to {cost.lock_acquire}",
+        )
     )
 
 
 def _cpu_resume_cb(machine, event, injector: FaultInjector, cpu) -> None:
     cpu.offline = False
     machine._dispatch(cpu, event.time)
-    injector.log.append(
-        {
-            "t_s": round(cycles_to_seconds(event.time), 6),
-            "kind": "cpu_online",
-            "target": "",
-            "outcome": "restored",
-            "detail": f"cpu{cpu.cpu_id} back online",
-        }
+    injector._emit(
+        FaultEvent(
+            event.time, "cpu_online", "", "restored", f"cpu{cpu.cpu_id} back online"
+        )
     )

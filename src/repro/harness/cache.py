@@ -82,7 +82,10 @@ class ResultCache:
         return self.root / _QUARANTINE_DIR
 
     def get(
-        self, spec: RunSpec, require_profile: bool = False
+        self,
+        spec: RunSpec,
+        require_profile: bool = False,
+        require_metrics: bool = False,
     ) -> Optional[CellResult]:
         """The cached result for ``spec``, or ``None`` on any miss —
         including a corrupt or foreign entry at the expected path.
@@ -90,13 +93,15 @@ class ResultCache:
         ``require_profile`` treats an entry without a cycle-attribution
         profile as a miss (the cell is recomputed with profiling on and
         the richer entry overwrites the plain one; profiled entries
-        serve plain requests unchanged).  Damaged entries — unparseable
-        JSON, checksum failures, entries whose key does not match their
-        path — are moved to quarantine on the way to the miss.
+        serve plain requests unchanged).  ``require_metrics`` applies
+        the same superset semantics to the ``MetricsProbe`` snapshot.
+        Damaged entries — unparseable JSON, checksum failures, entries
+        whose key does not match their path — are moved to quarantine
+        on the way to the miss.
         """
         path = self.path_for(spec.key)
         try:
-            result = self._load(path, spec, require_profile)
+            result = self._load(path, spec, require_profile, require_metrics)
         except _CorruptEntry:
             self._quarantine(path, spec.key)
             self.misses += 1
@@ -110,7 +115,11 @@ class ResultCache:
         return result
 
     def _load(
-        self, path: Path, spec: RunSpec, require_profile: bool
+        self,
+        path: Path,
+        spec: RunSpec,
+        require_profile: bool,
+        require_metrics: bool,
     ) -> CellResult:
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()
@@ -139,6 +148,8 @@ class ResultCache:
             raise _CorruptEntry("result spec_key does not match spec")
         if require_profile and not result.profiled:
             raise ValueError("entry has no profile")  # valid, just plain
+        if require_metrics and not result.metered:
+            raise ValueError("entry has no metrics")  # valid, just plain
         return result
 
     def _quarantine(self, path: Path, key: str) -> None:

@@ -44,6 +44,11 @@ class CellResult:
     #: the cell ran unprofiled.  A profiled entry is a superset of the
     #: plain one, so it serves unprofiled requests too.
     profile: dict[str, Any] = field(default_factory=dict)
+    #: Observability snapshot (``MetricsProbe.to_dict()``); empty when
+    #: the cell ran without ``--metrics``.  Named ``obs_metrics`` to
+    #: keep clear of the workload's scalar ``metrics`` above; same
+    #: superset semantics as ``profile``.
+    obs_metrics: dict[str, Any] = field(default_factory=dict)
 
     # -- convenience views -------------------------------------------------
 
@@ -81,6 +86,18 @@ class CellResult:
 
         return Profiler.from_dict(self.profile)
 
+    @property
+    def metered(self) -> bool:
+        return bool(self.obs_metrics)
+
+    def metrics_probe(self) -> Any:
+        """Rebuild the :class:`~repro.obs.MetricsProbe` for a metered cell."""
+        if not self.obs_metrics:
+            raise ValueError(f"cell {self.spec_key[:12]} has no metrics")
+        from ..obs.metrics import MetricsProbe  # local import: layering
+
+        return MetricsProbe.from_dict(self.obs_metrics)
+
     # -- serialisation -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -93,6 +110,7 @@ class CellResult:
             "metrics": dict(self.metrics),
             "stats": dict(self.stats),
             "profile": dict(self.profile),
+            "obs_metrics": dict(self.obs_metrics),
         }
 
     @staticmethod
@@ -107,6 +125,8 @@ class CellResult:
             stats={k: int(v) for k, v in data["stats"].items()},
             # Absent in pre-profiler cache entries: default to empty.
             profile=dict(data.get("profile") or {}),
+            # Absent in pre-metrics cache entries: default to empty.
+            obs_metrics=dict(data.get("obs_metrics") or {}),
         )
 
     def canonical(self) -> str:

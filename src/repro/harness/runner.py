@@ -78,13 +78,15 @@ def execute_spec(
     spec: RunSpec,
     profile: bool = False,
     profile_ticks: int = DEFAULT_PROFILE_TICKS,
+    metrics: bool = False,
 ) -> CellResult:
     """Run one cell in this process and distil it to a CellResult.
 
     ``profile=True`` attaches a **fresh** :class:`~repro.prof.Profiler`
     for this cell only (never shared across cells — attribution state,
     like ``SchedStats``, must not leak between runs) and stores its
-    JSON form on the result.
+    JSON form on the result.  ``metrics=True`` does the same with a
+    fresh :class:`~repro.obs.MetricsProbe`, stored as ``obs_metrics``.
     """
     workload = WORKLOADS[spec.workload]
     prof = None
@@ -92,11 +94,17 @@ def execute_spec(
         from ..prof.profiler import Profiler  # local import: layering
 
         prof = Profiler(bucket_ticks=profile_ticks)
+    probe = None
+    if metrics:
+        from ..obs.metrics import MetricsProbe  # local import: layering
+
+        probe = MetricsProbe()
     raw = workload.run(
         SCHEDULERS[spec.scheduler],
         MACHINE_SPECS[spec.machine],
         spec.build_config(),
         prof=prof,
+        metrics=probe,
     )
     stats = raw.sim.stats
     return CellResult(
@@ -108,6 +116,7 @@ def execute_spec(
         metrics=workload.extract(raw),
         stats={f: getattr(stats, f) for f in SchedStats.__dataclass_fields__},
         profile=prof.to_dict() if prof is not None else {},
+        obs_metrics=probe.to_dict() if probe is not None else {},
     )
 
 
@@ -134,7 +143,10 @@ def _honour_worker_kill(spec: RunSpec) -> None:
 
 
 def _execute_payload(
-    payload: str, profile: bool = False, profile_ticks: int = DEFAULT_PROFILE_TICKS
+    payload: str,
+    profile: bool = False,
+    profile_ticks: int = DEFAULT_PROFILE_TICKS,
+    metrics: bool = False,
 ) -> tuple[str, dict, float, str]:
     """Pool worker entry point: canonical-JSON spec in, result dict out.
 
@@ -146,7 +158,9 @@ def _execute_payload(
     _honour_worker_kill(spec)
     start = time.perf_counter()
     try:
-        result = execute_spec(spec, profile=profile, profile_ticks=profile_ticks)
+        result = execute_spec(
+            spec, profile=profile, profile_ticks=profile_ticks, metrics=metrics
+        )
         return spec.key, result.to_dict(), time.perf_counter() - start, ""
     except Exception:  # noqa: BLE001 — reported via the manifest
         return spec.key, {}, time.perf_counter() - start, traceback.format_exc()
@@ -168,6 +182,10 @@ class ParallelRunner:
         attach a fresh cycle-attribution profiler to every computed
         cell; cached entries without a profile count as misses (the
         profiled recompute overwrites them with a superset entry).
+    ``metrics``
+        attach a fresh :class:`~repro.obs.MetricsProbe` to every
+        computed cell; same superset-miss cache semantics as
+        ``profile``, stored as ``CellResult.obs_metrics``.
     ``max_retries``
         pool rounds to re-attempt cells whose worker died or timed out
         (deterministic in-cell failures are never retried).
@@ -193,6 +211,7 @@ class ParallelRunner:
         progress: Optional[ProgressFn] = None,
         profile: bool = False,
         profile_ticks: int = DEFAULT_PROFILE_TICKS,
+        metrics: bool = False,
         max_retries: int = 2,
         backoff_base_s: float = 0.25,
         backoff_jitter: float = 0.25,
@@ -211,6 +230,7 @@ class ParallelRunner:
         self.progress = progress
         self.profile = profile
         self.profile_ticks = profile_ticks
+        self.metrics = metrics
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.backoff_jitter = backoff_jitter
@@ -237,7 +257,11 @@ class ParallelRunner:
 
         if self.cache is not None:
             for key, spec in unique.items():
-                hit = self.cache.get(spec, require_profile=self.profile)
+                hit = self.cache.get(
+                    spec,
+                    require_profile=self.profile,
+                    require_metrics=self.metrics,
+                )
                 if hit is not None:
                     results[key] = hit
                     durations[key] = 0.0
@@ -291,6 +315,7 @@ class ParallelRunner:
                         spec,
                         profile=self.profile,
                         profile_ticks=self.profile_ticks,
+                        metrics=self.metrics,
                     )
                 except Exception:  # noqa: BLE001 — surfaced after manifest
                     errors[spec.key] = traceback.format_exc()
@@ -353,6 +378,7 @@ class ParallelRunner:
                     spec.canonical(),
                     self.profile,
                     self.profile_ticks,
+                    self.metrics,
                 ): spec
                 for spec in specs
             }

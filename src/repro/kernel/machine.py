@@ -48,8 +48,22 @@ from .mm import MMStruct
 from .params import CYCLES_PER_TICK, DEFAULT_PRIORITY, seconds_to_cycles
 from .sync import Channel
 from .task import SchedPolicy, Task, TaskState
-from .trace import TraceKind, Tracer
+from .trace import Tracer
 from .waitqueue import WaitQueue
+
+# The probe pipeline must import after .trace: repro.obs is kernel-free
+# at module level, but its adapters resolve repro.kernel.trace lazily,
+# so .trace has to be in sys.modules before any partial-init chain.
+from ..obs.probe import (
+    DispatchEvent,
+    LockEvent,
+    PreemptEvent,
+    ProbeSet,
+    SchedEvent,
+    SyscallEvent,
+    WakeupEvent,
+)
+from ..obs.probes import ProfilerProbe, TracerProbe
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sched.base import Scheduler
@@ -213,40 +227,65 @@ class Machine:
         self._advancing: Optional[Task] = None
         self._halted = False
         self.total_ticks = 0
-        #: Optional event tracer (see kernel.trace); None = no tracing.
-        self.tracer: Optional[Tracer] = None
-        #: Optional cycle-attribution sink (see repro.prof); None = off.
-        #: Every profiling hook is guarded on this attribute and charges
-        #: nothing to simulated time, so a disabled profiler is free.
-        self.prof: Optional[Any] = None
-        #: Optional fault injector (see repro.faults); None = no chaos.
-        #: Attachment only schedules the plan's CALLBACK events, so a
-        #: machine without a plan runs the identical event stream.
-        self.faults: Optional[Any] = None
+        #: The observer pipeline (see repro.obs).  Every trace record,
+        #: profile charge, fault log line and metrics sample flows
+        #: through it; an empty set makes each emission site a single
+        #: falsy attribute test, so a machine with no probes runs the
+        #: identical event stream (bit-identical RunSummary/SchedStats).
+        self.probes = ProbeSet()
         scheduler.bind(self)
 
+    # -- observers ---------------------------------------------------------
+
+    def attach(self, probe: Any) -> Any:
+        """Attach a probe to the pipeline (and return it).
+
+        The one attachment path: subscribes the probe to its event
+        kinds, gives it an ``on_attach`` look at the machine (the fault
+        injector schedules its plan there), and tells it the bound
+        scheduler's name.
+        """
+        self.probes.add(probe)
+        probe.on_attach(self)
+        probe.set_scheduler(self.scheduler.name)
+        return probe
+
+    def detach(self, probe: Any) -> None:
+        """Remove a probe from the pipeline (idempotent)."""
+        self.probes.remove(probe)
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The first attached tracer's ring, or None (compat read)."""
+        probe = self.probes.first(TracerProbe)
+        return probe.tracer if probe is not None else None
+
+    @property
+    def prof(self) -> Optional[Any]:
+        """The first attached profiler sink, or None (compat read)."""
+        probe = self.probes.first(ProfilerProbe)
+        return probe.sink if probe is not None else None
+
+    @property
+    def faults(self) -> Optional[Any]:
+        """The first attached fault injector, or None (compat read)."""
+        if not self.probes.fault:
+            return None
+        from ..faults.injector import FaultInjector  # local import: layering
+
+        return self.probes.first(FaultInjector)
+
     def attach_tracer(self, tracer: Optional[Tracer] = None) -> Tracer:
-        """Attach (and return) a tracer; a default-sized one if omitted."""
-        self.tracer = tracer if tracer is not None else Tracer()
-        return self.tracer
+        """Deprecated: ``attach(TracerProbe(tracer))``.  Returns the ring."""
+        return self.attach(TracerProbe(tracer)).tracer
 
     def attach_profiler(self, prof: Optional[Any] = None) -> Any:
-        """Attach (and return) a ProfSink; a default Profiler if omitted."""
-        if prof is None:
-            from ..prof.profiler import Profiler  # local import: layering
-
-            prof = Profiler()
-        self.prof = prof
-        set_sched = getattr(prof, "set_scheduler", None)
-        if set_sched is not None:
-            set_sched(self.scheduler.name)
-        return prof
+        """Deprecated: ``attach(ProfilerProbe(prof))``.  Returns the sink."""
+        return self.attach(ProfilerProbe(prof)).sink
 
     def attach_faults(self, injector: Any) -> Any:
-        """Attach (and return) a fault injector; schedules its plan."""
-        self.faults = injector
-        injector.bind(self)
-        return injector
+        """Deprecated: ``attach(injector)``; schedules its plan."""
+        return self.attach(injector)
 
     # -- task population -----------------------------------------------------
 
@@ -316,9 +355,7 @@ class Machine:
             # reschedule_idle; it is already current somewhere.
             return 0
         task.wakeup_count += 1
-        if self.tracer is not None:
-            waker = waker_cpu.cpu_id if waker_cpu is not None else -1
-            self.tracer.record(t, TraceKind.WAKEUP, waker, task)
+        probes = self.probes
         charge = self.cost.wakeup_cost
         # The wakeup manipulates the run queue under the global lock.
         if self.smp:
@@ -337,23 +374,27 @@ class Machine:
             charge += insert
             self.lock_free_at = t + spin + self.cost.lock_acquire + insert
             self.lock_owner_cpu = waker_id
-            if self.prof is not None:
-                waker = waker_id if waker_id is not None else -1
-                if spin:
-                    self.prof.charge("lock_wait", spin, t, waker, task)
-                self.prof.charge(
-                    "lock_hold", self.cost.lock_acquire, t + spin, waker, task
+            waker = waker_id if waker_id is not None else -1
+            if probes.lock and (spin or self.cost.lock_acquire):
+                ev = LockEvent(t, waker, task, spin, self.cost.lock_acquire)
+                for p in probes.lock:
+                    p.on_lock(ev)
+            if probes.wakeup:
+                ev = WakeupEvent(
+                    t, waker, waker, task, self.cost.wakeup_cost + insert, spin
                 )
-                self.prof.charge(
-                    "wakeup", self.cost.wakeup_cost + insert, t + spin, waker, task
-                )
+                for p in probes.wakeup:
+                    p.on_wakeup(ev)
         else:
             insert = self.scheduler.add_to_runqueue(task)
             charge += insert
-            if self.prof is not None:
-                self.prof.charge(
-                    "wakeup", self.cost.wakeup_cost + insert, t, 0, task
+            if probes.wakeup:
+                waker = waker_cpu.cpu_id if waker_cpu is not None else -1
+                ev = WakeupEvent(
+                    t, waker, 0, task, self.cost.wakeup_cost + insert, 0
                 )
+                for p in probes.wakeup:
+                    p.on_wakeup(ev)
         self._reschedule_idle(task, t + charge)
         return charge
 
@@ -475,29 +516,42 @@ class Machine:
                 switch = self.cost.switch_cost(same_mm)
                 stats.switches += 1
             end = dec_end + switch
-            if self.prof is not None:
-                prof = self.prof
-                cid = cpu.cpu_id
-                if spin:
-                    prof.charge("lock_wait", spin, at, cid, prev)
-                if hold:
-                    prof.charge("lock_hold", hold, start, cid, prev)
-                eval_c = decision.eval_cycles
-                recalc_c = decision.recalc_cycles
-                prof.charge(
-                    "pick", decision.cost - eval_c - recalc_c, start, cid, target
+            probes = self.probes
+            if probes.lock and (spin or hold):
+                lock_ev = LockEvent(at, cpu.cpu_id, prev, spin, hold)
+                for p in probes.lock:
+                    p.on_lock(lock_ev)
+            if probes.sched:
+                # migrated_from is captured before the pick overwrites
+                # the chosen task's ``processor`` below.
+                migrated_from = None
+                if (
+                    next_task is not None
+                    and next_task.processor != cpu.cpu_id
+                    and next_task.processor != -1
+                ):
+                    migrated_from = next_task.processor
+                sched_ev = SchedEvent(
+                    at,
+                    start,
+                    dec_end,
+                    end,
+                    cpu.cpu_id,
+                    prev,
+                    next_task,
+                    target,
+                    decision.cost,
+                    decision.eval_cycles,
+                    decision.recalc_cycles,
+                    decision.examined,
+                    switch,
+                    migrated_from,
                 )
-                if eval_c:
-                    prof.charge("goodness_eval", eval_c, start, cid, target)
-                if recalc_c:
-                    prof.charge("recalc", recalc_c, start, cid, target)
-                if switch:
-                    prof.charge("dispatch", switch, dec_end, cid, target)
+                for p in probes.sched:
+                    p.on_sched(sched_ev)
             prev.has_cpu = False
             if next_task is None:
                 # Idle: park the CPU; wakeups restart it.
-                if self.tracer is not None:
-                    self.tracer.record(end, TraceKind.IDLE, cpu.cpu_id, None)
                 stats.idle_schedules += 1
                 cpu.current = cpu.idle_task
                 cpu.idle_task.has_cpu = True
@@ -511,14 +565,6 @@ class Machine:
                     stats.migrations += 1
                     next_task.migration_count += 1
                     next_task.cache_cold = True
-                    if self.tracer is not None:
-                        self.tracer.record(
-                            end,
-                            TraceKind.MIGRATE,
-                            cpu.cpu_id,
-                            next_task,
-                            f"from cpu{next_task.processor}",
-                        )
             if (
                 next_task is not prev
                 and next_task.mm is not None
@@ -528,14 +574,6 @@ class Machine:
             next_task.has_cpu = True
             next_task.processor = cpu.cpu_id
             next_task.dispatch_count += 1
-            if self.tracer is not None:
-                self.tracer.record(
-                    end,
-                    TraceKind.DISPATCH,
-                    cpu.cpu_id,
-                    next_task,
-                    f"examined={decision.examined} prev={prev.name}",
-                )
             cpu.current = next_task
             self._arm_tick(cpu, end)
             resume_at = self._advance_task(cpu, end)
@@ -566,6 +604,7 @@ class Machine:
         task = cpu.current
         if task is cpu.idle_task:
             raise SimulationError("advancing the idle task")
+        probes = self.probes
         syscall = self.cost.syscall_overhead
         if self.smp:
             syscall += self.cost.smp_syscall_tax
@@ -584,10 +623,12 @@ class Machine:
                 if task.cache_cold:
                     action.remaining += self.cost.cache_refill
                     task.cache_cold = False
-                    if self.prof is not None:
-                        self.prof.charge(
-                            "migrate", self.cost.cache_refill, t, cpu.cpu_id, task
+                    if probes.dispatch:
+                        ev = DispatchEvent(
+                            t, cpu.cpu_id, task, self.cost.cache_refill
                         )
+                        for p in probes.dispatch:
+                            p.on_dispatch(ev)
                 cpu.run_started_at = t
                 cpu.run_event = self.events.schedule(
                     t + action.remaining, EventKind.ACTION_DONE, cpu
@@ -603,10 +644,12 @@ class Machine:
                     continue
                 chan.writers.add(task, exclusive=True)
                 task.state = TaskState.INTERRUPTIBLE
-                if self.tracer is not None:
-                    self.tracer.record(
-                        t, TraceKind.BLOCK, cpu.cpu_id, task, f"put {chan.name}"
+                if probes.syscall:
+                    ev = SyscallEvent(
+                        t, cpu.cpu_id, task, "block", f"put {chan.name}"
                     )
+                    for p in probes.syscall:
+                        p.on_syscall(ev)
                 return t  # retries the same action when woken
             if isinstance(action, ChannelGet):
                 t += syscall
@@ -620,10 +663,12 @@ class Machine:
                     continue
                 chan.readers.add(task, exclusive=True)
                 task.state = TaskState.INTERRUPTIBLE
-                if self.tracer is not None:
-                    self.tracer.record(
-                        t, TraceKind.BLOCK, cpu.cpu_id, task, f"get {chan.name}"
+                if probes.syscall:
+                    ev = SyscallEvent(
+                        t, cpu.cpu_id, task, "block", f"get {chan.name}"
                     )
+                    for p in probes.syscall:
+                        p.on_syscall(ev)
                 return t
             if isinstance(action, CloseChannel):
                 t += syscall
@@ -641,15 +686,19 @@ class Machine:
                 task.current_action = None
                 task.state = TaskState.INTERRUPTIBLE
                 self.events.schedule(t + action.cycles, EventKind.TIMER, task)
-                if self.tracer is not None:
-                    self.tracer.record(t, TraceKind.BLOCK, cpu.cpu_id, task, "sleep")
+                if probes.syscall:
+                    ev = SyscallEvent(t, cpu.cpu_id, task, "block", "sleep")
+                    for p in probes.syscall:
+                        p.on_syscall(ev)
                 return t
             if isinstance(action, YieldCPU):
                 t += syscall
                 task.current_action = None
                 task.yield_count += 1
-                if self.tracer is not None:
-                    self.tracer.record(t, TraceKind.YIELD, cpu.cpu_id, task)
+                if probes.syscall:
+                    ev = SyscallEvent(t, cpu.cpu_id, task, "yield")
+                    for p in probes.syscall:
+                        p.on_syscall(ev)
                 if task.policy is SchedPolicy.SCHED_OTHER:
                     task.yield_pending = True
                 else:
@@ -678,22 +727,26 @@ class Machine:
                 for chan in action.channels:
                     chan.readers.add_multi(task, exclusive=True)
                 task.state = TaskState.INTERRUPTIBLE
-                if self.tracer is not None:
-                    self.tracer.record(
-                        t, TraceKind.BLOCK, cpu.cpu_id, task,
+                if probes.syscall:
+                    ev = SyscallEvent(
+                        t, cpu.cpu_id, task, "block",
                         f"select x{len(action.channels)}",
                     )
+                    for p in probes.syscall:
+                        p.on_syscall(ev)
                 return t
             if isinstance(action, WaitOn):
                 t += syscall
                 task.current_action = None
                 action.waitqueue.add(task, exclusive=action.exclusive)
                 task.state = TaskState.INTERRUPTIBLE
-                if self.tracer is not None:
-                    self.tracer.record(
-                        t, TraceKind.BLOCK, cpu.cpu_id, task,
+                if probes.syscall:
+                    ev = SyscallEvent(
+                        t, cpu.cpu_id, task, "block",
                         f"wait {action.waitqueue.name}",
                     )
+                    for p in probes.syscall:
+                        p.on_syscall(ev)
                 return t
             if isinstance(action, WakeUp):
                 t += syscall
@@ -726,9 +779,11 @@ class Machine:
         task.mark_exited()
         self.scheduler.del_from_runqueue(task)
         self._live_count -= 1
-        if self.tracer is not None:
+        if self.probes.syscall:
             cpu_id = task.processor if task.processor >= 0 else -1
-            self.tracer.record(t, TraceKind.EXIT, cpu_id, task)
+            ev = SyscallEvent(t, cpu_id, task, "exit")
+            for p in self.probes.syscall:
+                p.on_syscall(ev)
         return t
 
     # -- timer ticks ----------------------------------------------------------------
@@ -754,11 +809,10 @@ class Machine:
                 cpu.need_resched = True
         if cpu.need_resched:
             self.scheduler.stats.preemptions += 1
-            if self.tracer is not None:
-                self.tracer.record(
-                    t, TraceKind.PREEMPT, cpu.cpu_id, task,
-                    f"counter={task.counter}",
-                )
+            if self.probes.sched:
+                ev = PreemptEvent(t, cpu.cpu_id, task, task.counter)
+                for p in self.probes.sched:
+                    p.on_sched(ev)
             self._dispatch(cpu, t)
             return
         cpu.tick_event = self.events.schedule(

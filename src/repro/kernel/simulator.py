@@ -95,6 +95,7 @@ class Simulator:
         cost: Optional[CostModel] = None,
         prof: Optional[Any] = None,
         fault_plan: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         self.scheduler_factory = scheduler_factory
         self.spec = spec
@@ -106,6 +107,9 @@ class Simulator:
         #: when the caller gives none, since injected faults can strand
         #: workload completion conditions forever.
         self.fault_plan = fault_plan
+        #: Optional MetricsProbe (repro.obs); attached before the run so
+        #: its counters/histograms cover the whole event stream.
+        self.metrics = metrics
 
     def run(
         self,
@@ -122,6 +126,8 @@ class Simulator:
         machine = make_machine(scheduler, self.spec, self.cost)
         if self.prof is not None:
             machine.attach_profiler(self.prof)
+        if self.metrics is not None:
+            machine.attach(self.metrics)
         injector = None
         if self.fault_plan is not None:
             from ..faults.injector import FaultInjector  # layering

@@ -1,0 +1,47 @@
+"""repro.obs — the unified observability layer.
+
+One probe pipeline replaces the machine's three historical bolt-on
+observers (tracer / profiler / fault injector).  ``probe`` defines the
+protocol and events, ``probes`` the adapters rebasing the legacy
+observers onto it, ``metrics`` the first pipeline-native observer.
+
+See ``docs/observability.md``.
+"""
+
+# Import order matters: ``.probe`` is dependency-free and must land in
+# sys.modules first so the kernel (and the adapters below, which import
+# kernel/prof modules lazily) can import it mid-initialisation without
+# cycles.
+from .probe import (  # noqa: F401
+    KINDS,
+    DispatchEvent,
+    FaultEvent,
+    LockEvent,
+    PreemptEvent,
+    Probe,
+    ProbeSet,
+    RecalcEvent,
+    SchedEvent,
+    SyscallEvent,
+    WakeupEvent,
+)
+from .probes import ProfilerProbe, TracerProbe  # noqa: F401
+from .metrics import MetricsProbe, format_metrics  # noqa: F401
+
+__all__ = [
+    "KINDS",
+    "Probe",
+    "ProbeSet",
+    "SchedEvent",
+    "PreemptEvent",
+    "RecalcEvent",
+    "WakeupEvent",
+    "DispatchEvent",
+    "LockEvent",
+    "SyscallEvent",
+    "FaultEvent",
+    "TracerProbe",
+    "ProfilerProbe",
+    "MetricsProbe",
+    "format_metrics",
+]

@@ -1,0 +1,286 @@
+"""MetricsProbe: rolling counters and histograms over the probe stream.
+
+The first observer written *for* the pipeline rather than ported to it:
+it subscribes to every event kind and keeps cheap aggregates — event
+counters, cycle totals, power-of-two histograms, and a per-scheduler
+decision-latency breakdown that survives hot swaps (it keys on the
+name handed to :meth:`set_scheduler`).
+
+Two read sides:
+
+* :meth:`snapshot` — cumulative totals since attach (what ``repro
+  metrics`` prints and the harness caches in ``CellResult.obs_metrics``);
+* :meth:`window` — the delta since the previous ``window()`` call, for
+  live rolling views (the serve endpoint polls this shape).
+
+Histograms use the same power-of-two bucketing as the profiler
+(``value.bit_length()``), so a bucket labelled ``8`` counts values in
+``[128, 255]``.  ``to_dict``/``from_dict`` round-trip losslessly so a
+cached cell replays into an identical probe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .probe import Probe
+
+__all__ = ["MetricsProbe", "format_metrics"]
+
+#: Counter keys, in render order.  Kept explicit so snapshots from
+#: different builds compare key-for-key.
+COUNTER_KEYS = (
+    "picks",
+    "idle_picks",
+    "switches",
+    "migrations",
+    "preemptions",
+    "recalcs",
+    "wakeups",
+    "blocks",
+    "yields",
+    "exits",
+    "lock_acquisitions",
+    "lock_contentions",
+    "faults_injected",
+    "faults_skipped",
+    "faults_restored",
+)
+
+#: Cycle/total keys, in render order.
+TOTAL_KEYS = (
+    "examined",
+    "decision_cycles",
+    "eval_cycles",
+    "recalc_cycles",
+    "switch_cycles",
+    "lock_spin_cycles",
+    "lock_hold_cycles",
+    "wakeup_cycles",
+    "migrate_cycles",
+    "recalc_tasks",
+)
+
+#: Histogram names (power-of-two buckets keyed by ``bit_length``).
+HIST_KEYS = ("decision_cycles", "examined", "lock_spin_cycles")
+
+
+def _bucket(value: int) -> int:
+    return value.bit_length()
+
+
+class MetricsProbe(Probe):
+    """Rolling counters/histograms over every pipeline event kind."""
+
+    kinds = frozenset({"sched", "wakeup", "dispatch", "lock", "fault", "syscall"})
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {k: 0 for k in COUNTER_KEYS}
+        self.totals: dict[str, int] = {k: 0 for k in TOTAL_KEYS}
+        self.hists: dict[str, dict[int, int]] = {k: {} for k in HIST_KEYS}
+        #: scheduler name -> {"picks", "decision_cycles", "hist": {bucket: n}}
+        self.schedulers: dict[str, dict[str, Any]] = {}
+        self._scheduler = "?"
+        self._window_mark: Optional[dict[str, Any]] = None
+
+    # -- probe hooks --------------------------------------------------------
+
+    def set_scheduler(self, name: str) -> None:
+        self._scheduler = name
+        self.schedulers.setdefault(
+            name, {"picks": 0, "decision_cycles": 0, "hist": {}}
+        )
+
+    def on_sched(self, ev: Any) -> None:
+        point = ev.point
+        if point == "decision":
+            c = self.counters
+            t = self.totals
+            c["picks"] += 1
+            if ev.chosen is None:
+                c["idle_picks"] += 1
+            if ev.switch:
+                c["switches"] += 1
+                t["switch_cycles"] += ev.switch
+            if ev.migrated_from is not None:
+                c["migrations"] += 1
+            t["examined"] += ev.examined
+            t["decision_cycles"] += ev.cost
+            t["eval_cycles"] += ev.eval_cycles
+            t["recalc_cycles"] += ev.recalc_cycles
+            h = self.hists["decision_cycles"]
+            b = _bucket(ev.cost)
+            h[b] = h.get(b, 0) + 1
+            h = self.hists["examined"]
+            b = _bucket(ev.examined)
+            h[b] = h.get(b, 0) + 1
+            per = self.schedulers.setdefault(
+                self._scheduler, {"picks": 0, "decision_cycles": 0, "hist": {}}
+            )
+            per["picks"] += 1
+            per["decision_cycles"] += ev.cost
+            ph = per["hist"]
+            b = _bucket(ev.cost)
+            ph[b] = ph.get(b, 0) + 1
+        elif point == "preempt":
+            self.counters["preemptions"] += 1
+        elif point == "recalc":
+            self.counters["recalcs"] += 1
+            self.totals["recalc_tasks"] += ev.tasks
+
+    def on_wakeup(self, ev: Any) -> None:
+        self.counters["wakeups"] += 1
+        self.totals["wakeup_cycles"] += ev.charge
+
+    def on_dispatch(self, ev: Any) -> None:
+        self.totals["migrate_cycles"] += ev.cycles
+
+    def on_lock(self, ev: Any) -> None:
+        self.counters["lock_acquisitions"] += 1
+        if ev.spin:
+            self.counters["lock_contentions"] += 1
+            self.totals["lock_spin_cycles"] += ev.spin
+            h = self.hists["lock_spin_cycles"]
+            b = _bucket(ev.spin)
+            h[b] = h.get(b, 0) + 1
+        self.totals["lock_hold_cycles"] += ev.hold
+
+    def on_fault(self, ev: Any) -> None:
+        if ev.outcome == "injected":
+            self.counters["faults_injected"] += 1
+        elif ev.outcome == "restored":
+            self.counters["faults_restored"] += 1
+        else:
+            self.counters["faults_skipped"] += 1
+
+    def on_syscall(self, ev: Any) -> None:
+        if ev.op == "block":
+            self.counters["blocks"] += 1
+        elif ev.op == "yield":
+            self.counters["yields"] += 1
+        elif ev.op == "exit":
+            self.counters["exits"] += 1
+
+    # -- read side ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Cumulative totals since attach (JSON-safe)."""
+        return {
+            "counters": dict(self.counters),
+            "totals": dict(self.totals),
+            "hists": {
+                name: {str(b): n for b, n in sorted(hist.items())}
+                for name, hist in self.hists.items()
+            },
+            "schedulers": {
+                name: {
+                    "picks": per["picks"],
+                    "decision_cycles": per["decision_cycles"],
+                    "mean_decision_cycles": (
+                        per["decision_cycles"] / per["picks"] if per["picks"] else 0.0
+                    ),
+                    "hist": {str(b): n for b, n in sorted(per["hist"].items())},
+                }
+                for name, per in sorted(self.schedulers.items())
+            },
+        }
+
+    def window(self) -> dict[str, Any]:
+        """Delta since the previous ``window()`` call (rolling view).
+
+        The first call returns everything since attach.  Histograms and
+        per-scheduler breakdowns are cumulative-only; a window carries
+        counters and totals, which is what a live dashboard polls.
+        """
+        snap = self.snapshot()
+        mark = self._window_mark
+        self._window_mark = snap
+        if mark is None:
+            return {"counters": snap["counters"], "totals": snap["totals"]}
+        return {
+            "counters": {
+                k: snap["counters"][k] - mark["counters"].get(k, 0)
+                for k in snap["counters"]
+            },
+            "totals": {
+                k: snap["totals"][k] - mark["totals"].get(k, 0)
+                for k in snap["totals"]
+            },
+        }
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Lossless export (the cacheable form; also a valid snapshot)."""
+        return self.snapshot()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MetricsProbe":
+        probe = cls()
+        for k, v in (data.get("counters") or {}).items():
+            if k in probe.counters:
+                probe.counters[k] = int(v)
+        for k, v in (data.get("totals") or {}).items():
+            if k in probe.totals:
+                probe.totals[k] = int(v)
+        for name, hist in (data.get("hists") or {}).items():
+            if name in probe.hists:
+                probe.hists[name] = {int(b): int(n) for b, n in hist.items()}
+        for name, per in (data.get("schedulers") or {}).items():
+            probe.schedulers[name] = {
+                "picks": int(per.get("picks", 0)),
+                "decision_cycles": int(per.get("decision_cycles", 0)),
+                "hist": {
+                    int(b): int(n) for b, n in (per.get("hist") or {}).items()
+                },
+            }
+        return probe
+
+
+def _hist_line(hist: dict[str, int], width: int = 40) -> str:
+    """One-line sparkless rendering: ``2^b:count`` pairs."""
+    if not hist:
+        return "(empty)"
+    parts = [f"2^{b}:{n}" for b, n in sorted(hist.items(), key=lambda kv: int(kv[0]))]
+    line = "  ".join(parts)
+    return line
+
+
+def format_metrics(snapshot: dict[str, Any]) -> str:
+    """Render a snapshot as the aligned text block ``repro metrics`` prints."""
+    lines: list[str] = []
+    counters = snapshot.get("counters") or {}
+    totals = snapshot.get("totals") or {}
+    hists = snapshot.get("hists") or {}
+    schedulers = snapshot.get("schedulers") or {}
+    width = max(
+        [len(k) for k in list(counters) + list(totals)] or [8]
+    )
+    lines.append("counters")
+    for key in COUNTER_KEYS:
+        if key in counters:
+            lines.append(f"  {key:<{width}}  {counters[key]:>14,}")
+    for key in sorted(set(counters) - set(COUNTER_KEYS)):
+        lines.append(f"  {key:<{width}}  {counters[key]:>14,}")
+    lines.append("totals")
+    for key in TOTAL_KEYS:
+        if key in totals:
+            lines.append(f"  {key:<{width}}  {totals[key]:>14,}")
+    for key in sorted(set(totals) - set(TOTAL_KEYS)):
+        lines.append(f"  {key:<{width}}  {totals[key]:>14,}")
+    if hists:
+        lines.append("histograms (power-of-two buckets: 2^b counts values with bit_length b)")
+        for name in sorted(hists):
+            lines.append(f"  {name}: {_hist_line(hists[name])}")
+    if schedulers:
+        lines.append("per-scheduler decision latency")
+        for name, per in sorted(schedulers.items()):
+            picks = per.get("picks", 0)
+            mean = per.get("mean_decision_cycles")
+            if mean is None:
+                cyc = per.get("decision_cycles", 0)
+                mean = cyc / picks if picks else 0.0
+            lines.append(
+                f"  {name:<12}  picks={picks:<10,}  mean_decision_cycles={mean:,.1f}"
+            )
+    return "\n".join(lines)

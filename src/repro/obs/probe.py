@@ -1,0 +1,323 @@
+"""The probe pipeline: one event stream for every observer.
+
+Historically the machine carried three independent optional observers —
+``tracer``, ``prof``, ``faults`` — each with its own attach method and
+its own scatter of ``if self.X is not None`` guards through the hot
+paths.  This module replaces all of that with a single mechanism:
+
+* a :class:`Probe` subscribes to *event kinds* (``sched``, ``wakeup``,
+  ``dispatch``, ``lock``, ``fault``, ``syscall``) by listing them in
+  its ``kinds`` set and overriding the matching ``on_<kind>`` hook;
+* a :class:`ProbeSet` holds the attached probes as one per-kind tuple
+  each, so the emitting site's detached fast path is a single
+  attribute-truthiness test (``if probes.sched:``) — the same cost the
+  old per-observer ``is None`` guard paid, and an *empty* set is
+  bit-identical to no observers at all;
+* the :class:`~repro.kernel.machine.Machine` and
+  :class:`~repro.serve.executor.SchedulerExecutor` emit each event from
+  exactly one site, so a new observer never re-audits the hot path.
+
+Events carry the *cycle charges* the machine computed, never re-derive
+them: a probe that sums ``LockEvent.spin`` reconstructs
+``SchedStats.lock_spin_cycles`` exactly, and the profiler adapter's
+phase totals conserve against the machine's own ledger (pinned by
+``tests/obs/``).
+
+This module is deliberately dependency-free (events hold tasks as
+opaque objects) so the kernel can import it without cycles.  See
+``docs/observability.md`` for the protocol reference and a worked
+custom-probe example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "KINDS",
+    "Probe",
+    "ProbeSet",
+    "SchedEvent",
+    "PreemptEvent",
+    "RecalcEvent",
+    "WakeupEvent",
+    "DispatchEvent",
+    "LockEvent",
+    "SyscallEvent",
+    "FaultEvent",
+]
+
+#: The closed set of event kinds a probe may subscribe to.
+KINDS = ("sched", "wakeup", "dispatch", "lock", "fault", "syscall")
+
+
+class SchedEvent:
+    """One ``schedule()`` decision (``point == "decision"``).
+
+    ``chosen`` is ``None`` for an idle pick; ``target`` is the task the
+    CPU actually switches to (the idle task on idle picks).  Times:
+    ``t`` is scheduler entry, ``start`` is lock acquisition (entry +
+    spin), ``dec_end`` is decision completion, ``end`` adds the context
+    switch.  ``migrated_from`` is the chosen task's previous CPU when
+    this pick migrates it, else ``None``.
+    """
+
+    point = "decision"
+    __slots__ = (
+        "t",
+        "start",
+        "dec_end",
+        "end",
+        "cpu",
+        "prev",
+        "chosen",
+        "target",
+        "cost",
+        "eval_cycles",
+        "recalc_cycles",
+        "examined",
+        "switch",
+        "migrated_from",
+    )
+
+    def __init__(
+        self,
+        t: int,
+        start: int,
+        dec_end: int,
+        end: int,
+        cpu: int,
+        prev: Any,
+        chosen: Optional[Any],
+        target: Any,
+        cost: int,
+        eval_cycles: int,
+        recalc_cycles: int,
+        examined: int,
+        switch: int,
+        migrated_from: Optional[int],
+    ) -> None:
+        self.t = t
+        self.start = start
+        self.dec_end = dec_end
+        self.end = end
+        self.cpu = cpu
+        self.prev = prev
+        self.chosen = chosen
+        self.target = target
+        self.cost = cost
+        self.eval_cycles = eval_cycles
+        self.recalc_cycles = recalc_cycles
+        self.examined = examined
+        self.switch = switch
+        self.migrated_from = migrated_from
+
+
+class PreemptEvent:
+    """``need_resched`` honoured against the running task (``sched`` kind)."""
+
+    point = "preempt"
+    __slots__ = ("t", "cpu", "task", "counter")
+
+    def __init__(self, t: int, cpu: int, task: Any, counter: int) -> None:
+        self.t = t
+        self.cpu = cpu
+        self.task = task
+        self.counter = counter
+
+
+class RecalcEvent:
+    """A whole-system counter recalculation (``sched`` kind)."""
+
+    point = "recalc"
+    __slots__ = ("t", "tasks")
+
+    def __init__(self, t: int, tasks: int) -> None:
+        self.t = t
+        self.tasks = tasks
+
+
+class WakeupEvent:
+    """``wake_up_process`` made a task runnable.
+
+    ``cpu`` is the waking CPU id (-1: interrupt/timer context) and is
+    what a tracer shows; ``charge_cpu`` is the CPU the cycle ``charge``
+    (wakeup + runqueue insert) is attributed to, which the machine pins
+    to 0 on a UP build.  ``spin`` is lock-wait time already reported via
+    the separate :class:`LockEvent`; the wakeup charge lands at
+    ``t + spin``.
+    """
+
+    __slots__ = ("t", "cpu", "charge_cpu", "task", "charge", "spin")
+
+    def __init__(
+        self, t: int, cpu: int, charge_cpu: int, task: Any, charge: int, spin: int
+    ) -> None:
+        self.t = t
+        self.cpu = cpu
+        self.charge_cpu = charge_cpu
+        self.task = task
+        self.charge = charge
+        self.spin = spin
+
+
+class DispatchEvent:
+    """A migrated task landed on its new CPU and paid the cache refill."""
+
+    __slots__ = ("t", "cpu", "task", "cycles")
+
+    def __init__(self, t: int, cpu: int, task: Any, cycles: int) -> None:
+        self.t = t
+        self.cpu = cpu
+        self.task = task
+        self.cycles = cycles
+
+
+class LockEvent:
+    """One pass through the global runqueue lock: ``spin`` cycles waited
+    from ``t``, then ``hold`` cycles held from ``t + spin``."""
+
+    __slots__ = ("t", "cpu", "task", "spin", "hold")
+
+    def __init__(self, t: int, cpu: int, task: Any, spin: int, hold: int) -> None:
+        self.t = t
+        self.cpu = cpu
+        self.task = task
+        self.spin = spin
+        self.hold = hold
+
+
+class SyscallEvent:
+    """A task left the CPU through a syscall boundary.
+
+    ``op`` is ``"block"``, ``"yield"`` or ``"exit"``; ``detail`` names
+    the blocking primitive (``"put chan"``, ``"sleep"``, …).
+    """
+
+    __slots__ = ("t", "cpu", "task", "op", "detail")
+
+    def __init__(self, t: int, cpu: int, task: Any, op: str, detail: str = "") -> None:
+        self.t = t
+        self.cpu = cpu
+        self.task = task
+        self.op = op
+        self.detail = detail
+
+
+class FaultEvent:
+    """A fault injector fired (or skipped, or restored) one fault."""
+
+    __slots__ = ("t", "kind", "target", "outcome", "detail")
+
+    def __init__(
+        self, t: int, kind: str, target: str, outcome: str, detail: str
+    ) -> None:
+        self.t = t
+        self.kind = kind
+        self.target = target
+        self.outcome = outcome
+        self.detail = detail
+
+
+class Probe:
+    """Base class for pipeline observers.
+
+    Subclasses declare the kinds they want in ``kinds`` and override the
+    matching ``on_<kind>`` hooks; everything else stays a no-op.  Probes
+    observe — they must not mutate tasks, CPUs, or the clock (the fault
+    injector, which *does* mutate, only ever does so from CALLBACK
+    events it scheduled at attach time, never from an emission hook).
+    """
+
+    #: Event kinds this probe subscribes to (subset of :data:`KINDS`).
+    kinds: frozenset = frozenset()
+
+    def on_attach(self, host: Any) -> None:
+        """Called once when attached to a machine or executor."""
+
+    def set_scheduler(self, name: str) -> None:
+        """The host's scheduler (re)bound; hot-swaps included."""
+
+    def on_sched(self, ev: Any) -> None:
+        """A :class:`SchedEvent`, :class:`PreemptEvent` or
+        :class:`RecalcEvent` (discriminate on ``ev.point``)."""
+
+    def on_wakeup(self, ev: WakeupEvent) -> None:
+        """A :class:`WakeupEvent`."""
+
+    def on_dispatch(self, ev: DispatchEvent) -> None:
+        """A :class:`DispatchEvent`."""
+
+    def on_lock(self, ev: LockEvent) -> None:
+        """A :class:`LockEvent`."""
+
+    def on_fault(self, ev: FaultEvent) -> None:
+        """A :class:`FaultEvent`."""
+
+    def on_syscall(self, ev: SyscallEvent) -> None:
+        """A :class:`SyscallEvent`."""
+
+
+class ProbeSet:
+    """The per-host pipeline: attached probes, indexed by event kind.
+
+    Emitters read the kind attribute directly — ``if probes.sched:`` is
+    the detached fast path, and ``for p in probes.sched: p.on_sched(ev)``
+    the delivery loop — so an empty set costs one truthiness test per
+    potential event and allocates nothing.
+    """
+
+    __slots__ = ("probes",) + KINDS
+
+    def __init__(self) -> None:
+        self.probes: tuple = ()
+        for kind in KINDS:
+            setattr(self, kind, ())
+
+    def add(self, probe: Probe) -> Probe:
+        """Subscribe ``probe`` to its declared kinds (idempotent)."""
+        if probe in self.probes:
+            return probe
+        for kind in probe.kinds:
+            if kind not in KINDS:
+                raise ValueError(
+                    f"unknown probe kind {kind!r}; choose from {KINDS}"
+                )
+        self.probes = self.probes + (probe,)
+        for kind in probe.kinds:
+            setattr(self, kind, getattr(self, kind) + (probe,))
+        return probe
+
+    def remove(self, probe: Probe) -> None:
+        """Detach ``probe`` from every kind it subscribed to."""
+        if probe not in self.probes:
+            return
+        self.probes = tuple(p for p in self.probes if p is not probe)
+        for kind in KINDS:
+            current = getattr(self, kind)
+            if probe in current:
+                setattr(self, kind, tuple(p for p in current if p is not probe))
+
+    def first(self, cls: type) -> Optional[Probe]:
+        """The first attached probe of (a subclass of) ``cls``, or None."""
+        for probe in self.probes:
+            if isinstance(probe, cls):
+                return probe
+        return None
+
+    def set_scheduler(self, name: str) -> None:
+        """Tell every probe the host's scheduler (re)bound."""
+        for probe in self.probes:
+            probe.set_scheduler(name)
+
+    def __bool__(self) -> bool:
+        return bool(self.probes)
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    def __iter__(self):
+        return iter(self.probes)
+
+    def __repr__(self) -> str:
+        return f"<ProbeSet {[type(p).__name__ for p in self.probes]}>"

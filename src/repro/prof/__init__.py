@@ -17,11 +17,12 @@ cycle the machine charges is attributed to one of eight phases —
 
 — and to a (scheduler, CPU, task) triple, with per-phase power-of-two
 histograms and a per-N-ticks time series.  Profiling is **off by
-default and zero-cost when disabled**: every hook in
-:mod:`repro.kernel.machine` is guarded by ``if machine.prof is not
-None`` and charges nothing to simulated time either way, so a profiled
-run and an unprofiled run are cycle-identical (pinned by
-``tests/prof/test_overhead.py``).
+default and zero-cost when disabled**: the profiler rides the probe
+pipeline (:mod:`repro.obs`) as a :class:`~repro.obs.ProfilerProbe`, the
+kernel's emission sites skip event construction entirely when no probe
+subscribes, and charges add nothing to simulated time either way — so
+a profiled run and an unprofiled run are cycle-identical (pinned by
+``tests/obs/test_pipeline_identity.py``).
 
 Entry points: ``python -m repro profile``, the ``--profile`` flag on
 ``sweep``/``loadtest``, and the Table-1 section of

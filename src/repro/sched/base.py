@@ -162,12 +162,15 @@ class Scheduler(abc.ABC):
             count += 1
         self.stats.recalc_entries += 1
         machine = self.machine
-        if machine is not None and machine.tracer is not None:
-            from ..kernel.trace import TraceKind
+        # getattr: bound hosts range from the full Machine to the serve
+        # executor's duck-typed shim to bare test fakes.
+        probes = getattr(machine, "probes", None)
+        if probes is not None and probes.sched:
+            from ..obs.probe import RecalcEvent
 
-            machine.tracer.record(
-                machine.clock.now, TraceKind.RECALC, -1, None, f"tasks={count}"
-            )
+            ev = RecalcEvent(machine.clock.now, count)
+            for p in probes.sched:
+                p.on_sched(ev)
         return self.cost.recalc_cost(count)
 
     def __repr__(self) -> str:

@@ -32,6 +32,14 @@ from typing import Callable, Iterable, Optional
 from ..kernel.cost_model import CostModel
 from ..kernel.cpu import CPU
 from ..kernel.task import SchedPolicy, Task, TaskState
+from ..obs.probe import (
+    DispatchEvent,
+    PreemptEvent,
+    ProbeSet,
+    SchedEvent,
+    WakeupEvent,
+)
+from ..obs.probes import ProfilerProbe
 from ..sched.base import Scheduler
 from ..sched.stats import SchedStats
 
@@ -51,7 +59,7 @@ class _ExecutorMachine:
     """The duck-typed machine a :class:`Scheduler` binds against.
 
     Provides every attribute the scheduler layer touches — ``cost``,
-    ``smp``, ``cpus``, ``live_tasks()``, ``clock``, ``tracer`` and the
+    ``smp``, ``cpus``, ``live_tasks()``, ``clock``, ``probes`` and the
     global-lock timeline fields — with none of the event loop.
     """
 
@@ -60,7 +68,8 @@ class _ExecutorMachine:
         self.smp = smp
         self.cpus = [CPU(i) for i in range(num_cpus)]
         self.clock = _Clock()
-        self.tracer = None
+        #: Shared with the owning executor (one pipeline per host).
+        self.probes = ProbeSet()
         self.lock_free_at = 0
         self.lock_owner_cpu: Optional[int] = None
         self._tasks: dict[int, Task] = {}
@@ -115,16 +124,16 @@ class SchedulerExecutor:
         self.machine = _ExecutorMachine(
             num_cpus, smp, cost if cost is not None else CostModel()
         )
-        #: Optional cycle-attribution sink (repro.prof).  The executor
-        #: reports the same phases as the simulated machine: the
-        #: schedule() phase split is exact (it is the decision's own
+        #: The probe pipeline (shared with the duck-typed machine so the
+        #: scheduler layer's emissions land in the same stream).  The
+        #: executor reports the same phases as the simulated machine:
+        #: the schedule() phase split is exact (it is the decision's own
         #: cost), while ``dispatch``/``migrate`` are the cost model's
         #: *imputed* switch and cache-refill charges (the live server
         #: pays them in wall time, not virtual cycles).
-        self.prof = prof
-        set_sched = getattr(prof, "set_scheduler", None)
-        if set_sched is not None:
-            set_sched(scheduler.name)
+        self.probes = self.machine.probes
+        if prof is not None:
+            self.attach(ProfilerProbe(prof))
         scheduler.bind(self.machine)  # type: ignore[arg-type]
         self._cursor = 0
         #: Wall-clock nanoseconds spent inside schedule(), one sample
@@ -133,6 +142,25 @@ class SchedulerExecutor:
         self._pick_ns_cap = 1 << 16
         self.picks = 0
         self.idle_picks = 0
+
+    # -- observers -----------------------------------------------------------
+
+    def attach(self, probe: object) -> object:
+        """Attach a probe to the executor's pipeline (and return it)."""
+        self.probes.add(probe)
+        probe.on_attach(self)
+        probe.set_scheduler(self.scheduler.name)
+        return probe
+
+    def detach(self, probe: object) -> None:
+        """Remove a probe from the pipeline (idempotent)."""
+        self.probes.remove(probe)
+
+    @property
+    def prof(self) -> Optional[object]:
+        """The first attached profiler sink, or None (compat read)."""
+        probe = self.probes.first(ProfilerProbe)
+        return probe.sink if probe is not None else None
 
     # -- handler lifecycle ---------------------------------------------------
 
@@ -192,14 +220,18 @@ class SchedulerExecutor:
             return False
         task.wakeup_count += 1
         insert = self.scheduler.add_to_runqueue(task)
-        if self.prof is not None:
-            self.prof.charge(
-                "wakeup",
-                self.machine.cost.wakeup_cost + insert,
+        probes = self.probes
+        if probes.wakeup:
+            ev = WakeupEvent(
                 self.machine.clock.now,
                 -1,
+                -1,
                 task,
+                self.machine.cost.wakeup_cost + insert,
+                0,
             )
+            for p in probes.wakeup:
+                p.on_wakeup(ev)
         return True
 
     # -- dispatch (mirrors Machine._dispatch bookkeeping) ---------------------
@@ -240,28 +272,40 @@ class SchedulerExecutor:
         picked_at = machine.clock.now
         machine.clock.now += max(1, decision.cost)
         next_task = decision.next_task
-        if self.prof is not None:
-            prof = self.prof
-            cid = cpu.cpu_id
+        probes = self.probes
+        if probes.sched:
             target = next_task if next_task is not None else cpu.idle_task
-            eval_c = decision.eval_cycles
-            recalc_c = decision.recalc_cycles
-            prof.charge(
-                "pick", decision.cost - eval_c - recalc_c, picked_at, cid, target
-            )
-            if eval_c:
-                prof.charge("goodness_eval", eval_c, picked_at, cid, target)
-            if recalc_c:
-                prof.charge("recalc", recalc_c, picked_at, cid, target)
+            switch = 0
             if next_task is not None and next_task is not prev:
                 same_mm = next_task.mm is None or next_task.mm is prev.mm
-                prof.charge(
-                    "dispatch",
-                    machine.cost.switch_cost(same_mm),
-                    picked_at,
-                    cid,
-                    next_task,
-                )
+                switch = machine.cost.switch_cost(same_mm)
+            migrated_from = None
+            if (
+                next_task is not None
+                and next_task.processor != cpu.cpu_id
+                and next_task.processor != -1
+            ):
+                migrated_from = next_task.processor
+            # A live pick is instantaneous in virtual time: every charge
+            # lands at picked_at (start == dec_end == end).
+            ev = SchedEvent(
+                picked_at,
+                picked_at,
+                picked_at,
+                picked_at,
+                cpu.cpu_id,
+                prev,
+                next_task,
+                target,
+                decision.cost,
+                decision.eval_cycles,
+                decision.recalc_cycles,
+                decision.examined,
+                switch,
+                migrated_from,
+            )
+            for p in probes.sched:
+                p.on_sched(ev)
 
         prev.has_cpu = False
         if next_task is None:
@@ -278,14 +322,15 @@ class SchedulerExecutor:
                 stats.migrations += 1
                 next_task.migration_count += 1
                 next_task.cache_cold = True
-                if self.prof is not None:
-                    self.prof.charge(
-                        "migrate",
-                        machine.cost.cache_refill,
+                if probes.dispatch:
+                    dev = DispatchEvent(
                         machine.clock.now,
                         cpu.cpu_id,
                         next_task,
+                        machine.cost.cache_refill,
                     )
+                    for p in probes.dispatch:
+                        p.on_dispatch(dev)
         next_task.has_cpu = True
         next_task.processor = cpu.cpu_id
         next_task.dispatch_count += 1
@@ -309,6 +354,12 @@ class SchedulerExecutor:
             task.counter -= 1
             if task.counter == 0:
                 self.scheduler.stats.preemptions += 1
+                if self.probes.sched:
+                    ev = PreemptEvent(
+                        self.machine.clock.now, task.processor, task, 0
+                    )
+                    for p in self.probes.sched:
+                        p.on_sched(ev)
 
     def release(self, task: Task, blocked: bool) -> None:
         """Return a served handler to the policy's jurisdiction.
@@ -351,9 +402,7 @@ class SchedulerExecutor:
             task.run_list.prev = None
         self.scheduler = self._factory()
         self.scheduler.bind(machine)  # type: ignore[arg-type]
-        set_sched = getattr(self.prof, "set_scheduler", None)
-        if set_sched is not None:
-            set_sched(self.scheduler.name)
+        self.probes.set_scheduler(self.scheduler.name)
         for task in machine._tasks.values():
             if not task.exited and task.state is TaskState.RUNNING:
                 self.scheduler.add_to_runqueue(task)

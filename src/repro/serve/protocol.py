@@ -7,12 +7,16 @@ Client → server operations::
 
     {"op": "join", "room": "r0", "user": "u3"}
     {"op": "msg",  "room": "r0", "user": "u3", "seq": 7, "t": <ns>, "pad": "…"}
+    {"op": "metrics"}
     {"op": "quit"}
 
 Server → client operations::
 
     {"op": "welcome", "session": 12}
     {"op": "joined",  "room": "r0", "members": 8}
+    {"op": "metrics", "counters": {…}, "metrics": {…}}   # live snapshot;
+                                         # "metrics" is {} when no
+                                         # MetricsProbe is attached
     {"op": "msg",     …fan-out copy, origin fields preserved…}
     {"op": "shed",    "seq": 7}          # admission control dropped it
     {"op": "shed",    "seq": 7, "retry_after_ms": 2000.0}   # shed under
@@ -33,6 +37,7 @@ from typing import Any, Optional
 __all__ = [
     "OP_JOIN",
     "OP_MSG",
+    "OP_METRICS",
     "OP_QUIT",
     "OP_WELCOME",
     "OP_JOINED",
@@ -47,6 +52,7 @@ __all__ = [
 
 OP_JOIN = "join"
 OP_MSG = "msg"
+OP_METRICS = "metrics"
 OP_QUIT = "quit"
 OP_WELCOME = "welcome"
 OP_JOINED = "joined"

@@ -232,6 +232,9 @@ class ChatServer:
             self.executor.ready(session.task)
             self._work.set()
             return True
+        if op == protocol.OP_METRICS:
+            self._send(session, self._metrics_frame())
+            return True
         if op == protocol.OP_QUIT:
             self._send(session, {"op": protocol.OP_BYE})
             return False
@@ -366,6 +369,22 @@ class ChatServer:
                 self.deliveries += 1
 
     # -- introspection -------------------------------------------------------
+
+    def _metrics_frame(self) -> dict[str, Any]:
+        """Live snapshot answering an ``OP_METRICS`` frame.
+
+        ``metrics`` carries the executor's :class:`~repro.obs.MetricsProbe`
+        snapshot when one is attached (``serve --metrics``), ``{}``
+        otherwise — the frame itself always succeeds.
+        """
+        from ..obs.metrics import MetricsProbe  # local import: layering
+
+        probe = self.executor.probes.first(MetricsProbe)
+        return {
+            "op": protocol.OP_METRICS,
+            "counters": self.counters(),
+            "metrics": probe.snapshot() if probe is not None else {},
+        }
 
     def counters(self) -> dict[str, Any]:
         return {

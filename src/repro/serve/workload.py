@@ -113,6 +113,7 @@ async def _run(
     spec: MachineSpec,
     config: ServeConfig,
     prof: Any = None,
+    metrics: Any = None,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
 ) -> LoadtestResult:
     executor = SchedulerExecutor(
@@ -122,6 +123,8 @@ async def _run(
         prof=prof,
         factory=scheduler_factory,
     )
+    if metrics is not None:
+        executor.attach(metrics)
     server = ChatServer(executor, config)
     driver = None
     if config.fault_plan:
@@ -160,6 +163,7 @@ def run_serve_loadtest(
     spec: MachineSpec,
     config: ServeConfig,
     prof: Any = None,
+    metrics: Any = None,
 ) -> LoadtestResult:
     """One live serve cell: start server, drive the load, tear down."""
     scheduler = scheduler_factory()
@@ -169,6 +173,7 @@ def run_serve_loadtest(
             spec,
             config,
             prof=prof,
+            metrics=metrics,
             scheduler_factory=scheduler_factory,
         )
     )

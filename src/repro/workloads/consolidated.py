@@ -86,6 +86,7 @@ def run_consolidated(
     config: Optional[ConsolidatedConfig] = None,
     cost: Optional[CostModel] = None,
     prof: Optional[Any] = None,
+    metrics: Optional[Any] = None,
 ) -> ConsolidatedResult:
     """Run all three tenants on one machine and collect their metrics."""
     cfg = config if config is not None else ConsolidatedConfig()
@@ -108,7 +109,7 @@ def run_consolidated(
                 )
         return {}
 
-    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof)
+    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof, metrics=metrics)
     result = sim.run(populate)
     if result.summary.deadlocked:
         raise RuntimeError(f"consolidated run deadlocked: {result.summary!r}")

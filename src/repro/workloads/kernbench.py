@@ -175,6 +175,7 @@ def run_kernbench(
     config: Optional[KernbenchConfig] = None,
     cost: Optional[CostModel] = None,
     prof: Optional[Any] = None,
+    metrics: Optional[Any] = None,
 ) -> KernbenchResult:
     """One simulated kernel build — a Table 2 cell."""
     cfg = config if config is not None else KernbenchConfig()
@@ -184,7 +185,10 @@ def run_kernbench(
         from ..faults import FaultPlan
 
         plan = FaultPlan.from_config(cfg.fault_plan)
-    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan)
+    sim = Simulator(
+        scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan,
+        metrics=metrics,
+    )
     result = sim.run(bench.populate)
     if plan is None:
         if result.summary.deadlocked:

@@ -381,6 +381,7 @@ def run_volanomark(
     config: Optional[VolanoConfig] = None,
     cost: Optional[CostModel] = None,
     prof: Optional[Any] = None,
+    metrics: Optional[Any] = None,
 ) -> VolanoResult:
     """One VolanoMark run on a fresh machine; the workhorse of Figures 2–6."""
     cfg = config if config is not None else VolanoConfig()
@@ -390,7 +391,10 @@ def run_volanomark(
         from ..faults import FaultPlan
 
         plan = FaultPlan.from_config(cfg.fault_plan)
-    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan)
+    sim = Simulator(
+        scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan,
+        metrics=metrics,
+    )
     result = sim.run(bench.populate)
     delivered = result.payload["delivered"]
     if plan is None:

@@ -182,6 +182,7 @@ def run_select_chat(
     config: Optional[VolanoConfig] = None,
     cost: Optional[CostModel] = None,
     prof: Optional[Any] = None,
+    metrics: Optional[Any] = None,
 ) -> SelectChatResult:
     """One run of the select-server chat; same metric as VolanoMark."""
     cfg = config if config is not None else VolanoConfig()
@@ -191,7 +192,10 @@ def run_select_chat(
         from ..faults import FaultPlan
 
         plan = FaultPlan.from_config(cfg.fault_plan)
-    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan)
+    sim = Simulator(
+        scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan,
+        metrics=metrics,
+    )
     result = sim.run(bench.populate)
     delivered = result.payload["delivered"]
     if plan is None:

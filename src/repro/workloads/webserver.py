@@ -174,6 +174,7 @@ def run_webserver(
     config: Optional[WebServerConfig] = None,
     cost: Optional[CostModel] = None,
     prof: Optional[Any] = None,
+    metrics: Optional[Any] = None,
 ) -> WebServerResult:
     """One web-server run: throughput and latency under a worker pool."""
     cfg = config if config is not None else WebServerConfig()
@@ -183,7 +184,10 @@ def run_webserver(
         from ..faults import FaultPlan
 
         plan = FaultPlan.from_config(cfg.fault_plan)
-    sim = Simulator(scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan)
+    sim = Simulator(
+        scheduler_factory, spec, cost=cost, prof=prof, fault_plan=plan,
+        metrics=metrics,
+    )
     result = sim.run(bench.populate)
     if plan is None:
         if result.summary.deadlocked:

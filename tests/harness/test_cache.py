@@ -130,3 +130,42 @@ class TestPoisoning:
         assert cache.clear() == 1
         assert cache.get(spec) is None
         assert len(cache) == 0
+
+
+class TestSupersetSemantics:
+    """``require_profile``/``require_metrics``: richer entries serve
+    plain requests; plain entries are *stale* misses (overwritten in
+    place, never quarantined) when the richer form is required."""
+
+    def _metered(self, result) -> CellResult:
+        from dataclasses import replace
+
+        return replace(
+            result,
+            obs_metrics={"counters": {"picks": 10}, "totals": {}},
+        )
+
+    def test_plain_entry_misses_a_metrics_request(self, cache, spec, result):
+        cache.put(spec, result)
+        assert cache.get(spec, require_metrics=True) is None
+        assert cache.misses == 1 and cache.quarantined == 0
+        # Stale, not damaged: the entry is still at its address, so the
+        # recompute's put() overwrites it in place.
+        assert cache.path_for(spec.key).exists()
+
+    def test_metered_entry_serves_both_request_shapes(
+        self, cache, spec, result
+    ):
+        metered = self._metered(result)
+        cache.put(spec, metered)
+        assert cache.get(spec) == metered
+        assert cache.get(spec, require_metrics=True) == metered
+        assert cache.hits == 2 and cache.misses == 0
+
+    def test_metrics_and_profile_requirements_are_independent(
+        self, cache, spec, result
+    ):
+        metered = self._metered(result)  # metered but unprofiled
+        cache.put(spec, metered)
+        assert cache.get(spec, require_profile=True) is None
+        assert cache.get(spec, require_metrics=True) == metered

@@ -1,0 +1,113 @@
+"""MetricsProbe: counters reconcile with the machine's own ledger.
+
+The probe is a *derived* view — every number it reports must be
+reconstructible from counters the simulator already keeps.  These tests
+cross-check its aggregates against :class:`SchedStats` on real runs,
+pin the snapshot/window read sides, and hold ``to_dict``/``from_dict``
+to lossless round-trips (the property the cache relies on).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import SCHEDULERS, RunSpec, execute_spec
+from repro.obs import MetricsProbe, format_metrics
+from repro.obs.metrics import COUNTER_KEYS, HIST_KEYS, TOTAL_KEYS
+from repro.obs.probe import LockEvent, WakeupEvent
+
+TINY = {"rooms": 2, "users_per_room": 4, "messages_per_user": 3}
+
+
+def _metered(scheduler: str, machine: str = "2P"):
+    spec = RunSpec("volano", scheduler, machine, TINY)
+    cell = execute_spec(spec, metrics=True)
+    return cell, cell.metrics_probe()
+
+
+@pytest.mark.parametrize("machine", ["UP", "2P"])
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_counters_reconcile_with_schedstats(scheduler, machine):
+    cell, probe = _metered(scheduler, machine)
+    stats = cell.stats
+    c, t = probe.counters, probe.totals
+    assert c["picks"] == stats["schedule_calls"]
+    assert c["idle_picks"] == stats["idle_schedules"]
+    assert c["migrations"] == stats["migrations"]
+    assert c["preemptions"] == stats["preemptions"]
+    assert c["recalcs"] == stats["recalc_entries"]
+    assert t["examined"] == stats["tasks_examined"]
+    assert t["lock_spin_cycles"] == stats["lock_spin_cycles"]
+    # Decision cost is the scheduler-cycle ledger, exactly (wakeup work
+    # is charged outside scheduler_cycles, as in the profiler's phases).
+    assert t["decision_cycles"] == stats["scheduler_cycles"]
+
+
+def test_histogram_mass_equals_counts():
+    _, probe = _metered("reg")
+    hists = probe.hists
+    assert sum(hists["decision_cycles"].values()) == probe.counters["picks"]
+    assert sum(hists["examined"].values()) == probe.counters["picks"]
+    assert (
+        sum(hists["lock_spin_cycles"].values())
+        == probe.counters["lock_contentions"]
+    )
+
+
+def test_per_scheduler_breakdown_sums_to_totals():
+    _, probe = _metered("elsc")
+    per = probe.schedulers
+    assert set(per) == {"elsc"}
+    assert per["elsc"]["picks"] == probe.counters["picks"]
+    assert per["elsc"]["decision_cycles"] == probe.totals["decision_cycles"]
+
+
+def test_snapshot_is_json_safe_and_complete():
+    import json
+
+    _, probe = _metered("mq")
+    snap = probe.snapshot()
+    json.dumps(snap)  # every value serialises
+    assert set(snap["counters"]) == set(COUNTER_KEYS)
+    assert set(snap["totals"]) == set(TOTAL_KEYS)
+    assert set(snap["hists"]) == set(HIST_KEYS)
+    assert snap["schedulers"]["mq"]["mean_decision_cycles"] > 0
+
+
+def test_round_trip_is_lossless():
+    _, probe = _metered("cfs")
+    clone = MetricsProbe.from_dict(probe.to_dict())
+    assert clone.snapshot() == probe.snapshot()
+
+
+def test_window_returns_deltas():
+    probe = MetricsProbe()
+    probe.on_wakeup(WakeupEvent(0, 0, 0, None, 100, 0))
+    first = probe.window()
+    assert first["counters"]["wakeups"] == 1
+    assert first["totals"]["wakeup_cycles"] == 100
+    # Nothing happened since: the next window is all zeros.
+    assert not any(probe.window()["counters"].values())
+    probe.on_lock(LockEvent(5, 0, None, 30, 10))
+    delta = probe.window()
+    assert delta["counters"]["lock_acquisitions"] == 1
+    assert delta["counters"]["lock_contentions"] == 1
+    assert delta["totals"]["lock_spin_cycles"] == 30
+    assert delta["counters"]["wakeups"] == 0  # already consumed
+
+
+def test_uncontended_lock_is_not_a_contention():
+    probe = MetricsProbe()
+    probe.on_lock(LockEvent(0, 0, None, 0, 10))
+    assert probe.counters["lock_acquisitions"] == 1
+    assert probe.counters["lock_contentions"] == 0
+    assert probe.totals["lock_hold_cycles"] == 10
+    assert probe.hists["lock_spin_cycles"] == {}
+
+
+def test_format_metrics_renders_every_section():
+    _, probe = _metered("o1")
+    text = format_metrics(probe.snapshot())
+    assert "counters" in text and "totals" in text
+    assert "histograms" in text and "per-scheduler" in text
+    assert "o1" in text

@@ -1,0 +1,123 @@
+"""Bit-identity contract of the probe pipeline.
+
+The refactor's load-bearing promise: observation never perturbs the
+simulation.  An empty :class:`ProbeSet` (the default) must produce the
+same :class:`RunSummary` and :class:`SchedStats` as a run with the full
+observer stack attached — tracer, profiler, and an empty-plan fault
+injector all at once — for **every** registered scheduler, and
+attach/detach must leave a machine indistinguishable from one that
+never had probes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.harness import MACHINE_SPECS, SCHEDULERS, RunSpec, execute_spec
+from repro.kernel.machine import RunSummary
+from repro.kernel.simulator import make_machine
+from repro.obs import MetricsProbe, ProfilerProbe, TracerProbe
+from repro.sched.stats import SchedStats
+from repro.workloads.volanomark import VolanoConfig, VolanoMark
+
+TINY = {"rooms": 2, "users_per_room": 4, "messages_per_user": 3}
+
+
+def _run_machine(scheduler_name: str, spec_name: str, probes=()):
+    """One volano run at machine level, returning (summary, stats)."""
+    bench = VolanoMark(VolanoConfig(**TINY))
+    scheduler = SCHEDULERS[scheduler_name]()
+    machine = make_machine(scheduler, MACHINE_SPECS[spec_name])
+    for probe in probes:
+        machine.attach(probe)
+    bench.populate(machine)
+    summary = machine.run()
+    return machine, summary, scheduler.stats
+
+
+def _summary_tuple(summary: RunSummary) -> tuple:
+    return tuple(getattr(summary, f) for f in RunSummary.__slots__)
+
+
+def _stats_tuple(stats: SchedStats) -> tuple:
+    return tuple(
+        getattr(stats, f) for f in SchedStats.__dataclass_fields__
+    )
+
+
+@pytest.mark.parametrize("spec_name", ["UP", "2P"])
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+def test_stacked_probes_are_bit_identical_to_detached(
+    scheduler_name, spec_name
+):
+    _, plain_summary, plain_stats = _run_machine(scheduler_name, spec_name)
+    stacked = [
+        TracerProbe(),
+        ProfilerProbe(),
+        MetricsProbe(),
+        FaultInjector(FaultPlan()),
+    ]
+    machine, summary, stats = _run_machine(
+        scheduler_name, spec_name, probes=stacked
+    )
+    assert _summary_tuple(summary) == _summary_tuple(plain_summary)
+    assert _stats_tuple(stats) == _stats_tuple(plain_stats)
+    # The stack really observed: the tracer ring and profiler have data.
+    assert machine.tracer is not None and len(machine.tracer.records()) > 0
+    assert machine.prof is not None
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+def test_attach_then_detach_restores_detached_state(scheduler_name):
+    _, plain_summary, plain_stats = _run_machine(scheduler_name, "2P")
+    bench = VolanoMark(VolanoConfig(**TINY))
+    scheduler = SCHEDULERS[scheduler_name]()
+    machine = make_machine(scheduler, MACHINE_SPECS["2P"])
+    probe = machine.attach(TracerProbe())
+    machine.detach(probe)
+    assert not machine.probes
+    assert machine.tracer is None
+    assert machine.prof is None
+    assert machine.faults is None
+    bench.populate(machine)
+    summary = machine.run()
+    assert _summary_tuple(summary) == _summary_tuple(plain_summary)
+    assert _stats_tuple(scheduler.stats) == _stats_tuple(plain_stats)
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+def test_metered_cell_scalars_match_plain_cell(scheduler_name):
+    spec = RunSpec("volano", scheduler_name, "2P", TINY)
+    plain = execute_spec(spec)
+    metered = execute_spec(spec, metrics=True)
+    assert plain.metrics == metered.metrics
+    assert plain.stats == metered.stats
+    assert not plain.metered and metered.metered
+
+
+@pytest.mark.parametrize("spec_name", ["UP", "2P"])
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+def test_stacked_conservation(scheduler_name, spec_name):
+    """With all three legacy observers stacked as probes, the profiler's
+    phase ledger still conserves against the machine's own counters."""
+    probes = [TracerProbe(), ProfilerProbe(), FaultInjector(FaultPlan())]
+    machine, _, stats = _run_machine(scheduler_name, spec_name, probes=probes)
+    prof = machine.prof
+    assert prof.scheduler_cycles() == stats.scheduler_cycles
+    assert prof.phase_total("lock_wait") == stats.lock_spin_cycles
+
+
+def test_legacy_attach_names_still_work():
+    """attach_tracer/attach_profiler/attach_faults are thin wrappers over
+    attach() and return what callers historically consumed."""
+    scheduler = SCHEDULERS["reg"]()
+    machine = make_machine(scheduler, MACHINE_SPECS["2P"])
+    tracer = machine.attach_tracer()
+    prof = machine.attach_profiler()
+    injector = machine.attach_faults(FaultInjector(FaultPlan()))
+    assert machine.tracer is tracer
+    assert machine.prof is prof
+    assert machine.faults is injector
+    assert len(machine.probes) == 3

@@ -1,0 +1,108 @@
+"""Unit contract of the probe pipeline itself.
+
+The pipeline's invariants are structural: an empty :class:`ProbeSet` is
+falsy (so the kernel's ``if probes.kind:`` fast paths skip emission
+entirely), ``add`` is idempotent, per-kind dispatch lists contain
+exactly the probes that subscribed to that kind, and a probe with an
+unknown kind is rejected at attach time rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import KINDS, Probe, ProbeSet
+
+
+class _Recorder(Probe):
+    kinds = frozenset({"sched", "lock"})
+
+    def __init__(self):
+        self.events = []
+        self.scheduler_names = []
+
+    def on_sched(self, ev):
+        self.events.append(("sched", ev))
+
+    def on_lock(self, ev):
+        self.events.append(("lock", ev))
+
+    def set_scheduler(self, name):
+        self.scheduler_names.append(name)
+
+
+def test_empty_set_is_falsy_and_every_kind_list_is_empty():
+    probes = ProbeSet()
+    assert not probes
+    assert len(probes) == 0
+    assert list(probes) == []
+    for kind in KINDS:
+        assert getattr(probes, kind) == ()
+
+
+def test_add_routes_to_subscribed_kinds_only():
+    probes = ProbeSet()
+    rec = _Recorder()
+    probes.add(rec)
+    assert probes and len(probes) == 1
+    assert probes.sched == (rec,)
+    assert probes.lock == (rec,)
+    for kind in set(KINDS) - {"sched", "lock"}:
+        assert getattr(probes, kind) == ()
+
+
+def test_add_is_idempotent():
+    probes = ProbeSet()
+    rec = _Recorder()
+    probes.add(rec)
+    probes.add(rec)
+    assert len(probes) == 1
+    assert probes.sched == (rec,)
+
+
+def test_remove_restores_detached_state():
+    probes = ProbeSet()
+    rec = _Recorder()
+    probes.add(rec)
+    probes.remove(rec)
+    assert not probes
+    for kind in KINDS:
+        assert getattr(probes, kind) == ()
+    # Removing a probe that is not attached is a no-op, not an error.
+    probes.remove(rec)
+
+
+def test_first_finds_by_class():
+    probes = ProbeSet()
+    a, b = _Recorder(), _Recorder()
+    assert probes.first(_Recorder) is None
+    probes.add(a)
+    probes.add(b)
+    assert probes.first(_Recorder) is a
+
+
+def test_unknown_kind_is_rejected():
+    class Bad(Probe):
+        kinds = frozenset({"sched", "telepathy"})
+
+    with pytest.raises(ValueError):
+        ProbeSet().add(Bad())
+
+
+def test_set_scheduler_broadcasts():
+    probes = ProbeSet()
+    a, b = _Recorder(), _Recorder()
+    probes.add(a)
+    probes.add(b)
+    probes.set_scheduler("elsc")
+    assert a.scheduler_names == ["elsc"]
+    assert b.scheduler_names == ["elsc"]
+
+
+def test_base_probe_hooks_are_no_ops():
+    probe = Probe()
+    assert probe.kinds == frozenset()
+    probe.on_attach(object())
+    probe.set_scheduler("any")
+    for kind in KINDS:
+        getattr(probe, f"on_{kind}")(object())

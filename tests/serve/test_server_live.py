@@ -119,3 +119,56 @@ def test_session_outbox_bounded_drops_counted():
         == counters["completed"] * config.clients_per_room
     )
     assert report.received <= counters["deliveries"]
+
+
+def test_metrics_frame_returns_live_snapshot():
+    """A ``{"op": "metrics"}`` frame answers with the server counters
+    and, when a MetricsProbe is attached, its live snapshot."""
+    import json
+
+    from repro.obs import MetricsProbe
+    from repro.serve import protocol
+
+    config = ServeConfig(rooms=1, clients_per_room=1, duration_s=8.0)
+
+    async def scenario(attach_probe: bool):
+        executor = SchedulerExecutor(SCHEDULERS["reg"]())
+        if attach_probe:
+            executor.attach(MetricsProbe())
+        server = ChatServer(executor, config)
+        await server.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+
+        async def frames_until(op: str) -> dict:
+            while True:
+                frame = json.loads(await reader.readline())
+                if frame["op"] == op:
+                    return frame
+
+        await frames_until(protocol.OP_WELCOME)
+        writer.write(protocol.encode({"op": "join", "room": "r0", "user": "u"}))
+        writer.write(
+            protocol.encode(
+                {"op": "msg", "room": "r0", "user": "u", "seq": 1, "t": 0}
+            )
+        )
+        await writer.drain()
+        # Wait for our own fan-out echo: the request definitely went
+        # through the scheduler before we snapshot.
+        await frames_until(protocol.OP_MSG)
+        writer.write(protocol.encode({"op": "metrics"}))
+        await writer.drain()
+        frame = await frames_until(protocol.OP_METRICS)
+        writer.close()
+        await server.stop()
+        return frame
+
+    frame = asyncio.run(scenario(attach_probe=True))
+    assert frame["counters"]["completed"] == 1
+    assert frame["metrics"]["counters"]["picks"] > 0
+    assert frame["metrics"]["schedulers"]["reg"]["picks"] > 0
+
+    # Without a probe the frame still succeeds; metrics is just empty.
+    frame = asyncio.run(scenario(attach_probe=False))
+    assert frame["counters"]["completed"] == 1
+    assert frame["metrics"] == {}

@@ -1,0 +1,85 @@
+"""The shared CLI vocabulary/resolution layer.
+
+Every subcommand that accepts scheduler or workload names goes through
+:mod:`repro.cli_common`; these tests pin that the vocabularies track
+the registries, that every advertised spelling resolves, and that
+unknown names die with a clean ``SystemExit`` (argparse-grade UX)
+rather than a registry ``KeyError`` traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli_common import (
+    machine_vocab,
+    resolve_scheduler_arg,
+    resolve_scheduler_list,
+    resolve_workload_arg,
+    scheduler_vocab,
+    workload_vocab,
+)
+from repro.harness import MACHINE_SPECS, SCHEDULERS, WORKLOADS
+from repro.harness.registry import SCHEDULER_ALIASES, WORKLOAD_ALIASES
+
+
+def test_vocabularies_track_the_registries():
+    assert set(scheduler_vocab()) == set(SCHEDULERS) | set(SCHEDULER_ALIASES)
+    assert set(workload_vocab()) == set(WORKLOADS) | set(WORKLOAD_ALIASES)
+    assert machine_vocab() == list(MACHINE_SPECS)
+
+
+def test_every_advertised_spelling_resolves_to_a_registry_key():
+    for name in scheduler_vocab():
+        assert resolve_scheduler_arg(name) in SCHEDULERS
+    for name in workload_vocab():
+        assert resolve_workload_arg(name) in WORKLOADS
+
+
+def test_aliases_resolve_to_their_canonical_names():
+    assert resolve_scheduler_arg("vanilla") == "reg"
+    assert resolve_scheduler_arg("current") == "reg"
+    assert resolve_scheduler_arg("multiqueue") == "mq"
+    assert resolve_workload_arg("volanomark") == "volano"
+    assert resolve_workload_arg("loadtest") == "serve"
+
+
+def test_canonical_names_pass_through_unchanged():
+    for name in SCHEDULERS:
+        assert resolve_scheduler_arg(name) == name
+    for name in WORKLOADS:
+        assert resolve_workload_arg(name) == name
+
+
+def test_unknown_names_exit_cleanly_with_the_vocabulary():
+    with pytest.raises(SystemExit) as exc:
+        resolve_scheduler_arg("bogus")
+    assert "bogus" in str(exc.value) and "elsc" in str(exc.value)
+    with pytest.raises(SystemExit) as exc:
+        resolve_workload_arg("bogus")
+    assert "bogus" in str(exc.value) and "volano" in str(exc.value)
+
+
+def test_scheduler_list_resolves_and_skips_blanks():
+    assert resolve_scheduler_list("vanilla,,elsc") == ["reg", "elsc"]
+    assert resolve_scheduler_list("") == []
+    with pytest.raises(SystemExit):
+        resolve_scheduler_list("elsc,bogus")
+
+
+def test_cli_subcommands_accept_aliases():
+    """The parsers advertise the shared vocabulary, so an alias is a
+    valid --scheduler/--workload everywhere it is accepted at all."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["profile", "--workload", "volanomark", "--sched", "vanilla"]
+    )
+    assert args.workload == "volanomark"
+    args = parser.parse_args(["metrics", "--sched", "multiqueue"])
+    assert args.sched == "multiqueue"
+    args = parser.parse_args(["loadtest", "--scheduler", "current"])
+    assert args.scheduler == "current"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["serve", "--scheduler", "bogus"])

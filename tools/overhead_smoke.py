@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Instrumentation-overhead smoke: the empty pipeline must stay fast.
+
+The probe refactor's performance contract is that a run with **no**
+probes attached pays nothing beyond one truthiness test per potential
+event.  This tool measures best-of-N wall-clock for one fixed
+VolanoMark cell in two configurations:
+
+* ``detached`` — the default empty ``ProbeSet``;
+* ``stacked`` — tracer + profiler + metrics + empty-plan fault
+  injector, all attached at once.
+
+``--record`` writes the detached timing to the baseline file;
+``--check`` re-measures and **fails** (exit 1) when the detached
+wall-clock regresses more than ``--threshold`` (default 10 %) against
+the recorded baseline.  Both modes also assert the stacked run is
+bit-identical to the detached one in ``SchedStats`` — the correctness
+half of the same contract — and report the stacked overhead for the
+log.  CI records and checks within one job, so the baseline and the
+check always come from the same hardware.
+
+Usage::
+
+    python tools/overhead_smoke.py --record --baseline results/overhead.json
+    python tools/overhead_smoke.py --check  --baseline results/overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.faults import FaultPlan  # noqa: E402
+from repro.faults.injector import FaultInjector  # noqa: E402
+from repro.harness import MACHINE_SPECS, SCHEDULERS  # noqa: E402
+from repro.kernel.simulator import make_machine  # noqa: E402
+from repro.obs import MetricsProbe, ProfilerProbe, TracerProbe  # noqa: E402
+from repro.sched.stats import SchedStats  # noqa: E402
+from repro.workloads.volanomark import VolanoConfig, VolanoMark  # noqa: E402
+
+#: The fixed cell: big enough that emission sites dominate the timing
+#: noise, small enough for a sub-second repetition.
+CELL = dict(rooms=6, users_per_room=12, messages_per_user=6)
+SCHEDULER = "reg"
+MACHINE = "2P"
+
+
+def _stacked_probes() -> list:
+    return [
+        TracerProbe(),
+        ProfilerProbe(),
+        MetricsProbe(),
+        FaultInjector(FaultPlan()),
+    ]
+
+
+def _run_once(probes: list) -> tuple[float, tuple]:
+    """One cell run; returns (wall seconds, SchedStats tuple)."""
+    bench = VolanoMark(VolanoConfig(**CELL))
+    scheduler = SCHEDULERS[SCHEDULER]()
+    machine = make_machine(scheduler, MACHINE_SPECS[MACHINE])
+    for probe in probes:
+        machine.attach(probe)
+    bench.populate(machine)
+    start = time.perf_counter()
+    machine.run()
+    wall = time.perf_counter() - start
+    stats = tuple(
+        getattr(scheduler.stats, f) for f in SchedStats.__dataclass_fields__
+    )
+    return wall, stats
+
+
+def measure(probe_factory, repeats: int) -> tuple[float, tuple]:
+    """Best-of-N wall-clock (minimum filters scheduler-noise outliers)."""
+    _run_once(probe_factory())  # warmup: imports, allocator, branch caches
+    best = float("inf")
+    stats = None
+    for _ in range(repeats):
+        wall, stats = _run_once(probe_factory())
+        best = min(best, wall)
+    return best, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--record", action="store_true", help="write the detached baseline"
+    )
+    mode.add_argument(
+        "--check", action="store_true", help="compare against the baseline"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="results/overhead-baseline.json",
+        help="baseline JSON path",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="runs per configuration"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="maximum tolerated detached-run regression (fraction)",
+    )
+    args = parser.parse_args(argv)
+
+    detached_wall, detached_stats = measure(lambda: [], args.repeats)
+    stacked_wall, stacked_stats = measure(_stacked_probes, args.repeats)
+
+    if detached_stats != stacked_stats:
+        print("FAIL: stacked probes perturbed the simulation", file=sys.stderr)
+        print(f"  detached: {detached_stats}", file=sys.stderr)
+        print(f"  stacked:  {stacked_stats}", file=sys.stderr)
+        return 1
+
+    overhead = stacked_wall / detached_wall - 1.0
+    print(
+        f"detached {detached_wall * 1e3:.1f} ms, stacked "
+        f"{stacked_wall * 1e3:.1f} ms ({overhead:+.1%} instrumented, "
+        f"best of {args.repeats})"
+    )
+
+    baseline_path = Path(args.baseline)
+    if args.record:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cell": CELL,
+            "scheduler": SCHEDULER,
+            "machine": MACHINE,
+            "repeats": args.repeats,
+            "detached_wall_s": detached_wall,
+            "stacked_wall_s": stacked_wall,
+        }
+        baseline_path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline recorded to {baseline_path}")
+        return 0
+
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: unreadable baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 1
+    if baseline.get("cell") != CELL or baseline.get("scheduler") != SCHEDULER:
+        print("FAIL: baseline was recorded for a different cell", file=sys.stderr)
+        return 1
+    recorded = float(baseline["detached_wall_s"])
+    regression = detached_wall / recorded - 1.0
+    print(
+        f"detached vs baseline {recorded * 1e3:.1f} ms: "
+        f"{regression:+.1%} (threshold +{args.threshold:.0%})"
+    )
+    if regression > args.threshold:
+        print(
+            f"FAIL: no-probe wall-clock regressed {regression:.1%} "
+            f"> {args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok: empty-pipeline fast path within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
