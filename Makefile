@@ -7,13 +7,19 @@ PYTHON ?= python
 PY = PYTHONPATH=src $(PYTHON)
 JOBS ?= 0
 
-.PHONY: install test bench bench-full report sweep examples clean clean-cache
+.PHONY: install test stress bench bench-full report sweep examples clean clean-cache
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	$(PY) -m pytest -x -q
+
+# The stress tier: long fuzz sweeps the tier-1 run excludes, plus the
+# stress-parity gate at CI scale (100 seeded scenarios, every scheduler).
+stress:
+	$(PY) -m pytest -q -m "stress or slow"
+	$(PY) tools/stress_parity.py --seed 0 --count 100 --quiet
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q

@@ -862,6 +862,202 @@ def cmd_clean_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gather_scenarios(args: argparse.Namespace):
+    """Resolve the run/render target set: (scenarios, any_quarantine).
+
+    Each positional ref may be a registry name, ``@file``, inline JSON,
+    or a bare file path; ``--match`` adds every registry scenario whose
+    name fits the glob.  A file whose payload carries a ``divergences``
+    key is a quarantined repro — flagged so ``run`` re-checks it even
+    without ``--check``.
+    """
+    import fnmatch
+    import json as json_mod
+    from pathlib import Path
+
+    from .scenario import ScenarioSpec, named_scenarios, resolve_scenario
+
+    scenarios = []
+    any_quarantine = False
+    def _is_file(candidate: str) -> bool:
+        try:
+            return Path(candidate).is_file()
+        except OSError:  # e.g. inline JSON far beyond NAME_MAX
+            return False
+
+    for ref in args.refs:
+        payload = None
+        if ref.lstrip().startswith("{"):
+            pass  # inline JSON: resolve_scenario handles it below
+        elif ref.startswith("@") and _is_file(ref[1:]):
+            payload = json_mod.loads(Path(ref[1:]).read_text())
+        elif _is_file(ref):
+            payload = json_mod.loads(Path(ref).read_text())
+        if isinstance(payload, dict):
+            if "divergences" in payload:
+                any_quarantine = True
+            scenarios.append(ScenarioSpec.from_dict(payload))
+            continue
+        try:
+            scenarios.append(resolve_scenario(ref))
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(str(exc.args[0] if exc.args else exc))
+    if getattr(args, "match", None):
+        registry = named_scenarios()
+        matched = [
+            registry[name]
+            for name in sorted(registry)
+            if fnmatch.fnmatch(name, args.match)
+        ]
+        if not matched:
+            raise SystemExit(f"no registered scenario matches {args.match!r}")
+        scenarios.extend(matched)
+    if not scenarios:
+        raise SystemExit(
+            "no scenarios selected; pass names/files or --match GLOB "
+            "(see `repro scenario list`)"
+        )
+    return scenarios, any_quarantine
+
+
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    import fnmatch
+    import json as json_mod
+
+    from .scenario import named_scenarios
+
+    registry = named_scenarios()
+    names = sorted(registry)
+    if args.match:
+        names = [n for n in names if fnmatch.fnmatch(n, args.match)]
+    if args.json:
+        print(
+            json_mod.dumps(
+                {name: registry[name].to_dict() for name in names}, indent=2
+            )
+        )
+        return 0
+    for name in names:
+        spec = registry[name]
+        extras = []
+        if not spec.fault_plan.is_empty:
+            extras.append(f"faults={spec.fault_plan.name}")
+        if spec.probes:
+            extras.append(f"probes={','.join(spec.probes)}")
+        if not spec.load.is_empty:
+            extras.append(f"load={len(spec.load.phases)} phases")
+        suffix = f"  ({'; '.join(extras)})" if extras else ""
+        print(
+            f"{name:<36} {spec.workload}/{spec.scheduler}-{spec.machine}{suffix}"
+        )
+    print(f"{len(names)} scenarios", file=sys.stderr)
+    return 0
+
+
+def cmd_scenario_render(args: argparse.Namespace) -> int:
+    """Print a scenario's canonical JSON (the scenario-file format)."""
+    import json as json_mod
+
+    args.match = None
+    scenarios, _ = _gather_scenarios(args)
+    for spec in scenarios:
+        if args.compact:
+            print(spec.to_config())
+        else:
+            print(json_mod.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        print(f"# key {spec.key}", file=sys.stderr)
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .scenario import check_scenario, run_scenarios
+
+    scenarios, any_quarantine = _gather_scenarios(args)
+    check = args.check or any_quarantine
+    if check:
+        # Parity mode: re-derive each scenario's trace and probed runs
+        # and assert the four contracts — the quarantine replay path.
+        failed = 0
+        records = []
+        for spec in scenarios:
+            divergences = check_scenario(spec)
+            records.append(
+                {
+                    "name": spec.name,
+                    "key": spec.key,
+                    "divergences": [d.to_dict() for d in divergences],
+                }
+            )
+            if divergences:
+                failed += 1
+                print(f"DIVERGED  {spec.label}")
+                for d in divergences:
+                    print(f"  [{d.check}] {d.detail}")
+            else:
+                print(f"ok        {spec.label}")
+        if args.json:
+            print(json_mod.dumps(records, indent=2))
+        print(
+            f"{len(scenarios) - failed}/{len(scenarios)} scenarios hold "
+            f"all parity contracts",
+            file=sys.stderr,
+        )
+        return 1 if failed else 0
+
+    if args.jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0 (0 = auto), got {args.jobs}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    done = {"count": 0}
+
+    def progress(spec, result, cached) -> None:
+        done["count"] += 1
+        tag = "cached" if cached else "ran"
+        print(
+            f"[{done['count']}/{len(scenarios)}] {tag:<6} {spec.label}",
+            file=sys.stderr,
+        )
+
+    results = run_scenarios(
+        scenarios,
+        jobs=args.jobs,
+        cache=cache,
+        manifest_path=args.manifest or None,
+        progress=progress,
+    )
+    if args.json:
+        print(
+            json_mod.dumps(
+                [
+                    {
+                        "name": spec.name,
+                        "key": spec.key,
+                        "cell": result.to_dict() if result else None,
+                    }
+                    for spec, result in zip(scenarios, results)
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    width = max(len(s.name) for s in scenarios)
+    for spec, result in zip(scenarios, results):
+        if result is None:
+            print(f"{spec.name:<{width}}  (failed)")
+            continue
+        metrics = result.metrics
+        shown = ", ".join(
+            f"{k}={metrics[k]:.4g}" if isinstance(metrics[k], float) else f"{k}={metrics[k]}"
+            for k in sorted(metrics)[:4]
+        )
+        print(
+            f"{spec.name:<{width}}  {spec.workload}/{spec.scheduler}-"
+            f"{spec.machine}  {shown}"
+        )
+    return 0
+
+
 def cmd_schedstat(args: argparse.Namespace) -> int:
     from .kernel.proc import render_runqueue, render_schedstat, render_tasks
     from .kernel.simulator import Simulator, make_machine
@@ -1132,6 +1328,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", default="", help="write the chaos report here")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "scenario",
+        help="run, list, or render named experiment scenarios",
+        description=(
+            "A scenario composes workload shape, machine spec, scheduler, "
+            "fault plan, probe set, and load schedule into one loadable, "
+            "content-addressed JSON value (see docs/scenarios.md)."
+        ),
+    )
+    scen_sub = p.add_subparsers(dest="scenario_command", required=True)
+
+    sp = scen_sub.add_parser(
+        "run",
+        help="run scenarios (names, @files, inline JSON, or --match GLOB)",
+    )
+    sp.add_argument(
+        "refs",
+        nargs="*",
+        help="scenario refs: registry name, @file, inline JSON, or file path",
+    )
+    sp.add_argument(
+        "--match",
+        default="",
+        help="also run every registered scenario matching this glob",
+    )
+    sp.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "assert the stress-parity contracts instead of reporting "
+            "metrics (automatic for quarantined repro files)"
+        ),
+    )
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_harness_args(sp)
+    sp.set_defaults(func=cmd_scenario_run)
+
+    sp = scen_sub.add_parser("list", help="list the named-scenario catalogue")
+    sp.add_argument("--match", default="", help="filter names by glob")
+    sp.add_argument("--json", action="store_true", help="emit full specs as JSON")
+    sp.set_defaults(func=cmd_scenario_list)
+
+    sp = scen_sub.add_parser(
+        "render", help="print a scenario's canonical JSON form"
+    )
+    sp.add_argument("refs", nargs="+", help="scenario refs (as for run)")
+    sp.add_argument(
+        "--compact",
+        action="store_true",
+        help="one canonical line (the hashed form) instead of pretty JSON",
+    )
+    sp.set_defaults(func=cmd_scenario_render)
 
     p = sub.add_parser(
         "clean-cache",

@@ -33,6 +33,8 @@ __all__ = [
     "resolve_scheduler_arg",
     "resolve_workload_arg",
     "resolve_scheduler_list",
+    "resolve_machine_arg",
+    "resolve_machine_list",
 ]
 
 
@@ -78,3 +80,21 @@ def resolve_scheduler_list(csv: str) -> list[str]:
     an empty result is the caller's error to report.
     """
     return [resolve_scheduler_arg(s) for s in csv.split(",") if s]
+
+
+def resolve_machine_arg(name: str) -> str:
+    """A validated machine-spec key for a CLI-supplied ``name``.
+
+    Machine specs have no aliases; this is pure membership with the
+    same clean ``SystemExit`` discipline as the other resolvers.
+    """
+    if name not in MACHINE_SPECS:
+        raise SystemExit(
+            f"unknown machine spec {name!r}; choose from {list(MACHINE_SPECS)}"
+        )
+    return name
+
+
+def resolve_machine_list(csv: str) -> list[str]:
+    """Validated machine-spec keys for a comma-separated CLI list."""
+    return [resolve_machine_arg(s) for s in csv.split(",") if s]

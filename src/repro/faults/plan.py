@@ -207,6 +207,18 @@ class FaultPlan:
 
     # -- convenience ------------------------------------------------------------
 
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing and imposes no horizon.
+
+        An empty plan attached to a run is bit-identical to no plan at
+        all (the pipeline-identity suites pin that), so callers that
+        embed plans into configs — :class:`~repro.scenario.ScenarioSpec`
+        in particular — omit empty ones entirely to keep cache keys
+        equal to the plain invocation's.
+        """
+        return not self.faults and self.horizon_s == 0.0
+
     def kinds(self) -> set:
         return {spec.kind for spec in self.faults}
 

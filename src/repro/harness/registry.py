@@ -75,6 +75,7 @@ MACHINE_SPECS: dict[str, MachineSpec] = {
     "1P": MachineSpec.smp_n(1),
     "2P": MachineSpec.smp_n(2),
     "4P": MachineSpec.smp_n(4),
+    "8P": MachineSpec.smp_n(8),
 }
 
 

@@ -858,7 +858,23 @@ class Machine:
             elif kind is EventKind.TICK:
                 self._handle_tick(event.payload, event.time)
             elif kind is EventKind.TIMER:
-                self.wake_up_process(event.payload, event.time)
+                task = event.payload
+                node = task.wait_node
+                if node is not None:
+                    # Stale timer: a spurious (fault-injected) wake ended
+                    # this task's sleep early and it has since parked on a
+                    # wait queue.  A real kernel would have cancelled the
+                    # timer; absent a back-reference to cancel through,
+                    # treat the firing as one more spurious wake — unlink
+                    # first so the waker-dequeues discipline holds and the
+                    # blocking action retries.  Unreachable without fault
+                    # injection: a sleeping task is never queue-parked.
+                    queue = getattr(node, "queue", None)
+                    if queue is not None:
+                        queue.remove(task)
+                    else:
+                        task.wait_node = None
+                self.wake_up_process(task, event.time)
             elif kind is EventKind.CALLBACK:
                 event.payload(self, event)
             elif kind is EventKind.HALT:

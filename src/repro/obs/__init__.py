@@ -26,7 +26,11 @@ from .probe import (  # noqa: F401
     WakeupEvent,
 )
 from .probes import ProfilerProbe, TracerProbe  # noqa: F401
-from .metrics import MetricsProbe, format_metrics  # noqa: F401
+from .metrics import (  # noqa: F401
+    MetricsProbe,
+    format_metrics,
+    reconcile_with_stats,
+)
 
 __all__ = [
     "KINDS",
@@ -44,4 +48,5 @@ __all__ = [
     "ProfilerProbe",
     "MetricsProbe",
     "format_metrics",
+    "reconcile_with_stats",
 ]

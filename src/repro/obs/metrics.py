@@ -25,7 +25,29 @@ from typing import Any, Optional
 
 from .probe import Probe
 
-__all__ = ["MetricsProbe", "format_metrics"]
+__all__ = ["MetricsProbe", "format_metrics", "reconcile_with_stats"]
+
+#: The reconciliation contract: (probe counter/total, SchedStats field)
+#: pairs that must agree exactly on any run.  Every number the probe
+#: reports is a *derived* view of counters the simulator already keeps;
+#: a mismatch means an emission site and the machine's own ledger have
+#: drifted apart.  ``tests/obs/`` holds the contract on real runs and
+#: the stress-parity fuzzer (:mod:`repro.scenario.fuzz`) re-asserts it
+#: on every fuzzed scenario.
+RECONCILE_COUNTERS = (
+    ("picks", "schedule_calls"),
+    ("idle_picks", "idle_schedules"),
+    ("migrations", "migrations"),
+    ("preemptions", "preemptions"),
+    ("recalcs", "recalc_entries"),
+)
+RECONCILE_TOTALS = (
+    ("examined", "tasks_examined"),
+    ("lock_spin_cycles", "lock_spin_cycles"),
+    # Decision cost is the scheduler-cycle ledger exactly (wakeup work
+    # is charged outside scheduler_cycles, as in the profiler's phases).
+    ("decision_cycles", "scheduler_cycles"),
+)
 
 #: Counter keys, in render order.  Kept explicit so snapshots from
 #: different builds compare key-for-key.
@@ -235,6 +257,30 @@ class MetricsProbe(Probe):
                 },
             }
         return probe
+
+
+def reconcile_with_stats(probe: "MetricsProbe", stats: dict) -> list[str]:
+    """Divergences between a probe's aggregates and a SchedStats mapping.
+
+    ``stats`` is the raw counter dict a :class:`~repro.harness.result.
+    CellResult` carries (field name → int).  Returns one human-readable
+    line per violated :data:`RECONCILE_COUNTERS`/:data:`RECONCILE_TOTALS`
+    pair — empty means the metrics ledger reconciles exactly.
+    """
+    errors: list[str] = []
+    for probe_key, stat_key in RECONCILE_COUNTERS:
+        got, want = probe.counters[probe_key], int(stats.get(stat_key, 0))
+        if got != want:
+            errors.append(
+                f"counters[{probe_key}]={got} != stats[{stat_key}]={want}"
+            )
+    for probe_key, stat_key in RECONCILE_TOTALS:
+        got, want = probe.totals[probe_key], int(stats.get(stat_key, 0))
+        if got != want:
+            errors.append(
+                f"totals[{probe_key}]={got} != stats[{stat_key}]={want}"
+            )
+    return errors
 
 
 def _hist_line(hist: dict[str, int], width: int = 40) -> str:

@@ -29,7 +29,7 @@ Entry points: ``python -m repro profile``, the ``--profile`` flag on
 :func:`repro.analysis.report.build_report`.  See ``docs/profiling.md``.
 """
 
-from .profiler import Profiler
+from .profiler import Profiler, conservation_errors
 from .report import (
     collapsed_stacks,
     flat_table,
@@ -44,6 +44,7 @@ __all__ = [
     "ProfSink",
     "Profiler",
     "collapsed_stacks",
+    "conservation_errors",
     "flat_table",
     "parse_collapsed",
     "table1_comparison",

@@ -24,7 +24,34 @@ from typing import Any, Optional
 from ..kernel.params import CYCLES_PER_TICK
 from .sink import PHASES, SCHEDULER_PHASES
 
-__all__ = ["Profiler"]
+__all__ = ["Profiler", "conservation_errors"]
+
+
+def conservation_errors(prof: "Profiler", stats: dict) -> list[str]:
+    """Violations of the profiler's exact-conservation contract.
+
+    ``stats`` is the raw SchedStats counter dict a cached cell carries.
+    The contract (pinned by ``tests/prof/test_conservation.py`` and
+    re-asserted per fuzzed scenario by :mod:`repro.scenario.fuzz`):
+    the scheduler phases sum to ``SchedStats.scheduler_cycles`` exactly,
+    and ``lock_wait`` equals ``lock_spin_cycles`` exactly.  Returns one
+    line per violation; empty means cycles are conserved.
+    """
+    errors: list[str] = []
+    got = prof.scheduler_cycles()
+    want = int(stats.get("scheduler_cycles", 0))
+    if got != want:
+        errors.append(
+            f"profiler scheduler phases sum to {got} cycles "
+            f"!= stats[scheduler_cycles]={want}"
+        )
+    got = prof.phase_total("lock_wait")
+    want = int(stats.get("lock_spin_cycles", 0))
+    if got != want:
+        errors.append(
+            f"profiler lock_wait={got} != stats[lock_spin_cycles]={want}"
+        )
+    return errors
 
 
 class Profiler:

@@ -1,0 +1,61 @@
+"""repro.scenario — the experiment DSL and its stress-parity fuzzer.
+
+A :class:`ScenarioSpec` composes everything that shapes an experiment —
+workload shape, machine spec, scheduler, fault plan, probe set, offered
+load schedule — into one frozen, seeded, content-addressable value with
+a canonical JSON form, generalising the :class:`~repro.faults.plan.
+FaultPlan` pattern to the whole run.  A catalogue of hundreds of named
+scenarios (:func:`named_scenarios`) makes the matrix addressable by
+name, and :func:`run_scenarios` sweeps any batch through the existing
+harness cache unchanged.
+
+:mod:`repro.scenario.fuzz` turns the spec into a correctness engine: a
+seeded generator perturbs scenarios within documented bounds and
+asserts four exact parity contracts per case (executor-vs-Machine
+dispatch, probe bit-identity, cycle conservation, metrics
+reconciliation), quarantining any divergence as a self-contained repro
+file that ``repro scenario run <file>`` replays exactly.
+
+Entry points: ``python -m repro scenario run|list|render``,
+``tools/stress_parity.py``, ``make stress``.  See ``docs/scenarios.md``.
+"""
+
+from .fuzz import (
+    CHECKS,
+    Divergence,
+    FuzzBounds,
+    FuzzReport,
+    check_scenario,
+    generate_scenario,
+    mutate,
+    run_fuzz,
+    write_quarantine,
+)
+from .registry import named_scenarios, scenario_names
+from .runner import run_scenario, run_scenarios
+from .spec import (
+    PROBE_KINDS,
+    ScenarioSpec,
+    load_scenario_payload,
+    resolve_scenario,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "PROBE_KINDS",
+    "resolve_scenario",
+    "load_scenario_payload",
+    "named_scenarios",
+    "scenario_names",
+    "run_scenario",
+    "run_scenarios",
+    "CHECKS",
+    "FuzzBounds",
+    "FuzzReport",
+    "Divergence",
+    "generate_scenario",
+    "mutate",
+    "check_scenario",
+    "write_quarantine",
+    "run_fuzz",
+]

@@ -1,0 +1,160 @@
+"""The named-scenario catalogue.
+
+``named_scenarios()`` materialises a matrix of a couple hundred
+ready-to-run :class:`~repro.scenario.spec.ScenarioSpec`\\ s so sweeps,
+CI jobs, and humans can address experiments by name instead of
+re-deriving flag soup:
+
+* ``{workload}-{sched}-{machine}-{size}`` — every simulated workload ×
+  every registered scheduler × UP/2P/4P/8P at two smoke-safe sizes
+  (no probes, so each addresses exactly the plain sweep's cache cell);
+* ``profiled-{workload}-{sched}`` — the 2P small cell with both
+  observers attached (``metrics`` + ``profile``);
+* ``chaos-{plan}-{sched}`` — VolanoMark on 2P under a named kernel
+  fault plan;
+* ``serve-{shape}-{sched}`` — the live workload under a phased offered
+  load (spike / ramp).
+
+Sizes are deliberately tiny — the catalogue's job is breadth (hundreds
+of distinct cells through one front door), not paper-scale load; scale
+up with ``--config`` overrides or a scenario file.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..harness.registry import SCHEDULERS
+from ..serve.config import LoadPhase
+from .spec import ScenarioSpec
+
+__all__ = ["named_scenarios", "scenario_names"]
+
+#: Machines the matrix spans: the paper's uniprocessor baseline plus
+#: the SMP sizes the scaling figures sweep.
+_MACHINES = ("UP", "2P", "4P", "8P")
+
+#: Per-workload config overrides at the two catalogue sizes.
+_SIZES: dict[str, dict[str, dict]] = {
+    "volano": {
+        "small": {"rooms": 1, "users_per_room": 3, "messages_per_user": 2},
+        "medium": {"rooms": 2, "users_per_room": 4, "messages_per_user": 3},
+    },
+    "select-chat": {
+        "small": {"rooms": 1, "users_per_room": 3, "messages_per_user": 2},
+        "medium": {"rooms": 2, "users_per_room": 4, "messages_per_user": 3},
+    },
+    "kernbench": {
+        "small": {"files": 12, "jobs": 2},
+        "medium": {"files": 40, "jobs": 4},
+    },
+    "webserver": {
+        "small": {"workers": 2, "clients": 4, "requests_per_client": 3},
+        "medium": {"workers": 4, "clients": 8, "requests_per_client": 5},
+    },
+}
+
+#: Kernel fault plans the chaos scenarios exercise (a safe, quick subset
+#: of :data:`repro.faults.plans.NAMED_PLANS`).
+_CHAOS_PLANS = ("kill-one-worker", "spurious-storm", "clock-skew")
+
+#: Offered-load shapes for the live ``serve`` scenarios.
+_LOAD_SHAPES: dict[str, tuple] = {
+    "spike": (
+        LoadPhase(duration_s=1.0, interval_ms=20.0),
+        LoadPhase(duration_s=1.0, interval_ms=4.0),
+        LoadPhase(duration_s=1.0, interval_ms=20.0),
+    ),
+    "ramp": (
+        LoadPhase(duration_s=1.0, interval_ms=20.0),
+        LoadPhase(duration_s=1.0, interval_ms=10.0),
+        LoadPhase(duration_s=1.0, interval_ms=5.0),
+    ),
+}
+
+_CACHE: Optional[dict[str, ScenarioSpec]] = None
+
+
+def _build() -> dict[str, ScenarioSpec]:
+    catalogue: dict[str, ScenarioSpec] = {}
+
+    def add(spec: ScenarioSpec) -> None:
+        if spec.name in catalogue:
+            raise ValueError(f"duplicate scenario name {spec.name!r}")
+        catalogue[spec.name] = spec
+
+    # The simulated matrix: workload x scheduler x machine x size.
+    for workload, sizes in _SIZES.items():
+        for sched in SCHEDULERS:
+            for machine in _MACHINES:
+                for size, overrides in sizes.items():
+                    add(
+                        ScenarioSpec(
+                            name=f"{workload}-{sched}-{machine.lower()}-{size}",
+                            workload=workload,
+                            scheduler=sched,
+                            machine=machine,
+                            config=overrides,
+                        )
+                    )
+
+    # Observer-attached cells: both probes on the 2P small cell.
+    for workload, sizes in _SIZES.items():
+        for sched in SCHEDULERS:
+            add(
+                ScenarioSpec(
+                    name=f"profiled-{workload}-{sched}",
+                    workload=workload,
+                    scheduler=sched,
+                    machine="2P",
+                    config=sizes["small"],
+                    probes=("metrics", "profile"),
+                )
+            )
+
+    # Chaos: VolanoMark under each named kernel plan, per scheduler.
+    for plan in _CHAOS_PLANS:
+        for sched in SCHEDULERS:
+            add(
+                ScenarioSpec(
+                    name=f"chaos-{plan}-{sched}",
+                    workload="volano",
+                    scheduler=sched,
+                    machine="2P",
+                    config=_SIZES["volano"]["small"],
+                    fault_plan=plan,
+                )
+            )
+
+    # Live serving under a phased offered load (wall-clock seconds; kept
+    # to a 3-second profile so a scenario run stays a smoke test).
+    for shape, phases in _LOAD_SHAPES.items():
+        for sched in ("reg", "elsc"):
+            add(
+                ScenarioSpec(
+                    name=f"serve-{shape}-{sched}",
+                    workload="serve",
+                    scheduler=sched,
+                    machine="2P",
+                    config={
+                        "rooms": 1,
+                        "clients_per_room": 4,
+                        "duration_s": 4.0,
+                    },
+                    load=phases,
+                )
+            )
+
+    return catalogue
+
+
+def named_scenarios() -> dict[str, ScenarioSpec]:
+    """The full catalogue, name → spec (built once, then cached)."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = _build()
+    return _CACHE
+
+
+def scenario_names() -> list[str]:
+    return sorted(named_scenarios())

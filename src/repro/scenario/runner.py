@@ -1,0 +1,95 @@
+"""Run scenarios through the existing harness, cache and all.
+
+A scenario is sugar over a :class:`~repro.harness.spec.RunSpec` plus
+runner flags, so execution delegates wholesale to
+:class:`~repro.harness.runner.ParallelRunner` — same pool, same
+:class:`~repro.harness.cache.ResultCache`, same manifest.  The one
+wrinkle: the runner's ``profile``/``metrics`` switches are global per
+``run()`` call, while each scenario carries its own probe set.  The
+scenario runner therefore buckets the batch by probe combination and
+drives one runner pass per bucket, stitching results back into input
+order — a matrix of hundreds of scenarios still sweeps through the
+cache unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from ..harness.cache import ResultCache
+from ..harness.result import CellResult
+from ..harness.runner import (
+    DEFAULT_MANIFEST_PATH,
+    DEFAULT_PROFILE_TICKS,
+    ParallelRunner,
+    execute_spec,
+)
+from .spec import ScenarioSpec
+
+__all__ = ["run_scenarios", "run_scenario"]
+
+#: progress callback signature: (scenario, result, cached)
+ScenarioProgressFn = Callable[[ScenarioSpec, CellResult, bool], None]
+
+
+def run_scenario(scenario: ScenarioSpec) -> CellResult:
+    """Run one scenario in-process, no cache, no pool — the reference
+    path the fuzzer and the conformance tests lean on."""
+    return execute_spec(
+        scenario.to_run_spec(),
+        profile=scenario.wants_profile,
+        metrics=scenario.wants_metrics,
+    )
+
+
+def run_scenarios(
+    scenarios: Sequence[ScenarioSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    manifest_path: Union[str, Path, None] = DEFAULT_MANIFEST_PATH,
+    progress: Optional[ScenarioProgressFn] = None,
+    profile_ticks: int = DEFAULT_PROFILE_TICKS,
+    max_retries: int = 2,
+    cell_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
+) -> list[Optional[CellResult]]:
+    """Run a batch of scenarios; results align with input by index.
+
+    Scenarios are grouped by ``(wants_profile, wants_metrics)`` and each
+    group goes through one :class:`ParallelRunner` pass, so mixed
+    batches neither over-instrument plain cells (which would change
+    their cache entries' shape) nor under-instrument probed ones.
+    """
+    scenarios = list(scenarios)
+    buckets: dict[tuple[bool, bool], list[int]] = {}
+    for index, scenario in enumerate(scenarios):
+        buckets.setdefault(
+            (scenario.wants_profile, scenario.wants_metrics), []
+        ).append(index)
+
+    results: list[Optional[CellResult]] = [None] * len(scenarios)
+    for (wants_profile, wants_metrics), indices in sorted(buckets.items()):
+        runner = ParallelRunner(
+            jobs=jobs,
+            cache=cache,
+            manifest_path=manifest_path,
+            progress=None,
+            profile=wants_profile,
+            profile_ticks=profile_ticks,
+            metrics=wants_metrics,
+            max_retries=max_retries,
+            cell_timeout_s=cell_timeout_s,
+            on_error=on_error,
+        )
+        if progress is not None:
+            by_key: dict[str, ScenarioSpec] = {}
+            for i in indices:
+                by_key.setdefault(scenarios[i].to_run_spec().key, scenarios[i])
+            runner.progress = lambda spec, result, cached, _m=by_key: progress(
+                _m[spec.key], result, cached
+            )
+        batch = runner.run([scenarios[i].to_run_spec() for i in indices])
+        for slot, result in zip(indices, batch):
+            results[slot] = result
+    return results

@@ -1,0 +1,294 @@
+"""ScenarioSpec: one experiment, fully described, in one loadable value.
+
+A :class:`~repro.harness.spec.RunSpec` names a *cell* — workload,
+scheduler, machine, config — but everything else that shapes an
+experiment lives in CLI flags: which fault plan, which probes, what
+offered-load profile.  A :class:`ScenarioSpec` closes that gap by
+composing all of it into one frozen, seeded, content-addressable value
+that serialises to a single JSON document:
+
+* **workload shape** — workload name + config overrides (defaults
+  filled through the workload's config dataclass, exactly as RunSpec
+  does it);
+* **machine spec** — ``UP``/``2P``/``4P``/``8P``…;
+* **scheduler** — any registered policy, aliases resolved;
+* **fault plan** — a full :class:`~repro.faults.plan.FaultPlan`, not a
+  string reference, so a scenario file is self-contained;
+* **probe set** — which observers ride the run (``profile`` /
+  ``metrics``);
+* **load schedule** — a :class:`~repro.serve.config.LoadSchedule` for
+  the live ``serve`` workload.
+
+The serialisation follows :class:`FaultPlan`'s pattern: ``to_dict`` →
+compact sorted-JSON ``to_config`` → SHA-256 :attr:`key`.  Two scenarios
+that mean the same thing — regardless of field order, alias spelling,
+or spelled-out defaults — render byte-identical JSON and hash to the
+same key.
+
+The composition is *transparent*: :meth:`to_run_spec` folds the fault
+plan and load schedule back into config scalars, and **omits empty
+ones**, so a scenario with no faults and no probes addresses exactly
+the cache cell a plain ``repro sweep`` invocation would (pinned by
+``tests/obs/test_pipeline_identity.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from ..faults.plan import FaultPlan
+from ..faults.plans import resolve_plan
+from ..harness.registry import MACHINE_SPECS, resolve_scheduler, resolve_workload
+from ..harness.spec import RunSpec
+from ..serve.config import LoadPhase, LoadSchedule
+
+__all__ = ["ScenarioSpec", "PROBE_KINDS", "resolve_scenario", "load_scenario_payload"]
+
+#: Observers a scenario may request.  ``profile`` attaches the cycle
+#: profiler, ``metrics`` the MetricsProbe; both are pipeline probes the
+#: bit-identity contract guarantees never perturb the simulation.
+PROBE_KINDS = ("metrics", "profile")
+
+#: Config keys a scenario expresses through dedicated fields; passing
+#: them as raw config overrides would create two sources of truth.
+_COMPOSED_KEYS = ("fault_plan", "load_schedule")
+
+
+def _normalize_fault_plan(value: Any) -> FaultPlan:
+    if value is None or value == "":
+        return FaultPlan()
+    if isinstance(value, FaultPlan):
+        return value
+    if isinstance(value, Mapping):
+        return FaultPlan.from_dict(dict(value))
+    if isinstance(value, str):
+        try:
+            return resolve_plan(value)
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0] if exc.args else exc)) from exc
+    raise TypeError(
+        f"fault_plan must be a FaultPlan, plan name, @file, inline JSON, "
+        f"or dict; got {value!r}"
+    )
+
+
+def _normalize_load(value: Any) -> LoadSchedule:
+    if value is None or value == "" or value == ():
+        return LoadSchedule()
+    if isinstance(value, LoadSchedule):
+        return value
+    if isinstance(value, str):
+        return LoadSchedule.from_config(value)
+    if isinstance(value, Mapping):
+        return LoadSchedule.from_dict(dict(value))
+    # An iterable of phases (LoadPhase instances or dicts).
+    phases = []
+    for phase in value:
+        if isinstance(phase, LoadPhase):
+            phases.append(phase)
+        elif isinstance(phase, Mapping):
+            phases.append(
+                LoadPhase(
+                    duration_s=float(phase["duration_s"]),
+                    interval_ms=float(phase["interval_ms"]),
+                )
+            )
+        else:
+            raise TypeError(f"load phases must be LoadPhase or dict, got {phase!r}")
+    return LoadSchedule(phases=tuple(phases))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described experiment: cell + faults + probes + load.
+
+    Construction is forgiving (aliases, plan names, phase dicts, a
+    ``seed`` shorthand) but the stored value is strict canonical form,
+    so equality, hashing, and :attr:`key` all agree.
+    """
+
+    name: str = "scenario"
+    workload: str = "volano"
+    scheduler: str = "reg"
+    machine: str = "UP"
+    config: Any = ()
+    fault_plan: Any = None
+    probes: Any = ()
+    load: Any = None
+    #: Shorthand for ``config["seed"]``; folded into the config at
+    #: construction and re-read from it, so ``seed=7`` and
+    #: ``config={"seed": 7}`` are the same scenario.  ``None`` keeps
+    #: whatever the config (or the workload default) says.
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        try:
+            object.__setattr__(self, "workload", resolve_workload(self.workload))
+            object.__setattr__(self, "scheduler", resolve_scheduler(self.scheduler))
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0] if exc.args else exc)) from exc
+        if self.machine not in MACHINE_SPECS:
+            raise ValueError(
+                f"unknown machine spec {self.machine!r}; "
+                f"choose from {list(MACHINE_SPECS)}"
+            )
+        object.__setattr__(self, "fault_plan", _normalize_fault_plan(self.fault_plan))
+        object.__setattr__(self, "load", _normalize_load(self.load))
+        if not self.load.is_empty and self.workload != "serve":
+            raise ValueError(
+                f"load schedules apply to the 'serve' workload only; "
+                f"{self.workload!r} paces itself"
+            )
+        probes = (self.probes,) if isinstance(self.probes, str) else tuple(self.probes)
+        for probe in probes:
+            if probe not in PROBE_KINDS:
+                raise ValueError(
+                    f"unknown probe {probe!r}; choose from {list(PROBE_KINDS)}"
+                )
+        object.__setattr__(self, "probes", tuple(sorted(set(probes))))
+        overrides = dict(self.config)
+        for key in _COMPOSED_KEYS:
+            if key in overrides:
+                raise ValueError(
+                    f"config key {key!r} is composed by the scenario's "
+                    f"dedicated field; set that instead"
+                )
+        if self.seed is not None:
+            overrides["seed"] = int(self.seed)
+        # Reuse RunSpec's normalisation: defaults filled through the
+        # workload's config dataclass, unknown fields rejected, sorted.
+        base = RunSpec(self.workload, self.scheduler, self.machine, overrides)
+        normalized = tuple(
+            (k, v) for k, v in base.config if k not in _COMPOSED_KEYS
+        )
+        object.__setattr__(self, "config", normalized)
+        object.__setattr__(self, "seed", dict(normalized).get("seed"))
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def config_dict(self) -> dict[str, Any]:
+        return dict(self.config)
+
+    @property
+    def wants_profile(self) -> bool:
+        return "profile" in self.probes
+
+    @property
+    def wants_metrics(self) -> bool:
+        return "metrics" in self.probes
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} [{self.workload}/{self.scheduler}-{self.machine}]"
+
+    def to_run_spec(self) -> RunSpec:
+        """The harness cell this scenario addresses.
+
+        Empty fault plans and load schedules are omitted (not embedded
+        as ``{"faults": []}``), so the cell's cache key equals the plain
+        invocation's — scenarios sweep through the existing
+        :class:`~repro.harness.cache.ResultCache` unchanged.
+        """
+        overrides = self.config_dict
+        if not self.fault_plan.is_empty:
+            overrides["fault_plan"] = self.fault_plan.to_config()
+        if not self.load.is_empty:
+            overrides["load_schedule"] = self.load.to_config()
+        return RunSpec(self.workload, self.scheduler, self.machine, overrides)
+
+    # -- canonical serialisation --------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "machine": self.machine,
+            "config": self.config_dict,
+            "fault_plan": self.fault_plan.to_dict(),
+            "probes": list(self.probes),
+            "load": self.load.to_dict(),
+        }
+
+    def to_config(self) -> str:
+        """Compact sorted-JSON canonical form — the string that hashes,
+        and the on-disk scenario-file format."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @property
+    def key(self) -> str:
+        """SHA-256 of the canonical form: the scenario's content address."""
+        return hashlib.sha256(self.to_config().encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        # Quarantine repro files wrap the spec under a "scenario" key so
+        # they can carry the divergence record alongside; unwrap it.
+        if "scenario" in data and isinstance(data["scenario"], Mapping):
+            data = data["scenario"]
+        return cls(
+            name=str(data.get("name", "scenario")),
+            workload=data.get("workload", "volano"),
+            scheduler=data.get("scheduler", "reg"),
+            machine=data.get("machine", "UP"),
+            config=dict(data.get("config", {})),
+            fault_plan=data.get("fault_plan"),
+            probes=tuple(data.get("probes", ())),
+            load=data.get("load"),
+        )
+
+    @classmethod
+    def from_config(cls, text: str) -> "ScenarioSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"scenario must be a JSON object, got {data!r}")
+        return cls.from_dict(data)
+
+    def __repr__(self) -> str:
+        return f"<ScenarioSpec {self.label} {self.key[:12]}>"
+
+
+def load_scenario_payload(path: Path) -> tuple[ScenarioSpec, dict[str, Any]]:
+    """Load a scenario file, returning (spec, raw payload).
+
+    The raw payload lets callers see wrapper keys a quarantined repro
+    file carries (``divergences``, ``replay``) and react — the CLI
+    auto-enables parity checking when it spots one.
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"scenario file {path} must hold a JSON object")
+    return ScenarioSpec.from_dict(data), data
+
+
+def resolve_scenario(ref: str) -> ScenarioSpec:
+    """A scenario from a registry name, ``@file``, inline JSON, or path.
+
+    Mirrors :func:`repro.faults.resolve_plan`, with a bare existing file
+    path accepted as a convenience (quarantine repro files are the
+    common case: ``repro scenario run results/quarantine/….json``).
+    """
+    from .registry import named_scenarios
+
+    named = named_scenarios()
+    if ref in named:
+        return named[ref]
+    if ref.startswith("@"):
+        return load_scenario_payload(Path(ref[1:]))[0]
+    if ref.lstrip().startswith("{"):
+        return ScenarioSpec.from_config(ref)
+    try:
+        is_file = Path(ref).is_file()
+    except OSError:  # a ref far beyond NAME_MAX cannot be a path
+        is_file = False
+    if is_file:
+        return load_scenario_payload(Path(ref))[0]
+    raise KeyError(
+        f"unknown scenario {ref!r}; use a registered name "
+        f"(see `repro scenario list`), inline JSON, @file, or a file path"
+    )

@@ -9,7 +9,7 @@ open-loop load generator turns runs into comparable, harness-cacheable
 cells.  See ``docs/serving.md``.
 """
 
-from .config import ServeConfig
+from .config import LoadPhase, LoadSchedule, ServeConfig
 from .executor import SchedulerExecutor
 from .loadgen import ClientStats, LoadReport, run_loadgen
 from .metrics import DepthTracker, LatencySummary, percentile
@@ -18,6 +18,8 @@ from .workload import LoadtestResult, run_serve_loadtest
 
 __all__ = [
     "ServeConfig",
+    "LoadPhase",
+    "LoadSchedule",
     "SchedulerExecutor",
     "ChatServer",
     "Session",

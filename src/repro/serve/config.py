@@ -16,9 +16,101 @@ live default is reduced so smoke runs stay in the seconds range — scale
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, replace
 
-__all__ = ["ServeConfig"]
+__all__ = ["ServeConfig", "LoadPhase", "LoadSchedule"]
+
+#: Hard cap on arrivals one client may generate from a load schedule —
+#: a guard against "tiny interval × long phase" blowing up the schedule
+#: list, far above anything a smoke or stress run produces.
+MAX_SCHEDULED_ARRIVALS = 100_000
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One segment of a load schedule: send every ``interval_ms`` for
+    ``duration_s`` seconds.  Phases chain back to back, so a spike is
+    ``[calm, burst, calm]`` and a ramp is a staircase of phases."""
+
+    duration_s: float
+    interval_ms: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"phase duration_s must be > 0, got {self.duration_s}")
+        if self.interval_ms <= 0:
+            raise ValueError(f"phase interval_ms must be > 0, got {self.interval_ms}")
+
+    def to_dict(self) -> dict:
+        return {"duration_s": self.duration_s, "interval_ms": self.interval_ms}
+
+
+@dataclass(frozen=True)
+class LoadSchedule:
+    """A piecewise-constant offered-load profile for the load generator.
+
+    Serialises canonically (compact sorted JSON) exactly like a
+    :class:`~repro.faults.plan.FaultPlan`, so a schedule embeds into
+    :class:`ServeConfig.load_schedule` as one scalar string and the cell
+    stays content-addressable.  When set, the schedule *replaces*
+    ``message_interval_ms``/``messages_per_client`` pacing: each client
+    sends at the phase-local interval (± ``arrival_jitter``) until the
+    phases run out.
+    """
+
+    phases: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(self.phases))
+        for phase in self.phases:
+            if not isinstance(phase, LoadPhase):
+                raise TypeError(f"phases must be LoadPhase, got {phase!r}")
+        if len(self.phases) > 64:
+            raise ValueError(f"load schedule capped at 64 phases, got {len(self.phases)}")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.phases
+
+    def total_duration_s(self) -> float:
+        return sum(p.duration_s for p in self.phases)
+
+    def interval_at(self, t_s: float) -> float | None:
+        """The send interval (ms) in force at offset ``t_s``, or ``None``
+        once every phase has elapsed."""
+        start = 0.0
+        for phase in self.phases:
+            if t_s < start + phase.duration_s:
+                return phase.interval_ms
+            start += phase.duration_s
+        return None
+
+    def to_dict(self) -> dict:
+        return {"phases": [p.to_dict() for p in self.phases]}
+
+    def to_config(self) -> str:
+        """Compact sorted-JSON string, embeddable as a config scalar."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoadSchedule":
+        return cls(
+            phases=tuple(
+                LoadPhase(
+                    duration_s=float(p["duration_s"]),
+                    interval_ms=float(p["interval_ms"]),
+                )
+                for p in data.get("phases", ())
+            )
+        )
+
+    @classmethod
+    def from_config(cls, text: str) -> "LoadSchedule":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"load schedule must be a JSON object, got {data!r}")
+        return cls.from_dict(data)
 
 
 @dataclass(frozen=True)
@@ -71,6 +163,17 @@ class ServeConfig:
     #: "" = no chaos.  Only ``overload`` / ``executor_crash`` faults
     #: apply to live serving.
     fault_plan: str = ""
+    #: Offered-load profile: canonical :class:`LoadSchedule` JSON.  When
+    #: set, clients pace from the schedule's phases instead of the flat
+    #: ``message_interval_ms`` × ``messages_per_client`` plan (those two
+    #: fields are ignored).  "" = flat load.
+    load_schedule: str = ""
+
+    def schedule(self) -> "LoadSchedule":
+        """The parsed :class:`LoadSchedule` (empty when unset)."""
+        if not self.load_schedule:
+            return LoadSchedule()
+        return LoadSchedule.from_config(self.load_schedule)
 
     @property
     def clients(self) -> int:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from . import protocol
+from . import config as config_mod
 from .config import ServeConfig
 from .metrics import LatencySummary
 
@@ -84,12 +85,30 @@ class LoadReport:
 
 
 def _arrival_schedule(config: ServeConfig, room: int, client: int) -> list[float]:
-    """Absolute send offsets (seconds) for one client, seed-determined."""
+    """Absolute send offsets (seconds) for one client, seed-determined.
+
+    With a :class:`~repro.serve.config.LoadSchedule` set, the gap before
+    each send is drawn from the phase in force at the *current* offset,
+    and the client sends until the phases run out — the message count is
+    load-derived, not fixed.  Without one, the flat
+    ``message_interval_ms`` × ``messages_per_client`` plan applies.
+    """
     rng = random.Random(f"{config.seed}/{room}/{client}")
-    interval = config.message_interval_ms / 1e3
     jitter = config.arrival_jitter
     at = 0.0
-    schedule = []
+    schedule: list[float] = []
+    load = config.schedule()
+    if not load.is_empty:
+        while len(schedule) < config_mod.MAX_SCHEDULED_ARRIVALS:
+            interval_ms = load.interval_at(at)
+            if interval_ms is None:
+                break
+            at += (interval_ms / 1e3) * (1.0 + jitter * rng.uniform(-1.0, 1.0))
+            if at > load.total_duration_s():
+                break
+            schedule.append(at)
+        return schedule
+    interval = config.message_interval_ms / 1e3
     for _ in range(config.messages_per_client):
         at += interval * (1.0 + jitter * rng.uniform(-1.0, 1.0))
         schedule.append(at)

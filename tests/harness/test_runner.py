@@ -31,7 +31,7 @@ class TestValidation:
 
     def test_unknown_machine_rejected(self):
         with pytest.raises(ValueError, match="unknown machine"):
-            RunSpec("volano", "elsc", "8P", TINY)
+            RunSpec("volano", "elsc", "16P", TINY)
 
     def test_unknown_config_field_rejected(self):
         with pytest.raises(TypeError):

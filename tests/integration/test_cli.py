@@ -12,7 +12,7 @@ class TestParser:
         assert set(SCHEDULERS) == {"reg", "elsc", "heap", "mq", "o1", "cfs"}
 
     def test_all_specs_available(self):
-        assert list(SPECS) == ["UP", "1P", "2P", "4P"]
+        assert list(SPECS) == ["UP", "1P", "2P", "4P", "8P"]
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -109,6 +109,30 @@ def test_stacked_conservation(scheduler_name, spec_name):
     assert prof.phase_total("lock_wait") == stats.lock_spin_cycles
 
 
+@pytest.mark.parametrize("spec_name", ["UP", "4P"])
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+def test_scenario_bit_identical_to_plain_invocation(scheduler_name, spec_name):
+    """A ScenarioSpec with an empty fault plan and empty probe set is
+    *transparent*: its cell result is bit-identical — cache key, scalar
+    metrics, SchedStats, the full canonical payload — to the equivalent
+    plain CLI invocation's cell (what ``repro sweep`` would compute)."""
+    from repro.scenario import ScenarioSpec, run_scenario
+
+    scenario = ScenarioSpec(
+        name="identity",
+        workload="volano",
+        scheduler=scheduler_name,
+        machine=spec_name,
+        config=TINY,
+    )
+    assert scenario.fault_plan.is_empty and not scenario.probes
+    plain_spec = RunSpec("volano", scheduler_name, spec_name, TINY)
+    assert scenario.to_run_spec().key == plain_spec.key
+    via_scenario = run_scenario(scenario)
+    via_plain = execute_spec(plain_spec)
+    assert via_scenario.canonical() == via_plain.canonical()
+
+
 def test_legacy_attach_names_still_work():
     """attach_tracer/attach_profiler/attach_faults are thin wrappers over
     attach() and return what callers historically consumed."""

@@ -1,0 +1,107 @@
+"""The ``repro scenario`` subcommands, driven in-process."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.scenario import ScenarioSpec, named_scenarios
+
+
+def test_parser_wires_scenario_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["scenario", "list", "--match", "chaos-*"])
+    assert args.scenario_command == "list"
+    args = parser.parse_args(
+        ["scenario", "run", "volano-reg-up-small", "--check", "--no-cache"]
+    )
+    assert args.refs == ["volano-reg-up-small"]
+    args = parser.parse_args(["scenario", "render", "x", "--compact"])
+    assert args.compact
+
+
+def test_list_matches_glob(capsys):
+    assert cli_main(["scenario", "list", "--match", "profiled-kernbench-*"]) == 0
+    out = capsys.readouterr().out
+    names = [line.split()[0] for line in out.splitlines() if line.strip()]
+    assert names == sorted(
+        n for n in named_scenarios() if n.startswith("profiled-kernbench-")
+    )
+
+
+def test_list_json_is_loadable(capsys):
+    assert cli_main(["scenario", "list", "--json", "--match", "serve-*"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "serve-spike-reg" in data
+    assert ScenarioSpec.from_dict(data["serve-spike-reg"]).workload == "serve"
+
+
+def test_render_compact_is_canonical(capsys):
+    assert cli_main(["scenario", "render", "volano-elsc-2p-small", "--compact"]) == 0
+    line = capsys.readouterr().out.strip()
+    spec = named_scenarios()["volano-elsc-2p-small"]
+    assert line == spec.to_config()
+
+
+def test_run_inline_json_reports_metrics(tmp_path, capsys):
+    spec = ScenarioSpec(
+        name="inline",
+        config={"rooms": 1, "users_per_room": 3, "messages_per_user": 2},
+    )
+    code = cli_main(
+        [
+            "scenario",
+            "run",
+            spec.to_config(),
+            "--no-cache",
+            "--manifest",
+            "",
+            "--jobs",
+            "1",
+        ]
+    )
+    assert code == 0
+    assert "throughput" in capsys.readouterr().out
+
+
+def test_run_match_sweeps_through_cache(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "scenario",
+        "run",
+        "--match",
+        "volano-elsc-up-*",
+        "--jobs",
+        "1",
+        "--cache-dir",
+        str(cache_dir),
+        "--manifest",
+        str(tmp_path / "manifest.jsonl"),
+    ]
+    assert cli_main(argv) == 0
+    first = capsys.readouterr()
+    assert first.err.count(" ran ") == 2
+    # Second invocation: both cells come from the on-disk cache.
+    assert cli_main(argv) == 0
+    second = capsys.readouterr()
+    assert second.err.count("cached") == 2
+    assert first.out == second.out
+
+
+def test_run_unknown_ref_exits_cleanly():
+    with pytest.raises(SystemExit):
+        cli_main(["scenario", "run", "no-such-scenario"])
+    with pytest.raises(SystemExit):
+        cli_main(["scenario", "run", "--match", "zzz-*"])
+
+
+def test_run_check_json_records_contracts(tmp_path, capsys):
+    path = tmp_path / "s.json"
+    path.write_text(ScenarioSpec(name="filed", seed=9).to_config())
+    assert cli_main(["scenario", "run", f"@{path}", "--check", "--json"]) == 0
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    records = json.loads("\n".join(lines[lines.index("[") :]))
+    assert records[0]["divergences"] == []

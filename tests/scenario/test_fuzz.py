@@ -1,0 +1,147 @@
+"""The stress-parity fuzzer: determinism, clean sweeps, and the
+broken-scheduler quarantine → replay loop the acceptance demands."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.harness import SCHEDULERS
+from repro.scenario import (
+    CHECKS,
+    FuzzBounds,
+    ScenarioSpec,
+    check_scenario,
+    generate_scenario,
+    mutate,
+    run_fuzz,
+    write_quarantine,
+)
+from repro.sched.vanilla import VanillaScheduler
+
+
+def test_generation_is_deterministic():
+    a = [
+        generate_scenario(f"g{i}", random.Random("x"), scheduler="reg")
+        for i in range(1)
+    ]
+    b = [
+        generate_scenario(f"g{i}", random.Random("x"), scheduler="reg")
+        for i in range(1)
+    ]
+    assert a == b
+    assert [s.key for s in a] == [s.key for s in b]
+
+
+def test_generated_scenarios_stay_in_bounds():
+    bounds = FuzzBounds()
+    rng = random.Random("bounds")
+    for i in range(20):
+        spec = mutate(generate_scenario(f"b{i}", rng, bounds), rng, bounds)
+        assert spec.workload in bounds.workloads
+        assert spec.machine in bounds.machines
+        config = spec.config_dict
+        if spec.workload in ("volano", "select-chat"):
+            assert bounds.rooms[0] <= config["rooms"] <= bounds.rooms[1]
+            assert (
+                bounds.users_per_room[0]
+                <= config["users_per_room"]
+                <= bounds.users_per_room[1]
+            )
+        elif spec.workload == "kernbench":
+            assert bounds.files[0] <= config["files"] <= bounds.files[1]
+        else:
+            assert bounds.clients[0] <= config["clients"] <= bounds.clients[1]
+        if not spec.fault_plan.is_empty:
+            assert spec.fault_plan.name in bounds.fault_plans
+
+
+def test_small_fuzz_sweep_is_clean_and_covers_all_schedulers():
+    seen = []
+    report = run_fuzz(
+        seed=11,
+        count=len(SCHEDULERS),
+        progress=lambda i, spec, divs: seen.append(spec.scheduler),
+    )
+    assert report.ok, report.to_dict()
+    assert sorted(seen) == sorted(SCHEDULERS)
+    assert report.checks_run == {check: len(SCHEDULERS) for check in CHECKS}
+
+
+def test_check_scenario_is_deterministic():
+    spec = generate_scenario("det", random.Random("det"), scheduler="elsc")
+    assert check_scenario(spec) == check_scenario(spec)
+
+
+# -- the broken-scheduler fixture -------------------------------------------
+
+
+class _UnderReportingScheduler(VanillaScheduler):
+    """A deliberately broken policy: correct decisions, corrupt ledger.
+
+    Every third ``schedule()`` call reports only half its cost into
+    ``stats.scheduler_cycles`` while the emitted SchedDecision (and so
+    the profiler/metrics charge sites) carries the full cost — exactly
+    the class of drift the conservation and reconciliation contracts
+    exist to catch, and invisible to any throughput-level test.
+    """
+
+    name = "broken"
+
+    def schedule(self, prev, cpu):
+        decision = super().schedule(prev, cpu)
+        self._calls = getattr(self, "_calls", 0) + 1
+        if self._calls % 3 == 0:
+            self.stats.scheduler_cycles -= decision.cost - decision.cost // 2
+        return decision
+
+
+@pytest.fixture
+def broken_scheduler():
+    SCHEDULERS["broken"] = _UnderReportingScheduler
+    try:
+        yield "broken"
+    finally:
+        SCHEDULERS.pop("broken", None)
+
+
+def test_broken_scheduler_quarantined_and_replayable(broken_scheduler, tmp_path, capsys):
+    """End to end: fuzz finds the divergence, quarantines a repro file,
+    and ``repro scenario run <file>`` replays the same divergence."""
+    quarantine = tmp_path / "quarantine"
+    report = run_fuzz(
+        seed=0,
+        count=2,
+        schedulers=[broken_scheduler],
+        quarantine_dir=quarantine,
+    )
+    assert not report.ok
+    assert report.quarantined, "divergence must produce a repro file"
+    path = report.quarantined[0]
+    payload = json.loads(path.read_text())
+    assert payload["scenario"]["scheduler"] == "broken"
+    recorded = payload["divergences"]
+    assert any(d["check"] == "cycle_conservation" for d in recorded)
+    assert any(d["check"] == "metrics_reconciliation" for d in recorded)
+
+    # Replay through the CLI: the quarantine payload auto-enables check
+    # mode, and the re-derived divergences match the recorded ones.
+    exit_code = cli_main(["scenario", "run", str(path), "--json"])
+    assert exit_code == 1
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    replayed = json.loads("\n".join(lines[lines.index("[") :]))
+    assert replayed[0]["key"] == payload["key"]
+    assert replayed[0]["divergences"] == recorded
+
+
+def test_healthy_replay_of_quarantine_format(tmp_path, capsys):
+    """A quarantine-shaped file for a healthy scheduler replays clean —
+    the replay path itself must not manufacture divergences."""
+    spec = ScenarioSpec(name="healthy", scheduler="elsc", seed=5)
+    path = write_quarantine(spec, [], tmp_path)
+    assert cli_main(["scenario", "run", str(path)]) == 0
+    assert "ok" in capsys.readouterr().out

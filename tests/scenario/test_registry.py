@@ -1,0 +1,74 @@
+"""The named-scenario catalogue: shape, validity, and addressability."""
+
+from __future__ import annotations
+
+from repro.harness import MACHINE_SPECS, SCHEDULERS, WORKLOADS
+from repro.scenario import named_scenarios, resolve_scenario, scenario_names
+
+
+def test_catalogue_is_hundreds_of_scenarios():
+    assert len(named_scenarios()) >= 200
+
+
+def test_names_are_unique_and_sorted_listing_matches():
+    catalogue = named_scenarios()
+    assert scenario_names() == sorted(catalogue)
+    assert len(set(catalogue)) == len(catalogue)
+
+
+def test_every_entry_is_valid_and_self_named():
+    for name, spec in named_scenarios().items():
+        assert spec.name == name
+        assert spec.workload in WORKLOADS
+        assert spec.scheduler in SCHEDULERS
+        assert spec.machine in MACHINE_SPECS
+        # Every catalogue entry must build a runnable harness cell.
+        run = spec.to_run_spec()
+        assert run.key
+
+
+def test_matrix_covers_every_scheduler_and_machine():
+    catalogue = named_scenarios()
+    for sched in SCHEDULERS:
+        for machine in ("UP", "2P", "4P", "8P"):
+            assert f"volano-{sched}-{machine.lower()}-small" in catalogue
+        assert f"chaos-clock-skew-{sched}" in catalogue
+        assert f"profiled-volano-{sched}" in catalogue
+
+
+def test_probed_scenarios_request_both_observers():
+    spec = named_scenarios()["profiled-kernbench-elsc"]
+    assert spec.wants_profile and spec.wants_metrics
+
+
+def test_chaos_scenarios_embed_their_plan():
+    spec = named_scenarios()["chaos-kill-one-worker-reg"]
+    assert not spec.fault_plan.is_empty
+    assert spec.fault_plan.name == "kill-one-worker"
+    assert "fault_plan" in spec.to_run_spec().config_dict
+
+
+def test_serve_scenarios_carry_load_schedules():
+    spec = named_scenarios()["serve-spike-reg"]
+    assert spec.workload == "serve"
+    assert not spec.load.is_empty
+    assert "load_schedule" in spec.to_run_spec().config_dict
+
+
+def test_plain_matrix_cells_alias_plain_cache_keys():
+    """Catalogue cells without faults/probes address the same cache cell
+    a plain sweep would — the registry adds names, not new keys."""
+    from repro.harness import RunSpec
+
+    spec = named_scenarios()["kernbench-o1-2p-small"]
+    plain = RunSpec("kernbench", "o1", "2P", spec.config_dict)
+    assert spec.to_run_spec().key == plain.key
+
+
+def test_registry_names_resolve():
+    assert resolve_scenario("webserver-cfs-8p-medium").machine == "8P"
+
+
+def test_distinct_scenarios_distinct_keys():
+    keys = [spec.key for spec in named_scenarios().values()]
+    assert len(set(keys)) == len(keys)

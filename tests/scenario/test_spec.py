@@ -1,0 +1,154 @@
+"""Unit tests for ScenarioSpec: normalisation, composition, resolution."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import NAMED_PLANS, FaultPlan
+from repro.harness import RunSpec
+from repro.scenario import (
+    PROBE_KINDS,
+    ScenarioSpec,
+    load_scenario_payload,
+    resolve_scenario,
+)
+from repro.serve import LoadPhase, LoadSchedule
+
+
+def test_defaults_are_canonical():
+    spec = ScenarioSpec()
+    assert spec.workload == "volano"
+    assert spec.scheduler == "reg"
+    assert spec.fault_plan == FaultPlan()
+    assert spec.fault_plan.is_empty
+    assert spec.load.is_empty
+    assert spec.probes == ()
+    # The config is fully normalised: every workload default spelled out.
+    assert "rooms" in spec.config_dict
+
+
+def test_aliases_resolve_to_canonical_names():
+    spec = ScenarioSpec(workload="volanomark", scheduler="vanilla")
+    assert spec.workload == "volano"
+    assert spec.scheduler == "reg"
+    assert spec == ScenarioSpec(workload="volano", scheduler="reg")
+    assert spec.key == ScenarioSpec(workload="volano", scheduler="reg").key
+
+
+def test_unknown_axes_rejected():
+    with pytest.raises(ValueError):
+        ScenarioSpec(workload="nope")
+    with pytest.raises(ValueError):
+        ScenarioSpec(scheduler="nope")
+    with pytest.raises(ValueError):
+        ScenarioSpec(machine="16P")
+    with pytest.raises(ValueError):
+        ScenarioSpec(probes=("flamegraph",))
+    with pytest.raises(TypeError):
+        ScenarioSpec(fault_plan=42)
+
+
+def test_seed_shorthand_equals_config_seed():
+    assert ScenarioSpec(seed=7) == ScenarioSpec(config={"seed": 7})
+    spec = ScenarioSpec(seed=7)
+    assert spec.seed == 7
+    assert spec.config_dict["seed"] == 7
+
+
+def test_probes_sorted_and_deduped():
+    spec = ScenarioSpec(probes=("profile", "metrics", "profile"))
+    assert spec.probes == ("metrics", "profile")
+    assert spec.wants_profile and spec.wants_metrics
+    assert set(spec.probes) <= set(PROBE_KINDS)
+    # A bare string is one probe, not an iterable of characters.
+    assert ScenarioSpec(probes="metrics").probes == ("metrics",)
+
+
+def test_fault_plan_accepts_name_dict_and_instance():
+    by_name = ScenarioSpec(fault_plan="clock-skew")
+    by_instance = ScenarioSpec(fault_plan=NAMED_PLANS["clock-skew"])
+    by_dict = ScenarioSpec(fault_plan=NAMED_PLANS["clock-skew"].to_dict())
+    assert by_name == by_instance == by_dict
+    with pytest.raises(ValueError):
+        ScenarioSpec(fault_plan="no-such-plan")
+
+
+def test_composed_config_keys_rejected():
+    with pytest.raises(ValueError):
+        ScenarioSpec(config={"fault_plan": "{}"})
+    with pytest.raises(ValueError):
+        ScenarioSpec(workload="serve", config={"load_schedule": "{}"})
+
+
+def test_load_schedule_serve_only():
+    phases = (LoadPhase(duration_s=1.0, interval_ms=5.0),)
+    spec = ScenarioSpec(workload="serve", load=phases)
+    assert spec.load == LoadSchedule(phases=phases)
+    with pytest.raises(ValueError):
+        ScenarioSpec(workload="volano", load=phases)
+
+
+def test_empty_fault_plan_omitted_from_run_spec():
+    """The bit-identity precondition: no faults, no probes → the cell's
+    config (and therefore its cache key) equals the plain invocation's."""
+    spec = ScenarioSpec(config={"rooms": 2})
+    plain = RunSpec("volano", "reg", "UP", {"rooms": 2})
+    assert spec.to_run_spec() == plain
+    assert spec.to_run_spec().key == plain.key
+
+
+def test_fault_plan_embeds_into_run_spec():
+    spec = ScenarioSpec(fault_plan="clock-skew")
+    run = spec.to_run_spec()
+    assert run.config_dict["fault_plan"] == NAMED_PLANS["clock-skew"].to_config()
+    assert run.key != ScenarioSpec().to_run_spec().key
+
+
+def test_canonical_round_trip():
+    spec = ScenarioSpec(
+        name="rt",
+        workload="serve",
+        scheduler="elsc",
+        machine="4P",
+        config={"rooms": 3},
+        fault_plan="overload-2x",
+        probes=("metrics",),
+        load=(LoadPhase(duration_s=2.0, interval_ms=8.0),),
+    )
+    text = spec.to_config()
+    again = ScenarioSpec.from_config(text)
+    assert again == spec
+    assert again.key == spec.key
+    assert again.to_config() == text
+    # Canonical form is compact sorted JSON.
+    assert text == json.dumps(json.loads(text), sort_keys=True, separators=(",", ":"))
+
+
+def test_resolve_scenario_all_forms(tmp_path):
+    spec = ScenarioSpec(name="filed", config={"rooms": 2})
+    path = tmp_path / "s.json"
+    path.write_text(spec.to_config())
+    assert resolve_scenario("volano-reg-up-small").name == "volano-reg-up-small"
+    assert resolve_scenario(f"@{path}") == spec
+    assert resolve_scenario(str(path)) == spec
+    assert resolve_scenario(spec.to_config()) == spec
+    with pytest.raises(KeyError):
+        resolve_scenario("no-such-scenario")
+
+
+def test_load_scenario_payload_unwraps_quarantine(tmp_path):
+    spec = ScenarioSpec(name="q", seed=3)
+    path = tmp_path / "quarantine.json"
+    path.write_text(
+        json.dumps(
+            {
+                "scenario": spec.to_dict(),
+                "divergences": [{"check": "x", "detail": "y"}],
+            }
+        )
+    )
+    loaded, payload = load_scenario_payload(path)
+    assert loaded == spec
+    assert "divergences" in payload

@@ -1,0 +1,153 @@
+"""Property-based tests for ScenarioSpec's canonical form and hashing.
+
+The contract (mirrors ``tests/harness/test_runspec_properties.py``):
+
+* canonical JSON round-trips losslessly (``from_config(to_config())``
+  is the identity, key included);
+* the content hash is stable under field reordering, alias spelling,
+  and spelled-out defaults — anything that does not change meaning;
+* the hash *moves* under semantic mutation — any change to workload,
+  scheduler, machine, config value, fault plan, probe set, or load
+  schedule lands on a different key.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plans import NAMED_PLANS
+from repro.scenario import ScenarioSpec
+from repro.serve import LoadPhase
+
+# -- strategies -------------------------------------------------------------
+
+_SCHED = st.sampled_from(["reg", "elsc", "heap", "mq", "o1", "cfs"])
+_MACHINE = st.sampled_from(["UP", "1P", "2P", "4P", "8P"])
+_PLAN_NAMES = st.sampled_from(sorted(NAMED_PLANS))
+_PROBES = st.lists(
+    st.sampled_from(["metrics", "profile"]), max_size=2, unique=True
+)
+
+_VOLANO_OVERRIDES = st.fixed_dictionaries(
+    {},
+    optional={
+        "rooms": st.integers(1, 8),
+        "users_per_room": st.integers(1, 10),
+        "messages_per_user": st.integers(1, 20),
+        "seed": st.integers(0, 2**31),
+        "jitter": st.floats(0.0, 0.9, allow_nan=False),
+    },
+)
+
+
+@st.composite
+def _scenarios(draw):
+    return ScenarioSpec(
+        name=draw(st.sampled_from(["a", "b", "prop"])),
+        workload="volano",
+        scheduler=draw(_SCHED),
+        machine=draw(_MACHINE),
+        config=draw(_VOLANO_OVERRIDES),
+        fault_plan=draw(st.none() | _PLAN_NAMES),
+        probes=tuple(draw(_PROBES)),
+    )
+
+
+# -- round trip -------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=_scenarios())
+def test_canonical_json_round_trip(spec):
+    again = ScenarioSpec.from_config(spec.to_config())
+    assert again == spec
+    assert again.key == spec.key
+    assert again.to_config() == spec.to_config()
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=_scenarios())
+def test_dict_round_trip_via_reordered_fields(spec):
+    """Reordering every mapping in the dict form must not move the key."""
+    data = spec.to_dict()
+    reordered = dict(reversed(list(data.items())))
+    reordered["config"] = dict(reversed(list(data["config"].items())))
+    assert ScenarioSpec.from_dict(reordered).key == spec.key
+
+
+# -- hash stability ---------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(overrides=_VOLANO_OVERRIDES, sched=_SCHED, machine=_MACHINE)
+def test_hash_ignores_spelled_out_defaults(overrides, sched, machine):
+    sparse = ScenarioSpec(scheduler=sched, machine=machine, config=overrides)
+    spelled = ScenarioSpec(
+        scheduler=sched, machine=machine, config=sparse.config_dict
+    )
+    assert spelled == sparse
+    assert spelled.key == sparse.key
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=_scenarios())
+def test_hash_ignores_alias_spelling(spec):
+    aliased = ScenarioSpec.from_dict(
+        {**spec.to_dict(), "workload": "volanomark"}
+    )
+    assert aliased.key == spec.key
+
+
+# -- hash movement ----------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    spec=_scenarios(),
+    mutation=st.sampled_from(
+        ["scheduler", "machine", "rooms", "seed", "fault_plan", "probes", "load"]
+    ),
+)
+def test_hash_moves_under_semantic_mutation(spec, mutation):
+    if mutation == "scheduler":
+        other = "elsc" if spec.scheduler != "elsc" else "reg"
+        mutated = ScenarioSpec.from_dict({**spec.to_dict(), "scheduler": other})
+    elif mutation == "machine":
+        other = "2P" if spec.machine != "2P" else "4P"
+        mutated = ScenarioSpec.from_dict({**spec.to_dict(), "machine": other})
+    elif mutation in ("rooms", "seed"):
+        config = dict(spec.config_dict)
+        config[mutation] = config[mutation] + 1
+        mutated = ScenarioSpec.from_dict({**spec.to_dict(), "config": config})
+    elif mutation == "fault_plan":
+        other = (
+            "lock-stretch"
+            if spec.fault_plan.name != "lock-stretch"
+            else "clock-skew"
+        )
+        mutated = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "fault_plan": NAMED_PLANS[other].to_dict()}
+        )
+    elif mutation == "probes":
+        other = () if spec.probes else ("metrics",)
+        mutated = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "probes": list(other)}
+        )
+    else:  # load — requires the serve workload, so rebase both sides
+        base = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "workload": "serve", "config": {}}
+        )
+        mutated = ScenarioSpec(
+            name=base.name,
+            workload="serve",
+            scheduler=base.scheduler,
+            machine=base.machine,
+            fault_plan=base.fault_plan,
+            probes=base.probes,
+            load=(LoadPhase(duration_s=1.0, interval_ms=5.0),),
+        )
+        assert mutated.key != base.key
+        return
+    assert mutated != spec
+    assert mutated.key != spec.key

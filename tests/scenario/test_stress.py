@@ -1,0 +1,43 @@
+"""Stress-tier sweeps — excluded from tier-1, run by ``make stress``.
+
+These are the same parity contracts ``tests/scenario/test_fuzz.py``
+pins, at a scale tier-1 cannot afford: a deep seeded fuzz sweep across
+every registered scheduler, and an execution pass over a slice of the
+named-scenario catalogue.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+import pytest
+
+from repro.harness import SCHEDULERS
+from repro.scenario import named_scenarios, run_fuzz, run_scenarios
+
+pytestmark = pytest.mark.stress
+
+
+def test_deep_fuzz_sweep_is_divergence_free():
+    report = run_fuzz(seed=1, count=60 * len(SCHEDULERS))
+    assert report.ok, [
+        (spec.label, [d.check for d in divs]) for spec, divs in report.divergent
+    ]
+    assert report.count == 60 * len(SCHEDULERS)
+
+
+def test_small_catalogue_executes_end_to_end():
+    """Every ``*-small`` matrix scenario runs through the harness and
+    yields a completed cell keyed by its RunSpec."""
+    named = named_scenarios()
+    small = [
+        named[name]
+        for name in sorted(named)
+        if fnmatch.fnmatch(name, "*-small") and named[name].workload != "serve"
+    ]
+    assert len(small) >= 90
+    results = run_scenarios(small, cache=None, manifest_path=None)
+    assert len(results) == len(small)
+    for scenario, cell in zip(small, results):
+        assert cell.spec_key == scenario.to_run_spec().key
+        assert cell.metrics

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Continuous stress-parity fuzzing: the CI gate and the local hunt.
+
+Generates ``--count`` seeded scenarios inside the documented
+:class:`repro.scenario.FuzzBounds`, runs each, and asserts the four
+parity contracts (``repro.scenario.fuzz.CHECKS``):
+
+* executor-vs-Machine dispatch parity on a per-scenario arrival trace,
+* probe bit-identity (profiler + metrics never perturb the simulation),
+* profiler cycle conservation against SchedStats,
+* MetricsProbe reconciliation against SchedStats.
+
+Every diverging scenario is written to ``--quarantine-dir`` as a
+self-contained repro file; ``python -m repro scenario run <file>``
+replays the exact divergence (the trace derives from the scenario's
+content hash).  Exit status 1 on any divergence — that is the CI
+contract.
+
+Usage::
+
+    python tools/stress_parity.py --seed 0 --count 100
+    python tools/stress_parity.py --seed 7 --count 25 --schedulers elsc,reg
+    python tools/stress_parity.py --seed 0 --count 50 --machines 4P,8P
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli_common import (  # noqa: E402
+    resolve_machine_list,
+    resolve_scheduler_list,
+)
+from repro.scenario import FuzzBounds, run_fuzz  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0, help="fuzz RNG seed")
+    parser.add_argument(
+        "--count", type=int, default=100, help="scenarios to generate and check"
+    )
+    parser.add_argument(
+        "--schedulers",
+        default="",
+        help="comma-separated subset (default: every registered scheduler)",
+    )
+    parser.add_argument(
+        "--machines",
+        default="",
+        help="comma-separated machine-spec subset (default: fuzz bounds)",
+    )
+    parser.add_argument(
+        "--trace-len",
+        type=int,
+        default=FuzzBounds().trace_len,
+        help="ops per dispatch-parity arrival trace",
+    )
+    parser.add_argument(
+        "--quarantine-dir",
+        default="results/quarantine",
+        help="where diverging scenarios land as repro files ('' to disable)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress"
+    )
+    args = parser.parse_args(argv)
+    if args.count < 1:
+        raise SystemExit(f"--count must be >= 1, got {args.count}")
+
+    bounds = FuzzBounds()
+    if args.machines:
+        bounds = replace(bounds, machines=tuple(resolve_machine_list(args.machines)))
+    if args.trace_len != bounds.trace_len:
+        bounds = replace(bounds, trace_len=max(1, args.trace_len))
+    schedulers = resolve_scheduler_list(args.schedulers) if args.schedulers else None
+
+    def progress(i, spec, divergences) -> None:
+        if args.quiet:
+            return
+        status = f"DIVERGED ({len(divergences)})" if divergences else "ok"
+        print(f"[{i + 1}/{args.count}] {status:<14} {spec.label}", file=sys.stderr)
+
+    start = time.perf_counter()
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        schedulers=schedulers,
+        bounds=bounds,
+        quarantine_dir=Path(args.quarantine_dir) if args.quarantine_dir else None,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - start
+
+    print(f"stress-parity: seed={args.seed} count={args.count} ({elapsed:.1f}s)")
+    for check, n in report.checks_run.items():
+        print(f"  {check:<24} {n} checked")
+    if report.ok:
+        print("  all parity contracts hold")
+        return 0
+    print(f"  {len(report.divergent)} scenario(s) DIVERGED:")
+    for spec, divergences in report.divergent:
+        print(f"    {spec.label}  key={spec.key[:12]}")
+        for d in divergences[:4]:
+            print(f"      [{d.check}] {d.detail}")
+        if len(divergences) > 4:
+            print(f"      … and {len(divergences) - 4} more")
+    for path in report.quarantined:
+        print(f"  quarantined: {path}  (replay: python -m repro scenario run {path})")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
