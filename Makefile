@@ -7,7 +7,7 @@ PYTHON ?= python
 PY = PYTHONPATH=src $(PYTHON)
 JOBS ?= 0
 
-.PHONY: install test stress bench bench-full report sweep examples clean clean-cache
+.PHONY: install test stress bench bench-full report sweep examples cluster-smoke clean clean-cache
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -32,6 +32,12 @@ report:
 
 sweep:
 	$(PY) -m repro sweep --schedulers elsc,reg --specs UP,1P,2P,4P --jobs $(JOBS)
+
+# Kill a shard mid-loadtest under both interior framings; exits nonzero
+# if any completion is dropped or the follower is not promoted.
+cluster-smoke:
+	$(PY) -m repro cluster chaos --plan kill-one-shard --shards 2 --rooms 8 --clients 2 --messages 25 --interval-ms 80 --duration 12 --framing json --json results/cluster-chaos-json.json
+	$(PY) -m repro cluster chaos --plan kill-one-shard --shards 2 --rooms 8 --clients 2 --messages 25 --interval-ms 80 --duration 12 --framing binary --json results/cluster-chaos-binary.json
 
 examples:
 	$(PY) examples/quickstart.py

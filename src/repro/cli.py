@@ -842,6 +842,179 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if deadlocked else 0
 
 
+def _cluster_config_from_args(args: argparse.Namespace):
+    from .cluster import ClusterConfig
+
+    # Topology is a runtime decision even when a scenario drives the run.
+    topology = dict(
+        shards=args.shards,
+        framing=args.framing,
+        replication=not getattr(args, "no_replication", False),
+        port=getattr(args, "port", 0),
+    )
+    if getattr(args, "scenario", ""):
+        from .scenario import resolve_scenario
+
+        try:
+            scenario = resolve_scenario(args.scenario)
+            return ClusterConfig.from_scenario(scenario, **topology)
+        except (KeyError, OSError, ValueError) as exc:
+            raise SystemExit(f"cluster: {exc}")
+    return ClusterConfig(
+        scheduler=resolve_scheduler_arg(args.scheduler),
+        machine=args.spec,
+        rooms=args.rooms,
+        clients_per_room=args.clients,
+        messages_per_client=args.messages,
+        message_interval_ms=args.interval_ms,
+        duration_s=args.duration,
+        seed=args.seed,
+        fault_plan=getattr(args, "fault_plan", "") or "",
+        load_schedule=getattr(args, "load_schedule", "") or "",
+        **topology,
+    )
+
+
+def _write_cluster_json(args: argparse.Namespace, report) -> None:
+    if not args.json:
+        return
+    import json as _json
+    import os as _os
+
+    parent = _os.path.dirname(args.json)
+    if parent:
+        _os.makedirs(parent, exist_ok=True)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        _json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"(cluster report written to {args.json})", file=sys.stderr)
+
+
+def _print_cluster_report(title: str, report) -> None:
+    load = report.load
+    agg = report.aggregate
+    latency = load.latency
+    print(
+        format_kv(
+            title,
+            [
+                ("shards", f"{report.config.shards} ({report.config.framing})"),
+                ("alive at end", report.router.get("alive_shards")),
+                ("epoch", report.router.get("epoch")),
+                ("messages sent", load.sent),
+                ("echoes confirmed", load.echoes),
+                ("retries", load.retries),
+                ("duplicates deduped", load.duplicates),
+                ("shed", load.shed),
+                ("client failovers", load.failovers),
+                ("cross-shard forwards", agg.get("forwarded", 0)),
+                ("replication entries", agg.get("repl_entries_out", 0)),
+                ("promotions", len(report.promotions)),
+                ("shards killed", report.killed or "-"),
+                ("dropped completions", report.dropped_completions),
+                ("survived", "yes" if report.survived else "NO"),
+                ("throughput (msg/s)", f"{load.throughput:.0f}"),
+                ("latency p50 (ms)", f"{latency.p50:.2f}"),
+                ("latency p99 (ms)", f"{latency.p99:.2f}"),
+            ],
+        )
+    )
+
+
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """Run router + shard processes in the foreground until interrupted."""
+    import asyncio
+
+    from .cluster import ClusterRouter, ClusterSupervisor
+
+    config = _cluster_config_from_args(args)
+
+    async def _main() -> None:
+        router = ClusterRouter(config)
+        await router.start(args.host)
+        supervisor = ClusterSupervisor(config)
+        supervisor.spawn_all(router.control_port)
+        try:
+            await router.wait_ready()
+            print(
+                f"cluster serving on {args.host}:{router.client_port} "
+                f"({config.shards} shards, {config.framing} interior "
+                f"framing, scheduler={config.scheduler}) — ctrl-C to stop",
+                file=sys.stderr,
+            )
+            await asyncio.Event().wait()
+        finally:
+            await router.stop()
+            supervisor.stop_all()
+            print(
+                format_kv(
+                    "Cluster session", sorted(router.counters().items())
+                )
+            )
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_cluster_loadtest(args: argparse.Namespace) -> int:
+    """One end-to-end loadtest against a freshly spawned cluster."""
+    import asyncio
+
+    from .cluster import run_cluster_loadtest
+
+    config = _cluster_config_from_args(args)
+    report = asyncio.run(run_cluster_loadtest(config))
+    _print_cluster_report(
+        f"Cluster loadtest — {config.shards}×{config.scheduler}"
+        f"/{config.machine}, {config.rooms} rooms × "
+        f"{config.clients_per_room} clients",
+        report,
+    )
+    _write_cluster_json(args, report)
+    return 0 if report.survived else 1
+
+
+def cmd_cluster_chaos(args: argparse.Namespace) -> int:
+    """Kill cluster components mid-loadtest and assert nothing is lost."""
+    import asyncio
+
+    from .cluster import run_cluster_loadtest
+    from .faults import resolve_plan
+
+    config = _cluster_config_from_args(args)
+    plan = None
+    if args.plan:
+        try:
+            plan = resolve_plan(args.plan)
+        except (KeyError, OSError, ValueError) as exc:
+            raise SystemExit(f"cluster chaos: {exc}")
+    elif not config.fault_plan:
+        raise SystemExit(
+            "cluster chaos: give --plan, or --scenario with a fault plan"
+        )
+    report = asyncio.run(run_cluster_loadtest(config, plan))
+    _print_cluster_report(
+        f"Cluster chaos — plan {report.plan_name!r}, {config.shards} "
+        f"shards ({config.framing})",
+        report,
+    )
+    for event in report.fault_log:
+        print(
+            f"  t={event['t_s']:.3f}s {event['kind']}: {event['detail']}",
+            file=sys.stderr,
+        )
+    for event in report.events:
+        print(
+            f"  t={event['t_s']:.3f}s {event['kind']}: {event['detail']}",
+            file=sys.stderr,
+        )
+    _write_cluster_json(args, report)
+    return 0 if report.survived else 1
+
+
 def cmd_clean_cache(args: argparse.Namespace) -> int:
     """Clear the result cache, or list/purge its quarantined entries."""
     cache = ResultCache(args.cache_dir)
@@ -1328,6 +1501,96 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", default="", help="write the chaos report here")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "cluster",
+        help="sharded serving cluster: router + N shard processes",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def _add_cluster_args(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--shards", type=int, default=2)
+        cp.add_argument(
+            "--framing",
+            choices=["json", "binary"],
+            default="json",
+            help="interior-link framing (router↔shard, shard↔shard)",
+        )
+        cp.add_argument(
+            "--no-replication",
+            action="store_true",
+            help="disable leader→follower replication (failover loses state)",
+        )
+        cp.add_argument("--scheduler", choices=sched_choices, default="vanilla")
+        cp.add_argument(
+            "--spec",
+            choices=machine_vocab(),
+            default="UP",
+            help="machine spec of each shard's executor",
+        )
+        cp.add_argument("--rooms", type=int, default=4)
+        cp.add_argument("--clients", type=int, default=4, help="per room")
+        cp.add_argument(
+            "--messages", type=int, default=10, help="messages per client"
+        )
+        cp.add_argument(
+            "--interval-ms",
+            type=float,
+            default=2.0,
+            help="open-loop arrival period per client",
+        )
+        cp.add_argument(
+            "--duration", type=float, default=10.0, help="hard deadline, s"
+        )
+        cp.add_argument("--seed", type=int, default=42)
+        cp.add_argument(
+            "--load-schedule",
+            default="",
+            help="phased offered load: canonical LoadSchedule JSON "
+            "(replaces --messages/--interval-ms pacing)",
+        )
+        cp.add_argument(
+            "--scenario",
+            default="",
+            help="drive the run from a serve ScenarioSpec (registry "
+            "name, @file, or inline JSON): the scenario supplies load "
+            "shape, scheduler, machine, fault plan, and load schedule; "
+            "--shards/--framing/--no-replication still apply",
+        )
+
+    cp = cluster_sub.add_parser(
+        "serve", help="run the cluster in the foreground"
+    )
+    _add_cluster_args(cp)
+    cp.add_argument("--host", default="127.0.0.1")
+    cp.add_argument("--port", type=int, default=7200)
+    cp.set_defaults(func=cmd_cluster_serve)
+
+    cp = cluster_sub.add_parser(
+        "loadtest", help="spawn a cluster, drive the load, report"
+    )
+    _add_cluster_args(cp)
+    cp.add_argument(
+        "--fault-plan",
+        default="",
+        help="optionally run under a fault plan (named, inline JSON, @file)",
+    )
+    cp.add_argument("--json", default="", help="write the report JSON here")
+    cp.set_defaults(func=cmd_cluster_loadtest)
+
+    cp = cluster_sub.add_parser(
+        "chaos",
+        help="kill shards mid-loadtest; exit nonzero on any lost completion",
+    )
+    _add_cluster_args(cp)
+    cp.add_argument(
+        "--plan",
+        default="",
+        help="fault plan: e.g. kill-one-shard (see docs/cluster.md); "
+        "optional when --scenario carries one",
+    )
+    cp.add_argument("--json", default="", help="write the report JSON here")
+    cp.set_defaults(func=cmd_cluster_chaos)
 
     p = sub.add_parser(
         "scenario",

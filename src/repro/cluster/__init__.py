@@ -1,0 +1,37 @@
+"""Sharded serving cluster: router + N shard processes + replication.
+
+The cluster layer scales the serve stack the same way the paper scales
+the run queue: by splitting one contended structure into N independent
+ones.  Each shard process runs its own
+:class:`~repro.serve.executor.SchedulerExecutor` over its own sessions;
+the router hash-places rooms and sessions, forwards cross-shard fan-out
+over a real wire protocol, and promotes a ring follower when a shard
+dies mid-run.  See ``docs/cluster.md`` for the architecture walk.
+"""
+
+from .config import ClusterConfig, room_shard, session_shard
+from .loadtest import ClusterReport, run_cluster_loadtest
+from .replication import ReplicaState, ReplicationLog
+from .router import ClusterRouter
+from .shard import ShardCore, shard_main
+from .supervisor import ClusterFaultDriver, ClusterSupervisor
+from .wire import FRAMINGS, BinaryFraming, JsonFraming, get_framing
+
+__all__ = [
+    "BinaryFraming",
+    "ClusterConfig",
+    "ClusterFaultDriver",
+    "ClusterReport",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "FRAMINGS",
+    "JsonFraming",
+    "ReplicaState",
+    "ReplicationLog",
+    "ShardCore",
+    "get_framing",
+    "room_shard",
+    "run_cluster_loadtest",
+    "session_shard",
+    "shard_main",
+]

@@ -1,0 +1,156 @@
+"""Configuration and deterministic placement for the serve cluster.
+
+:class:`ClusterConfig` is the single scalar-field knob surface of one
+cluster run — topology (shard count, framing, replication), the per-
+shard scheduling policy, and the offered load (the same VolanoMark-
+shaped knobs as :class:`~repro.serve.config.ServeConfig`, which it
+projects out for the load generator).
+
+Placement is *content-deterministic*: rooms and sessions land on shards
+by CRC-32 (stable across processes and Python versions, unlike the
+salted builtin ``hash``), so a room's home shard is a pure function of
+its name and the shard count — the property the routing tests pin.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, fields
+
+from ..serve.config import ServeConfig
+
+__all__ = ["ClusterConfig", "room_shard", "session_shard"]
+
+
+def room_shard(room: str, num_shards: int) -> int:
+    """Home shard of ``room``: owns membership, ordering, and fan-out."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return zlib.crc32(room.encode()) % num_shards
+
+
+def session_shard(cid: int, num_shards: int) -> int:
+    """Scheduling shard of client session ``cid`` (round-robin)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return cid % num_shards
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of one cluster serve/loadtest run (scalars only)."""
+
+    #: Shard OS processes behind the router.
+    shards: int = 2
+    #: Interior-link framing: ``json`` or ``binary`` (see
+    #: :mod:`repro.cluster.wire`).
+    framing: str = "json"
+    #: Stream every shard's state changes to a ring follower and promote
+    #: it when the leader dies.  Off = a killed shard loses its rooms.
+    replication: bool = True
+    #: Canonical scheduler key each shard's executor runs (per-shard
+    #: policy instance — the multiqueue-of-multiqueues move).
+    scheduler: str = "reg"
+    #: Machine spec name: virtual CPUs of each shard's executor.
+    machine: str = "UP"
+    #: Advertised in every shed reply (admission or failover window).
+    retry_after_ms: float = 100.0
+    #: Load-generator resend period for unacknowledged messages.
+    retry_interval_ms: float = 150.0
+    #: Attach a per-shard :class:`~repro.obs.MetricsProbe`.
+    metrics: bool = True
+    # -- offered load (mirrors ServeConfig) ---------------------------
+    rooms: int = 4
+    clients_per_room: int = 4
+    messages_per_client: int = 10
+    message_interval_ms: float = 2.0
+    arrival_jitter: float = 0.3
+    payload_bytes: int = 32
+    batch: int = 8
+    #: Per-shard admission bound (queued requests across its sessions).
+    max_pending: int = 4096
+    duration_s: float = 10.0
+    seed: int = 42
+    #: Router client-facing TCP port (0 = ephemeral).
+    port: int = 0
+    #: Fault plan for chaos runs: named plan, inline JSON, or ``@file``.
+    #: ``worker_kill`` SIGKILLs a shard; ``executor_crash`` crashes one
+    #: shard's scheduler adapter; ``overload`` clamps every shard's
+    #: admission bound.
+    fault_plan: str = ""
+    #: Offered-load profile: canonical
+    #: :class:`~repro.serve.config.LoadSchedule` JSON.  When set, it
+    #: replaces the flat ``message_interval_ms`` ×
+    #: ``messages_per_client`` pacing, exactly as on a single-process
+    #: serve run.  "" = flat load.
+    load_schedule: str = ""
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"cluster needs >= 1 shard, got {self.shards}")
+        from .wire import FRAMINGS  # local import: avoid cycle at import
+
+        if self.framing not in FRAMINGS:
+            raise ValueError(
+                f"unknown framing {self.framing!r}; "
+                f"choose from {sorted(FRAMINGS)}"
+            )
+        if self.load_schedule:
+            from ..serve.config import LoadSchedule  # fail fast, not mid-run
+
+            LoadSchedule.from_config(self.load_schedule)
+
+    def serve_config(self) -> ServeConfig:
+        """The load generator's view of this run."""
+        return ServeConfig(
+            rooms=self.rooms,
+            clients_per_room=self.clients_per_room,
+            messages_per_client=self.messages_per_client,
+            message_interval_ms=self.message_interval_ms,
+            arrival_jitter=self.arrival_jitter,
+            payload_bytes=self.payload_bytes,
+            batch=self.batch,
+            max_pending=self.max_pending,
+            duration_s=self.duration_s,
+            seed=self.seed,
+            load_schedule=self.load_schedule,
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario, **overrides) -> "ClusterConfig":
+        """Project a ``serve`` :class:`~repro.scenario.ScenarioSpec` onto
+        a cluster run.
+
+        The scenario supplies everything one experiment file composes —
+        offered-load shape, per-shard scheduler and machine, fault plan,
+        load schedule, seed.  What a single process has no word for
+        (shard count, interior framing, replication) comes from
+        ``overrides``, so ``from_scenario(spec, shards=4)`` is the whole
+        bridge: the same content-addressed scenario that drives
+        ``repro scenario run`` drives ``repro cluster chaos``.
+        """
+        if scenario.workload != "serve":
+            raise ValueError(
+                f"cluster runs map the 'serve' workload only; scenario "
+                f"{scenario.name!r} is {scenario.workload!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        mapped = {
+            k: v for k, v in scenario.config_dict.items() if k in known
+        }
+        mapped["scheduler"] = scenario.scheduler
+        mapped["machine"] = scenario.machine
+        if not scenario.fault_plan.is_empty:
+            mapped["fault_plan"] = scenario.fault_plan.to_config()
+        if not scenario.load.is_empty:
+            mapped["load_schedule"] = scenario.load.to_config()
+        mapped.update(overrides)
+        return cls(**mapped)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

@@ -1,0 +1,133 @@
+"""One-call cluster loadtest/chaos harness.
+
+:func:`run_cluster_loadtest` stands up the whole stack in-process —
+router, shard subprocesses, optional fault driver — drives the
+deterministic open-loop load through the failover-hardened client
+(``reconnect`` + ``retry_unacked``), and folds everything observable
+into one :class:`ClusterReport`:
+
+* the client-side :class:`~repro.serve.loadgen.LoadReport` (latency,
+  shed, failovers, retries, and — the headline — ``unacked``, i.e.
+  completions the cluster actually dropped);
+* per-shard counters and :class:`~repro.obs.MetricsProbe` snapshots,
+  plus a summed aggregate (collected over the live metrics frame before
+  teardown, so a killed shard is visibly absent);
+* the router's topology event log, the promotions it recorded, and the
+  fault driver's application log.
+
+``report.survived`` is the chaos gate: every send echo-confirmed
+(``dropped_completions == 0``) and no client gave up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..faults.plan import FaultPlan
+from ..faults.plans import resolve_plan
+from ..serve.loadgen import LoadReport, run_loadgen
+from .config import ClusterConfig
+from .router import ClusterRouter
+from .supervisor import ClusterFaultDriver, ClusterSupervisor
+
+__all__ = ["ClusterReport", "run_cluster_loadtest"]
+
+
+@dataclass
+class ClusterReport:
+    """Everything one cluster run produced, client and cluster side."""
+
+    config: ClusterConfig
+    load: LoadReport
+    shards: dict[int, dict[str, Any]]
+    aggregate: dict[str, Any]
+    router: dict[str, Any]
+    events: list[dict[str, Any]]
+    fault_log: list[dict[str, Any]]
+    promotions: list[dict[str, Any]]
+    killed: list[int]
+    plan_name: str = ""
+
+    @property
+    def dropped_completions(self) -> int:
+        """Sends never echo-confirmed despite retries — must be 0."""
+        return self.load.unacked
+
+    @property
+    def survived(self) -> bool:
+        return self.dropped_completions == 0 and self.load.connect_failures == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config.to_dict(),
+            "plan": self.plan_name,
+            "load": self.load.to_dict(),
+            "shards": {str(sid): self.shards[sid] for sid in sorted(self.shards)},
+            "aggregate": self.aggregate,
+            "router": self.router,
+            "events": self.events,
+            "fault_log": self.fault_log,
+            "promotions": self.promotions,
+            "killed": self.killed,
+            "dropped_completions": self.dropped_completions,
+            "survived": self.survived,
+        }
+
+
+def _aggregate(shards: dict[int, dict[str, Any]]) -> dict[str, Any]:
+    total: dict[str, Any] = {}
+    for payload in shards.values():
+        for key, value in payload.get("counters", {}).items():
+            if isinstance(value, (int, float)):
+                total[key] = total.get(key, 0) + value
+    return total
+
+
+async def run_cluster_loadtest(
+    config: ClusterConfig, plan: Optional[FaultPlan] = None
+) -> ClusterReport:
+    """Stand up the cluster, drive the load, tear down, report."""
+    if plan is None and config.fault_plan:
+        plan = resolve_plan(config.fault_plan)
+    router = ClusterRouter(config)
+    await router.start()
+    supervisor = ClusterSupervisor(config)
+    supervisor.spawn_all(router.control_port)
+    driver: Optional[ClusterFaultDriver] = None
+    shards: dict[int, dict[str, Any]] = {}
+    try:
+        await router.wait_ready()
+        if plan is not None:
+            driver = ClusterFaultDriver(plan, router, supervisor)
+            driver.start()
+        load = await run_loadgen(
+            "127.0.0.1",
+            router.client_port,
+            config.serve_config(),
+            retry_unacked=True,
+            retry_interval_ms=config.retry_interval_ms,
+            reconnect=True,
+        )
+        if driver is not None:
+            await driver.stop()
+        shards = await router.collect_metrics()
+        router_counters = router.counters()
+    finally:
+        if driver is not None:
+            await driver.stop()
+        await router.stop()
+        supervisor.stop_all()
+    return ClusterReport(
+        config=config,
+        load=load,
+        shards=shards,
+        aggregate=_aggregate(shards),
+        router=router_counters,
+        events=router.events,
+        fault_log=driver.log if driver is not None else [],
+        promotions=router.promotions,
+        killed=list(supervisor.killed),
+        plan_name=plan.name if plan is not None else "",
+    )

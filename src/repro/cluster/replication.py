@@ -1,0 +1,114 @@
+"""Leader → follower replication of shard serving state.
+
+A shard's recoverable state is small and structural: which client
+sessions it schedules (``sess`` entries) and which members each of its
+home rooms holds (``join``/``leave`` entries).  Message *payloads* are
+not replicated — in-flight requests lost with a leader are re-driven by
+the load generator's retry path, so the contract is at-least-once
+completion, exactly once per sequence number after client-side dedup.
+
+:class:`ReplicationLog` is the leader side: every state mutation appends
+one entry, and :meth:`drain` hands the pending batch to the wire
+(``{"op": "repl", "origin": …, "entries": […]}``).  :class:`ReplicaState`
+is the follower side: entries apply in arrival order, and the materialised
+``sessions``/``rooms`` views are what promotion replays into the live
+shard.  Applying a log twice is idempotent — entries are absolute
+("session 7 exists", "cid 7 is in r0"), not relative — which is what the
+replay-equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["ReplicationLog", "ReplicaState", "sess_entry", "join_entry", "leave_entry"]
+
+
+def sess_entry(cid: int, user: str, alive: bool = True) -> dict[str, Any]:
+    """Session ``cid`` exists (or is gone) on the origin shard."""
+    return {"k": "sess", "cid": cid, "user": user, "alive": alive}
+
+
+def join_entry(room: str, cid: int, user: str) -> dict[str, Any]:
+    """Client ``cid`` is a member of ``room`` (homed on the origin)."""
+    return {"k": "join", "room": room, "cid": cid, "user": user}
+
+
+def leave_entry(room: str, cid: int) -> dict[str, Any]:
+    """Client ``cid`` left ``room``."""
+    return {"k": "leave", "room": room, "cid": cid}
+
+
+class ReplicationLog:
+    """Leader-side entry buffer: append on mutation, drain to the wire."""
+
+    __slots__ = ("pending", "appended")
+
+    def __init__(self) -> None:
+        self.pending: list[dict[str, Any]] = []
+        #: Entries ever appended (the leader's log length).
+        self.appended = 0
+
+    def append(self, entry: dict[str, Any]) -> None:
+        self.pending.append(entry)
+        self.appended += 1
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Hand over (and clear) the unsent batch."""
+        batch, self.pending = self.pending, []
+        return batch
+
+
+class ReplicaState:
+    """Follower-side materialisation of one leader's log."""
+
+    __slots__ = ("sessions", "rooms", "applied")
+
+    def __init__(self) -> None:
+        #: cid → user name, for every live session on the leader.
+        self.sessions: dict[int, str] = {}
+        #: room → {cid: user}, for every room homed on the leader.
+        self.rooms: dict[str, dict[int, str]] = {}
+        #: Entries applied (the follower's log position).
+        self.applied = 0
+
+    def apply(self, entry: dict[str, Any]) -> None:
+        """One entry, in arrival order.  Unknown kinds are ignored
+        (forward-compatible, like unknown protocol ops)."""
+        kind = entry.get("k")
+        if kind == "sess":
+            cid = int(entry["cid"])
+            if entry.get("alive", True):
+                self.sessions[cid] = str(entry.get("user", f"anon{cid}"))
+            else:
+                self.sessions.pop(cid, None)
+        elif kind == "join":
+            room = str(entry["room"])
+            cid = int(entry["cid"])
+            members = self.rooms.setdefault(room, {})
+            members[cid] = str(entry.get("user", f"anon{cid}"))
+        elif kind == "leave":
+            room = str(entry["room"])
+            members = self.rooms.get(room)
+            if members is not None:
+                members.pop(int(entry["cid"]), None)
+                if not members:
+                    del self.rooms[room]
+        else:
+            return
+        self.applied += 1
+
+    def apply_all(self, entries: Iterable[dict[str, Any]]) -> None:
+        for entry in entries:
+            self.apply(entry)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical view (test/report surface)."""
+        return {
+            "sessions": {str(c): u for c, u in sorted(self.sessions.items())},
+            "rooms": {
+                room: {str(c): u for c, u in sorted(members.items())}
+                for room, members in sorted(self.rooms.items())
+            },
+            "applied": self.applied,
+        }

@@ -1,0 +1,554 @@
+"""The cluster router: client frontend, topology authority, failover.
+
+Clients connect to one address and speak the unmodified serve protocol;
+the router owns their sockets for the whole run, which is what makes a
+shard death nearly invisible — the client's connection never drops, its
+requests are simply re-routed once the follower is promoted.
+
+The router is deliberately *stateless about messages*: it proxies
+``route`` frames toward the owning shard and ``deliver`` frames back,
+holding no per-request bookkeeping.  Its authoritative state is the
+topology — which shards are alive, which shard owns each slot, who
+follows whom in the replication ring — versioned by an ``epoch`` counter
+and broadcast to every shard on each change.
+
+Failover walk (also in ``docs/cluster.md``): a shard's control link
+EOFs → the router marks it dead, bumps the epoch, reassigns the dead
+shard's slots to its ring follower, sends the follower a ``promote``
+frame (it replays the replica log into live state), and broadcasts the
+new topology.  Requests that raced the death are shed with
+``retry_after_ms`` or silently lost in flight; the load generator's
+retry path re-drives them against the promoted owner, so completions
+are at-least-once and — after client-side seq dedup — exactly-once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Optional
+
+from ..serve import protocol
+from . import wire
+from .config import ClusterConfig, room_shard, session_shard
+
+__all__ = ["ClusterRouter"]
+
+
+class _ShardLink:
+    """Router-side view of one shard's control connection."""
+
+    __slots__ = ("sid", "reader", "writer", "peer_port", "pid", "alive", "epoch")
+
+    def __init__(self, sid, reader, writer, peer_port, pid) -> None:
+        self.sid = sid
+        self.reader = reader
+        self.writer = writer
+        self.peer_port = peer_port
+        self.pid = pid
+        self.alive = True
+        #: Last epoch this shard acknowledged.
+        self.epoch = 0
+
+
+class _Client:
+    """Router-side view of one connected chat client."""
+
+    __slots__ = ("cid", "writer", "room", "user", "closing")
+
+    def __init__(self, cid, writer) -> None:
+        self.cid = cid
+        self.writer = writer
+        self.room: Optional[str] = None
+        self.user = f"anon{cid}"
+        self.closing = False
+
+
+class ClusterRouter:
+    """Control plane plus client frontend of one cluster."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.framing = wire.get_framing(config.framing)
+        #: Slot → owning shard id.  Slots are fixed at the initial shard
+        #: count; failover reassigns ownership, never the slot map.
+        self.owners: list[int] = list(range(config.shards))
+        self.shards: dict[int, _ShardLink] = {}
+        self.clients: dict[int, _Client] = {}
+        #: room → {cid}: the router's membership mirror (joined replies
+        #: and leave bookkeeping; the home shard stays authoritative).
+        self.rooms: dict[str, set[int]] = {}
+        self.epoch = 0
+        self._followers: dict[int, Optional[int]] = {}
+        self._next_cid = 0
+        self._started = time.monotonic()
+        self._shutting_down = False
+        self._control: Optional[asyncio.base_events.Server] = None
+        self._front: Optional[asyncio.base_events.Server] = None
+        self._hello = asyncio.Event()
+        self._metrics_waiters: dict[int, asyncio.Future] = {}
+        self.control_port = 0
+        self.client_port = 0
+        # -- event log / counters ------------------------------------
+        self.events: list[dict[str, Any]] = []
+        self.promotions: list[dict[str, Any]] = []
+        self.routed = 0
+        self.delivered = 0
+        self.shed = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1") -> None:
+        self._control = await asyncio.start_server(
+            self._handle_shard, host, 0
+        )
+        self.control_port = self._control.sockets[0].getsockname()[1]
+        self._front = await asyncio.start_server(
+            self._handle_client, host, self.config.port
+        )
+        self.client_port = self._front.sockets[0].getsockname()[1]
+
+    async def wait_ready(self, timeout_s: float = 30.0) -> None:
+        """Block until every shard said hello and acked the first epoch."""
+        deadline = time.monotonic() + timeout_s
+        while len(self.shards) < self.config.shards:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"only {len(self.shards)}/{self.config.shards} shards "
+                    f"said hello within {timeout_s}s"
+                )
+            self._hello.clear()
+            try:
+                await asyncio.wait_for(self._hello.wait(), remaining)
+            except asyncio.TimeoutError:
+                continue
+        self._broadcast_epoch()
+        while any(
+            link.epoch < self.epoch for link in self._alive_links()
+        ):
+            if time.monotonic() > deadline:
+                raise TimeoutError("shards did not ack the initial epoch")
+            await asyncio.sleep(0.01)
+
+    async def stop(self) -> None:
+        self._shutting_down = True
+        # Close connections first: the handler tasks see EOF and finish
+        # on their own, instead of being cancelled mid-read at loop
+        # teardown (which asyncio reports loudly).
+        for link in self.shards.values():
+            try:
+                link.writer.close()
+            except Exception:
+                pass
+        for client in list(self.clients.values()):
+            try:
+                client.writer.close()
+            except Exception:
+                pass
+        await asyncio.sleep(0.05)
+        for server in (self._front, self._control):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+
+    # -- topology -----------------------------------------------------
+
+    def _alive_links(self):
+        return [link for link in self.shards.values() if link.alive]
+
+    def _alive_ids(self) -> list[int]:
+        return sorted(link.sid for link in self._alive_links())
+
+    def _compute_followers(self) -> dict[int, Optional[int]]:
+        """Ring follower per alive shard (None when alone)."""
+        alive = self._alive_ids()
+        if len(alive) < 2:
+            return {sid: None for sid in alive}
+        return {
+            sid: alive[(i + 1) % len(alive)] for i, sid in enumerate(alive)
+        }
+
+    def _broadcast_epoch(self) -> None:
+        self.epoch += 1
+        self._followers = self._compute_followers()
+        frame = {
+            "op": wire.OP_EPOCH,
+            "epoch": self.epoch,
+            "owners": list(self.owners),
+            "shards": [
+                {"id": link.sid, "port": link.peer_port, "alive": link.alive}
+                for link in self.shards.values()
+            ],
+            "followers": {str(k): v for k, v in self._followers.items()},
+        }
+        for link in self._alive_links():
+            link.writer.write(self.framing.encode(frame))
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.events.append(
+            {
+                "t_s": round(time.monotonic() - self._started, 3),
+                "kind": kind,
+                "detail": detail,
+            }
+        )
+
+    def shard_names(self) -> dict[str, int]:
+        """``shard-N`` name → id for every *alive* shard (chaos vocab)."""
+        return {f"shard-{sid}": sid for sid in self._alive_ids()}
+
+    # -- shard control link -------------------------------------------
+
+    async def _handle_shard(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        link: Optional[_ShardLink] = None
+        try:
+            hello = await self.framing.read(reader)
+            if not hello or hello.get("op") != wire.OP_HELLO:
+                writer.close()
+                return
+            sid = int(hello["shard"])
+            link = _ShardLink(
+                sid, reader, writer, int(hello.get("port", 0)),
+                int(hello.get("pid", 0)),
+            )
+            self.shards[sid] = link
+            self._record("shard_up", f"{sid} peer-port {link.peer_port}")
+            self._hello.set()
+            while True:
+                frame = await self.framing.read(reader)
+                if frame is None:
+                    break
+                self._handle_shard_frame(link, frame)
+        except (protocol.ProtocolError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            return  # event-loop teardown: finish quietly
+        finally:
+            if link is not None and link.alive:
+                self._shard_down(link)
+
+    def _handle_shard_frame(
+        self, link: _ShardLink, frame: dict[str, Any]
+    ) -> None:
+        op = frame.get("op")
+        if op == wire.OP_DELIVER:
+            payload = frame.get("frame") or {}
+            encoded = protocol.encode(payload)
+            for cid in frame.get("cids") or ():
+                client = self.clients.get(int(cid))
+                if client is not None and not client.closing:
+                    client.writer.write(encoded)
+                    self.delivered += 1
+        elif op == protocol.OP_SHED:
+            client = self.clients.get(int(frame.get("cid", -1)))
+            self.shed += 1
+            if client is not None and not client.closing:
+                reply = {
+                    "op": protocol.OP_SHED,
+                    "seq": frame.get("seq"),
+                    "retry_after_ms": frame.get(
+                        "retry_after_ms", self.config.retry_after_ms
+                    ),
+                }
+                client.writer.write(protocol.encode(reply))
+        elif op == wire.OP_EPOCH:
+            link.epoch = int(frame.get("epoch", link.epoch))
+        elif op == wire.OP_PROMOTED:
+            self.promotions.append(
+                {
+                    "t_s": round(time.monotonic() - self._started, 3),
+                    "dead": frame.get("dead"),
+                    "promoted": link.sid,
+                    "sessions": frame.get("sessions", 0),
+                    "rooms": frame.get("rooms", 0),
+                    "entries": frame.get("entries", 0),
+                }
+            )
+            self._record(
+                "promoted",
+                f"{link.sid} adopted shard {frame.get('dead')}: "
+                f"{frame.get('sessions', 0)} sessions, "
+                f"{frame.get('rooms', 0)} rooms",
+            )
+        elif op == protocol.OP_METRICS:
+            waiter = self._metrics_waiters.pop(link.sid, None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(frame)
+
+    # -- failover -----------------------------------------------------
+
+    def _shard_down(self, link: _ShardLink) -> None:
+        link.alive = False
+        if self._shutting_down:
+            return
+        self._record("shard_down", f"{link.sid}")
+        waiter = self._metrics_waiters.pop(link.sid, None)
+        if waiter is not None and not waiter.done():
+            waiter.cancel()
+        follower = self._followers.get(link.sid)
+        if follower is None or follower not in self.shards:
+            self._record("no_follower", f"{link.sid} dies unreplicated")
+            return
+        self.owners = [
+            follower if owner == link.sid else owner for owner in self.owners
+        ]
+        if self.config.replication:
+            self.shards[follower].writer.write(
+                self.framing.encode(
+                    {
+                        "op": wire.OP_PROMOTE,
+                        "dead": link.sid,
+                        "epoch": self.epoch + 1,
+                    }
+                )
+            )
+            self._record("promote", f"{follower} takes over {link.sid}")
+        self._broadcast_epoch()
+
+    # -- client frontend ----------------------------------------------
+
+    def _shard_for_client(self, cid: int) -> Optional[_ShardLink]:
+        owner = self.owners[session_shard(cid, len(self.owners))]
+        link = self.shards.get(owner)
+        return link if link is not None and link.alive else None
+
+    def _shard_for_room(self, room: str) -> Optional[_ShardLink]:
+        owner = self.owners[room_shard(room, len(self.owners))]
+        link = self.shards.get(owner)
+        return link if link is not None and link.alive else None
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._next_cid += 1
+        client = _Client(self._next_cid, writer)
+        self.clients[client.cid] = client
+        writer.write(
+            protocol.encode(
+                {"op": protocol.OP_WELCOME, "session": client.cid}
+            )
+        )
+        link = self._shard_for_client(client.cid)
+        if link is not None:
+            link.writer.write(
+                self.framing.encode(
+                    {
+                        "op": wire.OP_SESS,
+                        "cid": client.cid,
+                        "user": client.user,
+                        "alive": True,
+                    }
+                )
+            )
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, ValueError):
+                    break
+                except asyncio.CancelledError:
+                    return  # event-loop teardown: finish quietly
+                if not line:
+                    break
+                try:
+                    message = protocol.decode(line)
+                except protocol.ProtocolError:
+                    break
+                if message is None:
+                    continue
+                if not await self._handle_client_frame(client, message):
+                    break
+        finally:
+            self._close_client(client)
+
+    async def _handle_client_frame(
+        self, client: _Client, message: dict[str, Any]
+    ) -> bool:
+        op = message.get("op")
+        if op == protocol.OP_JOIN:
+            room = str(message.get("room", "lobby"))
+            client.user = str(message.get("user", client.user))
+            self._leave_room(client)
+            client.room = room
+            members = self.rooms.setdefault(room, set())
+            members.add(client.cid)
+            # Re-register the session under its real user name, then
+            # hand membership to the room's home shard.
+            link = self._shard_for_client(client.cid)
+            if link is not None:
+                link.writer.write(
+                    self.framing.encode(
+                        {
+                            "op": wire.OP_SESS,
+                            "cid": client.cid,
+                            "user": client.user,
+                            "alive": True,
+                        }
+                    )
+                )
+            home = self._shard_for_room(room)
+            if home is not None:
+                home.writer.write(
+                    self.framing.encode(
+                        {
+                            "op": wire.OP_ROOM,
+                            "room": room,
+                            "cid": client.cid,
+                            "user": client.user,
+                            "add": True,
+                        }
+                    )
+                )
+            client.writer.write(
+                protocol.encode(
+                    {
+                        "op": protocol.OP_JOINED,
+                        "room": room,
+                        "members": len(members),
+                    }
+                )
+            )
+            return True
+        if op == protocol.OP_MSG:
+            link = self._shard_for_client(client.cid)
+            if link is None:
+                # Mid-failover gap: shed with the standing retry hint.
+                self.shed += 1
+                client.writer.write(
+                    protocol.encode(
+                        {
+                            "op": protocol.OP_SHED,
+                            "seq": message.get("seq"),
+                            "retry_after_ms": self.config.retry_after_ms,
+                        }
+                    )
+                )
+                return True
+            link.writer.write(
+                self.framing.encode(
+                    {"op": wire.OP_ROUTE, "cid": client.cid, "frame": message}
+                )
+            )
+            self.routed += 1
+            return True
+        if op == protocol.OP_METRICS:
+            client.writer.write(protocol.encode(await self.metrics_frame()))
+            return True
+        if op == protocol.OP_QUIT:
+            client.writer.write(protocol.encode({"op": protocol.OP_BYE}))
+            return False
+        return True  # unknown op: tolerate
+
+    def _leave_room(self, client: _Client) -> None:
+        if client.room is None:
+            return
+        members = self.rooms.get(client.room)
+        if members is not None:
+            members.discard(client.cid)
+            if not members:
+                self.rooms.pop(client.room, None)
+        home = self._shard_for_room(client.room)
+        if home is not None:
+            home.writer.write(
+                self.framing.encode(
+                    {
+                        "op": wire.OP_ROOM,
+                        "room": client.room,
+                        "cid": client.cid,
+                        "add": False,
+                    }
+                )
+            )
+        client.room = None
+
+    def _close_client(self, client: _Client) -> None:
+        if client.closing:
+            return
+        client.closing = True
+        self._leave_room(client)
+        self.clients.pop(client.cid, None)
+        link = self._shard_for_client(client.cid)
+        if link is not None:
+            link.writer.write(
+                self.framing.encode(
+                    {
+                        "op": wire.OP_SESS,
+                        "cid": client.cid,
+                        "user": client.user,
+                        "alive": False,
+                    }
+                )
+            )
+        try:
+            client.writer.close()
+        except Exception:
+            pass
+
+    # -- faults and metrics -------------------------------------------
+
+    def send_fault(self, shard_id: int, kind: str) -> bool:
+        link = self.shards.get(shard_id)
+        if link is None or not link.alive:
+            return False
+        link.writer.write(
+            self.framing.encode({"op": wire.OP_FAULT, "kind": kind})
+        )
+        return True
+
+    async def collect_metrics(
+        self, timeout_s: float = 3.0
+    ) -> dict[int, dict[str, Any]]:
+        """Per-shard counters + MetricsProbe snapshots (alive shards)."""
+        loop = asyncio.get_running_loop()
+        waiters = {}
+        for link in self._alive_links():
+            future = loop.create_future()
+            self._metrics_waiters[link.sid] = future
+            waiters[link.sid] = future
+            link.writer.write(
+                self.framing.encode({"op": protocol.OP_METRICS})
+            )
+        out: dict[int, dict[str, Any]] = {}
+        for sid, future in waiters.items():
+            try:
+                reply = await asyncio.wait_for(future, timeout_s)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._metrics_waiters.pop(sid, None)
+                continue
+            out[sid] = {
+                "counters": reply.get("counters", {}),
+                "metrics": reply.get("metrics", {}),
+                "epoch": reply.get("epoch"),
+            }
+        return out
+
+    async def metrics_frame(self) -> dict[str, Any]:
+        """The client-facing ``{"op": "metrics"}`` reply: per-shard
+        snapshots plus an aggregate over every alive shard."""
+        per_shard = await self.collect_metrics()
+        aggregate: dict[str, Any] = {}
+        for payload in per_shard.values():
+            for key, value in payload["counters"].items():
+                if isinstance(value, (int, float)):
+                    aggregate[key] = aggregate.get(key, 0) + value
+        return {
+            "op": protocol.OP_METRICS,
+            "epoch": self.epoch,
+            "router": self.counters(),
+            "shards": {str(sid): per_shard[sid] for sid in sorted(per_shard)},
+            "aggregate": aggregate,
+        }
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "routed": self.routed,
+            "delivered": self.delivered,
+            "shed": self.shed,
+            "epoch": self.epoch,
+            "alive_shards": len(self._alive_ids()),
+            "clients": len(self.clients),
+            "promotions": len(self.promotions),
+        }

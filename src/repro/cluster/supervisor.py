@@ -1,0 +1,164 @@
+"""Shard process lifecycle and cluster-level chaos.
+
+:class:`ClusterSupervisor` owns the shard OS processes — ``spawn`` start
+method so a shard never inherits the router's running event loop — and
+is the only component allowed to SIGKILL one.  :class:`ClusterFaultDriver`
+is the cluster sibling of :class:`~repro.faults.live.LiveFaultDriver`:
+it walks a :class:`~repro.faults.plan.FaultPlan` on the wall clock and
+applies each fault at cluster scope —
+
+* ``worker_kill`` — SIGKILL a live shard process (seeded pick among the
+  shards matching the spec's target glob), which is what exercises the
+  promote-the-follower failover path;
+* ``executor_crash`` — forwarded through the router as a ``fault``
+  control frame; the shard's own supervision rebuilds the scheduler;
+* anything else (kernel-cycle or single-server kinds) is recorded as
+  skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import fnmatch
+import multiprocessing
+import os
+import random
+import signal
+from typing import TYPE_CHECKING, Optional
+
+from ..faults.plan import FaultPlan
+from .config import ClusterConfig
+from .shard import shard_main
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .router import ClusterRouter
+
+__all__ = ["ClusterSupervisor", "ClusterFaultDriver"]
+
+
+class ClusterSupervisor:
+    """Spawns, kills, and reaps the shard processes of one cluster."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self._ctx = multiprocessing.get_context("spawn")
+        self.procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self.killed: list[int] = []
+
+    def spawn_all(self, control_port: int) -> None:
+        for shard_id in range(self.config.shards):
+            proc = self._ctx.Process(
+                target=shard_main,
+                args=(shard_id, control_port, self.config.to_dict()),
+                name=f"shard-{shard_id}",
+                daemon=True,
+            )
+            proc.start()
+            self.procs[shard_id] = proc
+
+    def alive_ids(self) -> list[int]:
+        return sorted(
+            sid for sid, proc in self.procs.items() if proc.is_alive()
+        )
+
+    def kill(self, shard_id: int) -> bool:
+        """SIGKILL one shard — no warning, no cleanup, like the real thing."""
+        proc = self.procs.get(shard_id)
+        if proc is None or not proc.is_alive() or proc.pid is None:
+            return False
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=5.0)
+        self.killed.append(shard_id)
+        return True
+
+    def stop_all(self, timeout_s: float = 5.0) -> None:
+        for proc in self.procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs.values():
+            proc.join(timeout=timeout_s)
+            if proc.is_alive():  # pragma: no cover — stuck child
+                proc.kill()
+                proc.join(timeout=timeout_s)
+
+
+class ClusterFaultDriver:
+    """Applies a plan's faults against a running cluster."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        router: "ClusterRouter",
+        supervisor: ClusterSupervisor,
+    ) -> None:
+        self.plan = plan
+        self.router = router
+        self.supervisor = supervisor
+        self.log: list[dict] = []
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        if self.plan.faults:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    def _record(self, t: float, kind: str, detail: str) -> None:
+        self.log.append({"t_s": round(t, 3), "kind": kind, "detail": detail})
+
+    def _victims(self, spec) -> list[int]:
+        """Seeded pick of ``spec.count`` shards matching the target glob.
+
+        The pick is over *alive* shards but deterministic given the plan
+        seed and fault offset, so a chaos run replays bit-identically as
+        long as earlier faults landed the same way.
+        """
+        names = self.router.shard_names()  # shard-N -> id, alive only
+        pattern = spec.target or "shard-*"
+        matching = sorted(n for n in names if fnmatch.fnmatch(n, pattern))
+        if not matching:
+            return []
+        rng = random.Random(f"{self.plan.seed}/{spec.at_s}/{spec.kind}")
+        count = max(1, spec.count) if spec.count else 1
+        picked = rng.sample(matching, k=min(count, len(matching)))
+        return [names[name] for name in picked]
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        await asyncio.gather(
+            *(self._apply(spec, start) for spec in self.plan.faults)
+        )
+
+    async def _apply(self, spec, start: float) -> None:
+        loop = asyncio.get_running_loop()
+        delay = start + spec.at_s - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        now = loop.time() - start
+        if spec.kind == "worker_kill":
+            for sid in self._victims(spec):
+                killed = self.supervisor.kill(sid)
+                self._record(
+                    now,
+                    "worker_kill",
+                    f"shard-{sid} {'SIGKILL' if killed else 'already gone'}",
+                )
+        elif spec.kind == "executor_crash":
+            for sid in self._victims(spec):
+                sent = self.router.send_fault(sid, "executor_crash")
+                self._record(
+                    now,
+                    "executor_crash",
+                    f"shard-{sid} {'injected' if sent else 'unreachable'}",
+                )
+        else:
+            self._record(now, "skipped", f"{spec.kind} has no cluster scope")

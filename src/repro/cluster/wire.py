@@ -1,0 +1,207 @@
+"""Cluster wire protocol: the serve protocol plus interior operations.
+
+The client-facing vocabulary is unchanged — a cluster client speaks the
+same newline-delimited JSON as a single-process :mod:`repro.serve`
+server, so the existing load generator drives a cluster untouched.  The
+*interior* links (router ↔ shard and shard ↔ shard) extend it with the
+operations below, and may run over either of two framings:
+
+``json``
+    One compact JSON object per ``\\n``-terminated line — the serve
+    protocol's framing, debuggable with ``nc``.
+``binary``
+    Length-prefixed: a 4-byte big-endian payload length followed by the
+    compact-JSON payload (no terminator).  The comparison point the
+    ROADMAP calls for: no per-byte newline scan on the hot receive
+    path, and payloads may legally contain raw newlines.
+
+Interior operations::
+
+    {"op": "hello", "shard": 1, "port": 40213, "pid": 4711}
+        shard → router, first frame on the control link: the shard is
+        up and listening for peer connections on ``port``.
+
+    {"op": "epoch", "epoch": 3, "shards": [...], "followers": {...}}
+        router → every shard: the authoritative topology.  ``shards``
+        lists ``{"id", "port", "alive"}``; ``followers`` maps each
+        alive shard to the shard replicating it (or ``null``).
+
+    {"op": "sess",  "cid": 7, "user": "u0.1", "alive": true}
+    {"op": "room",  "room": "r0", "cid": 7, "user": "u0.1", "add": true}
+        router → shard: session registration on the session shard /
+        membership change on the room's home shard.
+
+    {"op": "route", "cid": 7, "frame": {…client msg…}}
+        router → session shard: one admitted client request.
+
+    {"op": "fwd",   "room": "r0", "frame": {…}, "origin": 0}
+        shard → shard: a dispatched message whose room is homed on
+        another shard — the cross-shard broadcast hop.
+
+    {"op": "deliver", "cids": [3, 7], "frame": {…}}
+        shard → router: fan out ``frame`` to these client sessions.
+
+    {"op": "repl", "origin": 0, "entries": [...]}
+        leader → follower: replication-log entries (see
+        :mod:`repro.cluster.replication`).
+
+    {"op": "promote", "dead": 0, "epoch": 4}
+    {"op": "promoted", "dead": 0, "sessions": 9, "rooms": 2}
+        router → follower and its acknowledgement: replay the dead
+        leader's replica state and take over its slots.
+
+    {"op": "fault", "kind": "executor_crash"}
+        router → shard: arm a live fault (the chaos hook).
+
+    {"op": "shed", "cid": 7, "seq": 4, "retry_after_ms": 100.0}
+        shard → router: per-shard admission control rejected the
+        request; forwarded to the client without the ``cid``.
+
+Oversized or malformed frames raise the serve protocol's
+:class:`~repro.serve.protocol.ProtocolError` in both framings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Optional
+
+from ..serve import protocol
+from ..serve.protocol import MAX_LINE_BYTES, ProtocolError
+
+__all__ = [
+    "OP_HELLO",
+    "OP_EPOCH",
+    "OP_SESS",
+    "OP_ROOM",
+    "OP_ROUTE",
+    "OP_FWD",
+    "OP_DELIVER",
+    "OP_REPL",
+    "OP_PROMOTE",
+    "OP_PROMOTED",
+    "OP_FAULT",
+    "FRAMINGS",
+    "Framing",
+    "JsonFraming",
+    "BinaryFraming",
+    "get_framing",
+]
+
+OP_HELLO = "hello"
+OP_EPOCH = "epoch"
+OP_SESS = "sess"
+OP_ROOM = "room"
+OP_ROUTE = "route"
+OP_FWD = "fwd"
+OP_DELIVER = "deliver"
+OP_REPL = "repl"
+OP_PROMOTE = "promote"
+OP_PROMOTED = "promoted"
+OP_FAULT = "fault"
+
+#: Binary frames share the line-JSON size budget.
+_MAX_FRAME_BYTES = MAX_LINE_BYTES
+
+
+class Framing:
+    """One interior-link framing: bytes on the wire for one dict."""
+
+    name = "?"
+
+    def encode(self, message: dict[str, Any]) -> bytes:
+        raise NotImplementedError
+
+    async def read(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[dict[str, Any]]:
+        """One frame off the stream; ``None`` on clean EOF.
+
+        Raises :class:`ProtocolError` on garbage — the peer answers by
+        dropping the connection, exactly like the serve protocol.
+        """
+        raise NotImplementedError
+
+
+class JsonFraming(Framing):
+    """Newline-delimited JSON — the serve protocol, reused verbatim."""
+
+    name = "json"
+
+    def encode(self, message: dict[str, Any]) -> bytes:
+        return protocol.encode(message)
+
+    async def read(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[dict[str, Any]]:
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError as exc:  # line beyond the reader's limit
+                raise ProtocolError(f"oversized frame: {exc}") from exc
+            if not line:
+                return None
+            message = protocol.decode(line)
+            if message is not None:  # skip blank keep-alive lines
+                return message
+
+
+class BinaryFraming(Framing):
+    """4-byte big-endian length prefix + compact-JSON payload."""
+
+    name = "binary"
+
+    def encode(self, message: dict[str, Any]) -> bytes:
+        payload = json.dumps(message, separators=(",", ":")).encode()
+        if len(payload) > _MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(payload)} bytes exceeds limit"
+            )
+        return struct.pack(">I", len(payload)) + payload
+
+    async def read(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[dict[str, Any]]:
+        try:
+            header = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between frames
+            raise ProtocolError(
+                f"truncated length prefix ({len(exc.partial)} bytes)"
+            ) from exc
+        (length,) = struct.unpack(">I", header)
+        if length > _MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds limit")
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"truncated frame ({len(exc.partial)}/{length} bytes)"
+            ) from exc
+        try:
+            message = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"bad frame: {exc}") from exc
+        if not isinstance(message, dict) or "op" not in message:
+            raise ProtocolError(f"frame without op: {message!r}")
+        return message
+
+
+#: Registered interior framings, by name.
+FRAMINGS: dict[str, type[Framing]] = {
+    "json": JsonFraming,
+    "binary": BinaryFraming,
+}
+
+
+def get_framing(name: str) -> Framing:
+    """A fresh framing instance for ``name`` (``json`` or ``binary``)."""
+    try:
+        return FRAMINGS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown framing {name!r}; choose from {sorted(FRAMINGS)}"
+        ) from None

@@ -98,6 +98,14 @@ NAMED_PLANS: dict[str, FaultPlan] = {
         seed=9,
         faults=(FaultSpec(kind="executor_crash", at_s=1.0),),
     ),
+    # Cluster chaos: SIGKILL one shard process (seeded pick over the
+    # alive shards) one second into the loadtest — the router must
+    # promote its replication follower and clients must lose nothing.
+    "kill-one-shard": FaultPlan(
+        name="kill-one-shard",
+        seed=11,
+        faults=(FaultSpec(kind="worker_kill", at_s=1.0, target="shard-*"),),
+    ),
 }
 
 

@@ -13,7 +13,10 @@ re-deriving flag soup:
 * ``chaos-{plan}-{sched}`` — VolanoMark on 2P under a named kernel
   fault plan;
 * ``serve-{shape}-{sched}`` — the live workload under a phased offered
-  load (spike / ramp).
+  load (spike / ramp);
+* ``cluster-survival-{sched}`` — the sharded-cluster chaos headline
+  (shard SIGKILLed mid-run, zero dropped completions), projected onto
+  a cluster by :meth:`repro.cluster.ClusterConfig.from_scenario`.
 
 Sizes are deliberately tiny — the catalogue's job is breadth (hundreds
 of distinct cells through one front door), not paper-scale load; scale
@@ -144,6 +147,30 @@ def _build() -> dict[str, ScenarioSpec]:
                     load=phases,
                 )
             )
+
+    # The cluster survival headline: the live workload sharded across
+    # OS processes, one shard SIGKILLed mid-run, zero dropped
+    # completions.  ``ClusterConfig.from_scenario`` projects these onto
+    # a cluster (`repro cluster chaos --scenario cluster-survival-reg`);
+    # shard count and framing are runtime knobs, everything else —
+    # load shape, per-shard policy, the kill — is this file.
+    for sched in ("reg", "elsc"):
+        add(
+            ScenarioSpec(
+                name=f"cluster-survival-{sched}",
+                workload="serve",
+                scheduler=sched,
+                machine="UP",
+                config={
+                    "rooms": 8,
+                    "clients_per_room": 2,
+                    "messages_per_client": 25,
+                    "message_interval_ms": 80.0,
+                    "duration_s": 12.0,
+                },
+                fault_plan="kill-one-shard",
+            )
+        )
 
     return catalogue
 

@@ -18,6 +18,16 @@ Latency is measured end-to-end: the client stamps
 ``time.perf_counter_ns()`` into each message's ``t`` field and clocks
 the round trip when its *own* fan-out copy returns — admission queueing,
 scheduler pick, fan-out, and both socket directions included.
+
+Failover hardening (opt-in via :func:`run_loadgen` keywords, used by the
+cluster harness): with ``reconnect`` a client whose connection resets
+mid-run dials back, re-joins its room, and counts a ``failover`` instead
+of aborting; with ``retry_unacked`` every sent message stays in an
+unacked table until its own echo returns — resent on a timer and after
+each failover, deduplicated by ``seq`` on receive — which upgrades
+delivery to at-least-once on the wire and exactly-once in the stats.
+``unacked`` at the end of such a run is the count of genuinely dropped
+completions (the cluster chaos gate asserts it is zero).
 """
 
 from __future__ import annotations
@@ -44,6 +54,10 @@ class ClientStats:
     echoes: int = 0        # own messages seen back (latency samples)
     received: int = 0      # every fan-out delivery, own or not
     shed: int = 0
+    failovers: int = 0     # mid-run reconnects (connection reset/EOF)
+    retries: int = 0       # resends of unacked messages
+    duplicates: int = 0    # own echoes dropped by seq dedup
+    unacked: int = 0       # sends never echo-confirmed by run end
     latencies_ms: list[float] = field(default_factory=list)
 
 
@@ -59,6 +73,10 @@ class LoadReport:
     shed: int
     connect_failures: int
     latencies_ms: list[float]
+    failovers: int = 0
+    retries: int = 0
+    duplicates: int = 0
+    unacked: int = 0
 
     @property
     def latency(self) -> LatencySummary:
@@ -79,6 +97,10 @@ class LoadReport:
             "echoes": self.echoes,
             "shed": self.shed,
             "connect_failures": self.connect_failures,
+            "failovers": self.failovers,
+            "retries": self.retries,
+            "duplicates": self.duplicates,
+            "unacked": self.unacked,
             "throughput": self.throughput,
             **self.latency.to_dict("latency_ms_"),
         }
@@ -129,49 +151,127 @@ async def _client(
     client: int,
     deadline: float,
     stats: ClientStats,
+    *,
+    retry_unacked: bool = False,
+    retry_interval_ms: float = 150.0,
+    reconnect: bool = False,
 ) -> None:
     me = f"u{room}.{client}"
     room_name = f"r{room}"
-    try:
-        reader, writer = await asyncio.open_connection(host, port)
-    except OSError:
-        raise
-    try:
-        writer.write(
+    pad = _payload(config, room, client)
+    #: seq → the full message frame, kept until its own echo returns.
+    unacked: dict[int, dict[str, Any]] = {}
+    acked: set[int] = set()
+    quitting = False
+
+    async def establish():
+        r, w = await asyncio.open_connection(host, port)
+        w.write(
             protocol.encode(
                 {"op": protocol.OP_JOIN, "room": room_name, "user": me}
             )
         )
-        await writer.drain()
+        await w.drain()
+        return r, w
 
-        async def receive() -> None:
-            while True:
+    # The first connection failing is a connect failure, as before; only
+    # a connection that *was* established gets the failover treatment.
+    reader, writer = await establish()
+
+    def handle(message: dict[str, Any]) -> bool:
+        """Dispatch one received frame; False ends the receive loop."""
+        op = message.get("op")
+        if op == protocol.OP_MSG:
+            if message.get("user") == me:
+                seq = message.get("seq")
+                if retry_unacked:
+                    if seq in acked:
+                        stats.duplicates += 1
+                        return True
+                    acked.add(seq)
+                    unacked.pop(seq, None)
+                stats.received += 1
+                stats.echoes += 1
+                t = message.get("t")
+                if isinstance(t, int):
+                    stats.latencies_ms.append(
+                        (time.perf_counter_ns() - t) / 1e6
+                    )
+            else:
+                stats.received += 1
+        elif op == protocol.OP_SHED:
+            stats.shed += 1
+        elif op == protocol.OP_BYE:
+            return False
+        return True
+
+    def resend_unacked(w: asyncio.StreamWriter) -> None:
+        for seq in sorted(unacked):
+            message = unacked[seq]
+            message["t"] = time.perf_counter_ns()
+            w.write(protocol.encode(message))
+            stats.retries += 1
+
+    async def failover() -> bool:
+        """Dial back in after a lost connection; re-drive unacked sends."""
+        nonlocal reader, writer
+        stats.failovers += 1
+        patience = deadline + config.drain_grace_s
+        while time.monotonic() < patience:
+            try:
+                reader, writer = await establish()
+            except OSError:
+                await asyncio.sleep(0.05)
+                continue
+            try:
+                resend_unacked(writer)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                continue  # lost it again already; keep trying
+            return True
+        return False
+
+    async def receive() -> None:
+        while True:
+            try:
                 line = await reader.readline()
-                if not line:
+            except (ConnectionResetError, OSError, ValueError):
+                line = b""
+            if not line:
+                if quitting or not reconnect:
                     return
-                try:
-                    message = protocol.decode(line)
-                except protocol.ProtocolError:
+                if time.monotonic() >= deadline and not unacked:
                     return
-                if message is None:
-                    continue
-                op = message.get("op")
-                if op == protocol.OP_MSG:
-                    stats.received += 1
-                    if message.get("user") == me:
-                        stats.echoes += 1
-                        t = message.get("t")
-                        if isinstance(t, int):
-                            stats.latencies_ms.append(
-                                (time.perf_counter_ns() - t) / 1e6
-                            )
-                elif op == protocol.OP_SHED:
-                    stats.shed += 1
-                elif op == protocol.OP_BYE:
+                if not await failover():
                     return
+                continue
+            try:
+                message = protocol.decode(line)
+            except protocol.ProtocolError:
+                return
+            if message is None:
+                continue
+            if not handle(message):
+                return
 
-        rx = asyncio.create_task(receive())
-        pad = _payload(config, room, client)
+    async def retry_loop() -> None:
+        interval = max(0.001, retry_interval_ms / 1e3)
+        while True:
+            await asyncio.sleep(interval)
+            if not unacked:
+                continue
+            w = writer
+            try:
+                resend_unacked(w)
+                await w.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass  # the failover path owns recovery
+
+    rx = asyncio.create_task(receive())
+    retrier = (
+        asyncio.create_task(retry_loop()) if retry_unacked else None
+    )
+    try:
         start = time.monotonic()
         for seq, offset in enumerate(_arrival_schedule(config, room, client)):
             now = time.monotonic()
@@ -182,20 +282,31 @@ async def _client(
                 await asyncio.sleep(min(send_at - now, deadline - now))
                 if time.monotonic() >= deadline:
                     break
-            writer.write(
-                protocol.encode(
-                    {
-                        "op": protocol.OP_MSG,
-                        "room": room_name,
-                        "user": me,
-                        "seq": seq,
-                        "t": time.perf_counter_ns(),
-                        "pad": pad,
-                    }
-                )
-            )
-            await writer.drain()
+            message = {
+                "op": protocol.OP_MSG,
+                "room": room_name,
+                "user": me,
+                "seq": seq,
+                "t": time.perf_counter_ns(),
+                "pad": pad,
+            }
+            if retry_unacked:
+                unacked[seq] = message
+            try:
+                writer.write(protocol.encode(message))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                if not reconnect:
+                    raise
+                # The receive loop is reconnecting; retry_unacked sends
+                # are re-driven on the new connection, fire-and-forget
+                # sends are simply lost (counted by sent - echoes).
             stats.sent += 1
+        # In retry mode, hold the line until every send is confirmed or
+        # the deadline truly expires — this is the zero-dropped window.
+        if retry_unacked:
+            while unacked and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
         # Give in-flight fan-out a chance to arrive, then say goodbye.
         # A chaos run may reset the connection under us at any of these
         # steps; a dead socket here means "drained", not "failed".
@@ -209,16 +320,23 @@ async def _client(
                 BrokenPipeError,
             ):
                 pass
+        quitting = True
+        if retrier is not None:
+            retrier.cancel()
         try:
             writer.write(protocol.encode({"op": protocol.OP_QUIT}))
             await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, OSError):
             pass
         try:
             await asyncio.wait_for(rx, timeout=config.drain_grace_s)
         except (asyncio.TimeoutError, ConnectionResetError, BrokenPipeError):
             rx.cancel()
     finally:
+        quitting = True
+        if retrier is not None:
+            retrier.cancel()
+        stats.unacked = len(unacked)
         try:
             writer.close()
         except Exception:
@@ -226,9 +344,20 @@ async def _client(
 
 
 async def run_loadgen(
-    host: str, port: int, config: ServeConfig
+    host: str,
+    port: int,
+    config: ServeConfig,
+    *,
+    retry_unacked: bool = False,
+    retry_interval_ms: float = 150.0,
+    reconnect: bool = False,
 ) -> LoadReport:
-    """Drive one full deterministic load against a running server."""
+    """Drive one full deterministic load against a running server.
+
+    ``reconnect``/``retry_unacked`` select the failover-hardened client
+    (see the module docstring); both default off so a plain serve run
+    keeps its historical semantics.
+    """
     deadline = time.monotonic() + config.duration_s
     stats = [
         ClientStats()
@@ -240,7 +369,18 @@ async def run_loadgen(
     for room in range(config.rooms):
         for client in range(config.clients_per_room):
             jobs.append(
-                _client(host, port, config, room, client, deadline, stats[index])
+                _client(
+                    host,
+                    port,
+                    config,
+                    room,
+                    client,
+                    deadline,
+                    stats[index],
+                    retry_unacked=retry_unacked,
+                    retry_interval_ms=retry_interval_ms,
+                    reconnect=reconnect,
+                )
             )
             index += 1
     outcomes = await asyncio.gather(*jobs, return_exceptions=True)
@@ -258,4 +398,8 @@ async def run_loadgen(
         shed=sum(s.shed for s in stats),
         connect_failures=failures,
         latencies_ms=latencies,
+        failovers=sum(s.failovers for s in stats),
+        retries=sum(s.retries for s in stats),
+        duplicates=sum(s.duplicates for s in stats),
+        unacked=sum(s.unacked for s in stats),
     )

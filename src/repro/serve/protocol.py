@@ -70,8 +70,21 @@ class ProtocolError(ValueError):
 
 
 def encode(message: dict[str, Any]) -> bytes:
-    """One frame: compact JSON plus the line terminator."""
-    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+    """One frame: compact JSON plus the line terminator.
+
+    Raises :class:`ProtocolError` when the encoded frame would exceed
+    :data:`MAX_LINE_BYTES` — a frame the sender may not put on the wire
+    is an error at the sender, not something for the receiver to choke
+    on.  (JSON string escaping guarantees the payload itself contains
+    no raw newline, so the line framing cannot be broken from inside.)
+    """
+    payload = json.dumps(message, separators=(",", ":")).encode()
+    if len(payload) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds limit of "
+            f"{MAX_LINE_BYTES}"
+        )
+    return payload + b"\n"
 
 
 def decode(line: bytes) -> Optional[dict[str, Any]]:
@@ -87,7 +100,7 @@ def decode(line: bytes) -> Optional[dict[str, Any]]:
         raise ProtocolError(f"frame of {len(stripped)} bytes exceeds limit")
     try:
         message = json.loads(stripped)
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"bad frame: {exc}") from exc
     if not isinstance(message, dict) or "op" not in message:
         raise ProtocolError(f"frame without op: {message!r}")

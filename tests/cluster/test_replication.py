@@ -1,0 +1,110 @@
+"""Replication-log semantics: replay equivalence and idempotence."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.replication import (
+    ReplicaState,
+    ReplicationLog,
+    join_entry,
+    leave_entry,
+    sess_entry,
+)
+
+
+def test_log_drain_hands_over_pending():
+    log = ReplicationLog()
+    log.append(sess_entry(1, "a"))
+    log.append(join_entry("r0", 1, "a"))
+    assert log.appended == 2
+    batch = log.drain()
+    assert [e["k"] for e in batch] == ["sess", "join"]
+    assert log.pending == [] and log.drain() == []
+    assert log.appended == 2  # drain does not forget history
+
+
+def test_replica_materialises_state():
+    replica = ReplicaState()
+    replica.apply_all(
+        [
+            sess_entry(1, "a"),
+            sess_entry(2, "b"),
+            join_entry("r0", 1, "a"),
+            join_entry("r0", 2, "b"),
+            leave_entry("r0", 1),
+            sess_entry(1, "a", alive=False),
+        ]
+    )
+    assert replica.sessions == {2: "b"}
+    assert replica.rooms == {"r0": {2: "b"}}
+    assert replica.applied == 6
+
+
+def test_room_vanishes_when_last_member_leaves():
+    replica = ReplicaState()
+    replica.apply_all([join_entry("r0", 1, "a"), leave_entry("r0", 1)])
+    assert replica.rooms == {}
+
+
+def test_unknown_entry_kinds_are_ignored():
+    replica = ReplicaState()
+    replica.apply({"k": "future-thing", "x": 1})
+    assert replica.applied == 0
+    assert replica.sessions == {} and replica.rooms == {}
+
+
+def test_replay_is_idempotent():
+    entries = [
+        sess_entry(1, "a"),
+        join_entry("r0", 1, "a"),
+        sess_entry(2, "b"),
+        join_entry("r0", 2, "b"),
+        leave_entry("r0", 1),
+    ]
+    once = ReplicaState()
+    once.apply_all(entries)
+    twice = ReplicaState()
+    twice.apply_all(entries)
+    twice.apply_all(entries)  # a re-sent snapshot must change nothing
+    assert once.to_dict()["sessions"] == twice.to_dict()["sessions"]
+    assert once.to_dict()["rooms"] == twice.to_dict()["rooms"]
+
+
+def test_replay_equivalence_under_random_history():
+    """A replica that replays the log equals the state built directly."""
+    rng = random.Random(1234)
+    sessions: dict[int, str] = {}
+    rooms: dict[str, dict[int, str]] = {}
+    log = ReplicationLog()
+    for _ in range(500):
+        op = rng.choice(["sess+", "sess-", "join", "leave"])
+        cid = rng.randrange(12)
+        room = f"r{rng.randrange(4)}"
+        user = f"u{cid}"
+        if op == "sess+":
+            sessions[cid] = user
+            log.append(sess_entry(cid, user))
+        elif op == "sess-":
+            sessions.pop(cid, None)
+            log.append(sess_entry(cid, user, alive=False))
+        elif op == "join":
+            rooms.setdefault(room, {})[cid] = user
+            log.append(join_entry(room, cid, user))
+        else:
+            members = rooms.get(room)
+            if members is not None:
+                members.pop(cid, None)
+                if not members:
+                    del rooms[room]
+            log.append(leave_entry(room, cid))
+    replica = ReplicaState()
+    # Deliver in arbitrary batch sizes, as the wire would.
+    entries = log.drain()
+    while entries:
+        cut = rng.randrange(1, len(entries) + 1)
+        replica.apply_all(entries[:cut])
+        entries = entries[cut:]
+    assert replica.sessions == sessions
+    assert replica.rooms == rooms
+    assert replica.applied == log.appended

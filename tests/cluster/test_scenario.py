@@ -1,0 +1,137 @@
+"""ScenarioSpec → cluster bridge, LoadSchedule reuse, metrics frame.
+
+``ClusterConfig.from_scenario`` lets the same content-addressed
+experiment file that drives ``repro scenario run`` drive a sharded
+cluster; the catalogue's ``cluster-survival-*`` entries are the chaos
+headline in that form.  The end-to-end test here is schedule-paced —
+the offered load comes from :class:`LoadPhase` phases, not the flat
+interval — proving the serve stack's LoadSchedule machinery works
+unchanged through the router.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    ClusterSupervisor,
+    run_cluster_loadtest,
+)
+from repro.faults import resolve_plan
+from repro.scenario import ScenarioSpec, named_scenarios
+from repro.serve import protocol
+from repro.serve.config import LoadPhase
+
+
+def test_from_scenario_maps_the_serve_shape():
+    spec = named_scenarios()["serve-spike-reg"]
+    config = ClusterConfig.from_scenario(spec, shards=3, framing="binary")
+    # Topology from overrides, everything else from the scenario.
+    assert config.shards == 3
+    assert config.framing == "binary"
+    assert config.scheduler == "reg"
+    assert config.machine == "2P"
+    assert config.rooms == 1
+    assert config.clients_per_room == 4
+    assert config.duration_s == 4.0
+    # The scenario's phased load rides through as the canonical string.
+    assert config.load_schedule == spec.load.to_config()
+    assert not config.serve_config().schedule().is_empty
+
+
+def test_from_scenario_rejects_simulated_workloads():
+    spec = named_scenarios()["volano-reg-up-small"]
+    with pytest.raises(ValueError, match="serve"):
+        ClusterConfig.from_scenario(spec)
+
+
+def test_cluster_survival_headline_is_in_the_catalogue():
+    for sched in ("reg", "elsc"):
+        spec = named_scenarios()[f"cluster-survival-{sched}"]
+        assert spec.workload == "serve"
+        assert spec.fault_plan.name == "kill-one-shard"
+        config = ClusterConfig.from_scenario(spec, shards=2)
+        # The embedded plan round-trips through the cluster resolver.
+        assert resolve_plan(config.fault_plan).name == "kill-one-shard"
+        assert config.scheduler == sched
+        assert config.rooms == 8 and config.messages_per_client == 25
+
+
+def test_load_schedule_passes_through_and_validates():
+    schedule = '{"phases":[{"duration_s":1.0,"interval_ms":5.0}]}'
+    config = ClusterConfig(load_schedule=schedule)
+    assert config.serve_config().load_schedule == schedule
+    assert config.serve_config().schedule().total_duration_s() == 1.0
+    with pytest.raises(ValueError):
+        ClusterConfig(load_schedule="not json")
+
+
+def test_schedule_paced_cluster_run_completes():
+    """An inline serve scenario with a two-phase load, projected onto
+    two shards: the message count is load-derived, and every one of
+    them still round-trips exactly once."""
+    spec = ScenarioSpec(
+        name="inline-cluster-ramp",
+        workload="serve",
+        scheduler="reg",
+        machine="UP",
+        config={
+            "rooms": 2,
+            "clients_per_room": 2,
+            "duration_s": 6.0,
+        },
+        load=(
+            LoadPhase(duration_s=0.5, interval_ms=20.0),
+            LoadPhase(duration_s=0.5, interval_ms=10.0),
+        ),
+        seed=7,
+    )
+    config = ClusterConfig.from_scenario(spec, shards=2)
+    report = asyncio.run(run_cluster_loadtest(config))
+    load = report.load
+    assert load.sent > 0
+    assert load.echoes == load.sent
+    assert load.unacked == 0
+    # At-least-once: a retry racing its own echo re-completes server-side
+    # and the client dedups it, so the books balance exactly.
+    assert report.aggregate["completed"] == load.sent + load.duplicates
+    assert report.survived
+
+
+def test_client_metrics_frame_reports_every_shard():
+    """A raw client's ``{"op": "metrics"}`` gets per-shard snapshots
+    plus the aggregate, straight off the interior metrics frames."""
+    config = ClusterConfig(shards=2, rooms=1, clients_per_room=1)
+
+    async def roundtrip():
+        router = ClusterRouter(config)
+        await router.start()
+        supervisor = ClusterSupervisor(config)
+        supervisor.spawn_all(router.control_port)
+        try:
+            await router.wait_ready()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", router.client_port
+            )
+            welcome = protocol.decode(await reader.readline())
+            writer.write(protocol.encode({"op": protocol.OP_METRICS}))
+            await writer.drain()
+            reply = protocol.decode(await reader.readline())
+            writer.close()
+            return welcome, reply
+        finally:
+            await router.stop()
+            supervisor.stop_all()
+
+    welcome, reply = asyncio.run(roundtrip())
+    assert welcome["op"] == protocol.OP_WELCOME
+    assert reply["op"] == protocol.OP_METRICS
+    assert set(reply["shards"]) == {"0", "1"}
+    assert reply["router"]["alive_shards"] == 2
+    assert "aggregate" in reply
+    for payload in reply["shards"].values():
+        assert "counters" in payload and "epoch" in payload

@@ -1,0 +1,111 @@
+"""Interior framings: round trips, size limits, truncation, garbage."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.cluster.wire import FRAMINGS, get_framing
+from repro.serve.protocol import MAX_LINE_BYTES, ProtocolError
+
+FRAMES = [
+    {"op": "hello", "shard": 1, "port": 40213, "pid": 4711},
+    {"op": "route", "cid": 7, "frame": {"op": "msg", "seq": 0, "pad": "x"}},
+    {"op": "fwd", "room": "r0", "origin": 0, "frame": {"op": "msg"}},
+    {"op": "repl", "origin": 1, "entries": [{"k": "sess", "cid": 3}]},
+    {"op": "deliver", "cids": [3, 7], "frame": {"op": "msg", "user": "u"}},
+]
+
+
+def read_all(framing, data: bytes):
+    """Feed ``data`` to a fresh StreamReader and drain every frame."""
+
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = []
+        while True:
+            frame = await framing.read(reader)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(_run())
+
+
+@pytest.mark.parametrize("name", sorted(FRAMINGS))
+def test_round_trip_stream(name):
+    framing = get_framing(name)
+    wire = b"".join(framing.encode(f) for f in FRAMES)
+    assert read_all(framing, wire) == FRAMES
+
+
+@pytest.mark.parametrize("name", sorted(FRAMINGS))
+def test_clean_eof_is_none(name):
+    assert read_all(get_framing(name), b"") == []
+
+
+@pytest.mark.parametrize("name", sorted(FRAMINGS))
+def test_oversized_encode_raises(name):
+    framing = get_framing(name)
+    with pytest.raises(ProtocolError):
+        framing.encode({"op": "fwd", "pad": "x" * (MAX_LINE_BYTES + 1)})
+
+
+def test_binary_payload_may_contain_newlines():
+    framing = get_framing("binary")
+    frame = {"op": "fwd", "pad": "a\nb\nc"}
+    assert read_all(framing, framing.encode(frame)) == [frame]
+
+
+def test_binary_oversized_declared_length_raises():
+    framing = get_framing("binary")
+    data = struct.pack(">I", MAX_LINE_BYTES + 1) + b"x"
+    with pytest.raises(ProtocolError, match="exceeds limit"):
+        read_all(framing, data)
+
+
+def test_binary_truncated_payload_raises():
+    framing = get_framing("binary")
+    whole = framing.encode({"op": "fwd", "pad": "x" * 64})
+    with pytest.raises(ProtocolError, match="truncated"):
+        read_all(framing, whole[:-5])
+
+
+def test_binary_truncated_header_raises():
+    with pytest.raises(ProtocolError, match="truncated length prefix"):
+        read_all(get_framing("binary"), b"\x00\x00")
+
+
+def test_binary_garbage_payload_raises():
+    garbage = b"this is not json"
+    data = struct.pack(">I", len(garbage)) + garbage
+    with pytest.raises(ProtocolError, match="bad frame"):
+        read_all(get_framing("binary"), data)
+
+
+def test_binary_frame_without_op_raises():
+    payload = b'{"not_op": 1}'
+    data = struct.pack(">I", len(payload)) + payload
+    with pytest.raises(ProtocolError, match="without op"):
+        read_all(get_framing("binary"), data)
+
+
+def test_json_garbage_line_raises():
+    with pytest.raises(ProtocolError):
+        read_all(get_framing("json"), b"garbage line\n")
+
+
+def test_json_blank_lines_are_keepalives():
+    framing = get_framing("json")
+    frame = FRAMES[0]
+    data = b"\n\n" + framing.encode(frame) + b"\n"
+    assert read_all(framing, data) == [frame]
+
+
+def test_unknown_framing_rejected():
+    with pytest.raises(ValueError, match="unknown framing"):
+        get_framing("protobuf")

@@ -1,0 +1,125 @@
+"""Failover-hardened load generator: reconnect, retry, dedup.
+
+Drives the client against a deliberately unreliable in-test server —
+no cluster needed — to pin the loadgen-side half of the zero-dropped-
+completions contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import protocol
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import run_loadgen
+
+CONFIG = ServeConfig(
+    rooms=1,
+    clients_per_room=1,
+    messages_per_client=4,
+    message_interval_ms=5.0,
+    arrival_jitter=0.0,
+    duration_s=6.0,
+)
+
+
+class FlakyEchoServer:
+    """Echoes msg frames back; drops connection N after its first msg."""
+
+    def __init__(self, drop_first_n: int = 1) -> None:
+        self.drop_first_n = drop_first_n
+        self.connections = 0
+        self.server: asyncio.base_events.Server | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self.server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+
+    async def stop(self) -> None:
+        assert self.server is not None
+        self.server.close()
+        await self.server.wait_closed()
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        flaky = self.connections <= self.drop_first_n
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                message = protocol.decode(line)
+                if message is None:
+                    continue
+                op = message.get("op")
+                if op == protocol.OP_JOIN:
+                    writer.write(
+                        protocol.encode(
+                            {"op": protocol.OP_JOINED, "room": "r0", "members": 1}
+                        )
+                    )
+                elif op == protocol.OP_MSG:
+                    if flaky:
+                        return  # abrupt EOF mid-conversation
+                    writer.write(protocol.encode(message))
+                elif op == protocol.OP_QUIT:
+                    writer.write(protocol.encode({"op": protocol.OP_BYE}))
+                    return
+                await writer.drain()
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+
+def test_reconnect_and_retry_recovers_everything():
+    async def _run():
+        server = FlakyEchoServer(drop_first_n=1)
+        await server.start()
+        try:
+            report = await run_loadgen(
+                "127.0.0.1",
+                server.port,
+                CONFIG,
+                retry_unacked=True,
+                retry_interval_ms=50.0,
+                reconnect=True,
+            )
+        finally:
+            await server.stop()
+        return server, report
+
+    server, report = asyncio.run(_run())
+    # The connection was dropped mid-run and the client dialed back in.
+    assert server.connections >= 2
+    assert report.failovers >= 1
+    # The swallowed message was re-driven until confirmed: nothing lost.
+    assert report.sent == CONFIG.messages_per_client
+    assert report.echoes == report.sent
+    assert report.retries >= 1
+    assert report.unacked == 0
+    # A failover mid-run is not an aborted client.
+    assert report.connect_failures == 0
+
+
+def test_eof_without_reconnect_keeps_historical_semantics():
+    async def _run():
+        server = FlakyEchoServer(drop_first_n=1)
+        await server.start()
+        try:
+            return await run_loadgen("127.0.0.1", server.port, CONFIG)
+        finally:
+            await server.stop()
+
+    report = asyncio.run(_run())
+    # Default mode: no reconnect machinery engages, sends are lossy.
+    assert report.failovers == 0
+    assert report.retries == 0
+    assert report.echoes < report.sent

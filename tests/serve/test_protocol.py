@@ -1,0 +1,64 @@
+"""Wire-protocol edge cases: size limits, garbage, embedded newlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import MAX_LINE_BYTES, ProtocolError
+
+
+def test_round_trip():
+    frame = {"op": "msg", "room": "r0", "seq": 3, "pad": "x" * 100}
+    assert protocol.decode(protocol.encode(frame)) == frame
+
+
+def test_encode_enforces_size_limit():
+    with pytest.raises(ProtocolError, match="exceeds limit"):
+        protocol.encode({"op": "msg", "pad": "x" * (MAX_LINE_BYTES + 1)})
+
+
+def test_encode_at_the_limit_is_fine():
+    # Fill to exactly MAX_LINE_BYTES of payload (sans terminator).
+    skeleton = len(protocol.encode({"op": "m", "pad": ""})) - 1
+    frame = {"op": "m", "pad": "x" * (MAX_LINE_BYTES - skeleton)}
+    encoded = protocol.encode(frame)
+    assert len(encoded) == MAX_LINE_BYTES + 1  # payload + "\n"
+    assert protocol.decode(encoded) == frame
+
+
+def test_decode_rejects_oversized_line():
+    line = b'{"op": "msg", "pad": "' + b"x" * MAX_LINE_BYTES + b'"}\n'
+    with pytest.raises(ProtocolError, match="exceeds limit"):
+        protocol.decode(line)
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        b"not json at all\n",
+        b'{"trailing": \n',
+        b'[1, 2, 3]\n',          # valid JSON, not an object
+        b'"just a string"\n',
+        b'{"no_op_key": 1}\n',
+        b"\x00\xff\xfe\n",
+    ],
+)
+def test_decode_rejects_garbage(garbage):
+    with pytest.raises(ProtocolError):
+        protocol.decode(garbage)
+
+
+def test_blank_line_is_keepalive():
+    assert protocol.decode(b"\n") is None
+    assert protocol.decode(b"   \r\n") is None
+    assert protocol.decode(b"") is None
+
+
+def test_embedded_newline_cannot_break_framing():
+    # JSON string escaping turns the raw newline into \n inside one
+    # line, so the frame still round-trips through line framing.
+    frame = {"op": "msg", "pad": "line one\nline two\r\n"}
+    encoded = protocol.encode(frame)
+    assert encoded.count(b"\n") == 1 and encoded.endswith(b"\n")
+    assert protocol.decode(encoded) == frame
