@@ -1,0 +1,291 @@
+"""The ``BENCH_<n>.json`` file format: write, load, diff.
+
+A BENCH file is one point on the repo's performance trajectory::
+
+    {
+      "schema_version": 1,
+      "bench_id": "BENCH_8",
+      "matrix_hash": "<sha256 of the pinned matrix definition>",
+      "smoke": false,
+      "repeats": 5,
+      "cells":   [ ...one record per metered matrix cell... ],
+      "pairs":   [ ...one record per before/after hot-path pair... ],
+      "cluster": { ...the cluster-loadtest throughput row... }
+    }
+
+Every field is documented in docs/performance.md; the schema is gated
+by ``schema_version`` (:func:`load_report` refuses files it cannot
+read) and stamped by ``matrix_hash`` (:func:`compare_reports` refuses
+to diff different matrices unless explicitly allowed).
+
+Comparison separates the two kinds of signal a BENCH file carries:
+
+* **bit-identity** — deterministic cells' simulation fingerprints
+  (SchedStats counters + workload metrics) must match *exactly*
+  between two files; any drift means behaviour changed, which is a
+  hard failure regardless of threshold.  Robust across machines.
+* **wall trend** — wall-clock deltas beyond ``threshold`` (default
+  15%) flag a regression.  Only meaningful between runs on the same
+  machine; CI therefore wall-gates two same-runner passes and
+  sim-gates against the committed file (``--sim-only``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .matrix import SCHEMA_VERSION
+
+__all__ = [
+    "write_report",
+    "load_report",
+    "pick_latency_percentiles",
+    "compare_reports",
+    "format_comparison",
+]
+
+#: Wall-clock regression threshold ``compare`` applies by default.
+DEFAULT_THRESHOLD = 0.15
+
+
+def write_report(report: dict[str, Any], path: Union[str, Path]) -> Path:
+    """Serialise a bench report, stable key order, trailing newline."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def load_report(path: Union[str, Path]) -> dict[str, Any]:
+    """Load and version-gate a BENCH file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: BENCH schema_version {version!r} is not the "
+            f"supported version {SCHEMA_VERSION}; re-generate the file "
+            "with this tree's `repro bench run`"
+        )
+    for key in ("bench_id", "matrix_hash", "cells"):
+        if key not in data:
+            raise ValueError(f"{path}: BENCH file is missing {key!r}")
+    return data
+
+
+def pick_latency_percentiles(
+    hist: dict[str, int], points: tuple[int, ...] = (50, 90, 99)
+) -> dict[str, int]:
+    """Percentile *upper bounds* from a power-of-two latency histogram.
+
+    The metrics probe buckets a decision's cycle cost by
+    ``cost.bit_length()`` — bucket ``b`` counts costs in
+    ``[2^(b-1), 2^b - 1]`` (bucket 0 is exactly cost 0).  The tightest
+    value a percentile can be pinned to is therefore its bucket's upper
+    bound, which is what this returns: ``p99 = 1023`` reads as "99% of
+    picks cost at most 1023 cycles".
+    """
+    total = sum(hist.values())
+    if total == 0:
+        return {f"p{p}": 0 for p in points}
+    buckets = sorted((int(b), n) for b, n in hist.items())
+    out: dict[str, int] = {}
+    for p in points:
+        need = total * p / 100.0
+        seen = 0
+        for bucket, count in buckets:
+            seen += count
+            if seen >= need:
+                out[f"p{p}"] = (1 << bucket) - 1 if bucket else 0
+                break
+    return out
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def _timed_rows(report: dict[str, Any], metric: str) -> dict[str, float]:
+    """Flatten every timed row of a report to ``id → seconds``.
+
+    ``metric`` is ``"wall"`` or ``"cpu"``; rows that never recorded the
+    requested metric (the multi-process cluster row has no meaningful
+    single-process CPU time, and older files may predate ``cpu``) fall
+    back to wall seconds.
+    """
+    key, fallback = f"{metric}_seconds", "wall_seconds"
+
+    def read(row: dict[str, Any]) -> float:
+        return row.get(key, row[fallback])
+
+    rows: dict[str, float] = {}
+    for cell in report.get("cells", []):
+        rows[cell["id"]] = read(cell)
+    for pair in report.get("pairs", []):
+        rows[pair["id"] + "/before"] = read(pair["before"])
+        rows[pair["id"] + "/after"] = read(pair["after"])
+    cluster = report.get("cluster")
+    if cluster:
+        rows[cluster["id"]] = cluster["wall_seconds"]
+    return rows
+
+
+def _fingerprints(report: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """Deterministic cells' simulation fingerprints, ``id → fingerprint``."""
+    return {
+        cell["id"]: cell["fingerprint"]
+        for cell in report.get("cells", [])
+        if cell.get("deterministic") and "fingerprint" in cell
+    }
+
+
+def compare_reports(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    sim_only: bool = False,
+    allow_matrix_drift: bool = False,
+    metric: str = "wall",
+) -> dict[str, Any]:
+    """Diff two bench reports; see the module docstring for semantics.
+
+    ``metric`` selects the timed scalar: ``"wall"`` (elapsed, the
+    default) or ``"cpu"`` (process CPU time, far less sensitive to a
+    noisy shared host — what CI's same-runner gate uses).
+
+    Returns a dict with ``rows`` (per-id wall deltas), ``regressions``,
+    ``identity_failures``, ``pair_notes``, ``skipped`` (ids present in
+    only one file), and ``ok``.
+    """
+    if old["matrix_hash"] != new["matrix_hash"] and not allow_matrix_drift:
+        raise ValueError(
+            "matrix_hash differs between the two BENCH files — they did "
+            "not run the same pinned matrix, so a delta is meaningless. "
+            "Pass --allow-matrix-drift to diff the common subset anyway."
+        )
+
+    identity_failures: list[str] = []
+    old_fp, new_fp = _fingerprints(old), _fingerprints(new)
+    for cell_id in sorted(old_fp.keys() & new_fp.keys()):
+        if old_fp[cell_id] != new_fp[cell_id]:
+            changed = _fingerprint_drift(old_fp[cell_id], new_fp[cell_id])
+            identity_failures.append(
+                f"{cell_id}: deterministic simulation diverged ({changed})"
+            )
+
+    if metric not in ("wall", "cpu"):
+        raise ValueError(f"metric must be wall|cpu, got {metric!r}")
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    if not sim_only:
+        old_walls, new_walls = _timed_rows(old, metric), _timed_rows(
+            new, metric
+        )
+        for row_id in sorted(old_walls.keys() & new_walls.keys()):
+            a, b = old_walls[row_id], new_walls[row_id]
+            delta = (b - a) / a if a else 0.0
+            regressed = delta > threshold
+            rows.append(
+                {"id": row_id, "old": a, "new": b,
+                 "delta_pct": delta * 100.0, "regressed": regressed}
+            )
+            if regressed:
+                regressions.append(
+                    f"{row_id}: {metric} {a:.3f}s → {b:.3f}s "
+                    f"(+{delta * 100.0:.1f}% > {threshold * 100.0:.0f}%)"
+                )
+        old_cl, new_cl = old.get("cluster"), new.get("cluster")
+        if old_cl and new_cl and old_cl.get("throughput"):
+            drop = (old_cl["throughput"] - new_cl["throughput"]) / old_cl[
+                "throughput"
+            ]
+            if drop > threshold:
+                regressions.append(
+                    f"{new_cl['id']}: throughput "
+                    f"{old_cl['throughput']:.1f} → {new_cl['throughput']:.1f} "
+                    f"echoes/s (-{drop * 100.0:.1f}%)"
+                )
+
+    pair_notes: list[str] = []
+    for pair in new.get("pairs", []):
+        if pair.get("identical_expected") and not pair.get("identical"):
+            identity_failures.append(
+                f"{pair['id']}: before/after sides are no longer "
+                "bit-identical"
+            )
+        pair_notes.append(
+            f"{pair['id']}: {pair['improvement_pct']:+.1f}% "
+            f"({pair['before']['wall_seconds']:.3f}s → "
+            f"{pair['after']['wall_seconds']:.3f}s)"
+        )
+
+    old_ids = set(_timed_rows(old, "wall")) | set(old_fp)
+    new_ids = set(_timed_rows(new, "wall")) | set(new_fp)
+    skipped = sorted(old_ids ^ new_ids)
+
+    return {
+        "metric": metric,
+        "rows": rows,
+        "regressions": regressions,
+        "identity_failures": identity_failures,
+        "pair_notes": pair_notes,
+        "skipped": skipped,
+        "threshold": threshold,
+        "ok": not regressions and not identity_failures,
+    }
+
+
+def _fingerprint_drift(old: dict[str, Any], new: dict[str, Any]) -> str:
+    """Name the first few fingerprint fields that differ."""
+    drifted = []
+    for section in ("stats", "metrics"):
+        a, b = old.get(section, {}), new.get(section, {})
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                drifted.append(f"{section}.{key}: {a.get(key)} → {b.get(key)}")
+    head = "; ".join(drifted[:3])
+    more = len(drifted) - 3
+    return head + (f"; +{more} more" if more > 0 else "")
+
+
+def format_comparison(result: dict[str, Any]) -> str:
+    """Human-readable comparison table + verdict."""
+    lines: list[str] = []
+    rows = result["rows"]
+    if rows:
+        width = max(len(r["id"]) for r in rows)
+        metric = result.get("metric", "wall")
+        lines.append(
+            f"{'cell':<{width}}  {f'old {metric} (s)':>12}  "
+            f"{f'new {metric} (s)':>12}  Δ%"
+        )
+        for r in rows:
+            flag = "  << REGRESSION" if r["regressed"] else ""
+            lines.append(
+                f"{r['id']:<{width}}  {r['old']:>12.3f}  {r['new']:>12.3f}  "
+                f"{r['delta_pct']:+6.1f}{flag}"
+            )
+    if result["pair_notes"]:
+        lines.append("")
+        lines.append("before/after pairs (new file):")
+        lines.extend(f"  {note}" for note in result["pair_notes"])
+    if result["skipped"]:
+        lines.append("")
+        lines.append(
+            f"skipped (present in only one file): {len(result['skipped'])}"
+        )
+    if result["identity_failures"]:
+        lines.append("")
+        lines.append("IDENTITY FAILURES (deterministic cells diverged):")
+        lines.extend(f"  {msg}" for msg in result["identity_failures"])
+    if result["regressions"]:
+        lines.append("")
+        lines.append(
+            f"WALL REGRESSIONS (> {result['threshold'] * 100.0:.0f}%):"
+        )
+        lines.extend(f"  {msg}" for msg in result["regressions"])
+    lines.append("")
+    lines.append("OK" if result["ok"] else "FAIL")
+    return "\n".join(lines)

@@ -1,7 +1,7 @@
 """The ELSC run-queue table (paper section 5.1, Figure 1b).
 
-An array of 30 doubly-linked lists replaces the single unsorted run
-queue.  Each list holds tasks in one *static goodness* range:
+An array of 30 lists replaces the single unsorted run queue.  Each list
+holds tasks in one *static goodness* range:
 
 * SCHED_OTHER tasks live in lists 0–19, indexed by
   ``(counter + priority) // 4`` (clamped);
@@ -28,11 +28,37 @@ Within a list, non-zero-counter tasks occupy the front section (newest
 first, matching the stock front-of-queue insert) and zero-counter tasks
 the tail section (in exhaustion order); the search loop stops at the
 first zero-counter task it meets.
+
+Two physical layouts implement these semantics (the bench pair in
+BENCH_8.json and ``tests/bench/test_runqueue_identity.py`` pin them
+bit-identical on real workloads):
+
+:class:`ELSCRunqueueTable` (the default)
+    each of the 30 lists is a contiguous Python list of task references
+    stored *back-to-front* (the physical list front is the end of the
+    Python list), so the common eligible front insert is an O(1)
+    C-level ``append`` and searches iterate with C-level ``reversed``.
+    Per-list zero-section sizes (``n_zero``) plus two integer bitmaps
+    (``elig_bits`` / ``zero_bits`` — bit *i* set when list *i* has an
+    eligible / exhausted resident) replace the linked walkers: cursor
+    repair after a removal is a bit-mask and ``bit_length`` instead of
+    an O(lists × length) scan-down.  Section membership is decided by
+    *position*, which is sound because a resident task's counter only
+    changes in the whole-system recalculation (running tasks are
+    physically off the table) — ``check_invariants`` cross-checks the
+    positional sections against the live counters.
+
+:class:`ELSCListTable`
+    the historical layout: 30 circular doubly-linked ``ListHead`` rings
+    threaded through ``task.run_list``, with cursor repair by scanning.
+    Kept as the before-side of the bench pair and as the per-CPU table
+    of the multiqueue scheduler (whose out-of-contract recalculation
+    timing relies on the historical stale-cursor behaviour).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import Iterator, Optional
 
 from ..kernel.listops import ListHead
 from ..kernel.params import (
@@ -40,33 +66,18 @@ from ..kernel.params import (
     ELSC_TABLE_SIZE,
     MAX_RT_PRIORITY,
 )
-from ..kernel.task import SchedPolicy, Task
+from ..kernel.task import Task
 
-if TYPE_CHECKING:  # pragma: no cover
-    pass
-
-__all__ = ["ELSCRunqueueTable"]
+__all__ = ["ELSCRunqueueTable", "ELSCListTable"]
 
 
-class ELSCRunqueueTable:
-    """The sorted, table-structured run queue of the ELSC scheduler."""
+class _IndexRules:
+    """The indexing rules of section 5.1, shared by both layouts."""
 
-    __slots__ = ("size", "other_lists", "lists", "top", "next_top", "resident", "_index")
+    __slots__ = ()
 
-    def __init__(self, size: int = ELSC_TABLE_SIZE, other_lists: int = ELSC_OTHER_LISTS) -> None:
-        if size <= other_lists:
-            raise ValueError("table must reserve lists above the SCHED_OTHER range")
-        self.size = size
-        self.other_lists = other_lists
-        self.lists = [ListHead() for _ in range(size)]
-        self.top: Optional[int] = None
-        self.next_top: Optional[int] = None
-        #: Number of tasks physically resident in the lists.
-        self.resident = 0
-        #: pid -> list index for every resident task.
-        self._index: dict[int, int] = {}
-
-    # -- indexing rules ---------------------------------------------------------
+    size: int
+    other_lists: int
 
     def other_index(self, static_goodness: int) -> int:
         """List for a SCHED_OTHER task: static goodness / 4, clamped."""
@@ -98,6 +109,299 @@ class ELSCRunqueueTable:
     def is_eligible(task: Task) -> bool:
         """Selectable without a recalculation: real-time or quantum left."""
         return task.is_realtime() or task.counter > 0
+
+
+class ELSCRunqueueTable(_IndexRules):
+    """The sorted, table-structured run queue — contiguous-array layout.
+
+    ``lists[i]`` is a plain Python list storing list *i* back-to-front;
+    ``n_zero[i]`` counts its zero-counter tail section (Python indices
+    ``[0, n_zero[i])``); ``elig_bits`` / ``zero_bits`` are bitmaps over
+    list indices used for O(1) ``top`` / ``next_top`` repair.
+    """
+
+    __slots__ = (
+        "size",
+        "other_lists",
+        "lists",
+        "n_zero",
+        "elig_bits",
+        "zero_bits",
+        "top",
+        "next_top",
+        "resident",
+        "_index",
+    )
+
+    def __init__(
+        self, size: int = ELSC_TABLE_SIZE, other_lists: int = ELSC_OTHER_LISTS
+    ) -> None:
+        if size <= other_lists:
+            raise ValueError("table must reserve lists above the SCHED_OTHER range")
+        self.size = size
+        self.other_lists = other_lists
+        self.lists: list[list[Task]] = [[] for _ in range(size)]
+        self.n_zero = [0] * size
+        self.elig_bits = 0
+        self.zero_bits = 0
+        self.top: Optional[int] = None
+        self.next_top: Optional[int] = None
+        #: Number of tasks physically resident in the lists.
+        self.resident = 0
+        #: pid -> list index for every resident task.
+        self._index: dict[int, int] = {}
+
+    # -- the two "test routines" of section 5.1 ------------------------------------
+
+    def list_has_eligible(self, idx: int) -> bool:
+        """Does list ``idx`` contain a task with a non-zero counter (or RT)?"""
+        return len(self.lists[idx]) > self.n_zero[idx]
+
+    def list_has_zero(self, idx: int) -> bool:
+        """Does list ``idx`` contain an exhausted SCHED_OTHER task?"""
+        return self.n_zero[idx] > 0
+
+    # -- insertion -------------------------------------------------------------------
+
+    def insert(self, task: Task, at_tail: bool = False) -> int:
+        """Link ``task`` into its list; returns the chosen index.
+
+        Eligible tasks go to the *front* of their static-goodness list
+        (like the stock front-of-queue insert); ``at_tail`` forces a tail
+        insert within the eligible section (SCHED_RR rotation).
+        Zero-counter tasks go to the tail of their *predicted* list.
+        """
+        if task.pid in self._index:
+            raise RuntimeError(f"{task.name} is already in the ELSC table")
+        if self.is_eligible(task):
+            idx = self.index_for(task)
+            lst = self.lists[idx]
+            if at_tail:
+                # End of the eligible section = just above the zero tail.
+                lst.insert(self.n_zero[idx], task)
+            else:
+                lst.append(task)  # physical front
+            self.elig_bits |= 1 << idx
+            if self.top is None or idx > self.top:
+                self.top = idx
+        else:
+            idx = self.predicted_index(task)
+            self.lists[idx].insert(0, task)  # physical back
+            self.n_zero[idx] += 1
+            self.zero_bits |= 1 << idx
+            if self.next_top is None or idx > self.next_top:
+                self.next_top = idx
+        # Self-loop sentinel: "on the run queue, in a list" for the
+        # kernel's pointer conventions, without linked structure.
+        node = task.run_list
+        node.next = node
+        node.prev = node
+        self._index[task.pid] = idx
+        self.resident += 1
+        return idx
+
+    # -- removal ----------------------------------------------------------------------
+
+    def remove(self, task: Task) -> None:
+        """Unlink ``task`` and repair ``top``/``next_top`` if needed.
+
+        Leaves the task's run_list sentinel in place (caller applies its
+        on/off-queue convention), exactly like kernel ``list_del``.
+        """
+        idx = self._index.pop(task.pid, None)
+        if idx is None:
+            raise RuntimeError(f"{task.name} is not in the ELSC table")
+        lst = self.lists[idx]
+        pos = lst.index(task)
+        del lst[pos]
+        if pos < self.n_zero[idx]:
+            nz = self.n_zero[idx] = self.n_zero[idx] - 1
+            if nz == 0:
+                self.zero_bits &= ~(1 << idx)
+                if idx == self.next_top:
+                    zb = self.zero_bits
+                    self.next_top = zb.bit_length() - 1 if zb else None
+        elif len(lst) == self.n_zero[idx]:
+            self.elig_bits &= ~(1 << idx)
+            if idx == self.top:
+                eb = self.elig_bits
+                self.top = eb.bit_length() - 1 if eb else None
+        self.resident -= 1
+
+    # -- intra-list moves (tie biasing) ---------------------------------------------------
+
+    def move_first(self, task: Task) -> None:
+        """To the *front of its section* — wins goodness ties."""
+        idx = self._require_index(task)
+        lst = self.lists[idx]
+        pos = lst.index(task)
+        nz = self.n_zero[idx]
+        del lst[pos]
+        if pos < nz:
+            lst.insert(nz - 1, task)  # front of the zero section
+        else:
+            lst.append(task)  # physical front
+        # Bitmaps, counts and cursors are untouched: the task stays in
+        # the same list and section.
+
+    def move_last(self, task: Task) -> None:
+        """To the *end of its section* — loses goodness ties."""
+        idx = self._require_index(task)
+        lst = self.lists[idx]
+        pos = lst.index(task)
+        nz = self.n_zero[idx]
+        del lst[pos]
+        if pos < nz:
+            lst.insert(0, task)  # physical back
+        else:
+            lst.insert(nz, task)  # end of the eligible section
+
+    def _require_index(self, task: Task) -> int:
+        idx = self._index.get(task.pid)
+        if idx is None:
+            raise RuntimeError(f"{task.name} is not in the ELSC table")
+        return idx
+
+    def index_of(self, task: Task) -> Optional[int]:
+        """Which list ``task`` currently occupies (None if not resident)."""
+        return self._index.get(task.pid)
+
+    # -- recalculation bookkeeping ------------------------------------------------------
+
+    def after_recalculate(self) -> None:
+        """Promote the pre-positioned exhausted tasks (O(1)).
+
+        Called right after the whole-system counter recalculation —
+        which the scheduler only runs when ``top`` is ``None``, so every
+        resident task sits in a zero section holding a fresh quantum.
+        The zero sections *are* the new eligible sections, and the
+        highest formerly-zero list is the new top (the historical
+        ``top = next_top`` assignment).
+        """
+        zb = self.zero_bits
+        n_zero = self.n_zero
+        while zb:
+            low = zb & -zb
+            n_zero[low.bit_length() - 1] = 0
+            zb ^= low
+        self.elig_bits |= self.zero_bits
+        self.zero_bits = 0
+        self.top = self.next_top
+        self.next_top = None
+
+    # -- descent & iteration -----------------------------------------------------------
+
+    def next_eligible_below(self, idx: int) -> Optional[int]:
+        """The next populated-with-eligible-tasks list under ``idx``."""
+        below = self.elig_bits & ((1 << idx) - 1)
+        return below.bit_length() - 1 if below else None
+
+    def tasks_in(self, idx: int) -> Iterator[Task]:
+        """Tasks resident in list ``idx``, front to back."""
+        return reversed(self.lists[idx])
+
+    def all_resident(self) -> list[Task]:
+        """Every task in the table, highest list first, list order within."""
+        out: list[Task] = []
+        for idx in range(self.size - 1, -1, -1):
+            out.extend(reversed(self.lists[idx]))
+        return out
+
+    def check_invariants(self) -> None:
+        """Structural self-check used by tests and property-based fuzzing.
+
+        Beyond the layout-independent invariants (index consistency,
+        section ordering, exact cursors), this cross-checks the cached
+        section counts and bitmaps against the live task counters.
+        """
+        seen = 0
+        max_eligible = None
+        max_zero = None
+        for idx in range(self.size):
+            lst = self.lists[idx]
+            nz = self.n_zero[idx]
+            assert 0 <= nz <= len(lst), (
+                f"list {idx}: n_zero={nz} outside 0..{len(lst)}"
+            )
+            zero_seen = False
+            for pos in range(len(lst) - 1, -1, -1):  # front to back
+                task = lst[pos]
+                assert self._index.get(task.pid) == idx, (
+                    f"{task.name} indexed at {self._index.get(task.pid)} but "
+                    f"resident in list {idx}"
+                )
+                seen += 1
+                if self.is_eligible(task):
+                    assert not zero_seen, (
+                        f"eligible {task.name} behind a zero-counter task in "
+                        f"list {idx}"
+                    )
+                    assert pos >= nz, (
+                        f"eligible {task.name} counted in list {idx}'s zero section"
+                    )
+                    if max_eligible is None or idx > max_eligible:
+                        max_eligible = idx
+                else:
+                    zero_seen = True
+                    assert pos < nz, (
+                        f"exhausted {task.name} outside list {idx}'s zero section"
+                    )
+                    if max_zero is None or idx > max_zero:
+                        max_zero = idx
+            assert (self.elig_bits >> idx) & 1 == (1 if len(lst) > nz else 0), (
+                f"elig_bits bit {idx} disagrees with list occupancy"
+            )
+            assert (self.zero_bits >> idx) & 1 == (1 if nz else 0), (
+                f"zero_bits bit {idx} disagrees with zero-section count"
+            )
+        assert seen == self.resident == len(self._index), (
+            f"resident mismatch: walked {seen}, resident={self.resident}, "
+            f"index={len(self._index)}"
+        )
+        assert self.top == max_eligible, (
+            f"top={self.top} but highest eligible list is {max_eligible}"
+        )
+        assert self.next_top == max_zero, (
+            f"next_top={self.next_top} but highest zero list is {max_zero}"
+        )
+
+    def __len__(self) -> int:
+        return self.resident
+
+    def __repr__(self) -> str:
+        return (
+            f"<ELSCRunqueueTable resident={self.resident} top={self.top} "
+            f"next_top={self.next_top}>"
+        )
+
+
+class ELSCListTable(_IndexRules):
+    """The sorted run queue in its historical linked-list layout.
+
+    Thirty circular doubly-linked rings threaded through each task's
+    intrusive ``run_list`` node, with cursor repair by scanning down the
+    table.  Semantically interchangeable with
+    :class:`ELSCRunqueueTable` (the bench identity suite pins them
+    bit-identical); kept as the before-side of the BENCH before/after
+    pair and for the multiqueue scheduler's per-CPU tables.
+    """
+
+    __slots__ = ("size", "other_lists", "lists", "top", "next_top", "resident", "_index")
+
+    def __init__(
+        self, size: int = ELSC_TABLE_SIZE, other_lists: int = ELSC_OTHER_LISTS
+    ) -> None:
+        if size <= other_lists:
+            raise ValueError("table must reserve lists above the SCHED_OTHER range")
+        self.size = size
+        self.other_lists = other_lists
+        self.lists = [ListHead() for _ in range(size)]
+        self.top: Optional[int] = None
+        self.next_top: Optional[int] = None
+        #: Number of tasks physically resident in the lists.
+        self.resident = 0
+        #: pid -> list index for every resident task.
+        self._index: dict[int, int] = {}
 
     # -- the two "test routines" of section 5.1 ------------------------------------
 
@@ -302,6 +606,6 @@ class ELSCRunqueueTable:
 
     def __repr__(self) -> str:
         return (
-            f"<ELSCRunqueueTable resident={self.resident} top={self.top} "
+            f"<ELSCListTable resident={self.resident} top={self.top} "
             f"next_top={self.next_top}>"
         )

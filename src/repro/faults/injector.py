@@ -98,10 +98,8 @@ class FaultInjector(Probe):
         probes = getattr(self.machine, "probes", None)
         seen_self = False
         if probes is not None and probes.fault:
-            for p in probes.fault:
-                p.on_fault(ev)
-                if p is self:
-                    seen_self = True
+            probes.emit_fault(ev)
+            seen_self = any(p is self for p in probes.fault)
         if not seen_self:
             self.on_fault(ev)
 

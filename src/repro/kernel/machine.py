@@ -233,6 +233,15 @@ class Machine:
         #: falsy attribute test, so a machine with no probes runs the
         #: identical event stream (bit-identical RunSummary/SchedStats).
         self.probes = ProbeSet()
+        #: Prebound deferred-dispatch callbacks, one pair per CPU, so the
+        #: defer/resume hot paths schedule events without allocating a
+        #: fresh ``partial`` each time.
+        self._defer_cbs = [
+            partial(Machine._deferred_dispatch_cb, cpu=cpu) for cpu in self.cpus
+        ]
+        self._resume_cbs = [
+            partial(Machine._resume_dispatch_cb, cpu=cpu) for cpu in self.cpus
+        ]
         scheduler.bind(self)
 
     # -- observers ---------------------------------------------------------
@@ -376,25 +385,26 @@ class Machine:
             self.lock_owner_cpu = waker_id
             waker = waker_id if waker_id is not None else -1
             if probes.lock and (spin or self.cost.lock_acquire):
-                ev = LockEvent(t, waker, task, spin, self.cost.lock_acquire)
-                for p in probes.lock:
-                    p.on_lock(ev)
-            if probes.wakeup:
-                ev = WakeupEvent(
-                    t, waker, waker, task, self.cost.wakeup_cost + insert, spin
+                probes.emit_lock(
+                    LockEvent(t, waker, task, spin, self.cost.lock_acquire)
                 )
-                for p in probes.wakeup:
-                    p.on_wakeup(ev)
+            if probes.wakeup:
+                probes.emit_wakeup(
+                    WakeupEvent(
+                        t, waker, waker, task,
+                        self.cost.wakeup_cost + insert, spin,
+                    )
+                )
         else:
             insert = self.scheduler.add_to_runqueue(task)
             charge += insert
             if probes.wakeup:
                 waker = waker_cpu.cpu_id if waker_cpu is not None else -1
-                ev = WakeupEvent(
-                    t, waker, 0, task, self.cost.wakeup_cost + insert, 0
+                probes.emit_wakeup(
+                    WakeupEvent(
+                        t, waker, 0, task, self.cost.wakeup_cost + insert, 0
+                    )
                 )
-                for p in probes.wakeup:
-                    p.on_wakeup(ev)
         self._reschedule_idle(task, t + charge)
         return charge
 
@@ -440,7 +450,7 @@ class Machine:
         self.events.schedule(
             max(t, self.clock.now),
             EventKind.CALLBACK,
-            partial(Machine._deferred_dispatch_cb, cpu=cpu),
+            self._defer_cbs[cpu.cpu_id],
         )
 
     @staticmethod
@@ -518,9 +528,7 @@ class Machine:
             end = dec_end + switch
             probes = self.probes
             if probes.lock and (spin or hold):
-                lock_ev = LockEvent(at, cpu.cpu_id, prev, spin, hold)
-                for p in probes.lock:
-                    p.on_lock(lock_ev)
+                probes.emit_lock(LockEvent(at, cpu.cpu_id, prev, spin, hold))
             if probes.sched:
                 # migrated_from is captured before the pick overwrites
                 # the chosen task's ``processor`` below.
@@ -547,8 +555,7 @@ class Machine:
                     switch,
                     migrated_from,
                 )
-                for p in probes.sched:
-                    p.on_sched(sched_ev)
+                probes.emit_sched(sched_ev)
             prev.has_cpu = False
             if next_task is None:
                 # Idle: park the CPU; wakeups restart it.
@@ -588,7 +595,7 @@ class Machine:
                 self.events.schedule(
                     at,
                     EventKind.CALLBACK,
-                    partial(Machine._resume_dispatch_cb, cpu=cpu),
+                    self._resume_cbs[cpu.cpu_id],
                 )
                 return
 
@@ -624,11 +631,11 @@ class Machine:
                     action.remaining += self.cost.cache_refill
                     task.cache_cold = False
                     if probes.dispatch:
-                        ev = DispatchEvent(
-                            t, cpu.cpu_id, task, self.cost.cache_refill
+                        probes.emit_dispatch(
+                            DispatchEvent(
+                                t, cpu.cpu_id, task, self.cost.cache_refill
+                            )
                         )
-                        for p in probes.dispatch:
-                            p.on_dispatch(ev)
                 cpu.run_started_at = t
                 cpu.run_event = self.events.schedule(
                     t + action.remaining, EventKind.ACTION_DONE, cpu
@@ -645,11 +652,11 @@ class Machine:
                 chan.writers.add(task, exclusive=True)
                 task.state = TaskState.INTERRUPTIBLE
                 if probes.syscall:
-                    ev = SyscallEvent(
-                        t, cpu.cpu_id, task, "block", f"put {chan.name}"
+                    probes.emit_syscall(
+                        SyscallEvent(
+                            t, cpu.cpu_id, task, "block", f"put {chan.name}"
+                        )
                     )
-                    for p in probes.syscall:
-                        p.on_syscall(ev)
                 return t  # retries the same action when woken
             if isinstance(action, ChannelGet):
                 t += syscall
@@ -664,11 +671,11 @@ class Machine:
                 chan.readers.add(task, exclusive=True)
                 task.state = TaskState.INTERRUPTIBLE
                 if probes.syscall:
-                    ev = SyscallEvent(
-                        t, cpu.cpu_id, task, "block", f"get {chan.name}"
+                    probes.emit_syscall(
+                        SyscallEvent(
+                            t, cpu.cpu_id, task, "block", f"get {chan.name}"
+                        )
                     )
-                    for p in probes.syscall:
-                        p.on_syscall(ev)
                 return t
             if isinstance(action, CloseChannel):
                 t += syscall
@@ -687,18 +694,18 @@ class Machine:
                 task.state = TaskState.INTERRUPTIBLE
                 self.events.schedule(t + action.cycles, EventKind.TIMER, task)
                 if probes.syscall:
-                    ev = SyscallEvent(t, cpu.cpu_id, task, "block", "sleep")
-                    for p in probes.syscall:
-                        p.on_syscall(ev)
+                    probes.emit_syscall(
+                        SyscallEvent(t, cpu.cpu_id, task, "block", "sleep")
+                    )
                 return t
             if isinstance(action, YieldCPU):
                 t += syscall
                 task.current_action = None
                 task.yield_count += 1
                 if probes.syscall:
-                    ev = SyscallEvent(t, cpu.cpu_id, task, "yield")
-                    for p in probes.syscall:
-                        p.on_syscall(ev)
+                    probes.emit_syscall(
+                        SyscallEvent(t, cpu.cpu_id, task, "yield")
+                    )
                 if task.policy is SchedPolicy.SCHED_OTHER:
                     task.yield_pending = True
                 else:
@@ -728,12 +735,12 @@ class Machine:
                     chan.readers.add_multi(task, exclusive=True)
                 task.state = TaskState.INTERRUPTIBLE
                 if probes.syscall:
-                    ev = SyscallEvent(
-                        t, cpu.cpu_id, task, "block",
-                        f"select x{len(action.channels)}",
+                    probes.emit_syscall(
+                        SyscallEvent(
+                            t, cpu.cpu_id, task, "block",
+                            f"select x{len(action.channels)}",
+                        )
                     )
-                    for p in probes.syscall:
-                        p.on_syscall(ev)
                 return t
             if isinstance(action, WaitOn):
                 t += syscall
@@ -741,12 +748,12 @@ class Machine:
                 action.waitqueue.add(task, exclusive=action.exclusive)
                 task.state = TaskState.INTERRUPTIBLE
                 if probes.syscall:
-                    ev = SyscallEvent(
-                        t, cpu.cpu_id, task, "block",
-                        f"wait {action.waitqueue.name}",
+                    probes.emit_syscall(
+                        SyscallEvent(
+                            t, cpu.cpu_id, task, "block",
+                            f"wait {action.waitqueue.name}",
+                        )
                     )
-                    for p in probes.syscall:
-                        p.on_syscall(ev)
                 return t
             if isinstance(action, WakeUp):
                 t += syscall
@@ -781,9 +788,7 @@ class Machine:
         self._live_count -= 1
         if self.probes.syscall:
             cpu_id = task.processor if task.processor >= 0 else -1
-            ev = SyscallEvent(t, cpu_id, task, "exit")
-            for p in self.probes.syscall:
-                p.on_syscall(ev)
+            self.probes.emit_syscall(SyscallEvent(t, cpu_id, task, "exit"))
         return t
 
     # -- timer ticks ----------------------------------------------------------------
@@ -810,9 +815,9 @@ class Machine:
         if cpu.need_resched:
             self.scheduler.stats.preemptions += 1
             if self.probes.sched:
-                ev = PreemptEvent(t, cpu.cpu_id, task, task.counter)
-                for p in self.probes.sched:
-                    p.on_sched(ev)
+                self.probes.emit_sched(
+                    PreemptEvent(t, cpu.cpu_id, task, task.counter)
+                )
             self._dispatch(cpu, t)
             return
         cpu.tick_event = self.events.schedule(
@@ -881,6 +886,10 @@ class Machine:
                 break
             else:  # pragma: no cover - enum is closed
                 raise SimulationError(f"unhandled event kind {kind}")
+        # Read boundary: drain any batched probe deliveries so observers
+        # (metrics, profiles) are exact before anyone snapshots them.
+        if self.probes:
+            self.probes.flush()
         summary.cycles = self.clock.now
         summary.seconds = self.clock.seconds
         summary.events_handled = handled

@@ -92,9 +92,18 @@ def _bucket(value: int) -> int:
 
 
 class MetricsProbe(Probe):
-    """Rolling counters/histograms over every pipeline event kind."""
+    """Rolling counters/histograms over every pipeline event kind.
+
+    Every aggregate is a commutative sum, so the probe is
+    ``batch_capable``: the pipeline buffers events and drains them
+    through the ``on_<kind>_batch`` loops below, which hoist the dict
+    lookups ``on_sched`` & co. would otherwise repeat per event.  Reads
+    (:meth:`snapshot`, and everything built on it) flush the owning
+    pipeline first, so a snapshot never misses buffered events.
+    """
 
     kinds = frozenset({"sched", "wakeup", "dispatch", "lock", "fault", "syscall"})
+    batch_capable = True
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {k: 0 for k in COUNTER_KEYS}
@@ -104,6 +113,9 @@ class MetricsProbe(Probe):
         self.schedulers: dict[str, dict[str, Any]] = {}
         self._scheduler = "?"
         self._window_mark: Optional[dict[str, Any]] = None
+        #: The ProbeSet this probe is attached to (set by ``ProbeSet.add``);
+        #: lets reads self-flush pending batches.
+        self._pipeline: Optional[Any] = None
 
     # -- probe hooks --------------------------------------------------------
 
@@ -183,10 +195,116 @@ class MetricsProbe(Probe):
         elif ev.op == "exit":
             self.counters["exits"] += 1
 
+    # -- batched hooks ------------------------------------------------------
+    #
+    # Same arithmetic as the per-event hooks (bit-identical aggregates,
+    # pinned by tests/obs/test_probe_batching.py), with the attribute
+    # and dict lookups hoisted out of the loop.
+
+    def on_sched_batch(self, evs: list) -> None:
+        c = self.counters
+        t = self.totals
+        hist_dec = self.hists["decision_cycles"]
+        hist_exam = self.hists["examined"]
+        per = self.schedulers.setdefault(
+            self._scheduler, {"picks": 0, "decision_cycles": 0, "hist": {}}
+        )
+        ph = per["hist"]
+        picks = switches = idle_picks = migrations = preemptions = recalcs = 0
+        examined = decision_cycles = eval_cycles = recalc_cycles = 0
+        switch_cycles = recalc_tasks = 0
+        for ev in evs:
+            point = ev.point
+            if point == "decision":
+                picks += 1
+                cost = ev.cost
+                if ev.chosen is None:
+                    idle_picks += 1
+                if ev.switch:
+                    switches += 1
+                    switch_cycles += ev.switch
+                if ev.migrated_from is not None:
+                    migrations += 1
+                examined += ev.examined
+                decision_cycles += cost
+                eval_cycles += ev.eval_cycles
+                recalc_cycles += ev.recalc_cycles
+                b = cost.bit_length()
+                hist_dec[b] = hist_dec.get(b, 0) + 1
+                ph[b] = ph.get(b, 0) + 1
+                b = ev.examined.bit_length()
+                hist_exam[b] = hist_exam.get(b, 0) + 1
+            elif point == "preempt":
+                preemptions += 1
+            elif point == "recalc":
+                recalcs += 1
+                recalc_tasks += ev.tasks
+        c["picks"] += picks
+        c["idle_picks"] += idle_picks
+        c["switches"] += switches
+        c["migrations"] += migrations
+        c["preemptions"] += preemptions
+        c["recalcs"] += recalcs
+        t["examined"] += examined
+        t["decision_cycles"] += decision_cycles
+        t["eval_cycles"] += eval_cycles
+        t["recalc_cycles"] += recalc_cycles
+        t["switch_cycles"] += switch_cycles
+        t["recalc_tasks"] += recalc_tasks
+        per["picks"] += picks
+        per["decision_cycles"] += decision_cycles
+
+    def on_wakeup_batch(self, evs: list) -> None:
+        charge = 0
+        for ev in evs:
+            charge += ev.charge
+        self.counters["wakeups"] += len(evs)
+        self.totals["wakeup_cycles"] += charge
+
+    def on_dispatch_batch(self, evs: list) -> None:
+        cycles = 0
+        for ev in evs:
+            cycles += ev.cycles
+        self.totals["migrate_cycles"] += cycles
+
+    def on_lock_batch(self, evs: list) -> None:
+        hist = self.hists["lock_spin_cycles"]
+        contentions = spin_total = hold_total = 0
+        for ev in evs:
+            spin = ev.spin
+            if spin:
+                contentions += 1
+                spin_total += spin
+                b = spin.bit_length()
+                hist[b] = hist.get(b, 0) + 1
+            hold_total += ev.hold
+        self.counters["lock_acquisitions"] += len(evs)
+        self.counters["lock_contentions"] += contentions
+        self.totals["lock_spin_cycles"] += spin_total
+        self.totals["lock_hold_cycles"] += hold_total
+
+    def on_syscall_batch(self, evs: list) -> None:
+        blocks = yields = exits = 0
+        for ev in evs:
+            op = ev.op
+            if op == "block":
+                blocks += 1
+            elif op == "yield":
+                yields += 1
+            elif op == "exit":
+                exits += 1
+        c = self.counters
+        c["blocks"] += blocks
+        c["yields"] += yields
+        c["exits"] += exits
+
     # -- read side ----------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
         """Cumulative totals since attach (JSON-safe)."""
+        pipeline = self._pipeline
+        if pipeline is not None:
+            pipeline.flush()
         return {
             "counters": dict(self.counters),
             "totals": dict(self.totals),

@@ -17,6 +17,20 @@ paths.  This module replaces all of that with a single mechanism:
   :class:`~repro.serve.executor.SchedulerExecutor` emit each event from
   exactly one site, so a new observer never re-audits the hot path.
 
+Delivery is *batched* for probes that opt in (``batch_capable = True``,
+e.g. :class:`~repro.obs.metrics.MetricsProbe`): the emitting site calls
+``probes.emit_<kind>(ev)``, which appends to a per-kind buffer and
+drains it through the probe's ``on_<kind>_batch`` hook every
+:data:`DEFAULT_BATCH_SIZE` events, amortising the per-event call
+overhead into one hoisted-locals loop per batch.  Order is preserved
+*within* a kind; batch-capable probes must therefore be
+order-insensitive **across** kinds (aggregators are; the tracer's
+cross-kind ring ordering is why :class:`~repro.obs.probes.TracerProbe`
+stays synchronous).  ``ProbeSet.flush()`` drains every buffer; the
+machine flushes at the end of :meth:`~repro.kernel.machine.Machine.run`
+and a :class:`~repro.obs.metrics.MetricsProbe` self-flushes on every
+read, so no observable snapshot ever sees a partial stream.
+
 Events carry the *cycle charges* the machine computed, never re-derive
 them: a probe that sums ``LockEvent.spin`` reconstructs
 ``SchedStats.lock_spin_cycles`` exactly, and the profiler adapter's
@@ -35,6 +49,7 @@ from typing import Any, Optional
 
 __all__ = [
     "KINDS",
+    "DEFAULT_BATCH_SIZE",
     "Probe",
     "ProbeSet",
     "SchedEvent",
@@ -49,6 +64,12 @@ __all__ = [
 
 #: The closed set of event kinds a probe may subscribe to.
 KINDS = ("sched", "wakeup", "dispatch", "lock", "fault", "syscall")
+
+#: Events buffered per kind before a batch-capable probe's
+#: ``on_<kind>_batch`` hook drains them.  ``<= 1`` disables batching
+#: (every probe is delivered synchronously) — the bench runner uses
+#: that to measure the before/after of batched emission.
+DEFAULT_BATCH_SIZE = 256
 
 
 class SchedEvent:
@@ -232,6 +253,11 @@ class Probe:
     #: Event kinds this probe subscribes to (subset of :data:`KINDS`).
     kinds: frozenset = frozenset()
 
+    #: Opt in to buffered delivery through the ``on_<kind>_batch``
+    #: hooks.  Only safe for probes whose aggregates are insensitive to
+    #: event ordering *across* kinds (within a kind, order is kept).
+    batch_capable: bool = False
+
     def on_attach(self, host: Any) -> None:
         """Called once when attached to a machine or executor."""
 
@@ -257,25 +283,96 @@ class Probe:
     def on_syscall(self, ev: SyscallEvent) -> None:
         """A :class:`SyscallEvent`."""
 
+    # -- batched delivery (batch_capable probes only) -----------------------
+    #
+    # The defaults just replay the per-event hooks, so a batch-capable
+    # probe works before it bothers writing hoisted batch loops.
+
+    def on_sched_batch(self, evs: list) -> None:
+        for ev in evs:
+            self.on_sched(ev)
+
+    def on_wakeup_batch(self, evs: list) -> None:
+        for ev in evs:
+            self.on_wakeup(ev)
+
+    def on_dispatch_batch(self, evs: list) -> None:
+        for ev in evs:
+            self.on_dispatch(ev)
+
+    def on_lock_batch(self, evs: list) -> None:
+        for ev in evs:
+            self.on_lock(ev)
+
+    def on_fault_batch(self, evs: list) -> None:
+        for ev in evs:
+            self.on_fault(ev)
+
+    def on_syscall_batch(self, evs: list) -> None:
+        for ev in evs:
+            self.on_syscall(ev)
+
 
 class ProbeSet:
     """The per-host pipeline: attached probes, indexed by event kind.
 
-    Emitters read the kind attribute directly — ``if probes.sched:`` is
-    the detached fast path, and ``for p in probes.sched: p.on_sched(ev)``
-    the delivery loop — so an empty set costs one truthiness test per
-    potential event and allocates nothing.
+    Emitters test the kind attribute directly — ``if probes.sched:`` is
+    the detached fast path (an empty set costs one truthiness test per
+    potential event and allocates nothing) — then hand the event to
+    ``emit_<kind>``, which delivers synchronously to order-sensitive
+    probes and buffers for batch-capable ones.  The per-kind attributes
+    keep *all* subscribers, so pre-batching code that iterates
+    ``probes.sched`` itself still delivers to everything (just without
+    the amortisation).
     """
 
-    __slots__ = ("probes",) + KINDS
+    __slots__ = (
+        ("probes", "batch_size") + KINDS
+        + tuple(f"_sync_{k}" for k in KINDS)
+        + tuple(f"_batch_{k}" for k in KINDS)
+        + tuple(f"_buf_{k}" for k in KINDS)
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, batch_size: Optional[int] = None) -> None:
         self.probes: tuple = ()
+        self.batch_size = (
+            DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+        )
         for kind in KINDS:
             setattr(self, kind, ())
+            setattr(self, f"_sync_{kind}", ())
+            setattr(self, f"_batch_{kind}", ())
+            setattr(self, f"_buf_{kind}", [])
+
+    def _rebuild(self) -> None:
+        """Recompute the per-kind delivery tuples from ``self.probes``."""
+        batching = self.batch_size > 1
+        for kind in KINDS:
+            subs = tuple(p for p in self.probes if kind in p.kinds)
+            setattr(self, kind, subs)
+            setattr(
+                self,
+                f"_sync_{kind}",
+                tuple(
+                    p for p in subs
+                    if not (batching and getattr(p, "batch_capable", False))
+                ),
+            )
+            setattr(
+                self,
+                f"_batch_{kind}",
+                tuple(
+                    p for p in subs
+                    if batching and getattr(p, "batch_capable", False)
+                ),
+            )
 
     def add(self, probe: Probe) -> Probe:
-        """Subscribe ``probe`` to its declared kinds (idempotent)."""
+        """Subscribe ``probe`` to its declared kinds (idempotent).
+
+        Pending buffers are flushed first, so a late-attached probe
+        never sees events emitted before it arrived.
+        """
         if probe in self.probes:
             return probe
         for kind in probe.kinds:
@@ -283,20 +380,22 @@ class ProbeSet:
                 raise ValueError(
                     f"unknown probe kind {kind!r}; choose from {KINDS}"
                 )
+        self.flush()
         self.probes = self.probes + (probe,)
-        for kind in probe.kinds:
-            setattr(self, kind, getattr(self, kind) + (probe,))
+        self._rebuild()
+        if getattr(probe, "_pipeline", _MISSING) is not _MISSING:
+            probe._pipeline = self
         return probe
 
     def remove(self, probe: Probe) -> None:
         """Detach ``probe`` from every kind it subscribed to."""
         if probe not in self.probes:
             return
+        self.flush()
         self.probes = tuple(p for p in self.probes if p is not probe)
-        for kind in KINDS:
-            current = getattr(self, kind)
-            if probe in current:
-                setattr(self, kind, tuple(p for p in current if p is not probe))
+        self._rebuild()
+        if getattr(probe, "_pipeline", _MISSING) is not _MISSING:
+            probe._pipeline = None
 
     def first(self, cls: type) -> Optional[Probe]:
         """The first attached probe of (a subclass of) ``cls``, or None."""
@@ -306,9 +405,102 @@ class ProbeSet:
         return None
 
     def set_scheduler(self, name: str) -> None:
-        """Tell every probe the host's scheduler (re)bound."""
+        """Tell every probe the host's scheduler (re)bound.
+
+        Flushes first: buffered events belong to the *previous* binding
+        (the MetricsProbe keys its per-scheduler breakdown on delivery).
+        """
+        self.flush()
         for probe in self.probes:
             probe.set_scheduler(name)
+
+    # -- delivery -----------------------------------------------------------
+
+    def emit_sched(self, ev: Any) -> None:
+        for p in self._sync_sched:
+            p.on_sched(ev)
+        if self._batch_sched:
+            buf = self._buf_sched
+            buf.append(ev)
+            if len(buf) >= self.batch_size:
+                self._buf_sched = []
+                for p in self._batch_sched:
+                    p.on_sched_batch(buf)
+
+    def emit_wakeup(self, ev: Any) -> None:
+        for p in self._sync_wakeup:
+            p.on_wakeup(ev)
+        if self._batch_wakeup:
+            buf = self._buf_wakeup
+            buf.append(ev)
+            if len(buf) >= self.batch_size:
+                self._buf_wakeup = []
+                for p in self._batch_wakeup:
+                    p.on_wakeup_batch(buf)
+
+    def emit_dispatch(self, ev: Any) -> None:
+        for p in self._sync_dispatch:
+            p.on_dispatch(ev)
+        if self._batch_dispatch:
+            buf = self._buf_dispatch
+            buf.append(ev)
+            if len(buf) >= self.batch_size:
+                self._buf_dispatch = []
+                for p in self._batch_dispatch:
+                    p.on_dispatch_batch(buf)
+
+    def emit_lock(self, ev: Any) -> None:
+        for p in self._sync_lock:
+            p.on_lock(ev)
+        if self._batch_lock:
+            buf = self._buf_lock
+            buf.append(ev)
+            if len(buf) >= self.batch_size:
+                self._buf_lock = []
+                for p in self._batch_lock:
+                    p.on_lock_batch(buf)
+
+    def emit_fault(self, ev: Any) -> None:
+        for p in self._sync_fault:
+            p.on_fault(ev)
+        if self._batch_fault:
+            buf = self._buf_fault
+            buf.append(ev)
+            if len(buf) >= self.batch_size:
+                self._buf_fault = []
+                for p in self._batch_fault:
+                    p.on_fault_batch(buf)
+
+    def emit_syscall(self, ev: Any) -> None:
+        for p in self._sync_syscall:
+            p.on_syscall(ev)
+        if self._batch_syscall:
+            buf = self._buf_syscall
+            buf.append(ev)
+            if len(buf) >= self.batch_size:
+                self._buf_syscall = []
+                for p in self._batch_syscall:
+                    p.on_syscall_batch(buf)
+
+    def flush(self) -> None:
+        """Drain every per-kind buffer through the batch hooks.
+
+        Hosts call this at read boundaries (end of a machine run, before
+        a live metrics snapshot) so aggregates are exact, not
+        approximately-current.  Buffers are swapped out before delivery,
+        making the call re-entrancy-safe.
+        """
+        for kind in KINDS:
+            buf = getattr(self, f"_buf_{kind}")
+            if buf:
+                setattr(self, f"_buf_{kind}", [])
+                hook = f"on_{kind}_batch"
+                for p in getattr(self, f"_batch_{kind}"):
+                    getattr(p, hook)(buf)
+
+    def pending(self) -> int:
+        """Events currently buffered across all kinds (introspection)."""
+        return sum(len(getattr(self, f"_buf_{k}")) for k in KINDS)
 
     def __bool__(self) -> bool:
         return bool(self.probes)
@@ -321,3 +513,7 @@ class ProbeSet:
 
     def __repr__(self) -> str:
         return f"<ProbeSet {[type(p).__name__ for p in self.probes]}>"
+
+
+#: Sentinel distinguishing "no ``_pipeline`` attribute" from "None".
+_MISSING = object()

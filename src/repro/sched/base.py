@@ -168,9 +168,7 @@ class Scheduler(abc.ABC):
         if probes is not None and probes.sched:
             from ..obs.probe import RecalcEvent
 
-            ev = RecalcEvent(machine.clock.now, count)
-            for p in probes.sched:
-                p.on_sched(ev)
+            probes.emit_sched(RecalcEvent(machine.clock.now, count))
         return self.cost.recalc_cost(count)
 
     def __repr__(self) -> str:

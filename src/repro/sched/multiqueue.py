@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..core.table import ELSCRunqueueTable
+from ..core.table import ELSCListTable
 from ..kernel.task import SchedPolicy, Task
 from .base import SchedDecision, Scheduler
 from .goodness import dynamic_bonus
@@ -46,14 +46,18 @@ class MultiQueueScheduler(Scheduler):
     def __init__(self, steal: bool = True) -> None:
         super().__init__()
         self.steal = steal
-        self._tables: list[ELSCRunqueueTable] = []
+        self._tables: list[ELSCListTable] = []
         self._home: dict[int, int] = {}  # pid -> table index while queued
         self._running_onqueue = 0
 
     def reset(self) -> None:
         super().reset()
         count = len(self.machine.cpus) if self.machine is not None else 1
-        self._tables = [ELSCRunqueueTable() for _ in range(count)]
+        # The linked-list table layout, deliberately: multiqueue
+        # recalculates while sibling tables still hold eligible tasks
+        # (out of the single-queue contract), and its behaviour is pinned
+        # to the historical stale-cursor promotion that layout implements.
+        self._tables = [ELSCListTable() for _ in range(count)]
         self._home = {}
         self._running_onqueue = 0
 
@@ -183,7 +187,7 @@ class MultiQueueScheduler(Scheduler):
             recalc_cycles=recalc_cycles,
         )
 
-    def _recalculate(self, table: ELSCRunqueueTable) -> int:
+    def _recalculate(self, table: ELSCListTable) -> int:
         # Counters are a global property; the per-CPU structures each
         # promote their own next_top.
         cost = super().recalculate_counters()
@@ -205,7 +209,7 @@ class MultiQueueScheduler(Scheduler):
         return best
 
     def _search_table(
-        self, table: ELSCRunqueueTable, prev: Task, cpu: "CPU"
+        self, table: ELSCListTable, prev: Task, cpu: "CPU"
     ) -> tuple[Optional[Task], int]:
         limit = self.search_limit
         idx: Optional[int] = table.top

@@ -3,11 +3,11 @@
 A faithful re-implementation of the behaviour described in the paper's
 section 3 (and the corresponding kernel source):
 
-* the run queue is a single circular doubly-linked list, unsorted; newly
-  woken tasks go to the front;
-* ``schedule()`` walks the **whole** list evaluating ``goodness()`` for
+* the run queue is a single circular queue, unsorted; newly woken tasks
+  go to the front;
+* ``schedule()`` walks the **whole** queue evaluating ``goodness()`` for
   every runnable task not currently executing on another CPU, keeping
-  the first-seen maximum (front-of-list wins ties);
+  the first-seen maximum (front-of-queue wins ties);
 * the previous task is the initial candidate; a pending SCHED_YIELD
   makes its goodness zero for this pass (and the bit is consumed);
 * if the best goodness is exactly zero — at least one runnable task
@@ -22,6 +22,49 @@ Costs are charged per the machine's cost model: a goodness evaluation
 per examined task, plus the whole-system recalculation loops.  This is
 the O(n)-per-entry, redundant-recalculation design the ELSC scheduler
 replaces.
+
+Two queue layouts implement the same semantics (``impl=`` selects one;
+``tests/bench/test_runqueue_identity.py`` pins them bit-identical):
+
+``array`` (default)
+    a contiguous Python list of task references with the queue *front
+    at the end*, so the front-insert wakeup path is an O(1) C-level
+    ``append`` and the scan is a C-level ``reversed()`` iteration over
+    an object array — no pointer chasing through per-task
+    ``ListHead`` nodes.  (A mirrored int-array/freelist layout was
+    measured *slower* under CPython — see docs/performance.md — because
+    index indirection re-introduces a Python-level load per element;
+    the contiguous object array is what actually wins.)  The
+    ``run_list`` sentinel pointers are still maintained so the kernel's
+    ``on_runqueue()``/``in_a_list()`` conventions hold unchanged.
+
+    The array scan additionally reads a **cached goodness weight**
+    (``task.rq_weight``) instead of recomputing
+    ``counter + priority + bonuses`` from five task fields per element.
+    The cache is sound because a *queued, non-running* task's
+    scheduling parameters cannot change: ticks only decrement the
+    counter of a task that is some CPU's ``current`` (skipped by the
+    scan via ``has_cpu``, refreshed when it next appears as ``prev``),
+    recalculation rewrites every counter (refreshed in the
+    :meth:`recalculate_counters` override), and the parameter syscalls
+    requeue through ``del``/``add`` (refreshed on insert).  Encoding::
+
+        0                      counter == 0 (quantum exhausted)
+        > 0                    counter + priority [+ 15 on a 1-CPU
+                               machine when processor == 0]
+        -(1000 + rt_priority)  real-time task (negated so the zero /
+                               positive tests above stay single-branch)
+
+    On a single-CPU machine the querying CPU is always 0, so the
+    processor-affinity bonus folds into the cache and the hot loop is
+    three attribute loads per element (``has_cpu``, ``rq_weight``,
+    ``mm``); on SMP the processor test stays dynamic.
+
+``list``
+    the historical circular doubly-linked ``ListHead`` walk computing
+    goodness from the live task fields each scan, kept as the
+    before-side of the BENCH before/after pair and as a behavioural
+    cross-check.
 """
 
 from __future__ import annotations
@@ -50,15 +93,42 @@ class VanillaScheduler(Scheduler):
 
     name = "reg"
 
-    def __init__(self) -> None:
+    def __init__(self, impl: str = "array") -> None:
         super().__init__()
+        if impl not in ("array", "list"):
+            raise ValueError(f"impl must be array|list, got {impl!r}")
+        self.impl = impl
+        self._array = impl == "array"
+        #: array impl: queue front at the END (append == front insert).
+        self._q: list[Task] = []
+        #: list impl: circular doubly-linked queue head.
         self._head = ListHead()
         self._len = 0
+        #: True once bound to a 1-CPU machine: the +15 affinity bonus is
+        #: then folded into ``rq_weight`` (the querying CPU is always 0).
+        self._fold_proc = False
 
     def reset(self) -> None:
         super().reset()
+        self._q = []
         self._head = ListHead()
         self._len = 0
+        machine = self.machine
+        self._fold_proc = machine is not None and len(machine.cpus) == 1
+
+    def _refresh_weight(self, task: Task) -> None:
+        """Recompute ``task.rq_weight`` from its live scheduling fields."""
+        if task.policy is SchedPolicy.SCHED_OTHER:
+            counter = task.counter
+            if counter:
+                weight = counter + task.priority
+                if self._fold_proc and task.processor == 0:
+                    weight += 15
+                task.rq_weight = weight
+            else:
+                task.rq_weight = 0
+        else:
+            task.rq_weight = -1000 - task.rt_priority
 
     # -- run-queue manipulation (paper section 3.2) ---------------------------
 
@@ -66,8 +136,17 @@ class VanillaScheduler(Scheduler):
         """Insert at the *front* of the queue (newly woken tasks lead)."""
         if task.on_runqueue():
             raise RuntimeError(f"{task.name} is already on the run queue")
-        task.run_list.init()
-        task.run_list.add(self._head)
+        if self._array:
+            self._refresh_weight(task)
+            self._q.append(task)
+            # Self-loop sentinel: "on the run queue, in a list" for the
+            # kernel's pointer conventions, without a linked structure.
+            node = task.run_list
+            node.next = node
+            node.prev = node
+        else:
+            task.run_list.init()
+            task.run_list.add(self._head)
         self._len += 1
         self.stats.enqueues += 1
         return self.cost.list_op
@@ -75,7 +154,10 @@ class VanillaScheduler(Scheduler):
     def del_from_runqueue(self, task: Task) -> int:
         if not task.on_runqueue():
             return 0
-        task.run_list.del_()
+        if self._array:
+            self._q.remove(task)
+        else:
+            task.run_list.del_()
         task.run_list.next = None
         task.run_list.prev = None
         self._len -= 1
@@ -83,14 +165,26 @@ class VanillaScheduler(Scheduler):
         return self.cost.list_op
 
     def move_first_runqueue(self, task: Task) -> None:
-        if task.in_a_list():
+        if not task.in_a_list():
+            return
+        if self._array:
+            q = self._q
+            q.remove(task)
+            q.append(task)
+        else:
             task.run_list.move(self._head)
 
     def move_last_runqueue(self, task: Task) -> None:
-        if task.in_a_list():
+        if not task.in_a_list():
+            return
+        if self._array:
+            q = self._q
+            q.remove(task)
+            q.insert(0, task)
+        else:
             task.run_list.move_tail(self._head)
 
-    # -- schedule() (paper section 3.3.2) ---------------------------------------
+    # -- schedule() (paper section 3.3.2) -------------------------------------
 
     def schedule(self, prev: Task, cpu: "CPU") -> SchedDecision:
         self.stats.schedule_calls += 1
@@ -117,6 +211,13 @@ class VanillaScheduler(Scheduler):
             cost += self.del_from_runqueue(prev)
 
         prev_eligible = prev is not idle and prev.is_runnable()
+        array = self._array
+        if array and prev is not idle and prev.on_runqueue():
+            # prev's counter ticked down (and its processor moved) while
+            # it ran; this entry is the first scan that can see it as a
+            # non-running task again, so bring its cached weight current.
+            self._refresh_weight(prev)
+        other = SchedPolicy.SCHED_OTHER
 
         for _round in range(_MAX_REPEATS):
             c = -1000
@@ -137,31 +238,82 @@ class VanillaScheduler(Scheduler):
             # once per schedule() entry over every queued task), so
             # goodness() is inlined here; test_goodness_inline_matches
             # pins the two implementations together.
-            head = self._head
             this_cpu = cpu.cpu_id
             this_mm = prev.mm
-            node = head.next
-            while node is not head:
-                task = node.owner
-                node = node.next
-                if task.has_cpu:
-                    continue  # running on some processor (prev included)
-                examined += 1
-                if task.policy is SchedPolicy.SCHED_OTHER:
-                    counter = task.counter
-                    if counter == 0:
-                        weight = 0
-                    else:
-                        weight = counter + task.priority
-                        if task.mm is this_mm and this_mm is not None:
-                            weight += 1
-                        if task.processor == this_cpu:
-                            weight += 15
+            if array:
+                # Front-to-back == reversed(contiguous array).  Three
+                # loop bodies instead of one so the per-element work is
+                # exactly the loads the variant needs: rq_weight already
+                # encodes counter/priority/policy (and, with
+                # _fold_proc, the affinity bonus) — see module docstring.
+                q = self._q
+                if not self._fold_proc:
+                    # SMP: the querying CPU varies, keep the processor
+                    # test dynamic.
+                    for task in reversed(q):
+                        if task.has_cpu:
+                            continue  # running somewhere (prev included)
+                        examined += 1
+                        weight = task.rq_weight
+                        if weight > 0:
+                            if task.mm is this_mm and this_mm is not None:
+                                weight += 1
+                            if task.processor == this_cpu:
+                                weight += 15
+                        elif weight < 0:
+                            weight = -weight  # real-time: 1000 + rt_priority
+                        if weight > c:
+                            c = weight
+                            next_task = task
+                elif this_mm is None:
+                    for task in reversed(q):
+                        if task.has_cpu:
+                            continue
+                        examined += 1
+                        weight = task.rq_weight
+                        if weight < 0:
+                            weight = -weight
+                        if weight > c:
+                            c = weight
+                            next_task = task
                 else:
-                    weight = 1000 + task.rt_priority
-                if weight > c:
-                    c = weight
-                    next_task = task
+                    for task in reversed(q):
+                        if task.has_cpu:
+                            continue
+                        examined += 1
+                        weight = task.rq_weight
+                        if weight > 0:
+                            if task.mm is this_mm:
+                                weight += 1
+                        elif weight < 0:
+                            weight = -weight
+                        if weight > c:
+                            c = weight
+                            next_task = task
+            else:
+                head = self._head
+                node = head.next
+                while node is not head:
+                    task = node.owner
+                    node = node.next
+                    if task.has_cpu:
+                        continue
+                    examined += 1
+                    if task.policy is other:
+                        counter = task.counter
+                        if counter == 0:
+                            weight = 0
+                        else:
+                            weight = counter + task.priority
+                            if task.mm is this_mm and this_mm is not None:
+                                weight += 1
+                            if task.processor == this_cpu:
+                                weight += 15
+                    else:
+                        weight = 1000 + task.rt_priority
+                    if weight > c:
+                        c = weight
+                        next_task = task
             examined_total += examined
             if c != 0:
                 break
@@ -186,10 +338,26 @@ class VanillaScheduler(Scheduler):
             recalc_cycles=recalc_cycles,
         )
 
-    # -- introspection -------------------------------------------------------------
+    def recalculate_counters(self) -> int:
+        """Recalculate, then bring every queued task's cached weight current.
+
+        The refresh is simulator bookkeeping, not simulated work: the
+        cycle charge is the inherited recalc cost, identical for both
+        queue layouts (the bit-identity suites depend on that).
+        """
+        charge = super().recalculate_counters()
+        if self._array:
+            refresh = self._refresh_weight
+            for task in self._q:
+                refresh(task)
+        return charge
+
+    # -- introspection --------------------------------------------------------
 
     def runqueue_len(self) -> int:
         return self._len
 
     def runqueue_tasks(self) -> list[Task]:
+        if self._array:
+            return list(reversed(self._q))
         return [node.owner for node in self._head]

@@ -230,8 +230,7 @@ class SchedulerExecutor:
                 self.machine.cost.wakeup_cost + insert,
                 0,
             )
-            for p in probes.wakeup:
-                p.on_wakeup(ev)
+            probes.emit_wakeup(ev)
         return True
 
     # -- dispatch (mirrors Machine._dispatch bookkeeping) ---------------------
@@ -304,8 +303,7 @@ class SchedulerExecutor:
                 switch,
                 migrated_from,
             )
-            for p in probes.sched:
-                p.on_sched(ev)
+            probes.emit_sched(ev)
 
         prev.has_cpu = False
         if next_task is None:
@@ -329,8 +327,7 @@ class SchedulerExecutor:
                         next_task,
                         machine.cost.cache_refill,
                     )
-                    for p in probes.dispatch:
-                        p.on_dispatch(dev)
+                    probes.emit_dispatch(dev)
         next_task.has_cpu = True
         next_task.processor = cpu.cpu_id
         next_task.dispatch_count += 1
@@ -358,8 +355,7 @@ class SchedulerExecutor:
                     ev = PreemptEvent(
                         self.machine.clock.now, task.processor, task, 0
                     )
-                    for p in self.probes.sched:
-                        p.on_sched(ev)
+                    self.probes.emit_sched(ev)
 
     def release(self, task: Task, blocked: bool) -> None:
         """Return a served handler to the policy's jurisdiction.

@@ -1,0 +1,212 @@
+"""``repro bench compare``: delta math, thresholds, identity gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_reports, format_comparison
+from repro.bench.matrix import SCHEMA_VERSION
+from repro.bench.report import pick_latency_percentiles
+
+
+def _report(cells=(), pairs=(), cluster=None, matrix="m" * 64) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench_id": "BENCH_t",
+        "matrix_hash": matrix,
+        "smoke": False,
+        "repeats": 3,
+        "cells": list(cells),
+        "pairs": list(pairs),
+        "cluster": cluster,
+    }
+
+
+def _cell(cell_id="cell/volano/reg/UP", wall=1.0, cpu=None,
+          deterministic=False, fingerprint=None) -> dict:
+    cell = {"id": cell_id, "wall_seconds": wall,
+            "deterministic": deterministic}
+    if cpu is not None:
+        cell["cpu_seconds"] = cpu
+    if fingerprint is not None:
+        cell["fingerprint"] = fingerprint
+    return cell
+
+
+def _pair(pair_id="pair/runqueue/reg/UP", before=2.0, after=1.0,
+          identical=True, expected=True) -> dict:
+    return {
+        "id": pair_id,
+        "identical_expected": expected,
+        "identical": identical,
+        "before": {"wall_seconds": before},
+        "after": {"wall_seconds": after},
+        "improvement_pct": (before - after) / before * 100.0,
+    }
+
+
+# -- wall deltas and the threshold ------------------------------------------
+
+
+def test_delta_within_threshold_is_ok():
+    old = _report(cells=[_cell(wall=1.0)])
+    new = _report(cells=[_cell(wall=1.1)])
+    result = compare_reports(old, new, threshold=0.15)
+    assert result["ok"]
+    (row,) = result["rows"]
+    assert row["delta_pct"] == pytest.approx(10.0)
+    assert not row["regressed"]
+
+
+def test_delta_beyond_threshold_regresses():
+    old = _report(cells=[_cell(wall=1.0)])
+    new = _report(cells=[_cell(wall=1.2)])
+    result = compare_reports(old, new, threshold=0.15)
+    assert not result["ok"]
+    assert result["regressions"]
+    assert "FAIL" in format_comparison(result)
+
+
+def test_improvement_never_regresses():
+    old = _report(cells=[_cell(wall=2.0)])
+    new = _report(cells=[_cell(wall=0.5)])
+    result = compare_reports(old, new, threshold=0.15)
+    assert result["ok"]
+    assert result["rows"][0]["delta_pct"] == pytest.approx(-75.0)
+
+
+def test_threshold_is_exclusive():
+    old = _report(cells=[_cell(wall=1.0)])
+    new = _report(cells=[_cell(wall=1.15)])
+    assert compare_reports(old, new, threshold=0.15)["ok"]
+
+
+def test_pair_sides_are_compared_as_rows():
+    old = _report(pairs=[_pair(before=2.0, after=1.0)])
+    new = _report(pairs=[_pair(before=2.0, after=1.5)])
+    result = compare_reports(old, new, threshold=0.15)
+    ids = {r["id"] for r in result["rows"]}
+    assert ids == {"pair/runqueue/reg/UP/before", "pair/runqueue/reg/UP/after"}
+    assert not result["ok"]  # after side regressed 50%
+
+
+# -- the cpu metric ----------------------------------------------------------
+
+
+def test_cpu_metric_reads_cpu_seconds():
+    old = _report(cells=[_cell(wall=1.0, cpu=0.5)])
+    new = _report(cells=[_cell(wall=9.0, cpu=0.52)])  # wall noise, cpu flat
+    assert compare_reports(old, new, metric="cpu")["ok"]
+    assert not compare_reports(old, new, metric="wall")["ok"]
+
+
+def test_cpu_metric_falls_back_to_wall():
+    old = _report(cells=[_cell(wall=1.0)])  # no cpu_seconds recorded
+    new = _report(cells=[_cell(wall=1.05, cpu=1.05)])
+    assert compare_reports(old, new, metric="cpu")["ok"]
+
+
+def test_unknown_metric_is_rejected():
+    report = _report()
+    with pytest.raises(ValueError, match="metric"):
+        compare_reports(report, report, metric="ticks")
+
+
+# -- identity gating ---------------------------------------------------------
+
+
+def test_deterministic_fingerprint_drift_fails_regardless_of_wall():
+    fp_a = {"stats": {"picks": 100}, "metrics": {"throughput": 5.0}}
+    fp_b = {"stats": {"picks": 101}, "metrics": {"throughput": 5.0}}
+    old = _report(cells=[_cell(deterministic=True, fingerprint=fp_a)])
+    new = _report(cells=[_cell(deterministic=True, fingerprint=fp_b)])
+    result = compare_reports(old, new, threshold=10.0)
+    assert not result["ok"]
+    (failure,) = result["identity_failures"]
+    assert "stats.picks: 100 → 101" in failure
+
+
+def test_identical_fingerprints_pass_sim_only():
+    fp = {"stats": {"picks": 100}, "metrics": {"throughput": 5.0}}
+    old = _report(cells=[_cell(wall=1.0, deterministic=True, fingerprint=fp)])
+    new = _report(cells=[_cell(wall=99.0, deterministic=True, fingerprint=fp)])
+    result = compare_reports(old, new, sim_only=True)
+    assert result["ok"]
+    assert result["rows"] == []  # sim_only never times anything
+
+
+def test_broken_pair_identity_fails():
+    old = _report(pairs=[_pair()])
+    new = _report(pairs=[_pair(identical=False)])
+    result = compare_reports(old, new)
+    assert not result["ok"]
+    assert any("bit-identical" in msg for msg in result["identity_failures"])
+
+
+# -- matrix drift ------------------------------------------------------------
+
+
+def test_matrix_hash_mismatch_is_refused():
+    old = _report(matrix="a" * 64)
+    new = _report(matrix="b" * 64)
+    with pytest.raises(ValueError, match="matrix_hash"):
+        compare_reports(old, new)
+
+
+def test_allow_matrix_drift_diffs_common_subset():
+    fp = {"stats": {"picks": 1}, "metrics": {}}
+    old = _report(
+        matrix="a" * 64,
+        cells=[
+            _cell("cell/volano/reg/UP", wall=1.0, deterministic=True,
+                  fingerprint=fp),
+            _cell("cell/volano/mq/4P", wall=1.0),
+        ],
+    )
+    new = _report(
+        matrix="b" * 64,
+        cells=[_cell("cell/volano/reg/UP", wall=1.0, deterministic=True,
+                     fingerprint=fp)],
+    )
+    result = compare_reports(old, new, allow_matrix_drift=True)
+    assert result["ok"]
+    assert result["skipped"] == ["cell/volano/mq/4P"]
+
+
+# -- cluster throughput ------------------------------------------------------
+
+
+def test_cluster_throughput_drop_regresses():
+    old = _report(cluster={"id": "cluster/loadtest", "wall_seconds": 10.0,
+                           "throughput": 100.0})
+    new = _report(cluster={"id": "cluster/loadtest", "wall_seconds": 10.0,
+                           "throughput": 80.0})
+    result = compare_reports(old, new, threshold=0.15)
+    assert not result["ok"]
+    assert any("throughput" in msg for msg in result["regressions"])
+
+
+def test_cluster_throughput_within_threshold_is_ok():
+    old = _report(cluster={"id": "cluster/loadtest", "wall_seconds": 10.0,
+                           "throughput": 100.0})
+    new = _report(cluster={"id": "cluster/loadtest", "wall_seconds": 10.0,
+                           "throughput": 95.0})
+    assert compare_reports(old, new, threshold=0.15)["ok"]
+
+
+# -- pick-latency percentiles ------------------------------------------------
+
+
+def test_percentiles_from_power_of_two_buckets():
+    hist = {"0": 5, "3": 5}  # five zero-cost picks, five in [4, 7]
+    out = pick_latency_percentiles(hist)
+    assert out == {"p50": 0, "p90": 7, "p99": 7}
+
+
+def test_percentiles_of_empty_hist_are_zero():
+    assert pick_latency_percentiles({}) == {"p50": 0, "p90": 0, "p99": 0}
+
+
+def test_percentile_upper_bound_is_2_to_b_minus_1():
+    out = pick_latency_percentiles({"12": 100})
+    assert out["p50"] == 2**12 - 1

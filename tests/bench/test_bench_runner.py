@@ -1,0 +1,122 @@
+"""The bench runner: cell records, pair timing, exact determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.matrix import BenchCell, BenchPair
+from repro.bench.runner import run_matrix, run_pair
+
+#: Tiny-but-busy volano cell used throughout (wall time ~tens of ms).
+TINY = (("messages_per_user", 3), ("rooms", 2), ("users_per_room", 4))
+
+
+def _tiny_cell(scheduler="reg", machine="UP") -> BenchCell:
+    return BenchCell(
+        workload="volano", scheduler=scheduler, machine=machine,
+        config=TINY, deterministic=True,
+    )
+
+
+def test_cell_record_shape_and_manifest_wall(tmp_path):
+    manifest = tmp_path / "manifest.jsonl"
+    (record,) = run_matrix([_tiny_cell()], manifest_path=manifest,
+                           cell_repeats=1)
+    assert record["id"] == "cell/volano/reg/UP"
+    assert record["wall_seconds"] > 0
+    assert record["cpu_seconds"] > 0
+    assert record["sim_cycles"] > 0
+    assert record["sim_cycles_per_wall_second"] > 0
+    assert 0 < record["scheduler_fraction"] < 1
+    assert record["picks"] > 0
+    assert record["mean_pick_cycles"] > 0
+    assert set(record["pick_latency_cycles"]) == {"p50", "p90", "p99"}
+    assert record["pick_latency_cycles"]["p50"] <= (
+        record["pick_latency_cycles"]["p99"]
+    )
+    # The wall time is the harness manifest's number, not a separate
+    # stopwatch: the manifest must carry a matching record.
+    lines = [json.loads(l) for l in manifest.read_text().splitlines()]
+    assert any(
+        entry["wall_seconds"] == record["wall_seconds"] for entry in lines
+    )
+
+
+def test_deterministic_cell_fingerprint_is_exactly_reproducible(tmp_path):
+    """Two fresh runs of a deterministic cell: identical fingerprints
+    (the property compare's bit-identity gate rests on)."""
+    (first,) = run_matrix([_tiny_cell()], tmp_path / "m1.jsonl",
+                          cell_repeats=1)
+    (second,) = run_matrix([_tiny_cell()], tmp_path / "m2.jsonl",
+                           cell_repeats=1)
+    assert first["fingerprint"] == second["fingerprint"]
+    assert first["sim_cycles"] == second["sim_cycles"]
+
+
+def test_best_of_n_keeps_minimum_wall(tmp_path):
+    manifest = tmp_path / "manifest.jsonl"
+    (record,) = run_matrix([_tiny_cell()], manifest_path=manifest,
+                           cell_repeats=3)
+    walls = [
+        json.loads(l)["wall_seconds"]
+        for l in manifest.read_text().splitlines()
+    ]
+    assert len(walls) == 3
+    assert record["wall_seconds"] == min(walls)
+
+
+def test_nondeterministic_cell_has_no_fingerprint(tmp_path):
+    cell = BenchCell(
+        workload="volano", scheduler="reg", machine="UP",
+        config=TINY, deterministic=False,
+    )
+    (record,) = run_matrix([cell], tmp_path / "m.jsonl", cell_repeats=1)
+    assert "fingerprint" not in record
+    assert record["deterministic"] is False
+
+
+@pytest.mark.parametrize(
+    "dimension,scheduler",
+    [("runqueue", "reg"), ("elsc-table", "elsc"), ("probe-batch", "reg")],
+)
+def test_pair_sides_are_bit_identical(dimension, scheduler):
+    pair = BenchPair(
+        dimension=dimension, workload="volano", scheduler=scheduler,
+        machine="UP", config=TINY,
+    )
+    record = run_pair(pair, repeats=1)
+    assert record["identical"] is True
+    assert record["before"]["wall_seconds"] > 0
+    assert record["after"]["wall_seconds"] > 0
+    assert len(record["before"]["wall_samples"]) == 1
+    # Recomputed from the stored (microsecond-rounded) medians, so for
+    # a millisecond-scale cell the rounding alone can move the figure a
+    # few hundredths of a percent.
+    assert record["improvement_pct"] == pytest.approx(
+        (record["before"]["wall_seconds"] - record["after"]["wall_seconds"])
+        / record["before"]["wall_seconds"] * 100.0,
+        abs=0.1,
+    )
+
+
+def test_pair_batch_toggle_restores_default_batch_size():
+    from repro.obs import probe as probe_mod
+
+    saved = probe_mod.DEFAULT_BATCH_SIZE
+    pair = BenchPair(
+        dimension="probe-batch", workload="volano", scheduler="reg",
+        machine="UP", config=TINY,
+    )
+    run_pair(pair, repeats=1)
+    assert probe_mod.DEFAULT_BATCH_SIZE == saved
+
+
+def test_unknown_pair_dimension_is_rejected():
+    pair = BenchPair(
+        dimension="quantum-tunnel", workload="volano", scheduler="reg",
+        machine="UP", config=TINY,
+    )
+    with pytest.raises(ValueError, match="dimension"):
+        run_pair(pair, repeats=1)
