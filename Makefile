@@ -7,7 +7,7 @@ PYTHON ?= python
 PY = PYTHONPATH=src $(PYTHON)
 JOBS ?= 0
 
-.PHONY: install test stress bench bench-compare microbench microbench-full report sweep examples cluster-smoke clean clean-cache
+.PHONY: install test stress bench bench-compare microbench microbench-full report sweep examples cluster-smoke cluster-heal-smoke clean clean-cache
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -49,9 +49,19 @@ sweep:
 
 # Kill a shard mid-loadtest under both interior framings; exits nonzero
 # if any completion is dropped or the follower is not promoted.
+# (--no-respawn pins the historical degraded-mode run.)
 cluster-smoke:
-	$(PY) -m repro cluster chaos --plan kill-one-shard --shards 2 --rooms 8 --clients 2 --messages 25 --interval-ms 80 --duration 12 --framing json --json results/cluster-chaos-json.json
-	$(PY) -m repro cluster chaos --plan kill-one-shard --shards 2 --rooms 8 --clients 2 --messages 25 --interval-ms 80 --duration 12 --framing binary --json results/cluster-chaos-binary.json
+	$(PY) -m repro cluster chaos --plan kill-one-shard --no-respawn --shards 2 --rooms 8 --clients 2 --messages 25 --interval-ms 80 --duration 12 --framing json --json results/cluster-chaos-json.json
+	$(PY) -m repro cluster chaos --plan kill-one-shard --no-respawn --shards 2 --rooms 8 --clients 2 --messages 25 --interval-ms 80 --duration 12 --framing binary --json results/cluster-chaos-binary.json
+
+# The self-healing gate: kill a shard, let the supervisor respawn it,
+# and require the slot handback to restore full capacity with
+# post-recovery throughput within 15% of pre-kill — on top of zero
+# dropped completions.  The send schedule (45 x 80ms) outlives
+# kill + respawn + handback so the recovery window measures steady state.
+cluster-heal-smoke:
+	$(PY) -m repro cluster chaos --plan kill-respawn-shard --shards 2 --rooms 8 --clients 2 --messages 45 --interval-ms 80 --duration 15 --framing json --json results/cluster-heal-json.json
+	$(PY) -m repro cluster chaos --plan kill-respawn-shard --shards 2 --rooms 8 --clients 2 --messages 45 --interval-ms 80 --duration 15 --framing binary --json results/cluster-heal-binary.json
 
 examples:
 	$(PY) examples/quickstart.py

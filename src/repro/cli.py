@@ -850,6 +850,7 @@ def _cluster_config_from_args(args: argparse.Namespace):
         shards=args.shards,
         framing=args.framing,
         replication=not getattr(args, "no_replication", False),
+        respawn=not getattr(args, "no_respawn", False),
         port=getattr(args, "port", 0),
     )
     if getattr(args, "scenario", ""):
@@ -894,31 +895,50 @@ def _print_cluster_report(title: str, report) -> None:
     load = report.load
     agg = report.aggregate
     latency = load.latency
-    print(
-        format_kv(
-            title,
-            [
-                ("shards", f"{report.config.shards} ({report.config.framing})"),
-                ("alive at end", report.router.get("alive_shards")),
-                ("epoch", report.router.get("epoch")),
-                ("messages sent", load.sent),
-                ("echoes confirmed", load.echoes),
-                ("retries", load.retries),
-                ("duplicates deduped", load.duplicates),
-                ("shed", load.shed),
-                ("client failovers", load.failovers),
-                ("cross-shard forwards", agg.get("forwarded", 0)),
-                ("replication entries", agg.get("repl_entries_out", 0)),
-                ("promotions", len(report.promotions)),
-                ("shards killed", report.killed or "-"),
-                ("dropped completions", report.dropped_completions),
-                ("survived", "yes" if report.survived else "NO"),
-                ("throughput (msg/s)", f"{load.throughput:.0f}"),
-                ("latency p50 (ms)", f"{latency.p50:.2f}"),
-                ("latency p99 (ms)", f"{latency.p99:.2f}"),
-            ],
-        )
-    )
+    recovery = report.recovery
+    slots = report.router.get("slots") or {}
+    rows = [
+        ("shards", f"{report.config.shards} ({report.config.framing})"),
+        ("alive at end", report.router.get("alive_shards")),
+        ("epoch", report.router.get("epoch")),
+        ("slot balance", " ".join(f"{s}:{n}" for s, n in sorted(slots.items()))),
+        ("messages sent", load.sent),
+        ("echoes confirmed", load.echoes),
+        ("retries", load.retries),
+        ("duplicates deduped", load.duplicates),
+        ("replays deduped", load.replays),
+        ("shed", load.shed),
+        ("client failovers", load.failovers),
+        ("cross-shard forwards", agg.get("forwarded", 0)),
+        ("replication entries", agg.get("repl_entries_out", 0)),
+        ("promotions", len(report.promotions)),
+        ("shards killed", report.killed or "-"),
+        ("respawns", len(report.respawns)),
+        ("slot handbacks", len(report.handbacks)),
+        ("dropped completions", report.dropped_completions),
+        ("survived", "yes" if report.survived else "NO"),
+    ]
+    if recovery:
+        ttr = recovery.get("ttr_s")
+        ratio = recovery.get("throughput_ratio")
+        rows += [
+            ("time to recovery (s)", "-" if ttr is None else f"{ttr:.3f}"),
+            (
+                "capacity restored",
+                "yes" if recovery.get("capacity_restored") else "NO",
+            ),
+            (
+                "post/pre throughput",
+                "-" if ratio is None else f"{ratio:.2f}",
+            ),
+            ("recovered", "yes" if report.recovered else "NO"),
+        ]
+    rows += [
+        ("throughput (msg/s)", f"{load.throughput:.0f}"),
+        ("latency p50 (ms)", f"{latency.p50:.2f}"),
+        ("latency p99 (ms)", f"{latency.p99:.2f}"),
+    ]
+    print(format_kv(title, rows))
 
 
 def cmd_cluster_serve(args: argparse.Namespace) -> int:
@@ -1012,7 +1032,7 @@ def cmd_cluster_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     _write_cluster_json(args, report)
-    return 0 if report.survived else 1
+    return 0 if report.survived and report.recovered else 1
 
 
 def cmd_clean_cache(args: argparse.Namespace) -> int:
@@ -1568,6 +1588,12 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable leader→follower replication (failover loses state)",
         )
+        cp.add_argument(
+            "--no-respawn",
+            action="store_true",
+            help="disable the self-healing monitor (a killed shard stays "
+            "dead and the cluster runs degraded)",
+        )
         cp.add_argument("--scheduler", choices=sched_choices, default="vanilla")
         cp.add_argument(
             "--spec",
@@ -1627,14 +1653,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     cp = cluster_sub.add_parser(
         "chaos",
-        help="kill shards mid-loadtest; exit nonzero on any lost completion",
+        help="kill shards mid-loadtest; exit nonzero on any lost "
+        "completion or (with respawn) unrestored capacity",
     )
     _add_cluster_args(cp)
     cp.add_argument(
         "--plan",
         default="",
-        help="fault plan: e.g. kill-one-shard (see docs/cluster.md); "
-        "optional when --scenario carries one",
+        help="fault plan: e.g. kill-one-shard, kill-respawn-shard "
+        "(see docs/cluster.md); optional when --scenario carries one",
     )
     cp.add_argument("--json", default="", help="write the report JSON here")
     cp.set_defaults(func=cmd_cluster_chaos)

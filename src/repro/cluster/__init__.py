@@ -4,14 +4,30 @@ The cluster layer scales the serve stack the same way the paper scales
 the run queue: by splitting one contended structure into N independent
 ones.  Each shard process runs its own
 :class:`~repro.serve.executor.SchedulerExecutor` over its own sessions;
-the router hash-places rooms and sessions, forwards cross-shard fan-out
-over a real wire protocol, and promotes a ring follower when a shard
-dies mid-run.  See ``docs/cluster.md`` for the architecture walk.
+the router places rooms and sessions over a fixed consistent-hash slot
+ring (:data:`NUM_SLOTS` slots, ownership carried in epoch broadcasts),
+forwards cross-shard fan-out over a real wire protocol, promotes a ring
+follower when a shard dies mid-run, and — with respawn enabled — hands
+the dead shard's slots back once the supervisor brings it back up.  See
+``docs/cluster.md`` for the architecture walk.
 """
 
-from .config import ClusterConfig, room_shard, session_shard
-from .loadtest import ClusterReport, run_cluster_loadtest
-from .replication import ReplicaState, ReplicationLog
+from .config import (
+    NUM_SLOTS,
+    ClusterConfig,
+    build_slot_map,
+    room_shard,
+    room_slot,
+    session_shard,
+    session_slot,
+    slot_map_hash,
+)
+from .loadtest import (
+    RECOVERY_THROUGHPUT_FLOOR,
+    ClusterReport,
+    run_cluster_loadtest,
+)
+from .replication import ReplicaState, ReplicationLog, snapshot_entries
 from .router import ClusterRouter
 from .shard import ShardCore, shard_main
 from .supervisor import ClusterFaultDriver, ClusterSupervisor
@@ -26,12 +42,19 @@ __all__ = [
     "ClusterSupervisor",
     "FRAMINGS",
     "JsonFraming",
+    "NUM_SLOTS",
+    "RECOVERY_THROUGHPUT_FLOOR",
     "ReplicaState",
     "ReplicationLog",
     "ShardCore",
+    "build_slot_map",
     "get_framing",
     "room_shard",
+    "room_slot",
     "run_cluster_loadtest",
     "session_shard",
+    "session_slot",
     "shard_main",
+    "slot_map_hash",
+    "snapshot_entries",
 ]

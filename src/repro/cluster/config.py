@@ -1,39 +1,122 @@
 """Configuration and deterministic placement for the serve cluster.
 
 :class:`ClusterConfig` is the single scalar-field knob surface of one
-cluster run — topology (shard count, framing, replication), the per-
-shard scheduling policy, and the offered load (the same VolanoMark-
-shaped knobs as :class:`~repro.serve.config.ServeConfig`, which it
-projects out for the load generator).
+cluster run — topology (shard count, framing, replication, respawn),
+the per-shard scheduling policy, and the offered load (the same
+VolanoMark-shaped knobs as :class:`~repro.serve.config.ServeConfig`,
+which it projects out for the load generator).
 
-Placement is *content-deterministic*: rooms and sessions land on shards
-by CRC-32 (stable across processes and Python versions, unlike the
-salted builtin ``hash``), so a room's home shard is a pure function of
-its name and the shard count — the property the routing tests pin.
+Placement goes through a fixed **slot ring**: a room or session first
+maps onto one of :data:`NUM_SLOTS` slots by CRC-32 (stable across
+processes and Python versions, unlike the salted builtin ``hash``), and
+the slot maps onto a shard through an explicit slot→shard table that
+the router carries in every epoch broadcast.  The table itself is a
+pure function of the shard count, built by :func:`build_slot_map` —
+consistent in the load-balancing sense:
+
+* **balanced** — at every shard count each shard owns ``floor`` or
+  ``ceil`` of ``NUM_SLOTS / N`` slots (so no shard owns more than
+  ``ceil(NUM_SLOTS/N) + 1``);
+* **minimal movement** — going ``N → N+1`` moves exactly
+  ``floor(NUM_SLOTS/(N+1))`` slots, all of them *to* the new shard;
+  every other slot stays put.  Handing a respawned shard its slots
+  back is the same property run in reverse: restoring the full-
+  membership map moves exactly the dead shard's original slots.
+
+Construction is incremental steal (the Redis-resharding move): the map
+for one shard owns everything; each next shard steals its quota from
+whichever shard is currently most loaded, picking the highest-scoring
+slots under a salted CRC-32 so the choice is deterministic everywhere.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import zlib
 from dataclasses import dataclass, fields
+from functools import lru_cache
 
 from ..serve.config import ServeConfig
 
-__all__ = ["ClusterConfig", "room_shard", "session_shard"]
+__all__ = [
+    "ClusterConfig",
+    "NUM_SLOTS",
+    "build_slot_map",
+    "room_shard",
+    "room_slot",
+    "session_shard",
+    "session_slot",
+    "slot_map_hash",
+]
+
+#: Fixed size of the placement ring.  Slots never change identity;
+#: membership changes only reassign slot *ownership*.
+NUM_SLOTS = 64
+
+#: Salt for the steal-order scoring.  Pinned: changing it remaps every
+#: cluster's placement (the golden slot-map hash test will fail loudly).
+_SLOT_SALT = 4
+
+
+def room_slot(room: str) -> int:
+    """Ring slot of ``room`` — a pure function of the name alone."""
+    return zlib.crc32(room.encode()) % NUM_SLOTS
+
+
+def session_slot(cid: int) -> int:
+    """Ring slot of client session ``cid``."""
+    return cid % NUM_SLOTS
+
+
+@lru_cache(maxsize=64)
+def build_slot_map(num_shards: int) -> tuple[int, ...]:
+    """The slot→shard table for ``num_shards`` shards (see module doc).
+
+    Deterministic across processes and platforms (CRC-32 scoring, pure
+    integer arithmetic), balanced to floor/ceil at every ``N``, and
+    minimal-movement under ``N → N±1`` — the properties
+    ``tests/cluster/test_slotmap.py`` pins.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    owners = [0] * NUM_SLOTS
+    for new in range(1, num_shards):
+        quota = NUM_SLOTS // (new + 1)
+        loads = {shard: owners.count(shard) for shard in range(new)}
+        for _ in range(quota):
+            donor = max(loads, key=lambda s: (loads[s], -s))
+            slot = max(
+                (s for s in range(NUM_SLOTS) if owners[s] == donor),
+                key=lambda s: (zlib.crc32(f"{_SLOT_SALT}/{s}".encode()), -s),
+            )
+            owners[slot] = new
+            loads[donor] -= 1
+    return tuple(owners)
+
+
+def slot_map_hash(max_shards: int = 8) -> str:
+    """SHA-256 over the maps for 1..``max_shards`` shards.
+
+    The placement sibling of the bench ``matrix_hash``: any drift in
+    the ring size, salt, or construction severs every pinned placement
+    at once, and the golden test makes that loud instead of subtle.
+    """
+    payload = {
+        str(n): list(build_slot_map(n)) for n in range(1, max_shards + 1)
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def room_shard(room: str, num_shards: int) -> int:
     """Home shard of ``room``: owns membership, ordering, and fan-out."""
-    if num_shards < 1:
-        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-    return zlib.crc32(room.encode()) % num_shards
+    return build_slot_map(num_shards)[room_slot(room)]
 
 
 def session_shard(cid: int, num_shards: int) -> int:
-    """Scheduling shard of client session ``cid`` (round-robin)."""
-    if num_shards < 1:
-        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-    return cid % num_shards
+    """Scheduling shard of client session ``cid`` (slot-mapped)."""
+    return build_slot_map(num_shards)[session_slot(cid)]
 
 
 @dataclass(frozen=True)
@@ -48,6 +131,18 @@ class ClusterConfig:
     #: Stream every shard's state changes to a ring follower and promote
     #: it when the leader dies.  Off = a killed shard loses its rooms.
     replication: bool = True
+    #: Self-heal: the supervisor monitors shard processes, respawns a
+    #: dead one (seeded exponential backoff, bounded by
+    #: ``respawn_budget``), and the router hands its original slots
+    #: back once the replacement is re-primed.  Off = a kill degrades
+    #: the cluster to N-1 shards for the rest of the run.
+    respawn: bool = True
+    #: Respawns allowed per shard per run before the supervisor gives
+    #: up and leaves the cluster degraded.
+    respawn_budget: int = 3
+    #: Base delay before the first respawn attempt; doubles per attempt
+    #: (seeded jitter on top).
+    respawn_backoff_ms: float = 50.0
     #: Canonical scheduler key each shard's executor runs (per-shard
     #: policy instance — the multiqueue-of-multiqueues move).
     scheduler: str = "reg"
@@ -88,6 +183,15 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"cluster needs >= 1 shard, got {self.shards}")
+        if self.shards > NUM_SLOTS:
+            raise ValueError(
+                f"cluster is capped at {NUM_SLOTS} shards (one per slot), "
+                f"got {self.shards}"
+            )
+        if self.respawn_budget < 0:
+            raise ValueError(
+                f"respawn_budget must be >= 0, got {self.respawn_budget}"
+            )
         from .wire import FRAMINGS  # local import: avoid cycle at import
 
         if self.framing not in FRAMINGS:

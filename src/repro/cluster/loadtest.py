@@ -1,28 +1,36 @@
 """One-call cluster loadtest/chaos harness.
 
 :func:`run_cluster_loadtest` stands up the whole stack in-process —
-router, shard subprocesses, optional fault driver — drives the
-deterministic open-loop load through the failover-hardened client
-(``reconnect`` + ``retry_unacked``), and folds everything observable
-into one :class:`ClusterReport`:
+router, shard subprocesses, the self-healing respawn monitor, optional
+fault driver — drives the deterministic open-loop load through the
+failover-hardened client (``reconnect`` + ``retry_unacked``), and folds
+everything observable into one :class:`ClusterReport`:
 
 * the client-side :class:`~repro.serve.loadgen.LoadReport` (latency,
   shed, failovers, retries, and — the headline — ``unacked``, i.e.
   completions the cluster actually dropped);
 * per-shard counters and :class:`~repro.obs.MetricsProbe` snapshots,
   plus a summed aggregate (collected over the live metrics frame before
-  teardown, so a killed shard is visibly absent);
-* the router's topology event log, the promotions it recorded, and the
-  fault driver's application log.
+  teardown, so a shard that died and never came back is visibly absent);
+* the router's topology event log, its promotion/handback records, the
+  supervisor's respawn log, and the fault driver's application log;
+* the ``recovery`` timeline when a shard was killed and respawned:
+  time-to-recovery (first ``shard_down`` → last ``slots_restored`` on
+  the router's clock), whether full N-way capacity came back, and the
+  pre-kill vs post-recovery completion throughput sliced from the load
+  generator's ``echo_mono`` timeline.
 
-``report.survived`` is the chaos gate: every send echo-confirmed
-(``dropped_completions == 0``) and no client gave up.
+Two gates ride on the report: ``survived`` (every send echo-confirmed,
+no client gave up) is the historical zero-drop bar, and ``recovered``
+raises it for self-healing runs — capacity restored to N shards *and*
+post-recovery throughput within :data:`RECOVERY_THROUGHPUT_FLOOR` of
+pre-kill.  Survival alone no longer passes a respawn chaos run.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..faults.plan import FaultPlan
@@ -32,7 +40,15 @@ from .config import ClusterConfig
 from .router import ClusterRouter
 from .supervisor import ClusterFaultDriver, ClusterSupervisor
 
-__all__ = ["ClusterReport", "run_cluster_loadtest"]
+__all__ = [
+    "ClusterReport",
+    "RECOVERY_THROUGHPUT_FLOOR",
+    "run_cluster_loadtest",
+]
+
+#: Post-recovery completion throughput must be at least this fraction of
+#: the pre-kill rate for ``recovered`` to hold (the ISSUE's 15% band).
+RECOVERY_THROUGHPUT_FLOOR = 0.85
 
 
 @dataclass
@@ -49,6 +65,9 @@ class ClusterReport:
     promotions: list[dict[str, Any]]
     killed: list[int]
     plan_name: str = ""
+    handbacks: list[dict[str, Any]] = field(default_factory=list)
+    respawns: list[dict[str, Any]] = field(default_factory=list)
+    recovery: dict[str, Any] = field(default_factory=dict)
 
     @property
     def dropped_completions(self) -> int:
@@ -58,6 +77,23 @@ class ClusterReport:
     @property
     def survived(self) -> bool:
         return self.dropped_completions == 0 and self.load.connect_failures == 0
+
+    @property
+    def recovered(self) -> bool:
+        """The self-healing gate: capacity and throughput came back.
+
+        Vacuously true when nothing was killed or respawn was off (the
+        run never claimed to heal).  Otherwise requires full N-way
+        capacity *and* a post-recovery throughput ratio at or above
+        :data:`RECOVERY_THROUGHPUT_FLOOR` — a ``None`` ratio (too few
+        echoes on either side of the kill to rate) defers to capacity.
+        """
+        if not self.killed or not self.config.respawn:
+            return True
+        if not self.recovery.get("capacity_restored", False):
+            return False
+        ratio = self.recovery.get("throughput_ratio")
+        return ratio is None or ratio >= RECOVERY_THROUGHPUT_FLOOR
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -70,9 +106,13 @@ class ClusterReport:
             "events": self.events,
             "fault_log": self.fault_log,
             "promotions": self.promotions,
+            "handbacks": self.handbacks,
+            "respawns": self.respawns,
+            "recovery": self.recovery,
             "killed": self.killed,
             "dropped_completions": self.dropped_completions,
             "survived": self.survived,
+            "recovered": self.recovered,
         }
 
 
@@ -85,6 +125,65 @@ def _aggregate(shards: dict[int, dict[str, Any]]) -> dict[str, Any]:
     return total
 
 
+def _recovery_metrics(
+    config: ClusterConfig,
+    events: list[dict[str, Any]],
+    echo_mono: list[float],
+    base_mono: float,
+    alive_shards: int,
+) -> dict[str, Any]:
+    """The recovery timeline of one kill→respawn→handback cycle.
+
+    Everything is on the router's event clock (``t_s`` seconds after
+    ``base_mono``): the kill lands at the first ``shard_down``, recovery
+    completes at the *last* ``slots_restored`` (the epoch that handed
+    the final slot back).  Throughput windows deliberately exclude the
+    degraded middle: *pre* rates echoes from the first completion to the
+    kill, *post* from recovery to the last completion — so the ratio
+    compares healthy N-shard operation before and after, not the
+    failover dip itself.
+    """
+    down_t = next(
+        (e["t_s"] for e in events if e["kind"] == "shard_down"), None
+    )
+    if down_t is None:
+        return {}
+    restored = [
+        e["t_s"]
+        for e in events
+        if e["kind"] == "slots_restored" and e["t_s"] >= down_t
+    ]
+    restored_t = restored[-1] if restored else None
+    out: dict[str, Any] = {
+        "down_t_s": down_t,
+        "restored_t_s": restored_t,
+        "ttr_s": (
+            round(restored_t - down_t, 3) if restored_t is not None else None
+        ),
+        "capacity_restored": alive_shards == config.shards,
+        "pre_throughput": None,
+        "post_throughput": None,
+        "throughput_ratio": None,
+    }
+    rel = [e - base_mono for e in echo_mono]  # already sorted
+    pre = [t for t in rel if t < down_t]
+    if pre:
+        window = down_t - pre[0]
+        if window > 0:
+            out["pre_throughput"] = round(len(pre) / window, 2)
+    if restored_t is not None:
+        post = [t for t in rel if t > restored_t]
+        if post:
+            window = post[-1] - restored_t
+            if window > 0:
+                out["post_throughput"] = round(len(post) / window, 2)
+    if out["pre_throughput"] and out["post_throughput"]:
+        out["throughput_ratio"] = round(
+            out["post_throughput"] / out["pre_throughput"], 3
+        )
+    return out
+
+
 async def run_cluster_loadtest(
     config: ClusterConfig, plan: Optional[FaultPlan] = None
 ) -> ClusterReport:
@@ -93,8 +192,11 @@ async def run_cluster_loadtest(
         plan = resolve_plan(config.fault_plan)
     router = ClusterRouter(config)
     await router.start()
-    supervisor = ClusterSupervisor(config)
+    # The supervisor shares the router's clock base so its respawn log
+    # and the router's event log live on one recovery timeline.
+    supervisor = ClusterSupervisor(config, t0=router.started_mono)
     supervisor.spawn_all(router.control_port)
+    supervisor.start_monitor()
     driver: Optional[ClusterFaultDriver] = None
     shards: dict[int, dict[str, Any]] = {}
     try:
@@ -112,11 +214,13 @@ async def run_cluster_loadtest(
         )
         if driver is not None:
             await driver.stop()
+        await supervisor.stop_monitor()
         shards = await router.collect_metrics()
         router_counters = router.counters()
     finally:
         if driver is not None:
             await driver.stop()
+        await supervisor.stop_monitor()
         await router.stop()
         supervisor.stop_all()
     return ClusterReport(
@@ -130,4 +234,13 @@ async def run_cluster_loadtest(
         promotions=router.promotions,
         killed=list(supervisor.killed),
         plan_name=plan.name if plan is not None else "",
+        handbacks=list(router.handbacks),
+        respawns=list(supervisor.respawns),
+        recovery=_recovery_metrics(
+            config,
+            router.events,
+            load.echo_mono,
+            router.started_mono,
+            router_counters.get("alive_shards", 0),
+        ),
     )

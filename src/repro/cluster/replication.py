@@ -21,7 +21,14 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-__all__ = ["ReplicationLog", "ReplicaState", "sess_entry", "join_entry", "leave_entry"]
+__all__ = [
+    "ReplicationLog",
+    "ReplicaState",
+    "join_entry",
+    "leave_entry",
+    "sess_entry",
+    "snapshot_entries",
+]
 
 
 def sess_entry(cid: int, user: str, alive: bool = True) -> dict[str, Any]:
@@ -37,6 +44,28 @@ def join_entry(room: str, cid: int, user: str) -> dict[str, Any]:
 def leave_entry(room: str, cid: int) -> dict[str, Any]:
     """Client ``cid`` left ``room``."""
     return {"k": "leave", "room": room, "cid": cid}
+
+
+def snapshot_entries(
+    sessions: dict[int, str], rooms: dict[str, dict[int, str]]
+) -> list[dict[str, Any]]:
+    """A full state export as absolute, idempotent entries.
+
+    The one snapshot format in the system, used for every re-prime:
+    a leader priming a *new follower* (epoch changed the ring), and a
+    promoted shard handing a respawned leader its slots' state back
+    (``handoff`` frames).  Applying the result to an empty
+    :class:`ReplicaState` reproduces ``sessions``/``rooms`` exactly;
+    applying it twice is a no-op, like every entry stream.
+    """
+    entries: list[dict[str, Any]] = [
+        sess_entry(cid, user) for cid, user in sorted(sessions.items())
+    ]
+    for room, members in sorted(rooms.items()):
+        entries.extend(
+            join_entry(room, cid, user) for cid, user in sorted(members.items())
+        )
+    return entries
 
 
 class ReplicationLog:

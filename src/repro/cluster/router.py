@@ -20,6 +20,16 @@ new topology.  Requests that raced the death are shed with
 ``retry_after_ms`` or silently lost in flight; the load generator's
 retry path re-drives them against the promoted owner, so completions
 are at-least-once and — after client-side seq dedup — exactly-once.
+
+Recovery walk (the self-healing half): the supervisor respawns the dead
+shard's process, which says ``hello`` under its old id → the router
+broadcasts an arrival epoch (same slot table, new peer port, shard
+alive again), then asks each current owner of the returning shard's
+original slots to ``handback``: export those slots' sessions and rooms
+to the respawned shard over a peer-link ``handoff`` and drop them
+locally.  Each ``handback_done`` flips its slots in the table and
+broadcasts the epoch that completes the restore — full N-way capacity,
+with only the returning shard's slots ever moving.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ from typing import Any, Optional
 
 from ..serve import protocol
 from . import wire
-from .config import ClusterConfig, room_shard, session_shard
+from .config import ClusterConfig, build_slot_map, room_slot, session_slot
 
 __all__ = ["ClusterRouter"]
 
@@ -70,9 +80,10 @@ class ClusterRouter:
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
         self.framing = wire.get_framing(config.framing)
-        #: Slot → owning shard id.  Slots are fixed at the initial shard
-        #: count; failover reassigns ownership, never the slot map.
-        self.owners: list[int] = list(range(config.shards))
+        #: Slot → owning shard id over the fixed :data:`NUM_SLOTS` ring.
+        #: Failover and handback reassign ownership; the ring itself
+        #: never changes.
+        self.slot_map: list[int] = list(build_slot_map(config.shards))
         self.shards: dict[int, _ShardLink] = {}
         self.clients: dict[int, _Client] = {}
         #: room → {cid}: the router's membership mirror (joined replies
@@ -89,12 +100,21 @@ class ClusterRouter:
         self._metrics_waiters: dict[int, asyncio.Future] = {}
         self.control_port = 0
         self.client_port = 0
+        #: (owner sid, target sid) → slots awaiting ``handback_done``.
+        self._handbacks: dict[tuple[int, int], list[int]] = {}
         # -- event log / counters ------------------------------------
         self.events: list[dict[str, Any]] = []
         self.promotions: list[dict[str, Any]] = []
+        self.handbacks: list[dict[str, Any]] = []
+        self.respawned: list[int] = []
         self.routed = 0
         self.delivered = 0
         self.shed = 0
+
+    @property
+    def started_mono(self) -> float:
+        """``time.monotonic()`` base of every event's ``t_s``."""
+        return self._started
 
     # -- lifecycle ----------------------------------------------------
 
@@ -175,7 +195,7 @@ class ClusterRouter:
         frame = {
             "op": wire.OP_EPOCH,
             "epoch": self.epoch,
-            "owners": list(self.owners),
+            "slots": list(self.slot_map),
             "shards": [
                 {"id": link.sid, "port": link.peer_port, "alive": link.alive}
                 for link in self.shards.values()
@@ -210,12 +230,28 @@ class ClusterRouter:
                 writer.close()
                 return
             sid = int(hello["shard"])
+            old = self.shards.get(sid)
+            if old is not None and old.alive:
+                writer.close()  # duplicate hello for a live shard
+                return
             link = _ShardLink(
                 sid, reader, writer, int(hello.get("port", 0)),
                 int(hello.get("pid", 0)),
             )
             self.shards[sid] = link
-            self._record("shard_up", f"{sid} peer-port {link.peer_port}")
+            if old is not None and not self._shutting_down:
+                # A respawn: same id, fresh process.  Re-announce the
+                # topology (new peer port, shard alive, slots as they
+                # are) so peers re-dial, then start the slot handback.
+                self.respawned.append(sid)
+                self._record(
+                    "shard_respawn",
+                    f"{sid} pid {link.pid} peer-port {link.peer_port}",
+                )
+                self._broadcast_epoch()
+                self._begin_handback(link)
+            else:
+                self._record("shard_up", f"{sid} peer-port {link.peer_port}")
             self._hello.set()
             while True:
                 frame = await self.framing.read(reader)
@@ -273,6 +309,8 @@ class ClusterRouter:
                 f"{frame.get('sessions', 0)} sessions, "
                 f"{frame.get('rooms', 0)} rooms",
             )
+        elif op == wire.OP_HANDBACK_DONE:
+            self._finish_handback(link, frame)
         elif op == protocol.OP_METRICS:
             waiter = self._metrics_waiters.pop(link.sid, None)
             if waiter is not None and not waiter.done():
@@ -288,12 +326,23 @@ class ClusterRouter:
         waiter = self._metrics_waiters.pop(link.sid, None)
         if waiter is not None and not waiter.done():
             waiter.cancel()
+        # A handback the dead shard was part of can no longer complete:
+        # as exporter its slots are re-homed wholesale below; as target
+        # its next respawn restarts the whole exchange.
+        for key in [
+            k for k in self._handbacks if link.sid in k
+        ]:
+            self._handbacks.pop(key, None)
+            self._record(
+                "handback_aborted", f"{key[0]} -> {key[1]}: shard died"
+            )
         follower = self._followers.get(link.sid)
         if follower is None or follower not in self.shards:
             self._record("no_follower", f"{link.sid} dies unreplicated")
             return
-        self.owners = [
-            follower if owner == link.sid else owner for owner in self.owners
+        self.slot_map = [
+            follower if owner == link.sid else owner
+            for owner in self.slot_map
         ]
         if self.config.replication:
             self.shards[follower].writer.write(
@@ -308,15 +357,95 @@ class ClusterRouter:
             self._record("promote", f"{follower} takes over {link.sid}")
         self._broadcast_epoch()
 
+    # -- respawn and slot handback ------------------------------------
+
+    def _begin_handback(self, link: _ShardLink) -> None:
+        """Ask current owners to return the respawned shard's slots.
+
+        The restored table is the full-membership map — a pure function
+        of the shard count — so "which slots go back" is deterministic
+        and exactly the set the shard owned before it died.  Slots whose
+        current owner is dead (an unreplicated loss) carry no state and
+        flip immediately; the rest wait for the owner's export.
+        """
+        restored = build_slot_map(self.config.shards)
+        by_owner: dict[int, list[int]] = {}
+        orphaned: list[int] = []
+        for slot, target in enumerate(restored):
+            if target != link.sid or self.slot_map[slot] == link.sid:
+                continue
+            owner = self.shards.get(self.slot_map[slot])
+            if owner is None or not owner.alive:
+                orphaned.append(slot)
+            else:
+                by_owner.setdefault(owner.sid, []).append(slot)
+        for slot in orphaned:
+            self.slot_map[slot] = link.sid
+        if orphaned:
+            self._record(
+                "slots_restored",
+                f"{len(orphaned)} orphaned slots -> {link.sid}",
+            )
+            self._broadcast_epoch()
+        for owner_sid, slots in sorted(by_owner.items()):
+            self._handbacks[(owner_sid, link.sid)] = slots
+            self.shards[owner_sid].writer.write(
+                self.framing.encode(
+                    {
+                        "op": wire.OP_HANDBACK,
+                        "to": link.sid,
+                        "slots": slots,
+                        "epoch": self.epoch,
+                    }
+                )
+            )
+            self._record(
+                "handback", f"{owner_sid} -> {link.sid}: {len(slots)} slots"
+            )
+
+    def _finish_handback(
+        self, link: _ShardLink, frame: dict[str, Any]
+    ) -> None:
+        """One owner finished its export: flip the slots, tell everyone."""
+        target = int(frame.get("to", -1))
+        slots = self._handbacks.pop((link.sid, target), None)
+        if slots is None:
+            return  # aborted (a party died) or duplicate ack
+        dest = self.shards.get(target)
+        if dest is None or not dest.alive:
+            self._record(
+                "handback_aborted", f"{link.sid} -> {target}: target died"
+            )
+            return
+        for slot in slots:
+            self.slot_map[slot] = target
+        self.handbacks.append(
+            {
+                "t_s": round(time.monotonic() - self._started, 3),
+                "from": link.sid,
+                "to": target,
+                "slots": len(slots),
+                "sessions": int(frame.get("sessions", 0)),
+                "rooms": int(frame.get("rooms", 0)),
+            }
+        )
+        self._record(
+            "slots_restored",
+            f"{len(slots)} slots back to {target} from {link.sid} "
+            f"({frame.get('sessions', 0)} sessions, "
+            f"{frame.get('rooms', 0)} rooms)",
+        )
+        self._broadcast_epoch()
+
     # -- client frontend ----------------------------------------------
 
     def _shard_for_client(self, cid: int) -> Optional[_ShardLink]:
-        owner = self.owners[session_shard(cid, len(self.owners))]
+        owner = self.slot_map[session_slot(cid)]
         link = self.shards.get(owner)
         return link if link is not None and link.alive else None
 
     def _shard_for_room(self, room: str) -> Optional[_ShardLink]:
-        owner = self.owners[room_shard(room, len(self.owners))]
+        owner = self.slot_map[room_slot(room)]
         link = self.shards.get(owner)
         return link if link is not None and link.alive else None
 
@@ -542,6 +671,13 @@ class ClusterRouter:
             "aggregate": aggregate,
         }
 
+    def slot_counts(self) -> dict[int, int]:
+        """Slots owned per shard — the post-recovery balance view."""
+        counts: dict[int, int] = {}
+        for owner in self.slot_map:
+            counts[owner] = counts.get(owner, 0) + 1
+        return dict(sorted(counts.items()))
+
     def counters(self) -> dict[str, Any]:
         return {
             "routed": self.routed,
@@ -551,4 +687,7 @@ class ClusterRouter:
             "alive_shards": len(self._alive_ids()),
             "clients": len(self.clients),
             "promotions": len(self.promotions),
+            "respawns": len(self.respawned),
+            "handbacks": len(self.handbacks),
+            "slots": {str(s): n for s, n in self.slot_counts().items()},
         }

@@ -14,7 +14,12 @@ makes per CPU, applied per process.  Each shard owns two things:
 A dispatched message whose room is homed elsewhere leaves on a
 shard-to-shard ``fwd`` frame; every session/membership mutation streams
 to the ring follower as ``repl`` entries; a ``promote`` frame replays a
-dead leader's replica into the live state.  The dispatch loop carries
+dead leader's replica into the live state.  The self-healing half:
+a ``handback`` frame makes this shard export the sessions/rooms living
+on a returning shard's slots (a :func:`snapshot_entries` snapshot over
+a peer-link ``handoff``), drop them, and ack — while an incoming
+``handoff`` re-primes a freshly respawned shard with exactly that
+state.  The dispatch loop carries
 the serve layer's supervision contract: a crashed scheduler adapter is
 rebuilt in place (``executor_restarts``), never fatal.
 
@@ -33,13 +38,14 @@ from ..kernel.task import Task
 from ..serve import protocol
 from ..serve.protocol import ProtocolError
 from . import wire
-from .config import ClusterConfig, room_shard
+from .config import ClusterConfig, room_slot, session_slot
 from .replication import (
     ReplicaState,
     ReplicationLog,
     join_entry,
     leave_entry,
     sess_entry,
+    snapshot_entries,
 )
 
 __all__ = ["ShardCore", "shard_main"]
@@ -73,8 +79,9 @@ class ShardCore:
         self.pending = 0
         # -- cluster state -------------------------------------------
         self.epoch = 0
-        #: Slot → owning shard id (authoritative routing, from epoch).
-        self.owners: list[int] = []
+        #: Slot → owning shard id over the fixed ring (authoritative
+        #: routing, carried by every epoch broadcast).
+        self.slots: list[int] = []
         #: Shard id → peer listen port, for every alive peer.
         self.peer_ports: dict[int, int] = {}
         self.follower_id: Optional[int] = None
@@ -83,6 +90,9 @@ class ShardCore:
         # -- wiring --------------------------------------------------
         self._router_writer: Optional[asyncio.StreamWriter] = None
         self._peer_writers: dict[int, asyncio.StreamWriter] = {}
+        #: Port each peer writer was dialed at — a respawned peer comes
+        #: back on a *new* port, and the stale writer must be replaced.
+        self._peer_addrs: dict[int, int] = {}
         self._peer_server: Optional[asyncio.base_events.Server] = None
         self._work = asyncio.Event()
         self._dispatcher: Optional[asyncio.Task] = None
@@ -99,6 +109,9 @@ class ShardCore:
         self.repl_entries_out = 0
         self.repl_entries_in = 0
         self.promotions = 0
+        self.handoffs_out = 0
+        self.handoffs_in = 0
+        self.handoff_failures = 0
 
     # -- lifecycle ----------------------------------------------------
 
@@ -151,13 +164,24 @@ class ShardCore:
         return True
 
     async def _dial_peer(self, sid: int, port: int) -> None:
-        if sid in self._peer_writers and not self._peer_writers[sid].is_closing():
-            return
+        stale = self._peer_writers.get(sid)
+        if stale is not None:
+            if self._peer_addrs.get(sid) == port and not stale.is_closing():
+                return
+            # Respawned peer (new port) or dead link: drop the stale
+            # writer before dialing, or handoffs would vanish into it.
+            try:
+                stale.close()
+            except Exception:
+                pass
+            self._peer_writers.pop(sid, None)
+            self._peer_addrs.pop(sid, None)
         try:
             _, writer = await asyncio.open_connection("127.0.0.1", port)
         except OSError:
             return  # peer dead or not yet listening; resends heal
         self._peer_writers[sid] = writer
+        self._peer_addrs[sid] = port
 
     # -- router frames ------------------------------------------------
 
@@ -173,6 +197,8 @@ class ShardCore:
             await self._on_epoch(frame)
         elif op == wire.OP_PROMOTE:
             self._on_promote(frame)
+        elif op == wire.OP_HANDBACK:
+            self._on_handback(frame)
         elif op == protocol.OP_METRICS:
             self._send_router(self._metrics_frame())
         elif op == wire.OP_FAULT:
@@ -240,7 +266,7 @@ class ShardCore:
 
     async def _on_epoch(self, frame: dict[str, Any]) -> None:
         self.epoch = int(frame.get("epoch", self.epoch + 1))
-        self.owners = [int(o) for o in frame.get("owners", self.owners)]
+        self.slots = [int(o) for o in frame.get("slots", self.slots)]
         shards = frame.get("shards", [])
         self.peer_ports = {
             int(s["id"]): int(s["port"])
@@ -262,22 +288,30 @@ class ShardCore:
         if follower_changed and self.config.replication:
             # A new follower starts empty: prime it with a full snapshot
             # before the incremental entries resume.
-            for session in self.sessions.values():
-                self.log.append(sess_entry(session.cid, session.user))
-            for room, members in self.rooms.items():
-                for cid, user in members.items():
-                    self.log.append(join_entry(room, cid, user))
+            for entry in snapshot_entries(
+                {cid: s.user for cid, s in self.sessions.items()},
+                self.rooms,
+            ):
+                self.log.append(entry)
         # Ack so the router knows this shard routes on the new epoch.
         self._send_router(
             {"op": wire.OP_EPOCH, "epoch": self.epoch, "shard": self.shard_id}
         )
 
-    def _on_promote(self, frame: dict[str, Any]) -> None:
-        """Replay a dead leader's replica into the live serving state."""
-        dead = int(frame["dead"])
-        replica = self.replicas.pop(dead, None) or ReplicaState()
+    def _adopt_state(
+        self,
+        sessions: dict[int, str],
+        rooms: dict[str, dict[int, str]],
+    ) -> tuple[int, int]:
+        """Fold foreign serving state into ours, live and replicated.
+
+        Shared by promotion (a dead leader's replica) and handoff (a
+        handback export): sessions register real executor tasks, room
+        members merge, and every adoption is logged so *our* follower
+        learns the state too.  Returns (sessions, rooms) adopted.
+        """
         adopted_sessions = 0
-        for cid, user in replica.sessions.items():
+        for cid, user in sessions.items():
             if cid not in self.sessions:
                 session = ShardSession(cid, user)
                 session.task = self.executor.register(
@@ -287,13 +321,22 @@ class ShardCore:
                 self.log.append(sess_entry(cid, user))
                 adopted_sessions += 1
         adopted_rooms = 0
-        for room, members in replica.rooms.items():
+        for room, members in rooms.items():
             mine = self.rooms.setdefault(room, {})
             for cid, user in members.items():
                 if cid not in mine:
                     mine[cid] = user
                     self.log.append(join_entry(room, cid, user))
             adopted_rooms += 1
+        return adopted_sessions, adopted_rooms
+
+    def _on_promote(self, frame: dict[str, Any]) -> None:
+        """Replay a dead leader's replica into the live serving state."""
+        dead = int(frame["dead"])
+        replica = self.replicas.pop(dead, None) or ReplicaState()
+        adopted_sessions, adopted_rooms = self._adopt_state(
+            replica.sessions, replica.rooms
+        )
         self.promotions += 1
         self._send_router(
             {
@@ -303,6 +346,65 @@ class ShardCore:
                 "sessions": adopted_sessions,
                 "rooms": adopted_rooms,
                 "entries": replica.applied,
+            }
+        )
+
+    def _on_handback(self, frame: dict[str, Any]) -> None:
+        """Return a respawned shard's slots: export, ship, drop, ack.
+
+        The export is a :func:`snapshot_entries` snapshot of exactly the
+        sessions and rooms living on the handed-back slots — including
+        any created *during* the failover window, which genuinely belong
+        to the returning shard now.  Local state is dropped only after
+        the handoff frame is on the wire; a failed send leaves ownership
+        (and the router's slot table) untouched, so nothing strands.
+        """
+        target = int(frame["to"])
+        handed = set(int(s) for s in frame.get("slots") or ())
+        moved_sessions = {
+            cid: session.user
+            for cid, session in self.sessions.items()
+            if session_slot(cid) in handed
+        }
+        moved_rooms = {
+            room: dict(members)
+            for room, members in self.rooms.items()
+            if room_slot(room) in handed
+        }
+        entries = snapshot_entries(moved_sessions, moved_rooms)
+        if not self._send_peer(
+            target,
+            {
+                "op": wire.OP_HANDOFF,
+                "origin": self.shard_id,
+                "to": target,
+                "entries": entries,
+            },
+        ):
+            # Peer link not up (yet): keep the state, skip the ack; the
+            # router's pending handback stays open and the respawned
+            # shard's next hello will retry the whole exchange.
+            self.handoff_failures += 1
+            return
+        self.handoffs_out += 1
+        for cid in moved_sessions:
+            session = self.sessions.pop(cid)
+            self.pending -= len(session.inbox)
+            session.inbox.clear()
+            if session.task is not None:
+                self.executor.deregister(session.task)
+            self.log.append(sess_entry(cid, session.user, alive=False))
+        for room, members in moved_rooms.items():
+            self.rooms.pop(room, None)
+            for cid in members:
+                self.log.append(leave_entry(room, cid))
+        self._send_router(
+            {
+                "op": wire.OP_HANDBACK_DONE,
+                "to": target,
+                "slots": sorted(handed),
+                "sessions": len(moved_sessions),
+                "rooms": len(moved_rooms),
             }
         )
 
@@ -334,6 +436,15 @@ class ShardCore:
                         entries
                     )
                     self.repl_entries_in += len(entries)
+                elif op == wire.OP_HANDOFF:
+                    # A handback export for this (respawned) shard: the
+                    # entries re-prime live serving state directly.
+                    replica = ReplicaState()
+                    replica.apply_all(frame.get("entries") or [])
+                    self._adopt_state(replica.sessions, replica.rooms)
+                    self.handoffs_in += 1
+                    self._flush_repl()
+                    self._work.set()
         finally:
             try:
                 writer.close()
@@ -418,9 +529,9 @@ class ShardCore:
             self.forwarded += 1
 
     def _home(self, room: str) -> Optional[int]:
-        if not self.owners:
+        if not self.slots:
             return None
-        return self.owners[room_shard(room, len(self.owners))]
+        return self.slots[room_slot(room)]
 
     def _fan_out(self, room: str, message: dict[str, Any]) -> None:
         members = self.rooms.get(room)
@@ -453,6 +564,9 @@ class ShardCore:
             "repl_entries_out": self.repl_entries_out,
             "repl_entries_in": self.repl_entries_in,
             "promotions": self.promotions,
+            "handoffs_out": self.handoffs_out,
+            "handoffs_in": self.handoffs_in,
+            "handoff_failures": self.handoff_failures,
             "sessions": len(self.sessions),
             "rooms": len(self.rooms),
             "pending": self.pending,

@@ -1,15 +1,24 @@
-"""Shard process lifecycle and cluster-level chaos.
+"""Shard process lifecycle, self-healing respawn, cluster-level chaos.
 
 :class:`ClusterSupervisor` owns the shard OS processes — ``spawn`` start
 method so a shard never inherits the router's running event loop — and
-is the only component allowed to SIGKILL one.  :class:`ClusterFaultDriver`
-is the cluster sibling of :class:`~repro.faults.live.LiveFaultDriver`:
-it walks a :class:`~repro.faults.plan.FaultPlan` on the wall clock and
-applies each fault at cluster scope —
+is the only component allowed to signal one.  With ``config.respawn``
+on, its monitor task watches for shard deaths and respawns each dead
+shard under its original id after a seeded exponential backoff, bounded
+by ``config.respawn_budget`` attempts per shard; the router notices the
+returning ``hello`` and runs the slot handback (see ``router.py``).
+Chaos plans (and teardown) that need a kill to *stick* call
+:meth:`suspend_respawn` first.
+
+:class:`ClusterFaultDriver` is the cluster sibling of
+:class:`~repro.faults.live.LiveFaultDriver`: it walks a
+:class:`~repro.faults.plan.FaultPlan` on the wall clock and applies
+each fault at cluster scope —
 
 * ``worker_kill`` — SIGKILL a live shard process (seeded pick among the
   shards matching the spec's target glob), which is what exercises the
-  promote-the-follower failover path;
+  promote-the-follower failover path (and, with respawn enabled, the
+  full kill → promote → respawn → handback recovery);
 * ``executor_crash`` — forwarded through the router as a ``fault``
   control frame; the shard's own supervision rebuilds the scheduler;
 * anything else (kernel-cycle or single-server kinds) is recorded as
@@ -24,7 +33,8 @@ import multiprocessing
 import os
 import random
 import signal
-from typing import TYPE_CHECKING, Optional
+import time
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..faults.plan import FaultPlan
 from .config import ClusterConfig
@@ -37,24 +47,45 @@ __all__ = ["ClusterSupervisor", "ClusterFaultDriver"]
 
 
 class ClusterSupervisor:
-    """Spawns, kills, and reaps the shard processes of one cluster."""
+    """Spawns, respawns, kills, and reaps one cluster's shard processes."""
 
-    def __init__(self, config: ClusterConfig) -> None:
+    #: Monitor poll period — how quickly a death is noticed.
+    POLL_S = 0.05
+
+    def __init__(
+        self, config: ClusterConfig, t0: Optional[float] = None
+    ) -> None:
         self.config = config
         self._ctx = multiprocessing.get_context("spawn")
         self.procs: dict[int, multiprocessing.process.BaseProcess] = {}
         self.killed: list[int] = []
+        #: Respawn event log (``t_s`` relative to ``t0``, which the
+        #: harness pins to the router's clock base so the recovery
+        #: timeline lines up with the router's event log).
+        self.respawns: list[dict[str, Any]] = []
+        self._attempts: dict[int, int] = {}
+        self._gave_up: set[int] = set()
+        self._suspended = False
+        self._stopping = False
+        self._monitor: Optional[asyncio.Task] = None
+        self._control_port = 0
+        self._t0 = time.monotonic() if t0 is None else t0
+
+    def _spawn(self, shard_id: int) -> multiprocessing.process.BaseProcess:
+        proc = self._ctx.Process(
+            target=shard_main,
+            args=(shard_id, self._control_port, self.config.to_dict()),
+            name=f"shard-{shard_id}",
+            daemon=True,
+        )
+        proc.start()
+        self.procs[shard_id] = proc
+        return proc
 
     def spawn_all(self, control_port: int) -> None:
+        self._control_port = control_port
         for shard_id in range(self.config.shards):
-            proc = self._ctx.Process(
-                target=shard_main,
-                args=(shard_id, control_port, self.config.to_dict()),
-                name=f"shard-{shard_id}",
-                daemon=True,
-            )
-            proc.start()
-            self.procs[shard_id] = proc
+            self._spawn(shard_id)
 
     def alive_ids(self) -> list[int]:
         return sorted(
@@ -71,15 +102,113 @@ class ClusterSupervisor:
         self.killed.append(shard_id)
         return True
 
+    # -- self-healing monitor -----------------------------------------
+
+    def suspend_respawn(self) -> None:
+        """Make kills stick: the monitor ignores deaths until resumed.
+
+        Chaos plans that *want* permanent degradation (and ``stop_all``,
+        which must never race the monitor into respawning a shard the
+        teardown just terminated) call this first.
+        """
+        self._suspended = True
+
+    def resume_respawn(self) -> None:
+        self._suspended = False
+
+    def start_monitor(self) -> None:
+        """Start the supervision loop (no-op unless ``config.respawn``)."""
+        if self.config.respawn and self._monitor is None and not self._stopping:
+            self._monitor = asyncio.get_running_loop().create_task(
+                self._monitor_loop(), name="cluster-respawn-monitor"
+            )
+
+    async def stop_monitor(self) -> None:
+        task, self._monitor = self._monitor, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.respawns.append(
+            {
+                "t_s": round(time.monotonic() - self._t0, 3),
+                "kind": kind,
+                "detail": detail,
+            }
+        )
+
+    async def _monitor_loop(self) -> None:
+        """Detect shard death, back off (seeded), respawn within budget."""
+        while not self._stopping:
+            await asyncio.sleep(self.POLL_S)
+            if self._suspended:
+                continue
+            for sid, proc in list(self.procs.items()):
+                if proc.is_alive() or sid in self._gave_up:
+                    continue
+                if self._stopping or self._suspended:
+                    break
+                proc.join(timeout=0)  # reap the corpse
+                attempt = self._attempts.get(sid, 0)
+                if attempt >= self.config.respawn_budget:
+                    self._gave_up.add(sid)
+                    self._record(
+                        "respawn_budget_exhausted",
+                        f"shard-{sid} stays down after {attempt} respawns",
+                    )
+                    continue
+                rng = random.Random(
+                    f"{self.config.seed}/respawn/{sid}/{attempt}"
+                )
+                delay = (
+                    (self.config.respawn_backoff_ms / 1e3)
+                    * (2 ** attempt)
+                    * (0.5 + rng.random())
+                )
+                await asyncio.sleep(delay)
+                if self._stopping or self._suspended:
+                    break
+                self._attempts[sid] = attempt + 1
+                fresh = self._spawn(sid)
+                self._record(
+                    "respawn",
+                    f"shard-{sid} attempt {attempt + 1} pid {fresh.pid} "
+                    f"after {delay * 1e3:.0f}ms backoff",
+                )
+
+    # -- teardown -----------------------------------------------------
+
     def stop_all(self, timeout_s: float = 5.0) -> None:
+        """Tear every shard down: SIGTERM, bounded wait, SIGKILL, reap.
+
+        Escalation means a wedged shard (stuck executor, blocked pipe)
+        cannot hang the harness: the polite signal gets ``timeout_s`` to
+        work, then the survivors are SIGKILLed and reaped.  Respawn is
+        suspended first so the monitor cannot resurrect a shard the
+        teardown just terminated.
+        """
+        self._stopping = True
+        self.suspend_respawn()
+        if self._monitor is not None:
+            self._monitor.cancel()
+            self._monitor = None
         for proc in self.procs.values():
             if proc.is_alive():
-                proc.terminate()
+                proc.terminate()  # SIGTERM: a clean shard just exits
+        deadline = time.monotonic() + timeout_s
         for proc in self.procs.values():
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        stragglers = [p for p in self.procs.values() if p.is_alive()]
+        for proc in stragglers:  # pragma: no cover — wedged child
+            proc.kill()  # SIGKILL: no appeal
+        for proc in stragglers:  # pragma: no cover — wedged child
             proc.join(timeout=timeout_s)
-            if proc.is_alive():  # pragma: no cover — stuck child
-                proc.kill()
-                proc.join(timeout=timeout_s)
+        for proc in self.procs.values():
+            proc.join(timeout=0)  # final reap so no zombie outlives us
 
 
 class ClusterFaultDriver:

@@ -21,10 +21,13 @@ Interior operations::
         shard → router, first frame on the control link: the shard is
         up and listening for peer connections on ``port``.
 
-    {"op": "epoch", "epoch": 3, "shards": [...], "followers": {...}}
-        router → every shard: the authoritative topology.  ``shards``
-        lists ``{"id", "port", "alive"}``; ``followers`` maps each
-        alive shard to the shard replicating it (or ``null``).
+    {"op": "epoch", "epoch": 3, "slots": [...], "shards": [...],
+     "followers": {...}}
+        router → every shard: the authoritative topology.  ``slots``
+        is the full slot→shard table (see
+        :func:`repro.cluster.config.build_slot_map`); ``shards`` lists
+        ``{"id", "port", "alive"}``; ``followers`` maps each alive
+        shard to the shard replicating it (or ``null``).
 
     {"op": "sess",  "cid": 7, "user": "u0.1", "alive": true}
     {"op": "room",  "room": "r0", "cid": 7, "user": "u0.1", "add": true}
@@ -49,6 +52,22 @@ Interior operations::
     {"op": "promoted", "dead": 0, "sessions": 9, "rooms": 2}
         router → follower and its acknowledgement: replay the dead
         leader's replica state and take over its slots.
+
+    {"op": "handback", "to": 1, "slots": [3, 9], "epoch": 5}
+        router → current owner: a respawned shard is back; export the
+        sessions and rooms living on ``slots``, ship them to shard
+        ``to``, and drop them locally.
+
+    {"op": "handoff", "origin": 0, "to": 1, "entries": [...]}
+        owner → respawned shard (peer link): the exported snapshot, as
+        replication entries — the re-prime that makes the fresh
+        process own its old slots' state again.
+
+    {"op": "handback_done", "to": 1, "slots": [3, 9], "sessions": 4,
+     "rooms": 1}
+        owner → router: the export is shipped and dropped; the router
+        may now flip those slots to ``to`` and broadcast the epoch
+        that completes the handback.
 
     {"op": "fault", "kind": "executor_crash"}
         router → shard: arm a live fault (the chaos hook).
@@ -82,6 +101,9 @@ __all__ = [
     "OP_REPL",
     "OP_PROMOTE",
     "OP_PROMOTED",
+    "OP_HANDBACK",
+    "OP_HANDOFF",
+    "OP_HANDBACK_DONE",
     "OP_FAULT",
     "FRAMINGS",
     "Framing",
@@ -100,6 +122,9 @@ OP_DELIVER = "deliver"
 OP_REPL = "repl"
 OP_PROMOTE = "promote"
 OP_PROMOTED = "promoted"
+OP_HANDBACK = "handback"
+OP_HANDOFF = "handoff"
+OP_HANDBACK_DONE = "handback_done"
 OP_FAULT = "fault"
 
 #: Binary frames share the line-JSON size budget.

@@ -106,6 +106,16 @@ NAMED_PLANS: dict[str, FaultPlan] = {
         seed=11,
         faults=(FaultSpec(kind="worker_kill", at_s=1.0, target="shard-*"),),
     ),
+    # Cluster self-healing: the same SIGKILL, but run with respawn
+    # enabled (the default) — the supervisor must respawn the shard,
+    # the router must hand its slots back, and the report's ``recovered``
+    # gate demands full N-way capacity plus post-recovery throughput
+    # within 15% of pre-kill, on top of the zero-drop bar.
+    "kill-respawn-shard": FaultPlan(
+        name="kill-respawn-shard",
+        seed=13,
+        faults=(FaultSpec(kind="worker_kill", at_s=1.0, target="shard-*"),),
+    ),
 }
 
 

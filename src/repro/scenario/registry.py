@@ -16,7 +16,12 @@ re-deriving flag soup:
   load (spike / ramp);
 * ``cluster-survival-{sched}`` — the sharded-cluster chaos headline
   (shard SIGKILLed mid-run, zero dropped completions), projected onto
-  a cluster by :meth:`repro.cluster.ClusterConfig.from_scenario`.
+  a cluster by :meth:`repro.cluster.ClusterConfig.from_scenario`;
+* ``cluster-heal-{sched}`` — the self-healing headline for *every*
+  registered scheduler: same kill, but under ``kill-respawn-shard``
+  the supervisor respawns the shard and the router hands its slots
+  back, so the run must restore full capacity (``recovered``), not
+  merely survive degraded.
 
 Sizes are deliberately tiny — the catalogue's job is breadth (hundreds
 of distinct cells through one front door), not paper-scale load; scale
@@ -169,6 +174,33 @@ def _build() -> dict[str, ScenarioSpec]:
                     "duration_s": 12.0,
                 },
                 fault_plan="kill-one-shard",
+            )
+        )
+
+    # The self-healing headline, for every registered scheduler: the
+    # same mid-run SIGKILL, but the ``kill-respawn-shard`` plan runs
+    # with respawn on (the ClusterConfig default), so the gate is
+    # ``recovered`` — capacity back to N shards, post-recovery
+    # throughput within 15% of pre-kill — on top of zero drops.
+    for sched in SCHEDULERS:
+        add(
+            ScenarioSpec(
+                name=f"cluster-heal-{sched}",
+                workload="serve",
+                scheduler=sched,
+                machine="UP",
+                config={
+                    "rooms": 8,
+                    "clients_per_room": 2,
+                    # The schedule must outlive recovery by a wide margin
+                    # (kill at 1s, respawn+handback ~0.3s later) so the
+                    # post-recovery throughput window measures steady
+                    # state, not the drain tail: 45 × 80ms ≈ 3.6s.
+                    "messages_per_client": 45,
+                    "message_interval_ms": 80.0,
+                    "duration_s": 12.0,
+                },
+                fault_plan="kill-respawn-shard",
             )
         )
 

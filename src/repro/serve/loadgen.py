@@ -28,6 +28,18 @@ each failover, deduplicated by ``seq`` on receive — which upgrades
 delivery to at-least-once on the wire and exactly-once in the stats.
 ``unacked`` at the end of such a run is the count of genuinely dropped
 completions (the cluster chaos gate asserts it is zero).
+
+Dedup accounting distinguishes *why* a second copy of an own echo
+arrived: ``duplicates`` counts at most one per seq the client actually
+resent (both the original and a retry completed — the at-least-once tax
+paid on the wire), while ``replays`` counts extra copies the *cluster*
+produced without any client resend (a re-homed shard replaying fan-out).
+A retry that lands on a re-homed shard after failover therefore shows up
+once under ``duplicates``, never double-counted per extra echo.
+
+Each confirmed own echo also stamps ``time.monotonic()`` into
+``echo_mono`` — the raw completion timeline the cluster harness slices
+into pre-kill and post-recovery throughput windows.
 """
 
 from __future__ import annotations
@@ -56,9 +68,11 @@ class ClientStats:
     shed: int = 0
     failovers: int = 0     # mid-run reconnects (connection reset/EOF)
     retries: int = 0       # resends of unacked messages
-    duplicates: int = 0    # own echoes dropped by seq dedup
+    duplicates: int = 0    # deduped echoes of seqs this client resent
+    replays: int = 0       # deduped echoes the client never resent
     unacked: int = 0       # sends never echo-confirmed by run end
     latencies_ms: list[float] = field(default_factory=list)
+    echo_mono: list[float] = field(default_factory=list)  # confirm times
 
 
 @dataclass
@@ -76,7 +90,11 @@ class LoadReport:
     failovers: int = 0
     retries: int = 0
     duplicates: int = 0
+    replays: int = 0
     unacked: int = 0
+    #: Sorted ``time.monotonic()`` stamps of every confirmed echo —
+    #: the completion timeline recovery metrics slice into windows.
+    echo_mono: list[float] = field(default_factory=list)
 
     @property
     def latency(self) -> LatencySummary:
@@ -100,6 +118,7 @@ class LoadReport:
             "failovers": self.failovers,
             "retries": self.retries,
             "duplicates": self.duplicates,
+            "replays": self.replays,
             "unacked": self.unacked,
             "throughput": self.throughput,
             **self.latency.to_dict("latency_ms_"),
@@ -162,6 +181,11 @@ async def _client(
     #: seq → the full message frame, kept until its own echo returns.
     unacked: dict[int, dict[str, Any]] = {}
     acked: set[int] = set()
+    #: seqs this client resent and whose duplicate echo is still owed —
+    #: each earns at most ONE ``duplicates`` tick; any further deduped
+    #: echo (a retry landing on a re-homed shard, a cluster replay) is a
+    #: ``replay``, so failover retries never double-count.
+    resent: set[int] = set()
     quitting = False
 
     async def establish():
@@ -186,12 +210,17 @@ async def _client(
                 seq = message.get("seq")
                 if retry_unacked:
                     if seq in acked:
-                        stats.duplicates += 1
+                        if seq in resent:
+                            resent.discard(seq)
+                            stats.duplicates += 1
+                        else:
+                            stats.replays += 1
                         return True
                     acked.add(seq)
                     unacked.pop(seq, None)
                 stats.received += 1
                 stats.echoes += 1
+                stats.echo_mono.append(time.monotonic())
                 t = message.get("t")
                 if isinstance(t, int):
                     stats.latencies_ms.append(
@@ -211,6 +240,7 @@ async def _client(
             message["t"] = time.perf_counter_ns()
             w.write(protocol.encode(message))
             stats.retries += 1
+            resent.add(seq)
 
     async def failover() -> bool:
         """Dial back in after a lost connection; re-drive unacked sends."""
@@ -387,8 +417,11 @@ async def run_loadgen(
     elapsed = time.monotonic() - started
     failures = sum(1 for o in outcomes if isinstance(o, BaseException))
     latencies: list[float] = []
+    echo_mono: list[float] = []
     for s in stats:
         latencies.extend(s.latencies_ms)
+        echo_mono.extend(s.echo_mono)
+    echo_mono.sort()
     return LoadReport(
         config=config,
         elapsed_seconds=elapsed,
@@ -401,5 +434,7 @@ async def run_loadgen(
         failovers=sum(s.failovers for s in stats),
         retries=sum(s.retries for s in stats),
         duplicates=sum(s.duplicates for s in stats),
+        replays=sum(s.replays for s in stats),
         unacked=sum(s.unacked for s in stats),
+        echo_mono=echo_mono,
     )

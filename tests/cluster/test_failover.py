@@ -1,9 +1,15 @@
 """End-to-end cluster runs: real processes, real sockets, real SIGKILL.
 
 Structure-only assertions (counts and invariants, never wall-clock
-values), same discipline as the live serve tests.  The chaos test is
-the PR's headline contract: a shard SIGKILLed mid-loadtest, follower
-promoted, and *zero* dropped completions — under both framings.
+values), same discipline as the live serve tests.  Two headline
+contracts live here, each under both framings:
+
+* **survival** — a shard SIGKILLed mid-loadtest with respawn off, the
+  follower promoted, and *zero* dropped completions in degraded mode;
+* **self-healing** — the same kill with respawn on: the supervisor
+  respawns the shard, the router hands its original slots back, and the
+  run must restore full N-way capacity (``recovered``) on top of the
+  zero-drop bar, with the slot table ending exactly where it began.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ import asyncio
 
 import pytest
 
-from repro.cluster import ClusterConfig, run_cluster_loadtest
+from repro.cluster import ClusterConfig, build_slot_map, run_cluster_loadtest
 from repro.faults.plans import NAMED_PLANS
 
 #: Small enough for ~1s runs; duration_s is a deadline, not a target.
@@ -27,6 +33,8 @@ TINY = dict(
 )
 
 #: Load that is still in flight when the plan's kill lands at t=1s.
+#: ``respawn=False`` pins the historical degraded-mode semantics: the
+#: kill sticks and the cluster finishes the run on one shard.
 CHAOS = dict(
     shards=2,
     rooms=4,
@@ -34,6 +42,20 @@ CHAOS = dict(
     messages_per_client=25,
     message_interval_ms=80.0,
     duration_s=12.0,
+    seed=7,
+    respawn=False,
+)
+
+#: The self-healing run: respawn on (the default), and a send schedule
+#: (60 × 60ms ≈ 3.6s) that outlives kill + respawn + handback by a wide
+#: margin so the post-recovery throughput window measures steady state.
+HEAL = dict(
+    shards=2,
+    rooms=4,
+    clients_per_room=2,
+    messages_per_client=60,
+    message_interval_ms=60.0,
+    duration_s=15.0,
     seed=7,
 )
 
@@ -51,7 +73,7 @@ def test_cluster_completes_all_messages(framing):
     # Fan-out arithmetic: every member of a 2-client room gets a copy.
     assert load.received == load.sent * 2
     # Rooms hash across both shards, so forwarding genuinely happened
-    # (r0..r3 on 2 shards split 1/1/1/1 vs 0/0 — see test_routing).
+    # (r1/r4/r6 home on shard 0, the rest on 1 — see test_routing).
     assert report.aggregate["forwarded"] > 0
     assert report.aggregate["fwd_in"] == report.aggregate["forwarded"]
     assert report.aggregate["completed"] == load.sent
@@ -61,6 +83,11 @@ def test_cluster_completes_all_messages(framing):
     assert report.aggregate["repl_entries_out"] > 0
     assert report.promotions == []
     assert report.survived
+    # Nothing died, so the self-healing machinery stayed quiet and the
+    # recovery gate is vacuous.
+    assert report.respawns == [] and report.handbacks == []
+    assert report.recovery == {}
+    assert report.recovered
 
 
 @pytest.mark.parametrize("framing", ["json", "binary"])
@@ -81,12 +108,64 @@ def test_shard_kill_loses_nothing(framing):
     assert promo["sessions"] > 0 and promo["rooms"] > 0
     assert report.router["epoch"] == 2
     assert report.router["alive_shards"] == 1
+    # Respawn is off: the kill stuck and the survivor owns every slot.
+    assert report.respawns == [] and report.handbacks == []
+    assert report.router["slots"] == {"0": 64}
     # The headline: at-least-once delivery + dedup = nothing lost, ever.
     assert load.sent == 4 * 2 * 25
     assert load.echoes == load.sent
     assert report.dropped_completions == 0
     assert load.connect_failures == 0
     assert report.survived
+    # No respawn was promised, so the recovery gate stays vacuous.
+    assert report.recovered
+
+
+@pytest.mark.parametrize("framing", ["json", "binary"])
+def test_shard_kill_respawn_restores_capacity(framing):
+    config = ClusterConfig(
+        framing=framing, fault_plan="kill-respawn-shard", **HEAL
+    )
+    report = asyncio.run(run_cluster_loadtest(config))
+    load = report.load
+    # One kill landed (seed 13 over two alive shards pins shard-0), the
+    # follower was promoted, the supervisor respawned the victim, and
+    # the promoted owner handed the slots back.
+    assert report.killed == [0]
+    assert len(report.promotions) == 1
+    assert [e["kind"] for e in report.respawns] == ["respawn"]
+    assert report.router["respawns"] == 1
+    assert len(report.handbacks) == 1
+    handback = report.handbacks[0]
+    assert handback["from"] == 1 and handback["to"] == 0
+    # Slot handback restored the original room→shard homing exactly:
+    # the victim got back precisely the slots the full-membership map
+    # assigns it, and the end-state table equals the initial one.
+    original = build_slot_map(config.shards)
+    assert handback["slots"] == original.count(0)
+    assert report.router["slots"] == {
+        str(s): original.count(s) for s in range(config.shards)
+    }
+    # The promoted owner shipped real state back, not an empty shell.
+    assert handback["sessions"] > 0
+    # Epoch walk: initial broadcast, death, respawn arrival, handback.
+    assert report.router["epoch"] == 4
+    # Full N-way capacity came back and the recovery timeline is sane.
+    assert report.router["alive_shards"] == 2
+    assert report.recovery["capacity_restored"]
+    assert report.recovery["ttr_s"] is not None
+    assert report.recovery["ttr_s"] > 0
+    assert (
+        report.recovery["down_t_s"] < report.recovery["restored_t_s"]
+    )
+    # Zero-drop survives the whole kill→respawn→handback cycle, across
+    # the two epoch bumps the recovery adds.
+    assert load.sent == 4 * 2 * 60
+    assert load.echoes == load.sent
+    assert report.dropped_completions == 0
+    assert load.connect_failures == 0
+    assert report.survived
+    assert report.recovered
 
 
 def test_kill_one_shard_plan_is_registered():
@@ -94,3 +173,11 @@ def test_kill_one_shard_plan_is_registered():
     kinds = {spec.kind for spec in plan.faults}
     assert kinds == {"worker_kill"}
     assert all(spec.target == "shard-*" for spec in plan.faults)
+
+
+def test_kill_respawn_shard_plan_is_registered():
+    plan = NAMED_PLANS["kill-respawn-shard"]
+    kinds = {spec.kind for spec in plan.faults}
+    assert kinds == {"worker_kill"}
+    assert all(spec.target == "shard-*" for spec in plan.faults)
+    assert plan.seed != NAMED_PLANS["kill-one-shard"].seed

@@ -1,29 +1,40 @@
 """Placement determinism: room/session → shard is a pure function.
 
-The exact assignments are pinned — CRC-32 is stable across processes,
-platforms, and Python versions, so these values may never drift.  (The
-builtin ``hash`` would fail this suite on every interpreter start.)
+Placement now goes through the fixed consistent-hash slot ring
+(``room/session → slot → shard`` via :func:`build_slot_map`), and the
+exact assignments are pinned — CRC-32 and the incremental-steal map
+construction are stable across processes, platforms, and Python
+versions, so these values may never drift.  (The builtin ``hash`` would
+fail this suite on every interpreter start.)
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.cluster import ClusterConfig, room_shard, session_shard
+from repro.cluster import (
+    NUM_SLOTS,
+    ClusterConfig,
+    build_slot_map,
+    room_shard,
+    room_slot,
+    session_shard,
+    session_slot,
+)
 
 
 def test_room_placement_pinned_two_shards():
     assert [room_shard(f"r{i}", 2) for i in range(8)] == [
-        1, 1, 1, 1, 0, 0, 0, 0,
+        1, 0, 1, 1, 0, 1, 0, 1,
     ]
 
 
 def test_room_placement_pinned_wider():
     assert [room_shard(f"r{i}", 3) for i in range(8)] == [
-        2, 0, 2, 2, 0, 2, 1, 2,
+        1, 2, 2, 1, 0, 2, 2, 2,
     ]
     assert [room_shard(f"r{i}", 4) for i in range(8)] == [
-        3, 1, 3, 1, 2, 0, 2, 0,
+        1, 2, 3, 3, 0, 2, 2, 2,
     ]
 
 
@@ -36,17 +47,31 @@ def test_room_placement_is_stable_across_calls():
 
 def test_loadgen_rooms_span_both_shards():
     # The loadgen room vocabulary reaches both shards within r0..r7
-    # (r0-r3 all home on shard 1; r4-r7 on shard 0).  Cross-shard
-    # forwarding is exercised even below 5 rooms, because *sessions*
-    # round-robin across shards regardless of where their room lives.
+    # (r1/r4/r6 home on shard 0, the rest on shard 1), so cross-shard
+    # forwarding is exercised even at small room counts — and sessions
+    # hash over the same slot ring independently of their room's home.
     homes = {room_shard(f"r{i}", 2) for i in range(8)}
     assert homes == {0, 1}
 
 
-def test_session_placement_round_robin():
+def test_session_placement_pinned():
+    # Sessions map cid → slot (cid % NUM_SLOTS) → shard through the same
+    # slot table rooms use — no separate round-robin ownership anymore.
     assert [session_shard(cid, 3) for cid in range(7)] == [
-        0, 1, 2, 0, 1, 2, 0,
+        2, 1, 0, 2, 2, 1, 0,
     ]
+    assert [session_shard(cid, 2) for cid in range(1, 9)] == [
+        1, 0, 0, 1, 1, 0, 0, 1,
+    ]
+    for cid in range(16):
+        assert session_shard(cid, 3) == build_slot_map(3)[session_slot(cid)]
+
+
+def test_slots_cover_the_ring():
+    for room in ("lobby", "r0", ""):
+        assert 0 <= room_slot(room) < NUM_SLOTS
+    for cid in (0, 1, 63, 64, 1000):
+        assert session_slot(cid) == cid % NUM_SLOTS
 
 
 @pytest.mark.parametrize("fn", [room_shard, session_shard])
@@ -60,10 +85,15 @@ def test_cluster_config_validation():
         ClusterConfig(framing="protobuf")
     with pytest.raises(ValueError, match="shard"):
         ClusterConfig(shards=0)
+    with pytest.raises(ValueError, match="slot"):
+        ClusterConfig(shards=NUM_SLOTS + 1)
+    with pytest.raises(ValueError, match="respawn"):
+        ClusterConfig(respawn_budget=-1)
 
 
 def test_cluster_config_round_trip_and_projection():
     config = ClusterConfig(shards=3, framing="binary", rooms=6, seed=9)
+    assert config.respawn  # self-healing is the default
     assert ClusterConfig.from_dict(config.to_dict()) == config
     serve = config.serve_config()
     assert serve.rooms == 6

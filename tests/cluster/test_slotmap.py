@@ -1,0 +1,103 @@
+"""Consistent-hash slot map: balance, minimal movement, determinism.
+
+These are the properties the self-healing design leans on — a respawn
+handback or an ``N → N+1`` resize may move only ~1/N of the rooms — so
+they are pinned as hypothesis properties over every reachable shard
+count, plus a golden hash (the placement sibling of the bench
+``matrix_hash``) that makes any construction drift loud.
+"""
+
+from __future__ import annotations
+
+import math
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NUM_SLOTS, build_slot_map, slot_map_hash
+from repro.cluster.config import _SLOT_SALT
+
+#: The golden placement fingerprint (maps for 1..8 shards).  Changing
+#: NUM_SLOTS, the salt, or the steal construction breaks every pinned
+#: placement in the system at once — this test is the tripwire.
+GOLDEN_SLOT_MAP_HASH = (
+    "9888200c91f875bc4550e9c1000a8512da6740daad8c4580ea5d0adef5f7ee57"
+)
+
+shard_counts = st.integers(min_value=1, max_value=16)
+
+
+@given(shard_counts)
+@settings(max_examples=32, deadline=None)
+def test_slot_map_is_balanced(n):
+    owners = build_slot_map(n)
+    assert len(owners) == NUM_SLOTS
+    counts = [owners.count(s) for s in range(n)]
+    assert sum(counts) == NUM_SLOTS
+    assert all(count > 0 for count in counts)
+    # The ISSUE's bound, and in fact the construction holds the tighter
+    # floor/ceil invariant at every N.
+    assert max(counts) <= math.ceil(NUM_SLOTS / n) + 1
+    assert max(counts) - min(counts) <= 1
+
+
+@given(shard_counts.filter(lambda n: n < 16))
+@settings(max_examples=32, deadline=None)
+def test_membership_growth_moves_minimal_slots(n):
+    """N → N+1 moves at most ceil(NUM_SLOTS/N)+1 slots, all to the
+    newcomer — nothing is shuffled between surviving shards."""
+    before = build_slot_map(n)
+    after = build_slot_map(n + 1)
+    moved = [s for s in range(NUM_SLOTS) if before[s] != after[s]]
+    assert len(moved) <= math.ceil(NUM_SLOTS / n) + 1
+    assert all(after[s] == n for s in moved)
+
+
+@given(shard_counts)
+@settings(max_examples=16, deadline=None)
+def test_kill_and_respawn_move_only_the_victims_slots(n):
+    """The failover/handback pair in miniature: reassigning one shard's
+    slots elsewhere and then restoring the map moves exactly that
+    shard's slots — at most ceil(NUM_SLOTS/N) — twice, and nothing
+    else, which is why recovery re-homes only ~1/N of the rooms."""
+    owners = build_slot_map(n)
+    victim = n - 1
+    survivor = 0 if n == 1 else (victim - 1) % n
+    degraded = tuple(
+        survivor if owner == victim else owner for owner in owners
+    )
+    moved_down = [s for s in range(NUM_SLOTS) if degraded[s] != owners[s]]
+    assert len(moved_down) <= math.ceil(NUM_SLOTS / n)
+    # Handback restores the pure full-membership map: the same slots
+    # move back, every other assignment is untouched.
+    restored = build_slot_map(n)
+    assert restored == owners
+    moved_back = [s for s in range(NUM_SLOTS) if degraded[s] != restored[s]]
+    assert (set(moved_back) == set(moved_down)) if n > 1 else not moved_back
+
+
+def test_slot_map_golden_hash():
+    assert slot_map_hash() == GOLDEN_SLOT_MAP_HASH
+
+
+def test_slot_map_deterministic_across_processes():
+    """A fresh interpreter builds bit-identical maps — placement is a
+    pure function of the shard count, with no per-process salt."""
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.cluster import slot_map_hash; print(slot_map_hash())",
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert out.stdout.strip() == GOLDEN_SLOT_MAP_HASH
+
+
+def test_salt_is_pinned():
+    # The salt is part of the placement ABI; see the module docstring.
+    assert _SLOT_SALT == 4

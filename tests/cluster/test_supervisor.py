@@ -1,0 +1,185 @@
+"""Supervisor lifecycle: respawn monitor, budget, teardown escalation.
+
+Unit-level, against fake process handles — the real spawn/SIGKILL path
+is exercised end-to-end by ``test_failover.py``; here the logic that
+decides *when* to signal and *whether* to respawn is pinned without
+paying process start-up per case.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.cluster import ClusterConfig
+from repro.cluster.supervisor import ClusterSupervisor
+
+
+class FakeProc:
+    """Just enough of ``multiprocessing.Process`` for the supervisor."""
+
+    _next_pid = 1000
+
+    def __init__(self, *, ignore_sigterm: bool = False) -> None:
+        FakeProc._next_pid += 1
+        self.pid = FakeProc._next_pid
+        self.alive = True
+        self.ignore_sigterm = ignore_sigterm
+        self.terminated = 0
+        self.killed = 0
+        self.joins = 0
+
+    def is_alive(self) -> bool:
+        return self.alive
+
+    def terminate(self) -> None:
+        self.terminated += 1
+        if not self.ignore_sigterm:
+            self.alive = False
+
+    def kill(self) -> None:
+        self.killed += 1
+        self.alive = False
+
+    def join(self, timeout=None) -> None:
+        self.joins += 1
+
+
+class FakeSupervisor(ClusterSupervisor):
+    """Respawns fake handles instead of OS processes."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        super().__init__(config)
+        self.spawned: list[int] = []
+
+    def _spawn(self, shard_id: int):
+        proc = FakeProc()
+        self.procs[shard_id] = proc
+        self.spawned.append(shard_id)
+        return proc
+
+
+def _fast_config(**overrides) -> ClusterConfig:
+    base = dict(shards=2, respawn_backoff_ms=1.0, seed=5)
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+def test_stop_all_escalates_term_to_kill():
+    sup = ClusterSupervisor(_fast_config())
+    polite = FakeProc()
+    wedged = FakeProc(ignore_sigterm=True)
+    sup.procs = {0: polite, 1: wedged}
+    sup.stop_all(timeout_s=0.05)
+    # The clean shard needed only SIGTERM; the wedged one was SIGKILLed.
+    assert polite.terminated == 1 and polite.killed == 0
+    assert wedged.terminated == 1 and wedged.killed == 1
+    assert not polite.is_alive() and not wedged.is_alive()
+    # Every process was reaped (joined) at least once.
+    assert polite.joins >= 1 and wedged.joins >= 1
+    # Teardown also pins respawn off, so a late monitor tick is inert.
+    assert sup._suspended and sup._stopping
+
+
+def test_monitor_respawns_dead_shard():
+    async def _run():
+        sup = FakeSupervisor(_fast_config())
+        sup.spawn_all(control_port=0)
+        sup.start_monitor()
+        sup.procs[1].alive = False  # the "kill"
+        for _ in range(200):
+            await asyncio.sleep(0.01)
+            if any(e["kind"] == "respawn" for e in sup.respawns):
+                break
+        await sup.stop_monitor()
+        return sup
+
+    sup = asyncio.run(_run())
+    # One fresh process under the dead shard's id, logged with backoff.
+    assert sup.spawned.count(1) == 2  # initial + respawn
+    assert sup.procs[1].is_alive()
+    events = [e["kind"] for e in sup.respawns]
+    assert events == ["respawn"]
+    assert "shard-1" in sup.respawns[0]["detail"]
+
+
+def test_monitor_respects_respawn_budget():
+    async def _run():
+        sup = FakeSupervisor(_fast_config(respawn_budget=2))
+        sup.spawn_all(control_port=0)
+        sup.start_monitor()
+        # Kill the shard every time it comes back, until the supervisor
+        # gives up; the budget caps respawns at two.
+        for _ in range(400):
+            await asyncio.sleep(0.005)
+            if 0 in sup._gave_up:
+                break
+            if sup.procs[0].is_alive():
+                sup.procs[0].alive = False
+        await sup.stop_monitor()
+        return sup
+
+    sup = asyncio.run(_run())
+    kinds = [e["kind"] for e in sup.respawns]
+    assert kinds.count("respawn") == 2
+    assert kinds[-1] == "respawn_budget_exhausted"
+    assert sup.spawned.count(0) == 3  # initial + two respawns
+    assert not sup.procs[0].is_alive()
+
+
+def test_suspend_respawn_makes_kills_stick():
+    async def _run():
+        sup = FakeSupervisor(_fast_config())
+        sup.spawn_all(control_port=0)
+        sup.start_monitor()
+        sup.suspend_respawn()
+        sup.procs[0].alive = False
+        await asyncio.sleep(0.3)
+        suspended_respawns = len(sup.respawns)
+        # Resuming lets the monitor heal the same death.
+        sup.resume_respawn()
+        for _ in range(200):
+            await asyncio.sleep(0.01)
+            if sup.respawns:
+                break
+        await sup.stop_monitor()
+        return sup, suspended_respawns
+
+    sup, suspended_respawns = asyncio.run(_run())
+    assert suspended_respawns == 0  # nothing happened while suspended
+    assert [e["kind"] for e in sup.respawns] == ["respawn"]
+    assert sup.procs[0].is_alive()
+
+
+def test_monitor_is_a_noop_without_respawn():
+    async def _run():
+        sup = FakeSupervisor(_fast_config(respawn=False))
+        sup.spawn_all(control_port=0)
+        sup.start_monitor()
+        assert sup._monitor is None
+        sup.procs[0].alive = False
+        await asyncio.sleep(0.2)
+        await sup.stop_monitor()
+        return sup
+
+    sup = asyncio.run(_run())
+    assert sup.respawns == []
+    assert not sup.procs[0].is_alive()
+
+
+def test_seeded_backoff_is_deterministic():
+    import random
+
+    config = _fast_config()
+
+    def delay(attempt: int) -> float:
+        rng = random.Random(f"{config.seed}/respawn/1/{attempt}")
+        return (
+            (config.respawn_backoff_ms / 1e3)
+            * (2 ** attempt)
+            * (0.5 + rng.random())
+        )
+
+    # Same seed, same shard, same attempt → the same delay, and the
+    # exponential envelope doubles per attempt.
+    assert delay(0) == delay(0)
+    assert delay(3) >= delay(0)

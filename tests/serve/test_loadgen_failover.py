@@ -109,6 +109,171 @@ def test_reconnect_and_retry_recovers_everything():
     assert report.connect_failures == 0
 
 
+class DupEchoServer:
+    """Per seq: swallow the first copy, echo the second copy three times.
+
+    The client is forced to resend every seq, then sees three echoes for
+    it: one confirms, one is the duplicate its own retry earned, and one
+    is an unsolicited replay (what a re-homed shard can produce).  The
+    accounting must split them — one ``duplicates`` per resent seq, the
+    rest ``replays`` — never double-count the retry.
+    """
+
+    def __init__(self) -> None:
+        self.seen: set[int] = set()
+        self.server: asyncio.base_events.Server | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self.server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+
+    async def stop(self) -> None:
+        assert self.server is not None
+        self.server.close()
+        await self.server.wait_closed()
+
+    async def _handle(self, reader, writer) -> None:
+        echoed: set[int] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                message = protocol.decode(line)
+                if message is None:
+                    continue
+                op = message.get("op")
+                if op == protocol.OP_JOIN:
+                    writer.write(
+                        protocol.encode(
+                            {"op": protocol.OP_JOINED, "room": "r0", "members": 1}
+                        )
+                    )
+                elif op == protocol.OP_MSG:
+                    seq = message.get("seq")
+                    if seq not in self.seen:
+                        self.seen.add(seq)  # swallow: force a retry
+                    elif seq not in echoed:
+                        echoed.add(seq)
+                        for _ in range(3):
+                            writer.write(protocol.encode(message))
+                    # further retry copies: ignore (already echoed 3x)
+                elif op == protocol.OP_QUIT:
+                    writer.write(protocol.encode({"op": protocol.OP_BYE}))
+                    return
+                await writer.drain()
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+
+def test_retry_duplicates_not_double_counted():
+    async def _run():
+        server = DupEchoServer()
+        await server.start()
+        try:
+            return await run_loadgen(
+                "127.0.0.1",
+                server.port,
+                CONFIG,
+                retry_unacked=True,
+                retry_interval_ms=50.0,
+                reconnect=True,
+            )
+        finally:
+            await server.stop()
+
+    report = asyncio.run(_run())
+    n = CONFIG.messages_per_client
+    # Every seq was withheld once, so every seq was retried and then
+    # confirmed — nothing lost.
+    assert report.sent == n
+    assert report.echoes == n
+    assert report.retries >= n
+    assert report.unacked == 0
+    # Three echoes per seq: one ack + exactly one duplicate charged to
+    # the retry + one replay.  The old accounting would have reported
+    # duplicates == 2n here.
+    assert report.duplicates == n
+    assert report.replays == n
+    # The completion timeline carries one stamp per confirmed echo.
+    assert len(report.echo_mono) == n
+    assert report.echo_mono == sorted(report.echo_mono)
+
+
+def test_unsolicited_replays_are_not_duplicates():
+    # Echo every first copy twice, retries effectively disabled: the
+    # client never resends, so the second copy must land in ``replays``
+    # (the cluster replayed fan-out), leaving ``duplicates`` at zero.
+    class ReplayServer(FlakyEchoServer):
+        def __init__(self) -> None:
+            super().__init__(drop_first_n=0)
+
+        async def _handle(self, reader, writer) -> None:
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        return
+                    message = protocol.decode(line)
+                    if message is None:
+                        continue
+                    op = message.get("op")
+                    if op == protocol.OP_JOIN:
+                        writer.write(
+                            protocol.encode(
+                                {
+                                    "op": protocol.OP_JOINED,
+                                    "room": "r0",
+                                    "members": 1,
+                                }
+                            )
+                        )
+                    elif op == protocol.OP_MSG:
+                        writer.write(protocol.encode(message))
+                        writer.write(protocol.encode(message))
+                    elif op == protocol.OP_QUIT:
+                        writer.write(protocol.encode({"op": protocol.OP_BYE}))
+                        return
+                    await writer.drain()
+            finally:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+    async def _run():
+        server = ReplayServer()
+        await server.start()
+        try:
+            return await run_loadgen(
+                "127.0.0.1",
+                server.port,
+                CONFIG,
+                retry_unacked=True,
+                retry_interval_ms=60_000.0,
+                reconnect=True,
+            )
+        finally:
+            await server.stop()
+
+    report = asyncio.run(_run())
+    n = CONFIG.messages_per_client
+    assert report.echoes == n
+    assert report.retries == 0
+    assert report.duplicates == 0
+    assert report.replays == n
+    assert report.unacked == 0
+
+
 def test_eof_without_reconnect_keeps_historical_semantics():
     async def _run():
         server = FlakyEchoServer(drop_first_n=1)
