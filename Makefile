@@ -24,8 +24,8 @@ stress:
 # The perf-trajectory bench: the pinned matrix + hot-path pairs into a
 # BENCH_<n>.json (docs/performance.md).  BENCH_OUT/BENCH_OLD/BENCH_NEW
 # parameterise the file names.
-BENCH_OUT ?= BENCH_8.json
-BENCH_OLD ?= BENCH_8.json
+BENCH_OUT ?= BENCH_10.json
+BENCH_OLD ?= BENCH_10.json
 BENCH_NEW ?= results/bench-new.json
 
 bench:

@@ -61,9 +61,11 @@ from .kernel import (
 )
 from .sched import (
     CFSScheduler,
+    ClutchScheduler,
     HeapScheduler,
     MultiQueueScheduler,
     O1Scheduler,
+    RelaxedMQScheduler,
     SchedDecision,
     Scheduler,
     SchedStats,
@@ -92,8 +94,10 @@ __all__ = [
     "VanillaScheduler",
     "HeapScheduler",
     "CFSScheduler",
+    "ClutchScheduler",
     "MultiQueueScheduler",
     "O1Scheduler",
+    "RelaxedMQScheduler",
     "Scheduler",
     "SchedDecision",
     "SchedStats",

@@ -40,7 +40,7 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: The trajectory point this tree produces (PR number of record).
-BENCH_ID = "BENCH_8"
+BENCH_ID = "BENCH_10"
 
 #: Machine axes of the matrix: the uniprocessor fast paths and the SMP
 #: paths are different code (see sched/vanilla.py's ``_fold_proc``), so
@@ -125,7 +125,7 @@ class BenchPair:
     only as the measured baseline and behavioural cross-check.
     """
 
-    dimension: str  # "runqueue" | "elsc-table" | "probe-batch"
+    dimension: str  # "runqueue" | "elsc-table" | "probe-batch" | "smp-weights"
     workload: str
     scheduler: str
     machine: str
@@ -207,6 +207,11 @@ def pair_cells(smoke: bool = False) -> list[BenchPair]:
         BenchPair(
             "probe-batch", "volano", "reg", "UP", _cfg(BATCH_VOLANO_CONFIG)
         ),
+        # sched/vanilla.py: per-CPU pre-folded weight arrays vs the
+        # per-element ``processor`` re-test on the SMP goodness scan
+        # (``smp_fold=False`` keeps the dynamic re-test alive as the
+        # before side).
+        BenchPair("smp-weights", "volano", "reg", "4P", scan_heavy),
     ]
 
 

@@ -220,6 +220,16 @@ def _pair_sides(
             "per-event emission (batch_size=1)",
             "batched emission (default batch)",
         )
+    if pair.dimension == "smp-weights":
+        from ..sched.vanilla import VanillaScheduler
+
+        return (
+            lambda: VanillaScheduler(smp_fold=False),
+            lambda: VanillaScheduler(),
+            False,
+            "per-element processor re-test (smp_fold=False)",
+            "per-CPU pre-folded weight arrays (smp_fold=True)",
+        )
     raise ValueError(f"unknown pair dimension {pair.dimension!r}")
 
 

@@ -39,6 +39,7 @@ from .cli_common import (
 )
 from .harness import (
     MACHINE_SPECS,
+    SCHEDULER_ALIASES,
     SCHEDULERS,
     WORKLOADS,
     CellResult,
@@ -64,9 +65,11 @@ SPECS = MACHINE_SPECS
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scheduler",
+        type=resolve_scheduler_arg,
         choices=sorted(SCHEDULERS),
         default="elsc",
-        help="scheduling policy to simulate",
+        help="scheduling policy to simulate (aliases accepted: %s)"
+        % ", ".join(sorted(SCHEDULER_ALIASES)),
     )
     parser.add_argument(
         "--spec",

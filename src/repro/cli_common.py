@@ -18,13 +18,11 @@ from __future__ import annotations
 
 from .harness.registry import (
     MACHINE_SPECS,
-    SCHEDULER_ALIASES,
-    SCHEDULERS,
     WORKLOAD_ALIASES,
     WORKLOADS,
-    resolve_scheduler,
     resolve_workload,
 )
+from .sched.registry import alias_map, resolve, scheduler_names
 
 __all__ = [
     "scheduler_vocab",
@@ -40,7 +38,7 @@ __all__ = [
 
 def scheduler_vocab() -> list[str]:
     """Every accepted scheduler spelling: canonical names then aliases."""
-    return sorted(SCHEDULERS) + sorted(SCHEDULER_ALIASES)
+    return sorted(scheduler_names()) + sorted(alias_map())
 
 
 def workload_vocab() -> list[str]:
@@ -60,7 +58,7 @@ def resolve_scheduler_arg(name: str) -> str:
     registry's ``KeyError`` traceback.
     """
     try:
-        return resolve_scheduler(name)
+        return resolve(name)
     except KeyError as exc:
         raise SystemExit(exc.args[0]) from exc
 

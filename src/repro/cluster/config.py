@@ -203,6 +203,17 @@ class ClusterConfig:
             from ..serve.config import LoadSchedule  # fail fast, not mid-run
 
             LoadSchedule.from_config(self.load_schedule)
+        # Canonicalise the scheduler through the single registry so an
+        # unknown name dies here, not inside a shard subprocess, and an
+        # alias ("multiqueue") never reaches the wire config.
+        from ..sched.registry import resolve as resolve_scheduler
+
+        try:
+            canonical = resolve_scheduler(self.scheduler)
+        except KeyError as exc:
+            raise ValueError(exc.args[0]) from exc
+        if canonical != self.scheduler:
+            object.__setattr__(self, "scheduler", canonical)
 
     def serve_config(self) -> ServeConfig:
         """The load generator's view of this run."""

@@ -589,14 +589,13 @@ class ShardCore:
 
 def shard_main(shard_id: int, router_port: int, config_dict: dict) -> None:
     """``multiprocessing`` entry point for one shard process."""
-    from ..harness.registry import MACHINE_SPECS, SCHEDULERS
+    from ..harness.registry import MACHINE_SPECS
     from ..serve.executor import SchedulerExecutor
 
     config = ClusterConfig.from_dict(config_dict)
-    scheduler = SCHEDULERS[config.scheduler]()
     spec = MACHINE_SPECS[config.machine]
-    executor = SchedulerExecutor(
-        scheduler, num_cpus=spec.num_cpus, smp=spec.smp
+    executor = SchedulerExecutor.from_name(
+        config.scheduler, num_cpus=spec.num_cpus, smp=spec.smp
     )
     if config.metrics:
         from ..obs.metrics import MetricsProbe

@@ -40,6 +40,7 @@ from typing import Union
 from ..kernel.task import SchedPolicy, Task
 from ..sched.base import SchedDecision, Scheduler
 from ..sched.goodness import dynamic_bonus
+from ..sched.registry import register_scheduler
 from .table import ELSCListTable, ELSCRunqueueTable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,6 +52,10 @@ __all__ = ["ELSCScheduler"]
 _MAX_REPEATS = 64
 
 
+@register_scheduler(
+    "elsc",
+    summary="the paper's ELSC priority-table design",
+)
 class ELSCScheduler(Scheduler):
     """The table-based ELSC scheduler — Figure 1b's run queue.
 

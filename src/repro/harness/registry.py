@@ -12,14 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..core.elsc import ELSCScheduler
 from ..kernel.simulator import MachineSpec
 from ..sched.base import Scheduler
-from ..sched.cfs import CFSScheduler
-from ..sched.heap import HeapScheduler
-from ..sched.multiqueue import MultiQueueScheduler
-from ..sched.o1 import O1Scheduler
-from ..sched.vanilla import VanillaScheduler
+from ..sched.registry import all_schedulers, alias_map
+from ..sched.registry import resolve as _resolve_scheduler
 from ..serve.config import ServeConfig
 from ..serve.workload import run_serve_loadtest
 from ..workloads.kernbench import KernbenchConfig, run_kernbench
@@ -38,36 +34,32 @@ __all__ = [
     "resolve_workload",
 ]
 
+#: Canonical name -> factory, derived from the single scheduler
+#: registry (:mod:`repro.sched.registry`).  Kept as a plain dict so
+#: every existing ``SCHEDULERS[name]()`` / ``sorted(SCHEDULERS)``
+#: call site keeps working; new schedulers appear here the moment
+#: their module registers them.
 SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
-    "reg": VanillaScheduler,
-    "elsc": ELSCScheduler,
-    "heap": HeapScheduler,
-    "mq": MultiQueueScheduler,
-    "o1": O1Scheduler,
-    "cfs": CFSScheduler,
+    name: info.factory for name, info in all_schedulers().items()
 }
 
-#: Paper-facing synonyms accepted anywhere a scheduler is named, kept
-#: out of :data:`SCHEDULERS` so the canonical axis stays six names.
-SCHEDULER_ALIASES: dict[str, str] = {
-    "vanilla": "reg",
-    "current": "reg",
-    "multiqueue": "mq",
-}
+#: Paper-facing synonyms accepted anywhere a scheduler is named —
+#: also derived from the registry (declared by each scheduler's
+#: ``@register_scheduler(aliases=...)`` line, not here).
+SCHEDULER_ALIASES: dict[str, str] = alias_map()
 
 
 def resolve_scheduler(name: str) -> str:
     """Canonical scheduler name for ``name`` (aliases resolved).
 
-    Raises ``KeyError`` with the full vocabulary for an unknown name.
+    Entries injected straight into :data:`SCHEDULERS` (the fuzz
+    suite's throwaway policies do this) are honoured first; everything
+    else delegates to :func:`repro.sched.registry.resolve`, which
+    raises ``KeyError`` with the full vocabulary for an unknown name.
     """
-    canonical = SCHEDULER_ALIASES.get(name, name)
-    if canonical not in SCHEDULERS:
-        raise KeyError(
-            f"unknown scheduler {name!r}; choose from "
-            f"{sorted(SCHEDULERS) + sorted(SCHEDULER_ALIASES)}"
-        )
-    return canonical
+    if name in SCHEDULERS:
+        return name
+    return _resolve_scheduler(name)
 
 
 MACHINE_SPECS: dict[str, MachineSpec] = {

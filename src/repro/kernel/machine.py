@@ -242,6 +242,15 @@ class Machine:
         self._resume_cbs = [
             partial(Machine._resume_dispatch_cb, cpu=cpu) for cpu in self.cpus
         ]
+        #: API v2 lifecycle hooks, detected once: a scheduler that keeps
+        #: the base no-ops pays nothing on the tick/fork/exit paths (and
+        #: its event stream stays bit-identical to the pre-hook kernel).
+        from ..sched.base import Scheduler as _SchedulerBase
+
+        sched_cls = type(scheduler)
+        self._hook_tick = sched_cls.on_tick is not _SchedulerBase.on_tick
+        self._hook_fork = sched_cls.on_fork is not _SchedulerBase.on_fork
+        self._hook_exit = sched_cls.on_exit is not _SchedulerBase.on_exit
         scheduler.bind(self)
 
     # -- observers ---------------------------------------------------------
@@ -319,6 +328,8 @@ class Machine:
         task.start(self.handle)
         self._tasks[task.pid] = task
         self._live_count += 1
+        if self._hook_fork:
+            self.scheduler.on_fork(task)
         self.wake_up_process(task, self.clock.now)
         return task
 
@@ -786,6 +797,8 @@ class Machine:
         task.mark_exited()
         self.scheduler.del_from_runqueue(task)
         self._live_count -= 1
+        if self._hook_exit:
+            self.scheduler.on_exit(task)
         if self.probes.syscall:
             cpu_id = task.processor if task.processor >= 0 else -1
             self.probes.emit_syscall(SyscallEvent(t, cpu_id, task, "exit"))
@@ -812,6 +825,8 @@ class Machine:
             if task.counter <= 0:
                 task.counter = 0
                 cpu.need_resched = True
+            if self._hook_tick:
+                self.scheduler.on_tick(task, cpu.cpu_id)
         if cpu.need_resched:
             self.scheduler.stats.preemptions += 1
             if self.probes.sched:

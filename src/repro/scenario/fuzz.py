@@ -46,6 +46,7 @@ from ..harness.registry import MACHINE_SPECS, SCHEDULERS
 from ..harness.runner import execute_spec
 from ..kernel.simulator import make_machine
 from ..kernel.task import SchedPolicy, Task, TaskState
+from ..sched.base import Scheduler
 from ..obs.metrics import reconcile_with_stats
 from ..prof.profiler import conservation_errors
 from ..serve.executor import SchedulerExecutor
@@ -230,12 +231,20 @@ def _derive_trace(spec: ScenarioSpec, trace_len: int) -> list:
     return trace
 
 
-def _charge(task: Task) -> None:
-    """The executor's quantum rule, applied identically on both sides."""
+def _charge(task: Task, scheduler=None) -> None:
+    """The executor's quantum rule, applied identically on both sides.
+
+    Mirrors ``SchedulerExecutor.charge_slice``: after the counter math,
+    the API-v2 ``on_tick`` hook fires for every non-FIFO charge, so a
+    policy with an internal tick clock (clutch) sees the same number of
+    ticks on the machine-replay side as on the executor side.
+    """
     if task.policy is SchedPolicy.SCHED_FIFO:
         return
     if task.counter > 0:
         task.counter -= 1
+    if scheduler is not None and type(scheduler).on_tick is not Scheduler.on_tick:
+        scheduler.on_tick(task, task.processor)
 
 
 def _replay_executor(sched_name: str, spec_name: str, trace: Sequence) -> list:
@@ -307,7 +316,7 @@ def _replay_machine(sched_name: str, spec_name: str, trace: Sequence) -> list:
             i = tasks.index(picked)
             if pending[i] > 0:
                 pending[i] -= 1
-            _charge(picked)
+            _charge(picked, scheduler)
             picked.state = (
                 TaskState.RUNNING if pending[i] else TaskState.INTERRUPTIBLE
             )

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..harness.registry import SCHEDULERS
+from ..sched.registry import scheduler_names
 from ..serve.config import LoadPhase
 from .spec import ScenarioSpec
 
@@ -93,7 +93,7 @@ def _build() -> dict[str, ScenarioSpec]:
 
     # The simulated matrix: workload x scheduler x machine x size.
     for workload, sizes in _SIZES.items():
-        for sched in SCHEDULERS:
+        for sched in scheduler_names():
             for machine in _MACHINES:
                 for size, overrides in sizes.items():
                     add(
@@ -108,7 +108,7 @@ def _build() -> dict[str, ScenarioSpec]:
 
     # Observer-attached cells: both probes on the 2P small cell.
     for workload, sizes in _SIZES.items():
-        for sched in SCHEDULERS:
+        for sched in scheduler_names():
             add(
                 ScenarioSpec(
                     name=f"profiled-{workload}-{sched}",
@@ -122,7 +122,7 @@ def _build() -> dict[str, ScenarioSpec]:
 
     # Chaos: VolanoMark under each named kernel plan, per scheduler.
     for plan in _CHAOS_PLANS:
-        for sched in SCHEDULERS:
+        for sched in scheduler_names():
             add(
                 ScenarioSpec(
                     name=f"chaos-{plan}-{sched}",
@@ -182,7 +182,7 @@ def _build() -> dict[str, ScenarioSpec]:
     # with respawn on (the ClusterConfig default), so the gate is
     # ``recovered`` — capacity back to N shards, post-recovery
     # throughput within 15% of pre-kill — on top of zero drops.
-    for sched in SCHEDULERS:
+    for sched in scheduler_names():
         add(
             ScenarioSpec(
                 name=f"cluster-heal-{sched}",

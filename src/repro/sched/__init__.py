@@ -1,6 +1,6 @@
 """Schedulers: the interface, the stock baseline, and alternative designs."""
 
-from .base import SchedDecision, Scheduler
+from .base import ProbeHost, SchedDecision, Scheduler
 from .goodness import (
     dynamic_bonus,
     goodness,
@@ -9,21 +9,42 @@ from .goodness import (
     static_goodness,
 )
 from .cfs import CFSScheduler
+from .clutch import ClutchScheduler
 from .heap import HeapScheduler
 from .multiqueue import MultiQueueScheduler
 from .o1 import O1Scheduler
+from .registry import (
+    SchedulerInfo,
+    all_schedulers,
+    alias_map,
+    create,
+    register_scheduler,
+    resolve,
+    scheduler_names,
+)
+from .relaxed_mq import RelaxedMQScheduler
 from .stats import SchedStats
 from .vanilla import VanillaScheduler
 
 __all__ = [
     "SchedDecision",
     "Scheduler",
+    "ProbeHost",
     "SchedStats",
+    "SchedulerInfo",
+    "register_scheduler",
+    "resolve",
+    "create",
+    "all_schedulers",
+    "scheduler_names",
+    "alias_map",
     "VanillaScheduler",
     "HeapScheduler",
     "CFSScheduler",
+    "ClutchScheduler",
     "MultiQueueScheduler",
     "O1Scheduler",
+    "RelaxedMQScheduler",
     "goodness",
     "prev_goodness",
     "preemption_goodness",

@@ -7,23 +7,69 @@ not change current interfaces" — the ELSC patch replaces the bodies of
 ``move_last_runqueue``) and nothing else.  This module pins down exactly
 that interface so the machine is scheduler-agnostic and alternative
 designs (heap, multi-queue, O(1)) plug in the same way.
+
+API v2 widens the surface with *optional* lifecycle hooks — ``on_tick``,
+``on_fork``, ``on_exit``, ``task_group``, ``per_cpu_queue_lens`` — all
+defaulted to no-ops so the flat five-function designs run unmodified,
+while hierarchical designs (Clutch) get the group/tick signals they
+need.  Hosts detect overridden hooks at bind time (``type(sched).on_tick
+is not Scheduler.on_tick``) so a default hook costs nothing on the hot
+path.  The host side of the contract is the :class:`ProbeHost`
+protocol: the structural type every bound "machine" — the real
+:class:`~repro.kernel.machine.Machine`, the serve executor's shim, test
+fakes — satisfies.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from .stats import SchedStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.cost_model import CostModel
     from ..kernel.cpu import CPU
-    from ..kernel.machine import Machine
     from ..kernel.task import Task
+    from ..obs.probe import ProbeSet
 
-__all__ = ["Scheduler", "SchedDecision"]
+__all__ = ["Scheduler", "SchedDecision", "ProbeHost"]
+
+
+@runtime_checkable
+class ProbeHost(Protocol):
+    """What a scheduler may assume about the machine it is bound to.
+
+    This formalises the duck type that used to live in ``getattr``
+    calls: the real :class:`~repro.kernel.machine.Machine`, the serve
+    executor's ``_ExecutorMachine`` shim, and test fakes all satisfy
+    it.  ``probes`` is always present (an empty
+    :class:`~repro.obs.probe.ProbeSet` when nothing is attached), so
+    emission sites test ``host.probes.sched`` directly instead of
+    ``getattr(machine, "probes", None)``.
+    """
+
+    cost: "CostModel"
+    smp: bool
+    cpus: Sequence
+    probes: "ProbeSet"
+
+    @property
+    def clock(self):  # pragma: no cover - structural only
+        """Virtual clock with an integer ``now`` attribute."""
+        ...
+
+    def live_tasks(self) -> Iterable["Task"]:
+        """Every live task in the system (``for_each_task``)."""
+        ...
 
 
 @dataclass
@@ -63,13 +109,22 @@ class Scheduler(abc.ABC):
     #: machine charges only uncontended lock costs.
     uses_global_lock: bool = True
 
+    #: Whether the design maintains genuinely per-CPU ready structures
+    #: (multiqueue, O(1), relaxed_mq); purely informational for layers
+    #: that reason about policies without instantiating them.
+    per_cpu_queues: bool = False
+
+    #: Whether the design schedules through a hierarchy (groups/buckets
+    #: above tasks) rather than one flat ready list (clutch).
+    hierarchical: bool = False
+
     def __init__(self) -> None:
         self.stats = SchedStats()
-        self.machine: Optional["Machine"] = None
+        self.machine: Optional[ProbeHost] = None
 
     # -- lifecycle -----------------------------------------------------------
 
-    def bind(self, machine: "Machine") -> None:
+    def bind(self, machine: ProbeHost) -> None:
         """Attach to a machine; called once before the simulation starts."""
         self.machine = machine
         self.reset()
@@ -137,6 +192,47 @@ class Scheduler(abc.ABC):
         * Implementations update ``self.stats`` themselves.
         """
 
+    # -- optional lifecycle hooks (API v2) --------------------------------------
+    #
+    # All default to no-ops so flat designs run unmodified.  Hosts check
+    # ``type(scheduler).on_tick is not Scheduler.on_tick`` once at bind
+    # time and skip the call entirely when the default is in place, so a
+    # policy that doesn't care pays zero cycles and keeps bit-identity.
+
+    def on_tick(self, task: "Task", cpu_id: int) -> None:
+        """A timer tick was charged to ``task`` on CPU ``cpu_id``.
+
+        Fired *after* the host decremented ``task.counter`` (the
+        quantum rule stays host-owned so every host applies it
+        identically).  Hierarchical designs use this to advance their
+        internal notion of time.
+        """
+
+    def on_fork(self, task: "Task") -> None:
+        """``task`` was created, before its first wakeup."""
+
+    def on_exit(self, task: "Task") -> None:
+        """``task`` exited and has left the run queue for good."""
+
+    def task_group(self, task: "Task"):
+        """The grouping key ``task`` schedules under.
+
+        Defaults to the address space (``task.mm``), falling back to
+        the pid for kernel-thread-like tasks without one — the closest
+        analogue of a thread group the simulator has.  Deterministic:
+        ``mm`` objects are only ever used as dict keys (insertion
+        ordered), never sorted by ``id()``.
+        """
+        return task.mm if task.mm is not None else task.pid
+
+    def per_cpu_queue_lens(self) -> list[int]:
+        """Ready-task count per internal queue (one entry per queue).
+
+        Flat designs report a single global entry; per-CPU designs
+        report one per lane/CPU.  For introspection and tests.
+        """
+        return [self.runqueue_len()]
+
     # -- introspection ----------------------------------------------------------
 
     @abc.abstractmethod
@@ -162,12 +258,14 @@ class Scheduler(abc.ABC):
             count += 1
         self.stats.recalc_entries += 1
         machine = self.machine
-        # getattr: bound hosts range from the full Machine to the serve
-        # executor's duck-typed shim to bare test fakes.
-        probes = getattr(machine, "probes", None)
-        if probes is not None and probes.sched:
+        assert machine is not None, "scheduler not bound to a machine"
+        # Every bound host satisfies ProbeHost — the full Machine, the
+        # serve executor's shim, and test fakes alike — so probes is
+        # always present (empty ProbeSet when detached).
+        if machine.probes.sched:
             from ..obs.probe import RecalcEvent
 
+            probes = machine.probes
             probes.emit_sched(RecalcEvent(machine.clock.now, count))
         return self.cost.recalc_cost(count)
 

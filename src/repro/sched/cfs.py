@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Optional
 from ..kernel.params import CYCLES_PER_TICK
 from ..kernel.task import SchedPolicy, Task
 from .base import SchedDecision, Scheduler
+from .registry import register_scheduler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.cpu import CPU
@@ -106,6 +107,10 @@ class _Timeline:
         return len(self.entries)
 
 
+@register_scheduler(
+    "cfs",
+    summary="weighted-fair vruntime timeline",
+)
 class CFSScheduler(Scheduler):
     """Per-CPU vruntime timelines; always run the leftmost task."""
 

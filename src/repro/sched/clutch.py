@@ -1,0 +1,364 @@
+"""An XNU-Clutch-style hierarchical scheduler.
+
+Darwin's ``sched_clutch`` (osfmk/kern/sched_clutch.c) replaced the flat
+global ready queue with a three-level hierarchy: the root picks a *QoS
+bucket* (Fixed-priority, Foreground, Default, Utility, Background), the
+bucket picks a *thread group* (clutch), and the group picks a thread.
+Bucket selection is earliest-deadline-first over per-bucket
+worst-case-execution-latency deadlines, with two refinements this module
+reproduces:
+
+* **warps** — an interactivity budget letting a higher-QoS bucket jump
+  ahead of the EDF winner a bounded number of times, so foreground work
+  preempts batch work without starving it;
+* **starvation avoidance** — once the EDF winner is overdue past a
+  grace window, warping is disabled and the starved bucket runs.
+
+Mapped onto the 2.3.99 task model: real-time tasks form the fixed-pri
+bucket; SCHED_OTHER tasks land in a QoS bucket by static ``priority``
+band; the thread group is :meth:`Scheduler.task_group` (the shared
+``mm``), round-robined inside the bucket with FIFO order inside the
+group.  Quantum bookkeeping is O(1)-style — a task's counter is
+refilled from its priority on wakeup and on expiry — so there is no
+whole-system recalculation loop.
+
+Determinism: the hierarchy's clock is an internal logical counter
+(advanced per ``schedule()`` and per ``on_tick``), never the machine's
+cycle clock, so the same arrival trace produces the same picks in the
+simulator, the serve executor, and the fuzzer's replay hosts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..kernel.task import SchedPolicy, Task
+from .base import SchedDecision, Scheduler
+from .registry import register_scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.cpu import CPU
+
+__all__ = ["ClutchScheduler"]
+
+#: Bucket indices (lower = higher QoS).
+_FIXPRI = 0
+_FG = 1
+_DEF = 2
+_UT = 3
+_BG = 4
+_N_BUCKETS = 5
+
+_BUCKET_NAMES = ("fixpri", "fg", "def", "ut", "bg")
+
+#: Worst-case execution latency per bucket, in logical scheduler ticks:
+#: how long a non-empty bucket may wait before its deadline makes it
+#: the EDF winner.  Fixed-priority work bypasses EDF entirely.
+_WCEL = (0, 8, 16, 24, 32)
+
+#: Warp budget per bucket: how many times it may jump ahead of the EDF
+#: winner before it must wait its turn (restored when it next wins EDF
+#: on its own deadline).
+_WARP = (0, 4, 2, 1, 0)
+
+#: Starvation grace: once the EDF winner is overdue by more than this
+#: many logical ticks, warping is disabled until it has run.
+_STARVATION_GRACE = 8
+
+
+def _bucket_for(task: Task) -> int:
+    """QoS bucket index for ``task`` (priority bands over 1..40)."""
+    if task.is_realtime():
+        return _FIXPRI
+    if task.priority >= 30:
+        return _FG
+    if task.priority >= 20:
+        return _DEF
+    if task.priority >= 10:
+        return _UT
+    return _BG
+
+
+class _Bucket:
+    """One QoS level: insertion-ordered thread groups of FIFO tasks."""
+
+    __slots__ = ("index", "groups", "count", "deadline", "warp_left")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: group key -> FIFO list of queued tasks.  Insertion order is
+        #: the round-robin order; rotation moves a picked group to the
+        #: back.
+        self.groups: dict = {}
+        self.count = 0
+        #: EDF deadline in logical ticks; meaningful while count > 0.
+        self.deadline = 0
+        self.warp_left = _WARP[index]
+
+
+@register_scheduler(
+    "clutch",
+    aliases=("sched_clutch",),
+    summary="XNU-Clutch-style hierarchy: QoS buckets with EDF warp",
+)
+class ClutchScheduler(Scheduler):
+    """Thread groups under EDF QoS buckets with warps (Darwin's Clutch)."""
+
+    name = "clutch"
+    uses_global_lock = True
+    hierarchical = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._buckets = [_Bucket(i) for i in range(_N_BUCKETS)]
+        #: pid -> (bucket index, group key) while resident in a group.
+        self._where: dict = {}
+        self._running_onqueue = 0
+        #: Logical hierarchy clock: schedule() entries + charged ticks.
+        self._now = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._buckets = [_Bucket(i) for i in range(_N_BUCKETS)]
+        self._where = {}
+        self._running_onqueue = 0
+        self._now = 0
+
+    # -- lifecycle hooks ------------------------------------------------------
+
+    def on_tick(self, task: Task, cpu_id: int) -> None:
+        """Charged quantum ticks advance the hierarchy's EDF clock."""
+        self._now += 1
+
+    # -- enqueue plumbing -----------------------------------------------------
+
+    def _enqueue(self, task: Task, front: bool = False) -> None:
+        if task.on_runqueue() and task.run_list.prev is None:
+            self._running_onqueue -= 1
+        bidx = _bucket_for(task)
+        bucket = self._buckets[bidx]
+        group = self.task_group(task)
+        if bucket.count == 0:
+            bucket.deadline = self._now + _WCEL[bidx]
+        tasks = bucket.groups.get(group)
+        if tasks is None:
+            tasks = bucket.groups[group] = []
+        if front:
+            tasks.insert(0, task)
+            # Front bias extends to the round-robin order: the group
+            # is considered first so prev wins goodness-style ties.
+            bucket.groups = {group: bucket.groups.pop(group), **bucket.groups}
+        else:
+            tasks.append(task)
+        bucket.count += 1
+        self._where[task.pid] = (bidx, group)
+        # On-queue marker (kernel convention: live ``next``).
+        task.run_list.next = task.run_list
+        task.run_list.prev = task.run_list
+
+    def _remove(self, task: Task) -> None:
+        bidx, group = self._where.pop(task.pid)
+        bucket = self._buckets[bidx]
+        tasks = bucket.groups[group]
+        tasks.remove(task)
+        if not tasks:
+            del bucket.groups[group]
+        bucket.count -= 1
+
+    # -- run-queue interface --------------------------------------------------
+
+    def add_to_runqueue(self, task: Task) -> int:
+        if task.on_runqueue():
+            raise RuntimeError(f"{task.name} is already on the run queue")
+        if task.counter == 0:
+            task.counter = task.priority  # fresh timeslice on wakeup
+        self._enqueue(task)
+        self.stats.enqueues += 1
+        return self.cost.list_op + self.cost.elsc_index
+
+    def del_from_runqueue(self, task: Task) -> int:
+        if not task.on_runqueue():
+            return 0
+        if task.pid in self._where:
+            self._remove(task)
+        elif task.run_list.prev is None:
+            self._running_onqueue -= 1
+        task.run_list.next = None
+        task.run_list.prev = None
+        self.stats.dequeues += 1
+        return self.cost.list_op
+
+    def move_first_runqueue(self, task: Task) -> None:
+        where = self._where.get(task.pid)
+        if where is None:
+            return
+        bidx, group = where
+        bucket = self._buckets[bidx]
+        tasks = bucket.groups[group]
+        tasks.remove(task)
+        tasks.insert(0, task)
+        bucket.groups = {group: bucket.groups.pop(group), **bucket.groups}
+
+    def move_last_runqueue(self, task: Task) -> None:
+        where = self._where.get(task.pid)
+        if where is None:
+            return
+        bidx, group = where
+        bucket = self._buckets[bidx]
+        tasks = bucket.groups[group]
+        tasks.remove(task)
+        tasks.append(task)
+        bucket.groups[group] = bucket.groups.pop(group)
+
+    # -- the pick -------------------------------------------------------------
+
+    def _bucket_candidate(
+        self, bucket: _Bucket, prev: Task
+    ) -> tuple[Optional[Task], int]:
+        """First eligible task in round-robin group order.
+
+        Returns ``(task, examined)``; skips tasks running on other CPUs
+        (``has_cpu`` and not ``prev``).
+        """
+        examined = 0
+        for tasks in bucket.groups.values():
+            for task in tasks:
+                examined += 1
+                if task.has_cpu and task is not prev:
+                    continue
+                return task, examined
+        return None, examined
+
+    def _edf_order(self) -> list[_Bucket]:
+        """Non-empty timeshare buckets, earliest deadline first (QoS
+        breaks ties)."""
+        live = [b for b in self._buckets[1:] if b.count > 0]
+        return sorted(live, key=lambda b: (b.deadline, b.index))
+
+    def schedule(self, prev: Task, cpu: "CPU") -> SchedDecision:
+        self.stats.schedule_calls += 1
+        self._now += 1
+        idle = cpu.idle_task
+        cost_cycles = 0
+        examined = 0
+        indexed = 0
+        prev_yielded = prev is not idle and prev.yield_pending
+
+        if prev is not idle:
+            if prev.is_runnable():
+                if prev.counter == 0:
+                    if prev.policy is SchedPolicy.SCHED_FIFO:
+                        self._enqueue(prev, front=True)
+                    else:
+                        prev.counter = prev.priority
+                        self._enqueue(prev)
+                elif prev_yielded:
+                    # sched_yield: back of the group *and* the group to
+                    # the back of its bucket's round-robin order.
+                    self._enqueue(prev)
+                    bidx, group = self._where[prev.pid]
+                    groups = self._buckets[bidx].groups
+                    groups[group] = groups.pop(group)
+                else:
+                    self._enqueue(prev, front=True)
+            elif prev.on_runqueue():
+                cost_cycles += self.del_from_runqueue(prev)
+
+        self.stats.runqueue_len_sum += self.runqueue_len()
+
+        chosen: Optional[Task] = None
+        chosen_bucket: Optional[_Bucket] = None
+        warped = False
+
+        # Level 1: fixed-priority work bypasses EDF outright.
+        fixpri = self._buckets[_FIXPRI]
+        if fixpri.count > 0:
+            indexed += 1
+            chosen, seen = self._bucket_candidate(fixpri, prev)
+            examined += seen
+            if chosen is not None:
+                chosen_bucket = fixpri
+
+        if chosen is None:
+            order = self._edf_order()
+            if order:
+                winner = order[0]
+                starving = self._now > winner.deadline + _STARVATION_GRACE
+                # Warp: the highest-QoS bucket above the EDF winner
+                # with budget left may jump ahead — unless the winner
+                # is already starved past its grace window.
+                warp_bucket: Optional[_Bucket] = None
+                if not starving:
+                    for b in self._buckets[1 : winner.index]:
+                        if b.count > 0 and b.warp_left > 0:
+                            warp_bucket = b
+                            break
+                scan = (
+                    [warp_bucket] if warp_bucket is not None else []
+                ) + order
+                for pos, bucket in enumerate(scan):
+                    indexed += 1
+                    chosen, seen = self._bucket_candidate(bucket, prev)
+                    examined += seen
+                    if chosen is not None:
+                        chosen_bucket = bucket
+                        warped = pos == 0 and warp_bucket is not None
+                        break
+
+        if chosen is not None and chosen_bucket is not None:
+            group = self._where[chosen.pid][1]
+            self._remove(chosen)
+            # Round-robin: a group that just ran goes to the back of
+            # its bucket so siblings get their turn.
+            if group in chosen_bucket.groups:
+                chosen_bucket.groups[group] = chosen_bucket.groups.pop(group)
+            chosen.run_list.next = chosen.run_list
+            chosen.run_list.prev = None
+            self._running_onqueue += 1
+            if chosen_bucket.index != _FIXPRI:
+                if warped:
+                    chosen_bucket.warp_left -= 1
+                else:
+                    # Winning on its own deadline restores the budget.
+                    chosen_bucket.warp_left = _WARP[chosen_bucket.index]
+                # Selection re-arms the bucket's deadline.
+                if chosen_bucket.count > 0:
+                    chosen_bucket.deadline = (
+                        self._now + _WCEL[chosen_bucket.index]
+                    )
+            if prev_yielded and chosen is prev:
+                self.stats.yield_reruns += 1
+        if prev is not idle and prev.yield_pending:
+            prev.yield_pending = False
+
+        cost_cycles += self.cost.elsc_schedule_cost(examined, indexed)
+        self.stats.tasks_examined += examined
+        self.stats.scheduler_cycles += cost_cycles
+        return SchedDecision(
+            next_task=chosen,
+            cost=cost_cycles,
+            examined=examined,
+            eval_cycles=self.cost.elsc_examine * examined,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def runqueue_len(self) -> int:
+        return sum(b.count for b in self._buckets) + self._running_onqueue
+
+    def runqueue_tasks(self) -> list[Task]:
+        out: list[Task] = []
+        for bucket in self._buckets:
+            for tasks in bucket.groups.values():
+                out.extend(tasks)
+        return out
+
+    def per_cpu_queue_lens(self) -> list[int]:
+        """One entry per QoS bucket (the hierarchy's natural queues)."""
+        return [b.count for b in self._buckets]
+
+    def bucket_census(self) -> dict[str, int]:
+        """Queued-task count per named bucket, for tests and /proc."""
+        return {
+            _BUCKET_NAMES[b.index]: b.count for b in self._buckets
+        }

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Optional
 from ..kernel.task import SchedPolicy, Task
 from .base import SchedDecision, Scheduler
 from .goodness import dynamic_bonus
+from .registry import register_scheduler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.cpu import CPU
@@ -61,6 +62,10 @@ class _Entry:
         return self.seq > other.seq
 
 
+@register_scheduler(
+    "heap",
+    summary="global priority heap with lazy deletion",
+)
 class HeapScheduler(Scheduler):
     """Global static-goodness heap with lazy-deleted entries."""
 

@@ -28,6 +28,7 @@ from ..core.table import ELSCListTable
 from ..kernel.task import SchedPolicy, Task
 from .base import SchedDecision, Scheduler
 from .goodness import dynamic_bonus
+from .registry import register_scheduler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.cpu import CPU
@@ -37,11 +38,17 @@ __all__ = ["MultiQueueScheduler"]
 _MAX_REPEATS = 64
 
 
+@register_scheduler(
+    "mq",
+    aliases=("multiqueue",),
+    summary="lock-per-queue per-CPU runqueues with idle steal",
+)
 class MultiQueueScheduler(Scheduler):
     """One ELSC table per CPU, idle stealing, no global lock."""
 
     name = "mq"
     uses_global_lock = False
+    per_cpu_queues = True
 
     def __init__(self, steal: bool = True) -> None:
         super().__init__()

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional
 from ..kernel.listops import ListHead
 from ..kernel.task import SchedPolicy, Task
 from .base import SchedDecision, Scheduler
+from .registry import register_scheduler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.cpu import CPU
@@ -107,11 +108,16 @@ class _RunQueue:
         return self.active.count + self.expired.count
 
 
+@register_scheduler(
+    "o1",
+    summary="per-CPU active/expired bitmap arrays (2.6-style O(1))",
+)
 class O1Scheduler(Scheduler):
     """Per-CPU active/expired bitmap arrays (the 2.5-era design)."""
 
     name = "o1"
     uses_global_lock = False
+    per_cpu_queues = True
 
     def __init__(self, steal: bool = True) -> None:
         super().__init__()

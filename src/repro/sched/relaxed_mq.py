@@ -1,0 +1,253 @@
+"""A relaxed concurrent MultiQueue scheduler.
+
+"Multi-Queues Can Be State-of-the-Art Priority Schedulers" (PAPERS.md)
+shows that a *c-relaxed* priority queue — many small queues, insert
+into one at random, delete-min by probing a constant number of queues
+and taking the better top — scales where a strict shared heap
+serialises, at the cost of occasionally running a task that is merely
+*near*-best.  This module ports that design onto the 2.3.99 task model:
+
+* ``2 * nCPU`` lanes, each a FIFO list of runnable tasks;
+* inserts round-robin across lanes (the deterministic stand-in for the
+  paper's uniformly-random lane choice — randomness would break the
+  bit-identity contracts every scheduler here is held to);
+* a pick probes two lanes from a rotating cursor and takes the better
+  top by the heap scheduler's key (realtime band above the
+  ``counter + priority`` band), falling back to a bounded scan of the
+  remaining lanes so a pick never reports a false idle;
+* quantum bookkeeping is O(1)-style — counters refill from ``priority``
+  on wakeup and on expiry — so there is no recalculation loop.
+
+This is deliberately distinct from the existing ``mq`` policy: ``mq``
+gives each CPU *its own* queue with work stealing (locality first),
+while ``relaxed_mq`` decouples lanes from CPUs entirely and relaxes
+*which* of the best tasks a pick returns (contention first).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..kernel.task import SchedPolicy, Task
+from .base import SchedDecision, Scheduler
+from .registry import register_scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.cpu import CPU
+
+__all__ = ["RelaxedMQScheduler"]
+
+#: Key bands, mirroring the heap scheduler's ordering.
+_RT_BASE = 1_000_000
+_ELIGIBLE_BASE = 10_000
+
+
+def _key(task: Task) -> int:
+    """Selection key: bigger is better."""
+    if task.is_realtime():
+        return _RT_BASE + task.rt_priority
+    return _ELIGIBLE_BASE + task.counter + task.priority
+
+
+@register_scheduler(
+    "relaxed_mq",
+    aliases=("rmq",),
+    summary="c-relaxed MultiQueue: 2-lane probe over 2·nCPU lanes",
+)
+class RelaxedMQScheduler(Scheduler):
+    """Relaxed concurrent MultiQueue (probe-two over 2·nCPU lanes)."""
+
+    name = "relaxed_mq"
+    uses_global_lock = False
+    per_cpu_queues = True
+
+    #: Lanes per CPU (the MultiQueues paper's classic c = 2).
+    lanes_per_cpu = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lanes: list[list[Task]] = [[], []]
+        #: pid -> lane index while resident in a lane.
+        self._lane_of: dict[int, int] = {}
+        self._insert_cursor = 0
+        self._probe_cursor = 0
+        self._running_onqueue = 0
+
+    def reset(self) -> None:
+        super().reset()
+        count = len(self.machine.cpus) if self.machine is not None else 1
+        self._lanes = [[] for _ in range(self.lanes_per_cpu * count)]
+        self._lane_of = {}
+        self._insert_cursor = 0
+        self._probe_cursor = 0
+        self._running_onqueue = 0
+
+    # -- enqueue plumbing -----------------------------------------------------
+
+    def _enqueue(
+        self, task: Task, lane: Optional[int] = None, front: bool = False
+    ) -> None:
+        if task.on_runqueue() and task.run_list.prev is None:
+            self._running_onqueue -= 1
+        if lane is None:
+            lane = self._insert_cursor
+            self._insert_cursor = (self._insert_cursor + 1) % len(self._lanes)
+        if front:
+            self._lanes[lane].insert(0, task)
+        else:
+            self._lanes[lane].append(task)
+        self._lane_of[task.pid] = lane
+        # On-queue marker (kernel convention: live ``next``).
+        task.run_list.next = task.run_list
+        task.run_list.prev = task.run_list
+
+    # -- run-queue interface --------------------------------------------------
+
+    def add_to_runqueue(self, task: Task) -> int:
+        if task.on_runqueue():
+            raise RuntimeError(f"{task.name} is already on the run queue")
+        if task.counter == 0:
+            task.counter = task.priority  # fresh timeslice on wakeup
+        self._enqueue(task)
+        self.stats.enqueues += 1
+        return self.cost.list_op + self.cost.elsc_index
+
+    def del_from_runqueue(self, task: Task) -> int:
+        if not task.on_runqueue():
+            return 0
+        lane = self._lane_of.pop(task.pid, None)
+        if lane is not None:
+            self._lanes[lane].remove(task)
+        elif task.run_list.prev is None:
+            self._running_onqueue -= 1
+        task.run_list.next = None
+        task.run_list.prev = None
+        self.stats.dequeues += 1
+        return self.cost.list_op
+
+    def move_first_runqueue(self, task: Task) -> None:
+        lane = self._lane_of.get(task.pid)
+        if lane is None:
+            return
+        self._lanes[lane].remove(task)
+        self._lanes[lane].insert(0, task)
+
+    def move_last_runqueue(self, task: Task) -> None:
+        lane = self._lane_of.get(task.pid)
+        if lane is None:
+            return
+        self._lanes[lane].remove(task)
+        self._lanes[lane].append(task)
+
+    # -- the pick -------------------------------------------------------------
+
+    def _lane_top(
+        self, lane: int, prev: Task
+    ) -> tuple[Optional[Task], int, int]:
+        """Best eligible task in ``lane``: (task, key, examined).
+
+        Left-to-right scan with strict improvement, so FIFO order wins
+        ties and ``move_first_runqueue`` keeps its bias.
+        """
+        best: Optional[Task] = None
+        best_key = 0
+        examined = 0
+        for task in self._lanes[lane]:
+            examined += 1
+            if task.has_cpu and task is not prev:
+                continue
+            # A pending sched_yield makes prev the candidate of last
+            # resort: key 0, so anything else eligible beats it.
+            key = 0 if (task is prev and task.yield_pending) else _key(task)
+            if best is None or key > best_key:
+                best = task
+                best_key = key
+        return best, best_key, examined
+
+    def schedule(self, prev: Task, cpu: "CPU") -> SchedDecision:
+        self.stats.schedule_calls += 1
+        idle = cpu.idle_task
+        cost_cycles = 0
+        examined = 0
+        indexed = 0
+        prev_yielded = prev is not idle and prev.yield_pending
+
+        if prev is not idle:
+            if prev.is_runnable():
+                if prev.counter == 0:
+                    if prev.policy is SchedPolicy.SCHED_FIFO:
+                        self._enqueue(prev, front=True)
+                    else:
+                        prev.counter = prev.priority
+                        self._enqueue(prev)
+                elif prev_yielded:
+                    self._enqueue(prev)
+                else:
+                    self._enqueue(prev, front=True)
+            elif prev.on_runqueue():
+                cost_cycles += self.del_from_runqueue(prev)
+
+        self.stats.runqueue_len_sum += self.runqueue_len()
+
+        nlanes = len(self._lanes)
+        start = self._probe_cursor
+        self._probe_cursor = (self._probe_cursor + 1) % nlanes
+
+        # The relaxed pick: probe two lanes, take the better top.
+        chosen: Optional[Task] = None
+        chosen_key = 0
+        for step in (0, 1):
+            lane = (start + step) % nlanes
+            indexed += 1
+            top, key, seen = self._lane_top(lane, prev)
+            examined += seen
+            if top is not None and (chosen is None or key > chosen_key):
+                chosen = top
+                chosen_key = key
+        if chosen is None:
+            # Correctness fallback: both probes came up dry (empty
+            # lanes or every task running elsewhere) — scan the rest
+            # in rotation order so a runnable task is never missed.
+            for step in range(2, nlanes):
+                lane = (start + step) % nlanes
+                indexed += 1
+                chosen, _, seen = self._lane_top(lane, prev)
+                examined += seen
+                if chosen is not None:
+                    break
+
+        if chosen is not None:
+            lane = self._lane_of.pop(chosen.pid)
+            self._lanes[lane].remove(chosen)
+            chosen.run_list.next = chosen.run_list
+            chosen.run_list.prev = None
+            self._running_onqueue += 1
+            if prev_yielded and chosen is prev:
+                self.stats.yield_reruns += 1
+        if prev is not idle and prev.yield_pending:
+            prev.yield_pending = False
+
+        cost_cycles += self.cost.elsc_schedule_cost(examined, indexed)
+        self.stats.tasks_examined += examined
+        self.stats.scheduler_cycles += cost_cycles
+        return SchedDecision(
+            next_task=chosen,
+            cost=cost_cycles,
+            examined=examined,
+            eval_cycles=self.cost.elsc_examine * examined,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def runqueue_len(self) -> int:
+        return sum(len(lane) for lane in self._lanes) + self._running_onqueue
+
+    def runqueue_tasks(self) -> list[Task]:
+        out: list[Task] = []
+        for lane in self._lanes:
+            out.extend(lane)
+        return out
+
+    def per_cpu_queue_lens(self) -> list[int]:
+        """One entry per lane."""
+        return [len(lane) for lane in self._lanes]

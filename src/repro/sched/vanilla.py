@@ -58,7 +58,21 @@ Two queue layouts implement the same semantics (``impl=`` selects one;
     On a single-CPU machine the querying CPU is always 0, so the
     processor-affinity bonus folds into the cache and the hot loop is
     three attribute loads per element (``has_cpu``, ``rq_weight``,
-    ``mm``); on SMP the processor test stays dynamic.
+    ``mm``).
+
+    On SMP the same fold applies **per CPU** (``smp_fold=True``, the
+    default): the queue keeps one parallel weight array per CPU, with
+    the +15 affinity bonus pre-added in the row of the task's
+    ``processor``, so the scan for CPU ``c`` reads ``zip(reversed(q),
+    reversed(w[c]))`` and the per-element ``task.processor == this_cpu``
+    re-test disappears from the hot loop (the ROADMAP hot-path
+    follow-on; the ``smp-weights`` BenchPair pins the win and
+    ``smp_fold=False`` keeps the dynamic re-test alive as its
+    before-side).  Soundness is the same argument as ``rq_weight``:
+    a queued, non-running task's ``processor`` (and counter) cannot
+    change — it moves only when the task is dispatched, at which point
+    ``has_cpu`` hides it from every scan until it reappears as
+    ``prev``, whose row is refreshed at schedule() entry.
 
 ``list``
     the historical circular doubly-linked ``ListHead`` walk computing
@@ -75,6 +89,7 @@ from ..kernel.listops import ListHead
 from ..kernel.task import SchedPolicy, Task
 from .base import SchedDecision, Scheduler
 from .goodness import goodness
+from .registry import register_scheduler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.cpu import CPU
@@ -88,17 +103,26 @@ __all__ = ["VanillaScheduler"]
 _MAX_REPEATS = 64
 
 
+@register_scheduler(
+    "reg",
+    aliases=("vanilla", "current"),
+    summary="the 2.3.99 global-runqueue goodness scan",
+)
 class VanillaScheduler(Scheduler):
     """The current (2.3.99-pre4) Linux scheduler — Figure 1a's run queue."""
 
     name = "reg"
 
-    def __init__(self, impl: str = "array") -> None:
+    def __init__(self, impl: str = "array", smp_fold: bool = True) -> None:
         super().__init__()
         if impl not in ("array", "list"):
             raise ValueError(f"impl must be array|list, got {impl!r}")
         self.impl = impl
         self._array = impl == "array"
+        #: Whether the SMP scan uses per-CPU pre-folded weight arrays
+        #: (False keeps the per-element processor re-test as the bench
+        #: baseline).
+        self.smp_fold = smp_fold
         #: array impl: queue front at the END (append == front insert).
         self._q: list[Task] = []
         #: list impl: circular doubly-linked queue head.
@@ -107,6 +131,11 @@ class VanillaScheduler(Scheduler):
         #: True once bound to a 1-CPU machine: the +15 affinity bonus is
         #: then folded into ``rq_weight`` (the querying CPU is always 0).
         self._fold_proc = False
+        #: True once bound to an SMP machine with ``smp_fold``: the
+        #: bonus is folded per CPU into the :attr:`_w` rows instead.
+        self._smp_fold = False
+        #: smp_fold: one weight array per CPU, parallel to ``_q``.
+        self._w: list[list[int]] = []
 
     def reset(self) -> None:
         super().reset()
@@ -114,7 +143,10 @@ class VanillaScheduler(Scheduler):
         self._head = ListHead()
         self._len = 0
         machine = self.machine
-        self._fold_proc = machine is not None and len(machine.cpus) == 1
+        ncpus = 1 if machine is None else len(machine.cpus)
+        self._fold_proc = machine is not None and ncpus == 1
+        self._smp_fold = self._array and self.smp_fold and ncpus > 1
+        self._w = [[] for _ in range(ncpus)] if self._smp_fold else []
 
     def _refresh_weight(self, task: Task) -> None:
         """Recompute ``task.rq_weight`` from its live scheduling fields."""
@@ -130,6 +162,24 @@ class VanillaScheduler(Scheduler):
         else:
             task.rq_weight = -1000 - task.rt_priority
 
+    def _refresh_row(self, task: Task, i: int) -> None:
+        """smp_fold: recompute ``task``'s per-CPU folded weights at
+        queue index ``i`` (affinity bonus pre-added in its CPU's row)."""
+        if task.policy is SchedPolicy.SCHED_OTHER:
+            counter = task.counter
+            if counter:
+                base = counter + task.priority
+                proc = task.processor
+                for c, wc in enumerate(self._w):
+                    wc[i] = base + 15 if c == proc else base
+            else:
+                for wc in self._w:
+                    wc[i] = 0
+        else:
+            weight = -1000 - task.rt_priority
+            for wc in self._w:
+                wc[i] = weight
+
     # -- run-queue manipulation (paper section 3.2) ---------------------------
 
     def add_to_runqueue(self, task: Task) -> int:
@@ -139,6 +189,10 @@ class VanillaScheduler(Scheduler):
         if self._array:
             self._refresh_weight(task)
             self._q.append(task)
+            if self._smp_fold:
+                for wc in self._w:
+                    wc.append(0)
+                self._refresh_row(task, len(self._q) - 1)
             # Self-loop sentinel: "on the run queue, in a list" for the
             # kernel's pointer conventions, without a linked structure.
             node = task.run_list
@@ -155,7 +209,13 @@ class VanillaScheduler(Scheduler):
         if not task.on_runqueue():
             return 0
         if self._array:
-            self._q.remove(task)
+            if self._smp_fold:
+                i = self._q.index(task)
+                del self._q[i]
+                for wc in self._w:
+                    del wc[i]
+            else:
+                self._q.remove(task)
         else:
             task.run_list.del_()
         task.run_list.next = None
@@ -169,8 +229,14 @@ class VanillaScheduler(Scheduler):
             return
         if self._array:
             q = self._q
-            q.remove(task)
-            q.append(task)
+            if self._smp_fold:
+                i = q.index(task)
+                q.append(q.pop(i))
+                for wc in self._w:
+                    wc.append(wc.pop(i))
+            else:
+                q.remove(task)
+                q.append(task)
         else:
             task.run_list.move(self._head)
 
@@ -179,8 +245,14 @@ class VanillaScheduler(Scheduler):
             return
         if self._array:
             q = self._q
-            q.remove(task)
-            q.insert(0, task)
+            if self._smp_fold:
+                i = q.index(task)
+                q.insert(0, q.pop(i))
+                for wc in self._w:
+                    wc.insert(0, wc.pop(i))
+            else:
+                q.remove(task)
+                q.insert(0, task)
         else:
             task.run_list.move_tail(self._head)
 
@@ -217,6 +289,8 @@ class VanillaScheduler(Scheduler):
             # it ran; this entry is the first scan that can see it as a
             # non-running task again, so bring its cached weight current.
             self._refresh_weight(prev)
+            if self._smp_fold:
+                self._refresh_row(prev, self._q.index(prev))
         other = SchedPolicy.SCHED_OTHER
 
         for _round in range(_MAX_REPEATS):
@@ -241,13 +315,41 @@ class VanillaScheduler(Scheduler):
             this_cpu = cpu.cpu_id
             this_mm = prev.mm
             if array:
-                # Front-to-back == reversed(contiguous array).  Three
+                # Front-to-back == reversed(contiguous array).  Several
                 # loop bodies instead of one so the per-element work is
                 # exactly the loads the variant needs: rq_weight already
                 # encodes counter/priority/policy (and, with
                 # _fold_proc, the affinity bonus) — see module docstring.
                 q = self._q
-                if not self._fold_proc:
+                if self._smp_fold:
+                    # SMP with per-CPU pre-folded weights: the affinity
+                    # bonus lives in this CPU's row, so the loop never
+                    # touches task.processor (or counter/priority).
+                    wq = self._w[this_cpu]
+                    if this_mm is None:
+                        for task, weight in zip(reversed(q), reversed(wq)):
+                            if task.has_cpu:
+                                continue
+                            examined += 1
+                            if weight < 0:
+                                weight = -weight
+                            if weight > c:
+                                c = weight
+                                next_task = task
+                    else:
+                        for task, weight in zip(reversed(q), reversed(wq)):
+                            if task.has_cpu:
+                                continue
+                            examined += 1
+                            if weight > 0:
+                                if task.mm is this_mm:
+                                    weight += 1
+                            elif weight < 0:
+                                weight = -weight
+                            if weight > c:
+                                c = weight
+                                next_task = task
+                elif not self._fold_proc:
                     # SMP: the querying CPU varies, keep the processor
                     # test dynamic.
                     for task in reversed(q):
@@ -350,6 +452,10 @@ class VanillaScheduler(Scheduler):
             refresh = self._refresh_weight
             for task in self._q:
                 refresh(task)
+            if self._smp_fold:
+                refresh_row = self._refresh_row
+                for i, task in enumerate(self._q):
+                    refresh_row(task, i)
         return charge
 
     # -- introspection --------------------------------------------------------

@@ -134,6 +134,7 @@ class SchedulerExecutor:
         self.probes = self.machine.probes
         if prof is not None:
             self.attach(ProfilerProbe(prof))
+        self._detect_hooks(scheduler)
         scheduler.bind(self.machine)  # type: ignore[arg-type]
         self._cursor = 0
         #: Wall-clock nanoseconds spent inside schedule(), one sample
@@ -142,6 +143,45 @@ class SchedulerExecutor:
         self._pick_ns_cap = 1 << 16
         self.picks = 0
         self.idle_picks = 0
+
+    @classmethod
+    def from_name(
+        cls,
+        name: str,
+        num_cpus: int = 1,
+        smp: bool = False,
+        cost: Optional[CostModel] = None,
+        prof: Optional[object] = None,
+    ) -> "SchedulerExecutor":
+        """Build an executor for a registry-named policy (aliases ok).
+
+        The single front door for the serve and cluster layers: the
+        name goes through :func:`repro.sched.registry.create`, so any
+        scheduler registered anywhere in the process is servable
+        without per-layer tables.
+        """
+        from ..sched.registry import create, get
+
+        info = get(name)
+        return cls(
+            create(name),
+            num_cpus=num_cpus,
+            smp=smp,
+            cost=cost,
+            prof=prof,
+            factory=info.factory,
+        )
+
+    def _detect_hooks(self, scheduler: Scheduler) -> None:
+        """Detect overridden API-v2 hooks once per bound instance.
+
+        Mirrors the simulated Machine: a policy keeping the base
+        no-ops pays nothing on the register/deregister/charge paths.
+        """
+        sched_cls = type(scheduler)
+        self._hook_tick = sched_cls.on_tick is not Scheduler.on_tick
+        self._hook_fork = sched_cls.on_fork is not Scheduler.on_fork
+        self._hook_exit = sched_cls.on_exit is not Scheduler.on_exit
 
     # -- observers -----------------------------------------------------------
 
@@ -187,6 +227,8 @@ class SchedulerExecutor:
         task.state = TaskState.INTERRUPTIBLE
         task.user = user
         self.machine._tasks[task.pid] = task
+        if self._hook_fork:
+            self.scheduler.on_fork(task)
         return task
 
     def deregister(self, task: Task) -> None:
@@ -201,6 +243,8 @@ class SchedulerExecutor:
         self.scheduler.del_from_runqueue(task)
         task.mark_exited()
         self.machine._tasks.pop(task.pid, None)
+        if self._hook_exit:
+            self.scheduler.on_exit(task)
 
     # -- wakeup (mirrors Machine.wake_up_process) -----------------------------
 
@@ -356,6 +400,8 @@ class SchedulerExecutor:
                         self.machine.clock.now, task.processor, task, 0
                     )
                     self.probes.emit_sched(ev)
+        if self._hook_tick:
+            self.scheduler.on_tick(task, task.processor)
 
     def release(self, task: Task, blocked: bool) -> None:
         """Return a served handler to the policy's jurisdiction.
@@ -397,6 +443,7 @@ class SchedulerExecutor:
             task.run_list.next = None
             task.run_list.prev = None
         self.scheduler = self._factory()
+        self._detect_hooks(self.scheduler)
         self.scheduler.bind(machine)  # type: ignore[arg-type]
         self.probes.set_scheduler(self.scheduler.name)
         for task in machine._tasks.values():

@@ -8,12 +8,14 @@ import pytest
 
 from repro import (
     CFSScheduler,
+    ClutchScheduler,
     ELSCScheduler,
     HeapScheduler,
     Machine,
     MachineSpec,
     MultiQueueScheduler,
     O1Scheduler,
+    RelaxedMQScheduler,
     Task,
     VanillaScheduler,
 )
@@ -25,6 +27,8 @@ ALL_SCHEDULERS = [
     MultiQueueScheduler,
     O1Scheduler,
     CFSScheduler,
+    ClutchScheduler,
+    RelaxedMQScheduler,
 ]
 
 PAPER_SCHEDULERS = [VanillaScheduler, ELSCScheduler]

@@ -9,7 +9,9 @@ from repro.cli import SCHEDULERS, SPECS, build_parser, main
 
 class TestParser:
     def test_all_schedulers_available(self):
-        assert set(SCHEDULERS) == {"reg", "elsc", "heap", "mq", "o1", "cfs"}
+        assert set(SCHEDULERS) == {
+            "reg", "elsc", "heap", "mq", "o1", "cfs", "clutch", "relaxed_mq",
+        }
 
     def test_all_specs_available(self):
         assert list(SPECS) == ["UP", "1P", "2P", "4P", "8P"]

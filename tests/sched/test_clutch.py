@@ -1,0 +1,164 @@
+"""Clutch hierarchy unit tests: buckets, groups, warps, starvation.
+
+The EDF/warp behaviour is pinned against the constants in
+``sched/clutch.py`` (``_WCEL``, ``_WARP``, ``_STARVATION_GRACE``); the
+tests build their timing windows from those constants, so retuning the
+tables adjusts the tests rather than silently invalidating them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClutchScheduler, Machine, Task
+from repro.kernel.mm import MMStruct
+from repro.kernel.task import SchedPolicy, TaskState
+from repro.sched.clutch import _STARVATION_GRACE, _WARP, _WCEL, _bucket_for
+from tests.conftest import attach
+
+
+def make_up():
+    sched = ClutchScheduler()
+    machine = Machine(sched, num_cpus=1, smp=False)
+    return sched, machine, machine.cpus[0]
+
+
+def queued(machine, name, priority, mm=None):
+    task = Task(name=name, priority=priority, mm=mm)
+    attach(machine, task)
+    machine.scheduler.add_to_runqueue(task)
+    return task
+
+
+def advance(sched, ticks):
+    """Advance the hierarchy's logical clock without scheduling."""
+    probe = Task(name="tick-probe")
+    for _ in range(ticks):
+        sched.on_tick(probe, 0)
+
+
+class TestBuckets:
+    def test_bucket_assignment_by_priority_band(self):
+        assert _bucket_for(Task(priority=35)) == 1  # fg
+        assert _bucket_for(Task(priority=20)) == 2  # def
+        assert _bucket_for(Task(priority=12)) == 3  # ut
+        assert _bucket_for(Task(priority=5)) == 4  # bg
+
+    def test_realtime_lands_in_fixpri(self):
+        rt = Task(policy=SchedPolicy.SCHED_FIFO, rt_priority=50)
+        assert _bucket_for(rt) == 0
+
+    def test_census_and_per_bucket_lens(self):
+        sched, machine, _cpu = make_up()
+        queued(machine, "a", 35)
+        queued(machine, "b", 35)
+        queued(machine, "c", 5)
+        assert sched.bucket_census() == {
+            "fixpri": 0, "fg": 2, "def": 0, "ut": 0, "bg": 1,
+        }
+        assert sched.per_cpu_queue_lens() == [0, 2, 0, 0, 1]
+
+    def test_fixpri_beats_every_deadline(self):
+        sched, machine, cpu = make_up()
+        queued(machine, "batch", 5)
+        rt = Task(name="rt", policy=SchedPolicy.SCHED_FIFO, rt_priority=10)
+        attach(machine, rt)
+        sched.add_to_runqueue(rt)
+        assert sched.schedule(cpu.idle_task, cpu).next_task is rt
+
+
+class TestGroupRoundRobin:
+    def test_groups_alternate_within_a_bucket(self):
+        sched, machine, cpu = make_up()
+        mm_a, mm_b = MMStruct(), MMStruct()
+        a1 = queued(machine, "a1", 35, mm=mm_a)
+        a2 = queued(machine, "a2", 35, mm=mm_a)
+        b1 = queued(machine, "b1", 35, mm=mm_b)
+        picks = []
+        prev = cpu.idle_task
+        for _ in range(3):
+            task = sched.schedule(prev, cpu).next_task
+            picks.append(task)
+            task.state = TaskState.INTERRUPTIBLE  # runs then blocks
+            task.has_cpu = True
+            prev = task
+        # Group A ran first (FIFO), then the rotation hands B its turn
+        # before A's second thread.
+        assert picks == [a1, b1, a2]
+
+    def test_fifo_order_within_a_group(self):
+        sched, machine, cpu = make_up()
+        mm = MMStruct()
+        first = queued(machine, "first", 35, mm=mm)
+        queued(machine, "second", 35, mm=mm)
+        assert sched.schedule(cpu.idle_task, cpu).next_task is first
+
+
+class TestWarp:
+    def _bg_then_fg(self, bg_age):
+        """A BG task whose deadline is ``bg_age`` ticks old when an FG
+        task arrives; returns (sched, cpu, bg, fg)."""
+        sched, machine, cpu = make_up()
+        bg = queued(machine, "bg", 5)  # deadline = _WCEL[4]
+        advance(sched, _WCEL[4] + bg_age)
+        fg = queued(machine, "fg", 35)  # later deadline than bg's
+        return sched, cpu, bg, fg
+
+    def test_fg_warps_ahead_of_earlier_bg_deadline(self):
+        # BG just reached its deadline: not yet starved, so FG's warp
+        # budget lets it jump the EDF order.
+        sched, cpu, _bg, fg = self._bg_then_fg(bg_age=0)
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is fg
+        assert sched._buckets[1].warp_left == _WARP[1] - 1
+
+    def test_starved_winner_disables_warp(self):
+        # BG overdue past the grace window: warping is off and the
+        # starved bucket runs even though FG is queued with budget.
+        sched, cpu, bg, _fg = self._bg_then_fg(bg_age=_STARVATION_GRACE + 1)
+        decision = sched.schedule(cpu.idle_task, cpu)
+        assert decision.next_task is bg
+        assert sched._buckets[1].warp_left == _WARP[1]
+
+    def test_exhausted_budget_yields_to_edf_winner(self):
+        sched, cpu, bg, _fg = self._bg_then_fg(bg_age=0)
+        sched._buckets[1].warp_left = 0
+        assert sched.schedule(cpu.idle_task, cpu).next_task is bg
+
+    def test_winning_on_own_deadline_restores_budget(self):
+        sched, machine, cpu = make_up()
+        sched._buckets[1].warp_left = 1
+        fg = queued(machine, "fg", 35)
+        # FG is the EDF winner outright (only non-empty bucket): the
+        # pick is *not* a warp, so the budget refills.
+        assert sched.schedule(cpu.idle_task, cpu).next_task is fg
+        assert sched._buckets[1].warp_left == _WARP[1]
+
+
+class TestContract:
+    def test_add_del_roundtrip(self):
+        sched, machine, _cpu = make_up()
+        task = queued(machine, "t", 20)
+        assert task.on_runqueue()
+        assert sched.runqueue_len() == 1
+        sched.del_from_runqueue(task)
+        assert not task.on_runqueue()
+        assert sched.runqueue_len() == 0
+
+    def test_double_add_rejected(self):
+        sched, machine, _cpu = make_up()
+        task = queued(machine, "t", 20)
+        with pytest.raises(RuntimeError):
+            sched.add_to_runqueue(task)
+
+    def test_tick_hook_advances_the_logical_clock(self):
+        sched, _machine, _cpu = make_up()
+        before = sched._now
+        advance(sched, 3)
+        assert sched._now == before + 3
+
+    def test_runqueue_tasks_spans_the_hierarchy(self):
+        sched, machine, _cpu = make_up()
+        names = {"a": 35, "b": 20, "c": 5}
+        tasks = {queued(machine, n, p) for n, p in names.items()}
+        assert set(sched.runqueue_tasks()) == tasks

@@ -1,0 +1,153 @@
+"""Relaxed-MultiQueue unit tests: lanes, probe-two, fallback, bias."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, RelaxedMQScheduler, Task
+from repro.kernel.task import SchedPolicy, TaskState
+from tests.conftest import attach
+
+
+def make(num_cpus=1, smp=False):
+    sched = RelaxedMQScheduler()
+    machine = Machine(sched, num_cpus=num_cpus, smp=smp)
+    return sched, machine, machine.cpus[0]
+
+
+def queued(machine, name, priority=20, counter=None):
+    task = Task(name=name, priority=priority)
+    if counter is not None:
+        task.counter = counter
+    attach(machine, task)
+    machine.scheduler.add_to_runqueue(task)
+    return task
+
+
+class TestLanes:
+    def test_lane_count_scales_with_cpus(self):
+        for ncpus, smp in ((1, False), (2, True), (4, True)):
+            sched, _machine, _cpu = make(ncpus, smp)
+            assert len(sched.per_cpu_queue_lens()) == (
+                sched.lanes_per_cpu * ncpus
+            )
+
+    def test_inserts_round_robin_across_lanes(self):
+        sched, machine, _cpu = make(2, smp=True)
+        for i in range(8):
+            queued(machine, f"t{i}")
+        assert sched.per_cpu_queue_lens() == [2, 2, 2, 2]
+
+    def test_flags(self):
+        sched = RelaxedMQScheduler()
+        assert not sched.uses_global_lock
+        assert sched.per_cpu_queues
+        assert not sched.hierarchical
+
+
+class TestProbeTwo:
+    def test_probe_takes_the_better_of_two_lane_tops(self):
+        sched, machine, cpu = make(1)  # 2 lanes, probed every pick
+        weak = queued(machine, "weak", priority=20, counter=1)  # lane 0
+        strong = queued(machine, "strong", priority=20, counter=20)  # lane 1
+        assert sched.schedule(cpu.idle_task, cpu).next_task is strong
+        assert weak.on_runqueue()
+
+    def test_realtime_band_beats_any_timeshare_key(self):
+        sched, machine, cpu = make(1)
+        queued(machine, "ts", priority=39, counter=39)
+        rt = Task(name="rt", policy=SchedPolicy.SCHED_FIFO, rt_priority=1)
+        attach(machine, rt)
+        sched.add_to_runqueue(rt)
+        assert sched.schedule(cpu.idle_task, cpu).next_task is rt
+
+    def test_fallback_scan_never_reports_false_idle(self):
+        # 8 lanes; the only runnable task sits in a lane outside the
+        # two-probe window for several consecutive cursor positions.
+        sched, machine, cpu = make(4, smp=True)
+        lone = Task(name="lone")
+        attach(machine, lone)
+        sched._enqueue(lone, lane=5)
+        assert sched.schedule(cpu.idle_task, cpu).next_task is lone
+
+    def test_tasks_running_elsewhere_are_skipped(self):
+        sched, machine, cpu = make(2, smp=True)
+        busy = queued(machine, "busy")
+        busy.has_cpu = True  # current on the other CPU
+        free = queued(machine, "free")
+        assert sched.schedule(cpu.idle_task, cpu).next_task is free
+
+
+class TestOrderingBias:
+    def test_fifo_wins_equal_key_ties(self):
+        sched, machine, cpu = make(1)
+        first = Task(name="first", priority=20)
+        second = Task(name="second", priority=20)
+        first.counter = second.counter = 7
+        attach(machine, first, second)
+        sched._enqueue(first, lane=0)
+        sched._enqueue(second, lane=0)
+        assert sched.schedule(cpu.idle_task, cpu).next_task is first
+
+    def test_move_first_flips_the_tie(self):
+        sched, machine, cpu = make(1)
+        first = Task(name="first", priority=20)
+        second = Task(name="second", priority=20)
+        first.counter = second.counter = 7
+        attach(machine, first, second)
+        sched._enqueue(first, lane=0)
+        sched._enqueue(second, lane=0)
+        sched.move_first_runqueue(second)
+        assert sched.schedule(cpu.idle_task, cpu).next_task is second
+
+    def test_yielding_prev_is_last_resort(self):
+        sched, machine, cpu = make(1)
+        prev = queued(machine, "prev", priority=39, counter=39)
+        other = queued(machine, "other", priority=1, counter=1)
+        sched.del_from_runqueue(prev)
+        prev.has_cpu = True
+        prev.yield_pending = True
+        decision = sched.schedule(prev, cpu)
+        assert decision.next_task is other
+        assert not prev.yield_pending  # consumed
+        assert prev.on_runqueue()
+
+    def test_yielding_prev_reruns_when_alone(self):
+        sched, machine, cpu = make(1)
+        prev = queued(machine, "prev")
+        sched.del_from_runqueue(prev)
+        prev.has_cpu = True
+        prev.yield_pending = True
+        assert sched.schedule(prev, cpu).next_task is prev
+        assert sched.stats.yield_reruns == 1
+
+
+class TestContract:
+    def test_add_del_roundtrip(self):
+        sched, machine, _cpu = make(1)
+        task = queued(machine, "t")
+        assert task.on_runqueue()
+        assert sched.runqueue_len() == 1
+        sched.del_from_runqueue(task)
+        assert not task.on_runqueue()
+        assert sched.runqueue_len() == 0
+
+    def test_double_add_rejected(self):
+        sched, machine, _cpu = make(1)
+        task = queued(machine, "t")
+        with pytest.raises(RuntimeError):
+            sched.add_to_runqueue(task)
+
+    def test_blocked_prev_leaves_the_lane(self):
+        sched, machine, cpu = make(1)
+        prev = queued(machine, "prev")
+        sched.schedule(cpu.idle_task, cpu)
+        prev.has_cpu = True
+        prev.state = TaskState.INTERRUPTIBLE
+        assert sched.schedule(prev, cpu).next_task is None
+        assert not prev.on_runqueue()
+
+    def test_runqueue_tasks_spans_all_lanes(self):
+        sched, machine, _cpu = make(2, smp=True)
+        tasks = {queued(machine, f"t{i}") for i in range(5)}
+        assert set(sched.runqueue_tasks()) == tasks

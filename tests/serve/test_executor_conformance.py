@@ -23,6 +23,7 @@ from hypothesis import given, settings, strategies as st
 from repro.harness import MACHINE_SPECS, SCHEDULERS
 from repro.kernel.simulator import make_machine
 from repro.kernel.task import SchedPolicy, Task, TaskState
+from repro.sched.base import Scheduler
 from repro.serve import SchedulerExecutor
 
 N_HANDLERS = 3
@@ -37,12 +38,17 @@ _sched_names = st.sampled_from(sorted(SCHEDULERS))
 _spec_names = st.sampled_from(sorted(MACHINE_SPECS))
 
 
-def _charge(task: Task) -> None:
-    """The executor's quantum rule, applied identically on both sides."""
+def _charge(task: Task, scheduler=None) -> None:
+    """The executor's quantum rule, applied identically on both sides.
+
+    Mirrors ``charge_slice`` including the API-v2 ``on_tick`` hook, so
+    policies with an internal tick clock (clutch) stay in step."""
     if task.policy is SchedPolicy.SCHED_FIFO:
         return
     if task.counter > 0:
         task.counter -= 1
+    if scheduler is not None and type(scheduler).on_tick is not Scheduler.on_tick:
+        scheduler.on_tick(task, task.processor)
 
 
 def replay_executor(sched_name: str, spec_name: str, trace) -> list:
@@ -114,7 +120,7 @@ def replay_machine(sched_name: str, spec_name: str, trace) -> list:
             i = tasks.index(picked)
             if pending[i] > 0:
                 pending[i] -= 1
-            _charge(picked)
+            _charge(picked, scheduler)
             picked.state = (
                 TaskState.RUNNING if pending[i] else TaskState.INTERRUPTIBLE
             )
